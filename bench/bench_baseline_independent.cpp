@@ -1,0 +1,147 @@
+// Ablation A3 — independent partitioning (GCD / minimum-distance family,
+// paper refs [5], [16], [18], [20]) vs Algorithm 1.
+//
+// Reproduces the paper's Section I claim: "For many important nested loop
+// algorithms, such as matrix multiplication, discrete Fourier transform,
+// convolution, transitive closure, ... these index sets cannot be
+// partitioned into independent blocks. Therefore, these algorithms will
+// execute sequentially by their methods."
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "baselines/independent.hpp"
+#include "mapping/baseline_map.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "partition/blocks.hpp"
+#include "perf/table.hpp"
+#include "sim/exec_sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+void report() {
+  bench::banner("Ablation A3: independent partitioning vs Algorithm 1 (Sheu-Tai)");
+
+  TextTable t({"workload", "dep lattice divisors", "independent blocks", "Sheu-Tai blocks",
+               "interblock/total arcs"});
+
+  auto add = [&](const LoopNest& nest) {
+    auto q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+    IndependentPartition ip = independent_partition(*q);
+    std::string divisors;
+    for (std::int64_t d : ip.elementary_divisors) {
+      if (!divisors.empty()) divisors += ",";
+      divisors += std::to_string(d);
+    }
+    if (ip.lattice_rank < q->dimension()) divisors += " (rank-deficient)";
+
+    auto tf = search_time_function(*q);
+    std::string st_blocks = "-";
+    std::string arcs = "-";
+    if (tf) {
+      ProjectedStructure ps(*q, *tf);
+      Grouping g = Grouping::compute(ps);
+      Partition p = Partition::build(*q, g);
+      PartitionStats stats = compute_partition_stats(*q, p);
+      st_blocks = std::to_string(p.block_count());
+      arcs = std::to_string(stats.interblock_arcs) + "/" + std::to_string(stats.total_arcs);
+    }
+    std::string indep = std::to_string(ip.block_count);
+    if (ip.is_sequential()) indep += " (SEQUENTIAL)";
+    t.row(nest.name(), divisors, indep, st_blocks, arcs);
+  };
+
+  add(workloads::matrix_multiplication(7));
+  add(workloads::matrix_vector(16));
+  add(workloads::convolution1d(16, 8));
+  add(workloads::transitive_closure(8));
+  add(workloads::sor2d(12, 12));
+  add(workloads::wavefront3d(6));
+  add(workloads::strided_recurrence(15, 3));
+  add(workloads::strided_recurrence(15, 5));
+  add(workloads::dft_horner(16));
+  std::printf("%s", t.to_string().c_str());
+
+  // Head-to-head simulated execution time on an 8-processor hypercube:
+  // the GCD family's blocks need no communication at all, but when the
+  // lattice is det-1 everything lands in ONE block and the machine idles.
+  std::printf("\nSimulated T_exec on 8 processors (t_calc=1, t_start=50, t_comm=5):\n");
+  TextTable head({"workload", "independent blocks T", "Sheu-Tai T", "winner"});
+  MachineParams machine{1.0, 50.0, 5.0};
+  auto duel = [&](const LoopNest& nest) {
+    auto q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+    auto tf = search_time_function(*q);
+    if (!tf) return;
+    SimOptions opts;
+    opts.flops_per_iteration = nest.body_flops();
+
+    IndependentPartition ip = independent_partition(*q);
+    Partition indep = Partition::from_labels(*q, ip.labels);
+    TaskInteractionGraph indep_tig(indep.block_count());
+    for (std::size_t b = 0; b < indep.block_count(); ++b)
+      indep_tig.set_compute_weight(b,
+                                   static_cast<std::int64_t>(indep.blocks()[b].iterations.size()));
+    Mapping indep_map = map_round_robin(indep_tig, 8);
+    SimResult ri = simulate_execution(*q, *tf, indep, indep_map, Hypercube(3), machine, opts);
+
+    ProjectedStructure ps(*q, *tf);
+    Grouping g = Grouping::compute(ps);
+    Partition st = Partition::build(*q, g);
+    TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, st, g);
+    Mapping st_map = map_to_hypercube(tig, 3).mapping;
+    SimResult rs = simulate_execution(*q, *tf, st, st_map, Hypercube(3), machine, opts);
+
+    head.row(nest.name(), ri.time, rs.time, rs.time < ri.time ? "Sheu-Tai" : "independent");
+  };
+  duel(workloads::matrix_vector(128));
+  duel(workloads::convolution1d(128, 32));
+  duel(workloads::sor2d(64, 64));
+  duel(workloads::strided_recurrence(23, 3));
+  std::printf("%s", head.to_string().c_str());
+  std::printf(
+      "\nGrain size matters (paper Section IV): at these medium-grain sizes the\n"
+      "Sheu-Tai partitioning beats the serialized det-1 kernels; for genuinely\n"
+      "independent recurrences (stride > 1) the GCD family wins outright since\n"
+      "its blocks need zero communication.\n");
+  std::printf(
+      "\nReading: every det-1 dependence lattice collapses to ONE independent\n"
+      "block (sequential execution), while Algorithm 1 still extracts blocks\n"
+      "with bounded communication; only artificially strided recurrences give\n"
+      "the GCD family any parallelism (stride^2 blocks).\n");
+}
+
+void bm_independent_partition(benchmark::State& state) {
+  ComputationStructure q = ComputationStructure::from_loop(
+      workloads::strided_recurrence(state.range(0), 3));
+  for (auto _ : state) {
+    IndependentPartition ip = independent_partition(q);
+    benchmark::DoNotOptimize(ip);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_independent_partition)->Arg(15)->Arg(30)->Arg(60)->Complexity();
+
+void bm_smith_normal_form(benchmark::State& state) {
+  IntMat d = IntMat::from_cols({{0, 1, 0}, {1, 0, 0}, {0, 0, 1}});
+  for (auto _ : state) {
+    SmithResult s = smith_normal_form(d);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_smith_normal_form);
+
+void bm_hermite_normal_form(benchmark::State& state) {
+  IntMat d = IntMat::from_cols({{2, 4, 1}, {6, 8, 3}, {10, 14, 5}});
+  for (auto _ : state) {
+    HermiteResult h = hermite_normal_form(d);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(bm_hermite_normal_form);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

@@ -1,0 +1,31 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary prints its table/figure reproduction up front (so the output
+// can be diffed against the paper) and then registers google-benchmark
+// timings for the underlying algorithms.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hypart::bench {
+
+inline void banner(const std::string& title) {
+  std::string rule(title.size() + 8, '=');
+  std::printf("\n%s\n=== %s ===\n%s\n", rule.c_str(), title.c_str(), rule.c_str());
+}
+
+}  // namespace hypart::bench
+
+/// Standard main: print the reproduction report, then run the benchmarks.
+#define HYPART_BENCH_MAIN(report_fn)                                  \
+  int main(int argc, char** argv) {                                   \
+    report_fn();                                                      \
+    ::benchmark::Initialize(&argc, argv);                             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                            \
+    ::benchmark::Shutdown();                                          \
+    return 0;                                                         \
+  }

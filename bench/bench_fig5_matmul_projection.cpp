@@ -1,0 +1,83 @@
+// Figs. 4 & 5 — computational structure and projected structure of the
+// 4x4x4 matrix multiplication (Example 2), Π = (1,1,1).
+//
+// Reproduces: the dependence matrix columns (0,1,0),(1,0,0),(0,0,1), the
+// 37 projected points, and the projected dependence vectors
+// (-1/3,2/3,-1/3), (2/3,-1/3,-1/3), (-1/3,-1/3,2/3) with r = 3 and beta = 2.
+#include "bench_common.hpp"
+
+#include "partition/projection.hpp"
+#include "perf/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+void report() {
+  bench::banner("Figs. 4-5: matrix multiplication structure & projection, Pi=(1,1,1)");
+
+  LoopNest mm = workloads::matrix_multiplication();
+  std::printf("%s\n", mm.to_string().c_str());
+
+  ComputationStructure q = ComputationStructure::from_loop(mm);
+  std::printf("|J^3| = %zu iterations, dependence matrix columns:\n", q.vertices().size());
+  for (const IntVec& d : q.dependences()) std::printf("  %s\n", to_string(d).c_str());
+
+  TimeFunction tf{{1, 1, 1}};
+  ProjectedStructure ps(q, tf);
+  std::printf("\nprojected points |V^p| = %zu (paper: 37)\n", ps.point_count());
+  std::printf("beta = rank(mat(D^p)) = %zu (paper: 2)\n", ps.projected_rank());
+
+  TextTable t({"dependence", "projected (D^p)", "r_i"});
+  for (std::size_t k = 0; k < q.dependences().size(); ++k)
+    t.row(to_string(q.dependences()[k]), to_string(ps.projected_dep_rational(k)),
+          ps.replication_factor(k));
+  std::printf("%s", t.to_string().c_str());
+
+  // Line populations: the 37 projection lines and how many iterations each
+  // carries (sums to 64).
+  std::size_t total = 0;
+  std::size_t max_pop = 0;
+  for (std::size_t i = 0; i < ps.point_count(); ++i) {
+    total += ps.line_population(i);
+    max_pop = std::max(max_pop, ps.line_population(i));
+  }
+  std::printf("line populations sum to %zu (= |J^3|), longest line = %zu (main diagonal)\n",
+              total, max_pop);
+}
+
+void bm_matmul_projection(benchmark::State& state) {
+  ComputationStructure q =
+      ComputationStructure::from_loop(workloads::matrix_multiplication(state.range(0)));
+  TimeFunction tf{{1, 1, 1}};
+  for (auto _ : state) {
+    ProjectedStructure ps(q, tf);
+    benchmark::DoNotOptimize(ps);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_matmul_projection)->Arg(3)->Arg(7)->Arg(11)->Arg(15)->Complexity();
+
+void bm_matmul_structure(benchmark::State& state) {
+  LoopNest mm = workloads::matrix_multiplication(state.range(0));
+  for (auto _ : state) {
+    ComputationStructure q = ComputationStructure::from_loop(mm);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(bm_matmul_structure)->Arg(3)->Arg(7)->Arg(11);
+
+void bm_projected_rank(benchmark::State& state) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication(3));
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  for (auto _ : state) {
+    std::size_t r = ps.projected_rank();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_projected_rank);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

@@ -1,0 +1,105 @@
+// Fig. 7 — the group-level communication graph of the matrix-multiplication
+// partitioning.
+//
+// Reproduces: an interior group (the paper's G_10) sends data to exactly
+// 2m - beta = 4 groups; prints the full group digraph edge list and degree
+// histogram, and validates Lemmas 2-3.
+#include "bench_common.hpp"
+
+#include <map>
+
+#include "partition/blocks.hpp"
+#include "partition/checkers.hpp"
+#include "perf/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+GroupingOptions paper_options(const ProjectedStructure& ps) {
+  GroupingOptions opts;
+  std::vector<std::size_t> aux;
+  const std::vector<IntVec>& pdeps = ps.projected_deps_scaled();
+  for (std::size_t k = 0; k < pdeps.size(); ++k) {
+    if (pdeps[k] == IntVec{-1, 2, -1}) opts.grouping_vector = k;
+    if (pdeps[k] == IntVec{-1, -1, 2}) aux.push_back(k);
+  }
+  opts.auxiliary_vectors = aux;
+  opts.seed_policy = SeedPolicy::ExplicitBases;
+  opts.explicit_bases = {{-3, -3, 6}};
+  return opts;
+}
+
+void report() {
+  bench::banner("Fig. 7: group communication graph of matrix multiplication");
+
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication());
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  Grouping g = Grouping::compute(ps, paper_options(ps));
+  Digraph dg = g.group_digraph();
+
+  std::printf("groups = %zu, directed comm edges = %zu\n", dg.vertex_count(), dg.edge_count());
+
+  // Out-degree histogram: interior groups attain 2m - beta = 4.
+  TextTable hist({"out-degree (groups sent to)", "count of groups"});
+  std::map<std::size_t, std::size_t> degrees;
+  for (std::size_t v = 0; v < dg.vertex_count(); ++v) ++degrees[dg.out_degree(v)];
+  for (const auto& [deg, count] : degrees) hist.row(deg, count);
+  std::printf("%s", hist.to_string().c_str());
+
+  Theorem2Report t2 = check_theorem2(g);
+  std::printf("%s (paper: interior groups send to 2*3-2 = 4 groups)\n",
+              t2.to_string().c_str());
+  LemmaReport lr = check_lemmas(g);
+  std::printf("Lemma 2 (<=1 successor along grouping/aux dirs): %s (worst fanout %zu)\n",
+              lr.lemma2_holds ? "HOLDS" : "VIOLATED", lr.worst_lemma2_fanout);
+  std::printf("Lemma 3 (<=2 successors along other dirs): %s (worst fanout %zu)\n",
+              lr.lemma3_holds ? "HOLDS" : "VIOLATED", lr.worst_lemma3_fanout);
+
+  std::printf("\nedge list (Gi -> Gj, weight = projected dependence relations):\n");
+  for (std::size_t v = 0; v < dg.vertex_count(); ++v)
+    for (const Digraph::Edge& e : dg.out_edges(v))
+      std::printf("  G%zu -> G%zu (w=%lld)\n", v + 1, e.to + 1,
+                  static_cast<long long>(e.weight));
+}
+
+void bm_group_digraph(benchmark::State& state) {
+  ComputationStructure q =
+      ComputationStructure::from_loop(workloads::matrix_multiplication(state.range(0)));
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  Grouping g = Grouping::compute(ps);
+  for (auto _ : state) {
+    Digraph dg = g.group_digraph();
+    benchmark::DoNotOptimize(dg);
+  }
+}
+BENCHMARK(bm_group_digraph)->Arg(3)->Arg(7)->Arg(11);
+
+void bm_theorem2_check(benchmark::State& state) {
+  ComputationStructure q =
+      ComputationStructure::from_loop(workloads::matrix_multiplication(state.range(0)));
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  Grouping g = Grouping::compute(ps);
+  for (auto _ : state) {
+    Theorem2Report r = check_theorem2(g);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_theorem2_check)->Arg(3)->Arg(7);
+
+void bm_lemma_check(benchmark::State& state) {
+  ComputationStructure q =
+      ComputationStructure::from_loop(workloads::matrix_multiplication(state.range(0)));
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  Grouping g = Grouping::compute(ps);
+  for (auto _ : state) {
+    LemmaReport r = check_lemmas(g);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_lemma_check)->Arg(3)->Arg(7);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

@@ -1,0 +1,90 @@
+// Fig. 8 / Example 3 — mapping a 4x4 mesh-like TIG onto a 3-dimensional
+// hypercube with Gray-coded clusters.
+//
+// Reproduces: 8 clusters of two blocks, every processor used once, cluster
+// numbering by concatenated per-direction Gray codes, and the property that
+// clusters adjacent along a bisection direction land on cube neighbors.
+#include "bench_common.hpp"
+
+#include "mapping/baseline_map.hpp"
+#include "mapping/gray.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "perf/table.hpp"
+
+namespace {
+
+using namespace hypart;
+
+void report() {
+  bench::banner("Fig. 8: 4x4 mesh TIG onto a 3-cube (Gray-coded clusters)");
+
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  HypercubeMappingResult res = map_to_hypercube(tig, 3);
+
+  std::printf("TIG: %zu blocks, %zu mesh edges; cube: 8 processors\n",
+              tig.vertex_count(), tig.edges().size());
+  std::printf("bits per direction: x=%u, y=%u (paper: 1-bit x Gray, 2-bit y Gray)\n",
+              res.bits_per_direction[0], res.bits_per_direction[1]);
+
+  TextTable t({"cluster", "blocks (B_i)", "ranks (x,y)", "processor (binary)"});
+  for (std::size_t c = 0; c < res.clusters.size(); ++c) {
+    const Cluster& cl = res.clusters[c];
+    std::string blocks;
+    for (std::size_t v : cl.vertices) {
+      if (!blocks.empty()) blocks += ",";
+      blocks += "B" + std::to_string(v + 1);
+    }
+    std::string ranks = "(" + std::to_string(cl.ranks[0]) + "," + std::to_string(cl.ranks[1]) + ")";
+    std::string proc;
+    for (int b = 2; b >= 0; --b) proc += ((cl.processor >> b) & 1) ? '1' : '0';
+    t.row("C" + std::to_string(c), blocks, ranks, proc);
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  Hypercube cube(3);
+  MappingMetrics gray = evaluate_mapping(tig, res.mapping, cube);
+  std::printf("Gray bisection : %s\n", gray.to_string().c_str());
+
+  MappingMetrics rr = evaluate_mapping(tig, map_round_robin(tig, 8), cube);
+  MappingMetrics rnd = evaluate_mapping(tig, map_random(tig, 8, 1), cube);
+  std::printf("round-robin    : %s\n", rr.to_string().c_str());
+  std::printf("random(seed=1) : %s\n", rnd.to_string().c_str());
+}
+
+void bm_map_mesh(benchmark::State& state) {
+  std::size_t side = static_cast<std::size_t>(state.range(0));
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(side, side);
+  unsigned dim = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    HypercubeMappingResult res = map_to_hypercube(tig, dim);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(bm_map_mesh)->Args({4, 3})->Args({8, 4})->Args({16, 6})->Args({32, 8});
+
+void bm_evaluate_mapping(benchmark::State& state) {
+  TaskInteractionGraph tig =
+      TaskInteractionGraph::mesh(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)));
+  unsigned dim = static_cast<unsigned>(state.range(1));
+  HypercubeMappingResult res = map_to_hypercube(tig, dim);
+  Hypercube cube(dim);
+  for (auto _ : state) {
+    MappingMetrics m = evaluate_mapping(tig, res.mapping, cube);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(bm_evaluate_mapping)->Args({8, 4})->Args({16, 6});
+
+void bm_gray_roundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i) acc ^= gray_decode(gray_encode(i));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_gray_roundtrip);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

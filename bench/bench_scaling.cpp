@@ -1,0 +1,108 @@
+// Ablation A4 — speedup/efficiency curves across workloads and machine
+// sizes, and comm-to-compute ratio vs grain size (the paper's closing
+// observation: "the ratio of communication time to computation time
+// declines rapidly as the grain size grows. Thus, our method is suitable
+// for medium- to coarse-grain computation").
+#include "bench_common.hpp"
+
+#include "core/pipeline.hpp"
+#include "perf/perf_model.hpp"
+#include "perf/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+void speedup_curves() {
+  MachineParams machine{1.0, 50.0, 5.0};
+  std::printf("\nSimulated speedup (PaperMaxChannel accounting, t_start=50, t_comm=5):\n");
+  TextTable t({"workload", "N=1", "N=2", "N=4", "N=8", "N=16"});
+  struct W {
+    const char* label;
+    LoopNest nest;
+    IntVec pi;
+  };
+  std::vector<W> ws;
+  ws.push_back({"matvec M=96", workloads::matrix_vector(96), {1, 1}});
+  ws.push_back({"sor2d 64x64", workloads::sor2d(64, 64), {1, 1}});
+  ws.push_back({"conv1d 96x32", workloads::convolution1d(96, 32), {1, 1}});
+  ws.push_back({"matmul 12^3", workloads::matrix_multiplication(11), {1, 1, 1}});
+  for (W& w : ws) {
+    std::vector<std::string> row{w.label};
+    PipelineConfig cfg;
+    cfg.time_function = w.pi;
+    cfg.machine = machine;
+    double seq = 0.0;
+    for (unsigned dim = 0; dim <= 4; ++dim) {
+      cfg.cube_dim = dim;
+      PipelineResult r = run_pipeline(w.nest, cfg);
+      if (dim == 0) seq = r.sim.time;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", seq / r.sim.time);
+      row.push_back(buf);
+    }
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void grain_size_ratio() {
+  MachineParams machine{1.0, 50.0, 5.0};
+  std::printf("\nComm/compute ratio vs grain size (matvec, N = 16, closed form):\n");
+  TextTable t({"M", "T compute", "T comm", "comm/compute"});
+  for (std::int64_t m : {32, 64, 128, 256, 512, 1024, 2048}) {
+    Cost c = perf::matvec_exec_time(m, 16);
+    double compute = Cost{c.calc, 0, 0}.value(machine);
+    double comm = Cost{0, c.start, c.comm}.value(machine);
+    t.row(m, compute, comm, comm / compute);
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void efficiency_table() {
+  MachineParams machine{1.0, 50.0, 5.0};
+  std::printf("\nEfficiency = speedup/N (matvec closed form, M = 1024):\n");
+  TextTable t({"N", "speedup", "efficiency"});
+  for (std::int64_t n : {1, 4, 16, 64, 256, 1024}) {
+    double s = perf::matvec_speedup(1024, n, machine);
+    t.row(n, s, s / static_cast<double>(n));
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void report() {
+  bench::banner("Ablation A4: scaling, efficiency, and grain-size behaviour");
+  speedup_curves();
+  grain_size_ratio();
+  efficiency_table();
+}
+
+void bm_pipeline_sor(benchmark::State& state) {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.cube_dim = 3;
+  LoopNest nest = workloads::sor2d(state.range(0), state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_pipeline_sor)->Arg(16)->Arg(32)->Arg(64)->Complexity()->Unit(benchmark::kMillisecond);
+
+void bm_pipeline_wavefront(benchmark::State& state) {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1, 1};
+  cfg.cube_dim = 3;
+  LoopNest nest = workloads::wavefront3d(state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_pipeline_wavefront)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

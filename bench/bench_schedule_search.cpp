@@ -1,0 +1,80 @@
+// Ablation A5 — hyperplane time-function search: candidate Π vectors,
+// their schedule spans, and the cost of the exhaustive small-integer search.
+#include "bench_common.hpp"
+
+#include "graph/comp_structure.hpp"
+#include "perf/table.hpp"
+#include "schedule/hyperplane.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+void candidates_table(const LoopNest& nest, std::vector<IntVec> candidates) {
+  ComputationStructure q = ComputationStructure::from_loop(nest);
+  std::printf("\n%s (deps:", nest.name().c_str());
+  for (const IntVec& d : q.dependences()) std::printf(" %s", to_string(d).c_str());
+  std::printf(")\n");
+
+  TextTable t({"Pi", "valid", "span (steps)", "max parallelism"});
+  for (const IntVec& pi : candidates) {
+    TimeFunction tf{pi};
+    bool valid = is_valid_time_function(tf, q.dependences());
+    if (!valid) {
+      t.row(to_string(pi), "no", "-", "-");
+      continue;
+    }
+    ScheduleProfile p = profile_schedule(tf, q.vertices());
+    t.row(to_string(pi), "yes", std::to_string(p.span()), std::to_string(p.max_parallelism));
+  }
+  auto best = search_time_function(q);
+  std::printf("%s", t.to_string().c_str());
+  if (best)
+    std::printf("search result: Pi* = %s, span = %lld\n", best->to_string().c_str(),
+                static_cast<long long>(profile_schedule(*best, q.vertices()).span()));
+}
+
+void report() {
+  bench::banner("Ablation A5: hyperplane time-function search");
+  candidates_table(workloads::example_l1(7),
+                   {{1, 1}, {1, 2}, {2, 1}, {1, 0}, {0, 1}, {2, 3}, {1, -1}});
+  candidates_table(workloads::matrix_multiplication(7),
+                   {{1, 1, 1}, {1, 1, 2}, {2, 1, 1}, {1, 0, 1}, {1, 2, 1}});
+  candidates_table(workloads::sor2d(16, 16), {{1, 1}, {1, 2}, {2, 1}, {3, 1}});
+}
+
+void bm_search_2d(benchmark::State& state) {
+  ComputationStructure q =
+      ComputationStructure::from_loop(workloads::example_l1(state.range(0)));
+  for (auto _ : state) {
+    auto tf = search_time_function(q);
+    benchmark::DoNotOptimize(tf);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_search_2d)->Arg(7)->Arg(15)->Arg(31)->Complexity()->Unit(benchmark::kMillisecond);
+
+void bm_search_3d(benchmark::State& state) {
+  ComputationStructure q =
+      ComputationStructure::from_loop(workloads::matrix_multiplication(state.range(0)));
+  for (auto _ : state) {
+    auto tf = search_time_function(q);
+    benchmark::DoNotOptimize(tf);
+  }
+}
+BENCHMARK(bm_search_3d)->Arg(3)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void bm_validity_check(benchmark::State& state) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication(3));
+  TimeFunction tf{{1, 1, 1}};
+  for (auto _ : state) {
+    bool ok = is_valid_time_function(tf, q.dependences());
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(bm_validity_check);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

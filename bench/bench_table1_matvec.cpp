@@ -1,0 +1,146 @@
+// Table I — maximum execution time T_exec(N) of matrix-vector multiplication,
+// M = 1024, N in {1, 4, 16, 64, 256, 1024}.
+//
+// Reproduces the table twice:
+//  1. the paper's closed form, verbatim (symbolic costs);
+//  2. the full pipeline (dependence analysis -> Algorithm 1 -> Algorithm 2 ->
+//     simulator) at M = 256 and M = 1024, PaperMaxChannel accounting, which
+//     must agree with the closed form row by row.
+// Also prints numeric times and speedups for a representative machine.
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "perf/perf_model.hpp"
+#include "perf/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+void closed_form_table(std::int64_t m) {
+  std::printf("\nClosed form, M = %lld (paper Table I uses M = 1024):\n",
+              static_cast<long long>(m));
+  TextTable t({"N", "T_exec(N)"});
+  for (std::int64_t n : {1, 4, 16, 64, 256, 1024}) {
+    if (n > m) break;
+    t.row("N = " + std::to_string(n), perf::matvec_exec_time(m, n).to_string());
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void simulated_table(std::int64_t m, std::initializer_list<unsigned> dims) {
+  std::printf("\nFull pipeline (Algorithm 1 + Algorithm 2 + simulator), M = %lld:\n",
+              static_cast<long long>(m));
+  MachineParams machine{1.0, 50.0, 5.0};
+  TextTable t({"N", "simulated T_exec", "closed form", "match", "numeric time", "speedup"});
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.machine = machine;
+  double seq = static_cast<double>(2 * m * m) * machine.t_calc;
+  for (unsigned dim : dims) {
+    cfg.cube_dim = dim;
+    PipelineResult r = run_pipeline(workloads::matrix_vector(m), cfg);
+    Cost expected = perf::matvec_exec_time(m, std::int64_t{1} << dim);
+    bool match = (r.sim.total == expected);
+    t.row("N = " + std::to_string(1 << dim), r.sim.total.to_string(), expected.to_string(),
+          match ? "YES" : "NO", r.sim.time, seq / r.sim.time);
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void full_scale_table() {
+  // The paper's exact scale: M = 1024, all six machine sizes.  Stages up to
+  // the partition are shared; only mapping + simulation re-run per N.
+  std::printf("\nFull pipeline at the paper's scale, M = 1024 (exact Table I check):\n");
+  const std::int64_t m = 1024;
+  LoopNest nest = workloads::matrix_vector(m);
+  auto q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+  TimeFunction tf{{1, 1}};
+  ProjectedStructure ps(*q, tf);
+  Grouping g = Grouping::compute(ps);
+  Partition part = Partition::build(*q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, part, g);
+  SimOptions opts;
+  opts.flops_per_iteration = 2;
+
+  TextTable t({"N", "simulated T_exec", "Table I row", "match"});
+  for (unsigned dim : {0u, 2u, 4u, 6u, 8u, 10u}) {
+    std::int64_t n = std::int64_t{1} << dim;
+    HypercubeMappingResult hm = map_to_hypercube(tig, dim);
+    SimResult r = simulate_execution(*q, tf, part, hm.mapping, Hypercube(dim),
+                                     MachineParams{}, opts);
+    Cost expected = perf::matvec_exec_time(m, n);
+    t.row("N = " + std::to_string(n), r.total.to_string(), expected.to_string(),
+          r.total == expected ? "YES" : "NO");
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void report() {
+  bench::banner("Table I: T_exec(N) for matrix-vector multiplication");
+  closed_form_table(1024);
+  // The published table, as machine-checkable rows.
+  std::printf("\npaper rows (M = 1024):\n");
+  std::printf("  N=1    : 2097152 t_calc\n");
+  std::printf("  N=4    : 786944 t_calc + 2046(t_comm+t_start)\n");
+  std::printf("  N=16   : 245888 t_calc + 2046(t_comm+t_start)\n");
+  std::printf("  N=64   : 64544 t_calc + 2046(t_comm+t_start)\n");
+  std::printf("  N=256  : 16328 t_calc + 2046(t_comm+t_start)\n");
+  std::printf("  N=1024 : 4094 t_calc + 2046(t_comm+t_start)\n");
+
+  simulated_table(256, {0u, 1u, 2u, 3u, 4u, 5u});
+  full_scale_table();
+  std::printf("\nNote: the communication term is invariant in N — the paper's key\n"
+              "observation; the compute term shrinks with N (shape reproduced).\n");
+}
+
+void bm_closed_form(benchmark::State& state) {
+  for (auto _ : state) {
+    Cost c = perf::matvec_exec_time(1024, state.range(0));
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(bm_closed_form)->Arg(4)->Arg(1024);
+
+void bm_full_pipeline_matvec(benchmark::State& state) {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.cube_dim = 3;
+  LoopNest nest = workloads::matrix_vector(state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_full_pipeline_matvec)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void bm_simulation_only(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  auto q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::matrix_vector(m)));
+  TimeFunction tf{{1, 1}};
+  ProjectedStructure ps(*q, tf);
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(*q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, p, g);
+  HypercubeMappingResult hm = map_to_hypercube(tig, 3);
+  Hypercube cube(3);
+  SimOptions opts;
+  opts.flops_per_iteration = 2;
+  for (auto _ : state) {
+    SimResult r = simulate_execution(*q, tf, p, hm.mapping, cube, MachineParams{}, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(bm_simulation_only)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

@@ -1,0 +1,60 @@
+// Compare block-to-processor mappings — Algorithm 2 vs the baselines, on a
+// workload of your choice, across machine sizes and topologies.
+//
+//   $ ./example_compare_mappings [M]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "mapping/baseline_map.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "perf/table.hpp"
+#include "sim/exec_sim.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypart;
+  const std::int64_t m = argc > 1 ? std::atoll(argv[1]) : 48;
+
+  auto q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::matrix_vector(m)));
+  TimeFunction tf{{1, 1}};
+  ProjectedStructure ps(*q, tf);
+  Grouping g = Grouping::compute(ps);
+  Partition part = Partition::build(*q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, part, g);
+  std::printf("matvec M=%lld: %zu blocks, %lld interblock words\n",
+              static_cast<long long>(m), tig.vertex_count(),
+              static_cast<long long>(tig.total_comm()));
+
+  MachineParams machine{1.0, 50.0, 5.0};
+  SimOptions sim_opts;
+  sim_opts.accounting = CommAccounting::PerStepBarrier;
+  sim_opts.charge_hops = true;
+  sim_opts.flops_per_iteration = 2;
+
+  for (unsigned dim : {2u, 3u, 4u}) {
+    Hypercube cube(dim);
+    std::printf("\n--- %s ---\n", cube.name().c_str());
+    TextTable t({"mapping", "comm cost", "avg hops", "max load", "simulated T"});
+    auto add = [&](const Mapping& map) {
+      MappingMetrics met = evaluate_mapping(tig, map, cube);
+      SimResult r = simulate_execution(*q, tf, part, map, cube, machine, sim_opts);
+      t.row(map.method, met.total_comm_cost, met.avg_hops_weighted, met.max_proc_compute,
+            r.time);
+    };
+    add(map_to_hypercube(tig, dim).mapping);
+    add(map_contiguous(tig, cube.size()));
+    add(map_round_robin(tig, cube.size()));
+    add(map_random(tig, cube.size(), 99));
+    add(refine_greedy_swap(tig, map_random(tig, cube.size(), 99), cube));
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  std::printf(
+      "\nReading: Gray bisection keeps all traffic on neighbor links (avg hops\n"
+      "= 1) and matches the contiguous mapping's load balance; random and\n"
+      "round-robin placements pay multi-hop penalties that greedy swapping\n"
+      "only partially repairs.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// hypart — SPMD code generation for partitioned, mapped loop nests.
+//
+// What a parallelizing compiler built on the paper would finally emit: one
+// node program, parameterized by processor id, that
+//   1. walks the hyperplane steps t = t_min .. t_max in order,
+//   2. receives the values its step-t iterations need from other nodes,
+//   3. executes its own iterations of step t (its blocks' points on that
+//      hyperplane),
+//   4. sends every value that a later iteration on another node consumes
+//      (one send per crossing dependence arc — the communication the
+//      partitioning minimized).
+// The emitted program is C-like pseudocode with explicit send/recv calls
+// and embedded ownership tables; it is meant for inspection and for
+// driving real message-passing backends, not for direct compilation.
+#pragma once
+
+#include <string>
+
+#include "graph/comp_structure.hpp"
+#include "loop/dependence.hpp"
+#include "loop/loop_nest.hpp"
+#include "mapping/tig.hpp"
+#include "partition/blocks.hpp"
+
+namespace hypart {
+
+struct SpmdOptions {
+  bool include_comments = true;   ///< explanatory comments in the output
+  bool include_owner_table = true;  ///< emit the block -> processor table
+};
+
+/// Generate the SPMD node program for a fully processed nest.
+std::string generate_spmd_program(const LoopNest& nest, const ComputationStructure& q,
+                                  const TimeFunction& tf, const Partition& part,
+                                  const Mapping& mapping, const DependenceInfo& deps,
+                                  const SpmdOptions& options = {});
+
+/// Generate a per-processor execution script: the concrete iteration /
+/// send / recv sequence of one processor, step by step.  Useful for
+/// debugging small nests (and printed by the examples).
+std::string generate_processor_trace(const LoopNest& nest, const ComputationStructure& q,
+                                     const TimeFunction& tf, const Partition& part,
+                                     const Mapping& mapping, const DependenceInfo& deps,
+                                     ProcId processor, std::size_t max_lines = 64);
+
+}  // namespace hypart

@@ -1,0 +1,177 @@
+#include "core/json_export.hpp"
+
+#include <charconv>
+
+namespace hypart {
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string r = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': r += "\\\""; break;
+      case '\\': r += "\\\\"; break;
+      case '\n': r += "\\n"; break;
+      case '\t': r += "\\t"; break;
+      case '\r': r += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          r += buf;
+        } else {
+          r += c;
+        }
+    }
+  }
+  return r + "\"";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_ = false;
+  return *this;
+}
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::begin_array(const std::string& k) {
+  if (!k.empty()) key(k);
+  comma();
+  out_ += '[';
+  need_comma_ = false;
+  return *this;
+}
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += escape(k);
+  out_ += ':';
+  need_comma_ = false;
+  return *this;
+}
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += escape(v);
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[32];
+  auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, res.ptr);
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+JsonWriter& JsonWriter::field(const std::string& k, const std::string& v) {
+  return key(k).value(v);
+}
+JsonWriter& JsonWriter::field(const std::string& k, double v) { return key(k).value(v); }
+JsonWriter& JsonWriter::field(const std::string& k, std::int64_t v) { return key(k).value(v); }
+JsonWriter& JsonWriter::field(const std::string& k, std::uint64_t v) { return key(k).value(v); }
+JsonWriter& JsonWriter::field(const std::string& k, bool v) { return key(k).value(v); }
+
+namespace {
+
+void write_intvec(JsonWriter& w, const IntVec& v) {
+  w.begin_array();
+  for (std::int64_t x : v) w.value(x);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("loop", nest.name());
+  w.field("depth", static_cast<std::uint64_t>(nest.depth()));
+  w.field("iterations", static_cast<std::uint64_t>(r.structure->vertices().size()));
+
+  w.begin_array("dependences");
+  for (const Dependence& d : r.dependence.dependences) {
+    w.begin_object();
+    w.field("array", d.array);
+    w.field("kind", to_string(d.kind));
+    w.key("distance");
+    write_intvec(w, d.distance);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("time_function");
+  write_intvec(w, r.time_function.pi);
+  w.field("steps", r.sim.steps);
+
+  w.key("partition").begin_object();
+  w.field("projected_points", static_cast<std::uint64_t>(r.projected->point_count()));
+  w.field("group_size_r", r.grouping.group_size_r());
+  w.field("beta", static_cast<std::uint64_t>(r.grouping.beta()));
+  w.field("blocks", static_cast<std::uint64_t>(r.partition.block_count()));
+  w.field("total_arcs", static_cast<std::uint64_t>(r.stats.total_arcs));
+  w.field("interblock_arcs", static_cast<std::uint64_t>(r.stats.interblock_arcs));
+  w.end_object();
+
+  w.key("mapping").begin_object();
+  w.field("processors", static_cast<std::uint64_t>(r.mapping.mapping.processor_count));
+  w.field("method", r.mapping.mapping.method);
+  w.begin_array("block_to_proc");
+  for (ProcId p : r.mapping.mapping.block_to_proc) w.value(static_cast<std::uint64_t>(p));
+  w.end_array();
+  w.end_object();
+
+  w.key("simulation").begin_object();
+  w.field("t_calc_units", r.sim.total.calc);
+  w.field("t_start_units", r.sim.total.start);
+  w.field("t_comm_units", r.sim.total.comm);
+  w.field("time", r.sim.time);
+  w.field("messages", r.sim.messages);
+  w.field("words", r.sim.words);
+  w.end_object();
+
+  w.key("validation").begin_object();
+  w.field("exact_cover", r.exact_cover);
+  w.field("theorem1", r.theorem1);
+  w.field("theorem2", r.theorem2.holds);
+  w.field("theorem2_bound", static_cast<std::uint64_t>(r.theorem2.bound));
+  w.field("theorem2_max_out_degree", static_cast<std::uint64_t>(r.theorem2.max_out_degree));
+  w.field("lemma2", r.lemmas.lemma2_holds);
+  w.field("lemma3", r.lemmas.lemma3_holds);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hypart

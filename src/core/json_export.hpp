@@ -1,0 +1,48 @@
+// hypart — JSON export of pipeline results.
+//
+// Serializes every stage's key quantities so external tooling (plotters,
+// regression dashboards) can consume a run without linking the library.
+// Self-contained emitter; no external JSON dependency.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace hypart {
+
+/// A minimal JSON string builder with correct escaping/formatting.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = "");
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& field(const std::string& k, const std::string& v);
+  JsonWriter& field(const std::string& k, double v);
+  JsonWriter& field(const std::string& k, std::int64_t v);
+  JsonWriter& field(const std::string& k, std::uint64_t v);
+  JsonWriter& field(const std::string& k, bool v);
+
+  [[nodiscard]] std::string str() const { return out_; }
+
+ private:
+  void comma();
+  static std::string escape(const std::string& s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Serialize a pipeline run: loop metadata, dependences, schedule,
+/// partition statistics, mapping, simulation costs, validation flags.
+std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& result);
+
+}  // namespace hypart

@@ -1,0 +1,62 @@
+#include "core/pipeline.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hypart {
+
+PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) {
+  PipelineResult r;
+
+  r.dependence = analyze_dependences(nest, config.dependence);
+  IndexSet is(nest);
+  r.structure =
+      std::make_unique<ComputationStructure>(is.points(), r.dependence.distance_vectors());
+
+  if (config.time_function) {
+    r.time_function = TimeFunction{*config.time_function};
+    if (!is_valid_time_function(r.time_function, r.structure->dependences()))
+      throw std::invalid_argument("run_pipeline: supplied time function is invalid");
+  } else {
+    std::optional<TimeFunction> tf = search_time_function(*r.structure, config.tf_search);
+    if (!tf)
+      throw std::runtime_error(
+          "run_pipeline: no valid time function found in the search box; widen "
+          "tf_search.max_coefficient");
+    r.time_function = *tf;
+  }
+
+  r.projected = std::make_unique<ProjectedStructure>(*r.structure, r.time_function);
+  r.grouping = Grouping::compute(*r.projected, config.grouping);
+  r.partition = Partition::build(*r.structure, r.grouping);
+  r.stats = compute_partition_stats(*r.structure, r.partition);
+  r.tig = TaskInteractionGraph::from_partition(*r.structure, r.partition, r.grouping);
+  r.mapping = map_to_hypercube(r.tig, config.cube_dim, config.mapping);
+
+  Hypercube cube(config.cube_dim);
+  SimOptions sim_opts = config.sim;
+  sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
+  r.sim = simulate_execution(*r.structure, r.time_function, r.partition, r.mapping.mapping, cube,
+                             config.machine, sim_opts);
+
+  if (config.validate) {
+    r.exact_cover = check_exact_cover(*r.structure, r.partition);
+    r.theorem1 = check_theorem1(*r.structure, r.time_function, r.partition);
+    r.theorem2 = check_theorem2(r.grouping);
+    r.lemmas = check_lemmas(r.grouping);
+  }
+  return r;
+}
+
+std::string PipelineResult::summary() const {
+  std::ostringstream os;
+  os << "iterations=" << structure->vertices().size()
+     << " deps=" << structure->dependences().size() << " Pi=" << time_function.to_string()
+     << " projected_points=" << projected->point_count() << " r=" << grouping.group_size_r()
+     << " groups=" << grouping.group_count() << " interblock=" << stats.interblock_arcs << "/"
+     << stats.total_arcs << " procs=" << mapping.mapping.processor_count
+     << " T=" << sim.total.to_string();
+  return os.str();
+}
+
+}  // namespace hypart

@@ -1,0 +1,66 @@
+// hypart — end-to-end pipeline facade.
+//
+// Runs the whole paper on a loop nest:
+//   loop -> dependence analysis -> hyperplane time function -> projection ->
+//   grouping (Algorithm 1) -> blocks -> TIG -> hypercube mapping
+//   (Algorithm 2) -> simulated execution.
+// This is the one-call public API used by the examples and benches;
+// individual stages remain available for fine-grained use.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "loop/dependence.hpp"
+#include "loop/loop_nest.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "partition/checkers.hpp"
+#include "sim/exec_sim.hpp"
+
+namespace hypart {
+
+struct PipelineConfig {
+  DependenceOptions dependence;
+  /// Explicit time function Π; when unset, the small-integer search is used.
+  std::optional<IntVec> time_function;
+  TimeFunctionSearchOptions tf_search;
+  GroupingOptions grouping;
+  /// Hypercube dimension n (N = 2^n processors).
+  unsigned cube_dim = 3;
+  HypercubeMapOptions mapping;
+  MachineParams machine;
+  SimOptions sim;
+  /// Flops per iteration; defaults to the nest's statement flop total.
+  std::optional<std::int64_t> flops_override;
+  /// Run the theorem/lemma checkers and record their reports.
+  bool validate = true;
+};
+
+/// All stage outputs.  Heap-held where later stages keep references.
+struct PipelineResult {
+  DependenceInfo dependence;
+  std::unique_ptr<ComputationStructure> structure;
+  TimeFunction time_function;
+  std::unique_ptr<ProjectedStructure> projected;
+  Grouping grouping;
+  Partition partition;
+  PartitionStats stats;
+  TaskInteractionGraph tig;
+  HypercubeMappingResult mapping;
+  SimResult sim;
+
+  // Validation reports (populated when config.validate).
+  bool exact_cover = false;
+  bool theorem1 = false;
+  Theorem2Report theorem2;
+  LemmaReport lemmas;
+
+  /// One-paragraph human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the full pipeline.  Throws on invalid configurations (e.g. no valid
+/// time function in the search box, non-uniform dependences).
+PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config = {});
+
+}  // namespace hypart

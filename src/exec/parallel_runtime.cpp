@@ -1,0 +1,189 @@
+#include "exec/parallel_runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hypart {
+
+namespace {
+
+struct Message {
+  std::size_t sink_vid;  ///< iteration this value unblocks
+  std::string array;
+  IntVec element;
+  double value;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+
+  void post(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(msg));
+    }
+    cv.notify_one();
+  }
+};
+
+struct WriteRecord {
+  std::string array;
+  IntVec element;
+  std::int64_t step;
+  double value;
+};
+
+IntVec eval_subscripts(const std::vector<AffineExpr>& subs, const IntVec& iteration) {
+  IntVec element(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) element[i] = subs[i].evaluate(iteration);
+  return element;
+}
+
+}  // namespace
+
+ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure& q,
+                               const TimeFunction& tf, const Partition& part,
+                               const Mapping& mapping, const DependenceInfo& deps,
+                               const InitFn& init) {
+  for (const Statement& s : nest.statements())
+    if (!s.is_executable())
+      throw std::invalid_argument("run_parallel: statement '" + s.label +
+                                  "' has no executable right-hand side");
+  require_serializable_updates(nest);
+  if (mapping.block_to_proc.size() != part.block_count())
+    throw std::invalid_argument("run_parallel: mapping/partition size mismatch");
+
+  const std::size_t nprocs = mapping.processor_count;
+  const std::size_t nverts = q.vertices().size();
+
+  // ---- static schedule ------------------------------------------------------
+  std::vector<ProcId> vproc(nverts);
+  std::vector<std::vector<std::size_t>> my_order(nprocs);  // vids per proc
+  for (std::size_t vid = 0; vid < nverts; ++vid) {
+    vproc[vid] = mapping.block_to_proc[part.block_of(vid)];
+    my_order[vproc[vid]].push_back(vid);
+  }
+  for (auto& order : my_order)
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      std::int64_t sa = tf.step_of(q.vertices()[a]);
+      std::int64_t sb = tf.step_of(q.vertices()[b]);
+      if (sa != sb) return sa < sb;
+      return q.vertices()[a] < q.vertices()[b];
+    });
+
+  // Messages each iteration must receive before it can run.
+  std::vector<std::uint32_t> expected(nverts, 0);
+  for (std::size_t vid = 0; vid < nverts; ++vid) {
+    for (const Dependence& d : deps.dependences) {
+      IntVec src = sub(q.vertices()[vid], d.distance);
+      auto it = q.vertex_index().find(src);
+      if (it == q.vertex_index().end()) continue;
+      if (vproc[it->second] != vproc[vid]) ++expected[vid];
+    }
+  }
+
+  // ---- runtime state --------------------------------------------------------
+  std::vector<Mailbox> mailbox(nprocs);
+  std::vector<std::vector<WriteRecord>> writes(nprocs);
+  std::atomic<std::int64_t> messages_sent{0};
+  std::atomic<std::int64_t> halo_loads{0};
+
+  auto worker = [&](ProcId me) {
+    ArrayStore local;
+    std::unordered_map<std::size_t, std::uint32_t> received;
+    auto drain_locked = [&](std::deque<Message>& pending) {
+      for (Message& m : pending) {
+        local.store(m.array, m.element, m.value);
+        ++received[m.sink_vid];
+      }
+      pending.clear();
+    };
+
+    for (std::size_t vid : my_order[me]) {
+      // Block until every remote input of this iteration has arrived.
+      if (expected[vid] > 0) {
+        std::unique_lock<std::mutex> lock(mailbox[me].mutex);
+        while (received[vid] < expected[vid]) {
+          if (!mailbox[me].queue.empty()) {
+            std::deque<Message> pending;
+            pending.swap(mailbox[me].queue);
+            lock.unlock();
+            drain_locked(pending);
+            lock.lock();
+            continue;
+          }
+          mailbox[me].cv.wait(lock, [&] { return !mailbox[me].queue.empty(); });
+        }
+      }
+
+      const IntVec& iter = q.vertices()[vid];
+      const std::int64_t step = tf.step_of(iter);
+      auto load = [&](const std::string& array, const IntVec& element) {
+        std::optional<double> v = local.load(array, element);
+        if (v) return *v;
+        double h = init(array, element);
+        local.store(array, element, h);
+        halo_loads.fetch_add(1, std::memory_order_relaxed);
+        return h;
+      };
+      for (const Statement& s : nest.statements()) {
+        double value = evaluate(s.rhs, load, iter);
+        const ArrayAccess& w = s.accesses.front();
+        IntVec element = eval_subscripts(w.subscripts, iter);
+        local.store(w.array, element, value);
+        writes[me].push_back({w.array, std::move(element), step, value});
+      }
+
+      // Forward produced/consumed values along every crossing dependence.
+      for (const Dependence& d : deps.dependences) {
+        IntVec sink = add(iter, d.distance);
+        auto it = q.vertex_index().find(sink);
+        if (it == q.vertex_index().end()) continue;
+        ProcId target = vproc[it->second];
+        if (target == me) continue;
+        IntVec element = eval_subscripts(d.source_subscripts, iter);
+        std::optional<double> value = local.load(d.array, element);
+        if (!value) {
+          value = init(d.array, element);
+          halo_loads.fetch_add(1, std::memory_order_relaxed);
+        }
+        mailbox[target].post({it->second, d.array, std::move(element), *value});
+        messages_sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs);
+  for (ProcId p = 0; p < nprocs; ++p) threads.emplace_back(worker, p);
+  for (std::thread& t : threads) t.join();
+
+  // ---- merge: last write (largest step) wins --------------------------------
+  ParallelRunResult result;
+  std::unordered_map<std::string,
+                     std::unordered_map<IntVec, std::pair<std::int64_t, double>, IntVecHash>>
+      merged;
+  for (const auto& proc_writes : writes) {
+    for (const WriteRecord& w : proc_writes) {
+      auto& amap = merged[w.array];
+      auto it = amap.find(w.element);
+      if (it == amap.end() || it->second.first <= w.step) amap[w.element] = {w.step, w.value};
+    }
+  }
+  for (const auto& [array, values] : merged)
+    for (const auto& [element, step_value] : values)
+      result.written.store(array, element, step_value.second);
+  result.stats.messages_sent = messages_sent.load();
+  result.stats.halo_loads = halo_loads.load();
+  result.stats.threads = nprocs;
+  return result;
+}
+
+}  // namespace hypart

@@ -1,0 +1,40 @@
+// hypart — a real multithreaded message-passing runtime.
+//
+// The distributed interpreter (exec/interpreter.hpp) executes the mapped
+// loop deterministically in a single thread; this runtime actually runs it
+// on N concurrent worker threads, one per simulated processor, with
+// per-processor mailboxes (mutex + condition variable) and blocking
+// receives.  No shared mutable array state exists: a worker only touches
+// its own local store and its mailbox, exactly like a node of the paper's
+// message-passing machine.  Every value a remote iteration needs is sent as
+// a typed message and *waited for*, so a partitioning or mapping bug that
+// breaks the schedule shows up as a stall or a wrong result, not silently.
+//
+// Results must equal sequential execution; the tests assert this under
+// thread-schedule nondeterminism.
+#pragma once
+
+#include "exec/interpreter.hpp"
+
+namespace hypart {
+
+struct ParallelRunStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t halo_loads = 0;
+  std::size_t threads = 0;
+};
+
+struct ParallelRunResult {
+  ArrayStore written;  ///< merged written values (last hyperplane step wins)
+  ParallelRunStats stats;
+};
+
+/// Execute the partitioned, mapped nest on one OS thread per processor.
+/// Blocking message passing between threads; throws on non-executable
+/// statements or mapping mismatch.  Deterministic result (not timing).
+ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure& q,
+                               const TimeFunction& tf, const Partition& part,
+                               const Mapping& mapping, const DependenceInfo& deps,
+                               const InitFn& init = default_init);
+
+}  // namespace hypart

@@ -1,0 +1,149 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+namespace hypart {
+
+std::string to_string(TokenKind k) {
+  switch (k) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Integer: return "integer";
+    case TokenKind::Float: return "float";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1, column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+  auto make = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+
+  while (i < n) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t = make(TokenKind::Identifier, "");
+      std::string text;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        text += peek();
+        advance();
+      }
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t = make(TokenKind::Integer, "");
+      std::string text;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.')) {
+        if (peek() == '.') {
+          if (is_float) throw ParseError("malformed number '" + text + ".'", line, column);
+          is_float = true;
+        }
+        text += peek();
+        advance();
+      }
+      // Optional exponent (scientific notation): e.g. 2.5e-3, 1e6.
+      if (i < n && (peek() == 'e' || peek() == 'E')) {
+        std::size_t digits_at = (peek(1) == '+' || peek(1) == '-') ? 2 : 1;
+        if (i + digits_at < n && std::isdigit(static_cast<unsigned char>(peek(digits_at)))) {
+          is_float = true;
+          text += peek();
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            text += peek();
+            advance();
+          }
+          while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+            text += peek();
+            advance();
+          }
+        }
+      }
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::Float;
+        t.float_value = std::stod(text);
+      } else {
+        try {
+          t.int_value = std::stoll(text);
+        } catch (const std::out_of_range&) {
+          throw ParseError("integer literal out of range: " + text, t.line, t.column);
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '{': kind = TokenKind::LBrace; break;
+      case '}': kind = TokenKind::RBrace; break;
+      case '[': kind = TokenKind::LBracket; break;
+      case ']': kind = TokenKind::RBracket; break;
+      case '(': kind = TokenKind::LParen; break;
+      case ')': kind = TokenKind::RParen; break;
+      case '=': kind = TokenKind::Assign; break;
+      case ':': kind = TokenKind::Colon; break;
+      case ';': kind = TokenKind::Semicolon; break;
+      case ',': kind = TokenKind::Comma; break;
+      case '+': kind = TokenKind::Plus; break;
+      case '-': kind = TokenKind::Minus; break;
+      case '*': kind = TokenKind::Star; break;
+      case '/': kind = TokenKind::Slash; break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line, column);
+    }
+    Token t = make(kind, std::string(1, c));
+    advance();
+    tokens.push_back(std::move(t));
+  }
+  tokens.push_back(make(TokenKind::End, ""));
+  return tokens;
+}
+
+}  // namespace hypart

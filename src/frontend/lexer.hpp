@@ -1,0 +1,75 @@
+// hypart — lexer for the textual loop-nest language.
+//
+// The frontend accepts loops written essentially as the paper prints them:
+//
+//   loop L1 {
+//     for i = 0 to 3
+//     for j = 0 to 3
+//     S1: A[i+1, j+1] = A[i+1, j] + B[i, j];
+//     S2: B[i+1, j]   = A[i, j] * 2 + 3;
+//   }
+//
+// This file tokenizes; frontend/parser.hpp builds the LoopNest.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hypart {
+
+/// Parse failure with 1-based source position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line, std::size_t column)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+enum class TokenKind {
+  Identifier,  // foo, i, A  (keywords are classified by the parser)
+  Integer,     // 42
+  Float,       // 2.5
+  LBrace,      // {
+  RBrace,      // }
+  LBracket,    // [
+  RBracket,    // ]
+  LParen,      // (
+  RParen,      // )
+  Assign,      // =
+  Colon,       // :
+  Semicolon,   // ;
+  Comma,       // ,
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Slash,       // /
+  End,         // end of input
+};
+
+std::string to_string(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+/// Tokenize the whole input.  Comments run from '#' or '//' to end of line.
+/// Throws ParseError on unexpected characters or malformed numbers.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace hypart

@@ -1,0 +1,224 @@
+#include "frontend/parser.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "frontend/lexer.hpp"
+#include "loop/expr.hpp"
+
+namespace hypart {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  LoopNest parse() {
+    expect_keyword("loop");
+    std::string name = expect(TokenKind::Identifier).text;
+    expect(TokenKind::LBrace);
+
+    LoopNestBuilder builder(std::move(name));
+    // for-headers
+    while (is_keyword("for")) {
+      advance();
+      Token index = expect(TokenKind::Identifier);
+      if (index_of_.contains(index.text))
+        throw ParseError("duplicate loop index '" + index.text + "'", index.line, index.column);
+      // Bounds may use outer indices only; parse them before registering
+      // the new index so it cannot appear in its own bounds.
+      expect(TokenKind::Assign);
+      AffineExpr lower = parse_affine();
+      expect_keyword("to");
+      AffineExpr upper = parse_affine();
+      index_of_.emplace(index.text, index_of_.size());
+      builder.loop(index.text, std::move(lower), std::move(upper));
+    }
+    if (index_of_.empty())
+      throw ParseError("expected at least one 'for' header", cur().line, cur().column);
+
+    // statements
+    std::size_t auto_label = 1;
+    bool any_statement = false;
+    while (!at(TokenKind::RBrace)) {
+      any_statement = true;
+      std::string label;
+      if (at(TokenKind::Identifier) && peek_kind(1) == TokenKind::Colon) {
+        label = advance().text;
+        advance();  // ':'
+      } else {
+        label = "S" + std::to_string(auto_label);
+      }
+      ++auto_label;
+
+      Token array = expect(TokenKind::Identifier);
+      expect(TokenKind::LBracket);
+      std::vector<AffineExpr> subscripts = parse_subscripts();
+      expect(TokenKind::Assign);
+      ExprPtr value = parse_expr();
+      expect(TokenKind::Semicolon);
+      builder.assign(std::move(label), array.text, std::move(subscripts), std::move(value));
+    }
+    if (!any_statement)
+      throw ParseError("expected at least one statement", cur().line, cur().column);
+    expect(TokenKind::RBrace);
+    expect(TokenKind::End);
+    return builder.build();
+  }
+
+ private:
+  // ---- token plumbing -------------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] TokenKind peek_kind(std::size_t ahead) const {
+    std::size_t p = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[p].kind;
+  }
+  [[nodiscard]] bool at(TokenKind k) const { return cur().kind == k; }
+  [[nodiscard]] bool is_keyword(const std::string& kw) const {
+    return at(TokenKind::Identifier) && cur().text == kw;
+  }
+  Token advance() { return tokens_[pos_++]; }
+  Token expect(TokenKind k) {
+    if (!at(k))
+      throw ParseError("expected " + to_string(k) + ", found " + describe(cur()), cur().line,
+                       cur().column);
+    return advance();
+  }
+  void expect_keyword(const std::string& kw) {
+    if (!is_keyword(kw))
+      throw ParseError("expected '" + kw + "', found " + describe(cur()), cur().line,
+                       cur().column);
+    advance();
+  }
+  static std::string describe(const Token& t) {
+    if (t.kind == TokenKind::Identifier || t.kind == TokenKind::Integer ||
+        t.kind == TokenKind::Float)
+      return "'" + t.text + "'";
+    return to_string(t.kind);
+  }
+
+  // ---- affine expressions ---------------------------------------------------
+  AffineExpr parse_affine() {
+    AffineExpr e = parse_affine_term();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      bool minus = advance().kind == TokenKind::Minus;
+      AffineExpr t = parse_affine_term();
+      e = minus ? std::move(e) - t : std::move(e) + t;
+    }
+    return e;
+  }
+
+  AffineExpr parse_affine_term() {
+    if (at(TokenKind::Minus)) {
+      advance();
+      return -1 * parse_affine_term();
+    }
+    if (at(TokenKind::Integer)) {
+      std::int64_t c = advance().int_value;
+      if (at(TokenKind::Star)) {
+        advance();
+        Token id = expect(TokenKind::Identifier);
+        return AffineExpr::index(index_level(id), c);
+      }
+      return AffineExpr(c);
+    }
+    if (at(TokenKind::Identifier)) {
+      Token id = advance();
+      return AffineExpr::index(index_level(id));
+    }
+    throw ParseError("expected affine term, found " + describe(cur()), cur().line, cur().column);
+  }
+
+  std::size_t index_level(const Token& id) {
+    auto it = index_of_.find(id.text);
+    if (it == index_of_.end())
+      throw ParseError("'" + id.text + "' is not a loop index", id.line, id.column);
+    return it->second;
+  }
+
+  std::vector<AffineExpr> parse_subscripts() {
+    std::vector<AffineExpr> subs;
+    subs.push_back(parse_affine());
+    while (at(TokenKind::Comma)) {
+      advance();
+      subs.push_back(parse_affine());
+    }
+    expect(TokenKind::RBracket);
+    return subs;
+  }
+
+  // ---- value expressions ----------------------------------------------------
+  ExprPtr parse_expr() {
+    ExprPtr e = parse_term();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      bool minus = advance().kind == TokenKind::Minus;
+      ExprPtr t = parse_term();
+      e = minus ? std::move(e) - std::move(t) : std::move(e) + std::move(t);
+    }
+    return e;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr e = parse_unary();
+    while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+      bool div = advance().kind == TokenKind::Slash;
+      ExprPtr t = parse_unary();
+      e = div ? std::move(e) / std::move(t) : std::move(e) * std::move(t);
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::Minus)) {
+      advance();
+      return -parse_unary();
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (at(TokenKind::Integer)) return constant(static_cast<double>(advance().int_value));
+    if (at(TokenKind::Float)) return constant(advance().float_value);
+    if (at(TokenKind::LParen)) {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(TokenKind::RParen);
+      return e;
+    }
+    if (is_keyword("min") || is_keyword("max")) {
+      bool is_min = cur().text == "min";
+      advance();
+      expect(TokenKind::LParen);
+      ExprPtr a = parse_expr();
+      expect(TokenKind::Comma);
+      ExprPtr b = parse_expr();
+      expect(TokenKind::RParen);
+      return is_min ? emin(std::move(a), std::move(b)) : emax(std::move(a), std::move(b));
+    }
+    if (at(TokenKind::Identifier)) {
+      Token id = advance();
+      if (!at(TokenKind::LBracket)) {
+        if (index_of_.contains(id.text))
+          throw ParseError("loop index '" + id.text +
+                               "' cannot appear outside array subscripts",
+                           id.line, id.column);
+        throw ParseError("expected '[' after array name '" + id.text + "'", id.line, id.column);
+      }
+      advance();
+      std::vector<AffineExpr> subs = parse_subscripts();
+      return ref(id.text, std::move(subs));
+    }
+    throw ParseError("expected expression, found " + describe(cur()), cur().line, cur().column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, std::size_t> index_of_;
+};
+
+}  // namespace
+
+LoopNest parse_loop_nest(const std::string& source) { return Parser(source).parse(); }
+
+}  // namespace hypart

@@ -1,0 +1,32 @@
+// hypart — recursive-descent parser for the loop-nest language.
+//
+// Grammar (see frontend/lexer.hpp for the surface syntax):
+//
+//   program    := "loop" IDENT "{" for+ statement+ "}"
+//   for        := "for" IDENT "=" affine "to" affine
+//   statement  := [IDENT ":"] arrayref "=" expr ";"
+//   arrayref   := IDENT "[" affine ("," affine)* "]"
+//   expr       := term  (("+" | "-") term)*
+//   term       := unary (("*" | "/") unary)*
+//   unary      := "-" unary | primary
+//   primary    := NUMBER | arrayref | "(" expr ")"
+//               | ("min" | "max") "(" expr "," expr ")"
+//   affine     := aterm (("+" | "-") aterm)*
+//   aterm      := INT ["*" INDEX] | INDEX | "-" aterm
+//
+// Loop bounds may reference outer loop indices (triangular domains);
+// statement right-hand sides become executable Expr trees, so parsed loops
+// run directly through the interpreters and the whole pipeline.
+#pragma once
+
+#include <string>
+
+#include "loop/loop_nest.hpp"
+
+namespace hypart {
+
+/// Parse one `loop ... { ... }` program into a LoopNest.
+/// Throws ParseError (frontend/lexer.hpp) with source positions.
+LoopNest parse_loop_nest(const std::string& source);
+
+}  // namespace hypart

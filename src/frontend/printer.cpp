@@ -1,0 +1,37 @@
+#include "frontend/printer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "loop/expr.hpp"
+
+namespace hypart {
+
+std::string unparse_loop_nest(const LoopNest& nest) {
+  const std::vector<std::string> names = nest.index_names();
+  std::ostringstream os;
+  // The parser requires identifiers; sanitize the nest name conservatively.
+  std::string name;
+  for (char c : nest.name())
+    name += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+  if (name.empty() || std::isdigit(static_cast<unsigned char>(name.front()))) name = "l_" + name;
+
+  os << "loop " << name << " {\n";
+  for (const LoopDim& d : nest.dims())
+    os << "  for " << d.name << " = " << d.lower.to_string(names) << " to "
+       << d.upper.to_string(names) << "\n";
+  for (const Statement& s : nest.statements()) {
+    if (!s.is_executable())
+      throw std::invalid_argument("unparse_loop_nest: statement '" + s.label +
+                                  "' has no executable right-hand side");
+    const ArrayAccess& w = s.accesses.front();
+    os << "  " << s.label << ": " << w.array << "[";
+    for (std::size_t i = 0; i < w.subscripts.size(); ++i)
+      os << (i ? ", " : "") << w.subscripts[i].to_string(names);
+    os << "] = " << s.rhs->to_string(names) << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hypart

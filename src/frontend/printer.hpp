@@ -1,0 +1,18 @@
+// hypart — unparser: LoopNest back to the textual loop language.
+//
+// The inverse of frontend/parser.hpp for executable nests;
+// parse(unparse(nest)) reproduces the nest's dependences and semantics,
+// which the round-trip tests assert for every workload.
+#pragma once
+
+#include <string>
+
+#include "loop/loop_nest.hpp"
+
+namespace hypart {
+
+/// Emit DSL source for an executable nest (every statement built with
+/// LoopNestBuilder::assign); throws std::invalid_argument otherwise.
+std::string unparse_loop_nest(const LoopNest& nest);
+
+}  // namespace hypart

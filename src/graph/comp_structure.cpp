@@ -1,0 +1,67 @@
+#include "graph/comp_structure.hpp"
+
+#include <stdexcept>
+
+namespace hypart {
+
+ComputationStructure ComputationStructure::from_loop(const LoopNest& nest,
+                                                     const DependenceOptions& opts) {
+  DependenceInfo info = analyze_dependences(nest, opts);
+  IndexSet is(nest);
+  return {is.points(), info.distance_vectors()};
+}
+
+ComputationStructure::ComputationStructure(std::vector<IntVec> vertices,
+                                           std::vector<IntVec> dependences)
+    : vertices_(std::move(vertices)), dependences_(std::move(dependences)) {
+  if (vertices_.empty()) throw std::invalid_argument("ComputationStructure: empty vertex set");
+  dim_ = vertices_.front().size();
+  for (const IntVec& v : vertices_)
+    if (v.size() != dim_)
+      throw std::invalid_argument("ComputationStructure: mixed vertex dimensions");
+  for (const IntVec& d : dependences_) {
+    if (d.size() != dim_)
+      throw std::invalid_argument("ComputationStructure: dependence dimension mismatch");
+    if (is_zero(d)) throw std::invalid_argument("ComputationStructure: zero dependence vector");
+  }
+  index_.reserve(vertices_.size());
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (!index_.emplace(vertices_[i], i).second)
+      throw std::invalid_argument("ComputationStructure: duplicate vertex");
+  }
+}
+
+std::size_t ComputationStructure::id_of(const IntVec& p) const {
+  auto it = index_.find(p);
+  if (it == index_.end())
+    throw std::out_of_range("ComputationStructure::id_of: point not in V");
+  return it->second;
+}
+
+std::size_t ComputationStructure::dependence_arc_count() const {
+  std::size_t count = 0;
+  for_each_arc([&](const IntVec&, const IntVec&, std::size_t) { ++count; });
+  return count;
+}
+
+void ComputationStructure::for_each_arc(
+    const std::function<void(const IntVec&, const IntVec&, std::size_t)>& visit) const {
+  for (const IntVec& src : vertices_) {
+    for (std::size_t k = 0; k < dependences_.size(); ++k) {
+      IntVec dst = add(src, dependences_[k]);
+      if (index_.contains(dst)) visit(src, dst, k);
+    }
+  }
+}
+
+Digraph ComputationStructure::to_digraph() const {
+  Digraph g(vertices_.size());
+  for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+    g.add_edge(index_.at(src), index_.at(dst));
+  });
+  return g;
+}
+
+bool ComputationStructure::is_acyclic() const { return to_digraph().is_acyclic(); }
+
+}  // namespace hypart

@@ -1,0 +1,71 @@
+// hypart — the computational structure Q = (V, D) of a nested loop (Def. 2).
+//
+// V is the index set J^n, D the set of constant dependence vectors.  There
+// is an arc v_i -> v_j whenever v_j - v_i in D (v_j depends on v_i).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "loop/dependence.hpp"
+#include "loop/index_set.hpp"
+#include "loop/loop_nest.hpp"
+#include "numeric/int_linalg.hpp"
+
+namespace hypart {
+
+/// Hash for integer index points so structures can key on them.
+struct IntVecHash {
+  std::size_t operator()(const IntVec& v) const noexcept {
+    std::size_t h = v.size();
+    for (std::int64_t x : v)
+      h ^= std::hash<std::int64_t>{}(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+using PointIndexMap = std::unordered_map<IntVec, std::size_t, IntVecHash>;
+
+class ComputationStructure {
+ public:
+  /// Build from a nest, analyzing dependences automatically.
+  static ComputationStructure from_loop(const LoopNest& nest, const DependenceOptions& opts = {});
+
+  /// Build from explicit vertex set and dependence vectors.
+  ComputationStructure(std::vector<IntVec> vertices, std::vector<IntVec> dependences);
+
+  [[nodiscard]] std::size_t dimension() const { return dim_; }
+  [[nodiscard]] const std::vector<IntVec>& vertices() const { return vertices_; }
+  [[nodiscard]] const std::vector<IntVec>& dependences() const { return dependences_; }
+  [[nodiscard]] const PointIndexMap& vertex_index() const { return index_; }
+
+  [[nodiscard]] bool contains(const IntVec& p) const { return index_.contains(p); }
+  /// Vertex id of point p; throws if absent.
+  [[nodiscard]] std::size_t id_of(const IntVec& p) const;
+
+  /// Total number of dependence arcs (pairs (j, j+d) with both ends in V).
+  /// For L1 on a 4x4 domain this is the paper's count of 33.
+  [[nodiscard]] std::size_t dependence_arc_count() const;
+
+  /// Visit every arc (source point, sink point, dependence-vector index).
+  void for_each_arc(
+      const std::function<void(const IntVec&, const IntVec&, std::size_t)>& visit) const;
+
+  /// Materialize as an explicit digraph (vertex ids match vertices()).
+  [[nodiscard]] Digraph to_digraph() const;
+
+  /// A computational structure of a nested loop must be acyclic; verified
+  /// via the explicit digraph (cheap for the sizes used in tests/benches).
+  [[nodiscard]] bool is_acyclic() const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<IntVec> vertices_;
+  std::vector<IntVec> dependences_;
+  PointIndexMap index_;
+};
+
+}  // namespace hypart

@@ -1,0 +1,178 @@
+#include "loop/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "numeric/rat_matrix.hpp"
+
+namespace hypart {
+
+std::string to_string(DependenceKind k) {
+  switch (k) {
+    case DependenceKind::Flow: return "flow";
+    case DependenceKind::Reduction: return "reduction";
+    case DependenceKind::InputReuse: return "input-reuse";
+  }
+  return "?";
+}
+
+std::string Dependence::to_string() const {
+  return array + " " + hypart::to_string(distance) + " [" + hypart::to_string(kind) + ", " +
+         source_statement + " -> " + sink_statement + "]";
+}
+
+bool lex_positive(const IntVec& d) {
+  for (std::int64_t x : d) {
+    if (x > 0) return true;
+    if (x < 0) return false;
+  }
+  return false;
+}
+
+std::vector<IntVec> DependenceInfo::distance_vectors() const {
+  std::vector<IntVec> out;
+  for (const Dependence& d : dependences)
+    if (std::find(out.begin(), out.end(), d.distance) == out.end()) out.push_back(d.distance);
+  return out;
+}
+
+IntMat DependenceInfo::dependence_matrix(std::size_t depth) const {
+  std::vector<IntVec> cols = distance_vectors();
+  for (const IntVec& c : cols)
+    if (c.size() != depth) throw std::invalid_argument("dependence_matrix: depth mismatch");
+  return IntMat::from_cols(cols);
+}
+
+namespace {
+
+/// Integer lattice generators of the nullspace of an access matrix F.
+/// Each generator is primitive and canonicalized to lex-positive.
+std::vector<IntVec> nullspace_generators(const IntMat& f) {
+  RatMat rf = RatMat::from_int(f);
+  std::vector<RatVec> basis = rf.nullspace();
+  std::vector<IntVec> gens;
+  for (const RatVec& b : basis) {
+    std::int64_t l = denominator_lcm(b);
+    IntVec g(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) g[i] = (b[i] * Rational(l)).to_integer();
+    g = primitive(g);
+    if (is_zero(g)) continue;
+    if (!lex_positive(g)) g = negate(g);
+    gens.push_back(std::move(g));
+  }
+  return gens;
+}
+
+struct SiteRef {
+  const Statement* stmt;
+  const ArrayAccess* access;
+};
+
+}  // namespace
+
+DependenceInfo analyze_dependences(const LoopNest& nest, const DependenceOptions& opts) {
+  DependenceInfo info;
+  const std::size_t n = nest.depth();
+
+  // Collect accesses per array.
+  std::map<std::string, std::vector<SiteRef>> by_array;
+  for (const Statement& s : nest.statements())
+    for (const ArrayAccess& a : s.accesses) by_array[a.array].push_back({&s, &a});
+
+  std::set<std::pair<std::string, IntVec>> emitted;  // (array, distance) dedup
+  auto emit = [&](IntVec d, DependenceKind kind, const std::string& array,
+                  const std::string& src, const std::string& dst,
+                  const std::vector<AffineExpr>& source_subscripts) {
+    if (is_zero(d)) return;  // loop-independent: no loop-carried dependence
+    if (!lex_positive(d)) d = negate(d);
+    if (!emitted.insert({array, d}).second) return;
+    info.dependences.push_back({std::move(d), kind, array, src, dst, source_subscripts});
+  };
+
+  for (const auto& [array, sites] : by_array) {
+    bool has_writer = std::any_of(sites.begin(), sites.end(), [](const SiteRef& s) {
+      return s.access->kind == AccessKind::Write;
+    });
+
+    if (!has_writer) {
+      if (!opts.include_input_reuse) continue;
+      // Read-only array: each access's nullspace directions are reuse chains.
+      for (const SiteRef& s : sites) {
+        IntMat f = s.access->access_matrix(n);
+        for (IntVec g : nullspace_generators(f))
+          emit(std::move(g), DependenceKind::InputReuse, array, s.stmt->label, s.stmt->label,
+               s.access->subscripts);
+      }
+      continue;
+    }
+
+    for (const SiteRef& w : sites) {
+      if (w.access->kind != AccessKind::Write) continue;
+      IntMat fw = w.access->access_matrix(n);
+      IntVec ow = w.access->offset_vector();
+      for (const SiteRef& r : sites) {
+        if (r.access->kind != AccessKind::Read) continue;
+        IntMat fr = r.access->access_matrix(n);
+        IntVec orr = r.access->offset_vector();
+        if (fw.rows() != fr.rows()) continue;  // different arity: distinct arrays in practice
+        if (!(fw == fr)) {
+          std::string msg = "non-uniform dependence on '" + array + "' between " +
+                            w.stmt->label + " and " + r.stmt->label +
+                            " (access matrices differ)";
+          if (opts.require_uniform) throw NonUniformDependenceError(msg);
+          info.warnings.push_back(msg);
+          continue;
+        }
+        // F d = f_w - f_r, d = (read iteration) - (write iteration).
+        IntVec delta = sub(ow, orr);
+        RatMat rf = RatMat::from_int(fw);
+        RatVec rhs = to_rational(delta);
+        std::optional<RatVec> particular = rf.solve(rhs);
+        if (!particular) continue;  // never the same element: no dependence
+        std::vector<IntVec> gens = nullspace_generators(fw);
+
+        // Unique-solution case: d must be integral to be a dependence.
+        std::int64_t l = denominator_lcm(*particular);
+        bool integral = (l == 1);
+        IntVec d0(n, 0);
+        if (integral)
+          for (std::size_t i = 0; i < n; ++i) d0[i] = (*particular)[i].to_integer();
+
+        if (gens.empty()) {
+          if (integral)
+            emit(std::move(d0), DependenceKind::Flow, array, w.stmt->label, r.stmt->label,
+                 w.access->subscripts);
+          continue;
+        }
+        // Rank-deficient access: solutions form d0 + lattice(gens).
+        bool same_statement_update = (w.stmt == r.stmt) && is_zero(delta);
+        if (same_statement_update && !opts.include_reductions) continue;
+        if (!integral) {
+          // The particular solution may still be shiftable to an integer
+          // point along the lattice; for 1-D lattices check directly.
+          // (Conservative: warn and skip otherwise.)
+          info.warnings.push_back("non-integral particular solution for '" + array +
+                                  "' between " + w.stmt->label + " and " + r.stmt->label);
+          continue;
+        }
+        if (gens.size() > 1 && opts.require_uniform && !is_zero(d0)) {
+          std::string msg = "dependence on '" + array + "' between " + w.stmt->label + " and " +
+                            r.stmt->label + " has a multi-dimensional solution family";
+          info.warnings.push_back(msg);
+        }
+        DependenceKind kind =
+            same_statement_update ? DependenceKind::Reduction : DependenceKind::Flow;
+        if (!is_zero(d0))
+          emit(d0, DependenceKind::Flow, array, w.stmt->label, r.stmt->label,
+               w.access->subscripts);
+        for (IntVec g : gens)
+          emit(std::move(g), kind, array, w.stmt->label, r.stmt->label, w.access->subscripts);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace hypart

@@ -1,0 +1,84 @@
+// hypart — uniform (constant) loop-carried dependence extraction.
+//
+// The hyperplane method applies to nests with *constant* dependence vectors
+// (paper Section II).  This analyzer recovers the dependence set D from the
+// affine array accesses of a LoopNest:
+//
+//  * flow dependences: a write F*i+f_w and a read F*j+f_r of the same array
+//    touch the same element iff F(j-i) = f_w-f_r; a unique integral solution
+//    d is a constant dependence vector (L1's (0,1), (1,1), (1,0));
+//  * reduction/propagation dependences: when F is rank-deficient and the
+//    offsets match, the dependence distances form the lattice F's nullspace;
+//    its primitive generators are the constant dependences (matmul's C along
+//    (0,0,1));
+//  * input-reuse dependences: a read-only access with rank-deficient F means
+//    one value is consumed along the nullspace directions; on a message-
+//    passing machine that routing is real communication, and the paper's
+//    rewrites (L3, L5) make it explicit.  We generate the same vectors
+//    directly (matmul's A along (0,1,0) and B along (1,0,0); matvec's x
+//    along (1,0)).
+//
+// Dependences are canonicalized to lexicographically positive distances.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "loop/loop_nest.hpp"
+#include "numeric/int_linalg.hpp"
+
+namespace hypart {
+
+enum class DependenceKind {
+  Flow,       ///< value produced at i, consumed at i+d
+  Reduction,  ///< same-location update chain (write & read with equal access)
+  InputReuse  ///< read-only value forwarded along d
+};
+
+std::string to_string(DependenceKind k);
+
+/// One constant dependence vector with provenance.
+struct Dependence {
+  IntVec distance;  ///< lexicographically positive, non-zero
+  DependenceKind kind = DependenceKind::Flow;
+  std::string array;
+  std::string source_statement;
+  std::string sink_statement;
+  /// Subscripts of the access at the *source* iteration (the element whose
+  /// value travels along `distance`); used by the distributed interpreter
+  /// to route values and by the SPMD code generator to emit sends.
+  std::vector<AffineExpr> source_subscripts;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct DependenceOptions {
+  bool include_input_reuse = true;   ///< model read-only value routing (see above)
+  bool include_reductions = true;    ///< model same-location update chains
+  bool require_uniform = true;       ///< throw on genuinely non-uniform pairs
+};
+
+/// Result of the analysis.
+struct DependenceInfo {
+  std::vector<Dependence> dependences;  ///< deduplicated by distance vector
+  std::vector<std::string> warnings;    ///< non-uniform pairs, skipped accesses
+
+  /// Distinct distance vectors (the paper's set D), in deterministic order.
+  [[nodiscard]] std::vector<IntVec> distance_vectors() const;
+  /// Dependence matrix whose columns are the distance vectors (Example 2).
+  [[nodiscard]] IntMat dependence_matrix(std::size_t depth) const;
+};
+
+class NonUniformDependenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Analyze a loop nest and extract its constant dependence vectors.
+DependenceInfo analyze_dependences(const LoopNest& nest, const DependenceOptions& opts = {});
+
+/// True if d is lexicographically positive (first nonzero entry > 0).
+bool lex_positive(const IntVec& d);
+
+}  // namespace hypart

@@ -1,0 +1,131 @@
+#include "loop/expr.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hypart {
+
+namespace {
+
+ExprPtr binary(Expr::Kind kind, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+}  // namespace
+
+ExprPtr constant(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Constant;
+  e->constant = v;
+  return e;
+}
+
+ExprPtr ref(std::string array, std::vector<AffineExpr> subscripts) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::ArrayRef;
+  e->array = std::move(array);
+  e->subscripts = std::move(subscripts);
+  return e;
+}
+
+ExprPtr operator+(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Add, std::move(a), std::move(b)); }
+ExprPtr operator-(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Sub, std::move(a), std::move(b)); }
+ExprPtr operator*(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Mul, std::move(a), std::move(b)); }
+ExprPtr operator/(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Div, std::move(a), std::move(b)); }
+ExprPtr emin(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Min, std::move(a), std::move(b)); }
+ExprPtr emax(ExprPtr a, ExprPtr b) { return binary(Expr::Kind::Max, std::move(a), std::move(b)); }
+
+ExprPtr operator-(ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Neg;
+  e->lhs = std::move(a);
+  return e;
+}
+
+std::string Expr::to_string(const std::vector<std::string>& index_names) const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::Constant: {
+      // Shortest representation that round-trips, so unparse -> parse is
+      // value-exact (std::to_chars shortest form).
+      char buf[32];
+      auto res = std::to_chars(buf, buf + sizeof buf, constant);
+      os << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+      break;
+    }
+    case Kind::ArrayRef: {
+      os << array << "[";
+      for (std::size_t i = 0; i < subscripts.size(); ++i)
+        os << (i ? "," : "") << subscripts[i].to_string(index_names);
+      os << "]";
+      break;
+    }
+    case Kind::Neg: os << "-(" << lhs->to_string(index_names) << ")"; break;
+    case Kind::Min:
+      os << "min(" << lhs->to_string(index_names) << ", " << rhs->to_string(index_names) << ")";
+      break;
+    case Kind::Max:
+      os << "max(" << lhs->to_string(index_names) << ", " << rhs->to_string(index_names) << ")";
+      break;
+    default: {
+      const char* op = kind == Kind::Add   ? " + "
+                       : kind == Kind::Sub ? " - "
+                       : kind == Kind::Mul ? " * "
+                                           : " / ";
+      os << "(" << lhs->to_string(index_names) << op << rhs->to_string(index_names) << ")";
+    }
+  }
+  return os.str();
+}
+
+void collect_refs(const ExprPtr& e, std::vector<const Expr*>& out) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::ArrayRef) out.push_back(e.get());
+  collect_refs(e->lhs, out);
+  collect_refs(e->rhs, out);
+}
+
+std::int64_t operation_count(const ExprPtr& e) {
+  if (!e) return 0;
+  std::int64_t ops = 0;
+  switch (e->kind) {
+    case Expr::Kind::Constant:
+    case Expr::Kind::ArrayRef: break;
+    default: ops = 1;
+  }
+  return ops + operation_count(e->lhs) + operation_count(e->rhs);
+}
+
+double evaluate(const ExprPtr& e,
+                const std::function<double(const std::string&, const IntVec&)>& load,
+                const IntVec& iteration) {
+  if (!e) throw std::invalid_argument("evaluate: null expression");
+  switch (e->kind) {
+    case Expr::Kind::Constant: return e->constant;
+    case Expr::Kind::ArrayRef: {
+      IntVec element(e->subscripts.size());
+      for (std::size_t i = 0; i < e->subscripts.size(); ++i)
+        element[i] = e->subscripts[i].evaluate(iteration);
+      return load(e->array, element);
+    }
+    case Expr::Kind::Neg: return -evaluate(e->lhs, load, iteration);
+    case Expr::Kind::Add: return evaluate(e->lhs, load, iteration) + evaluate(e->rhs, load, iteration);
+    case Expr::Kind::Sub: return evaluate(e->lhs, load, iteration) - evaluate(e->rhs, load, iteration);
+    case Expr::Kind::Mul: return evaluate(e->lhs, load, iteration) * evaluate(e->rhs, load, iteration);
+    case Expr::Kind::Div: return evaluate(e->lhs, load, iteration) / evaluate(e->rhs, load, iteration);
+    case Expr::Kind::Min:
+      return std::min(evaluate(e->lhs, load, iteration), evaluate(e->rhs, load, iteration));
+    case Expr::Kind::Max:
+      return std::max(evaluate(e->lhs, load, iteration), evaluate(e->rhs, load, iteration));
+  }
+  throw std::logic_error("evaluate: unknown expression kind");
+}
+
+}  // namespace hypart

@@ -1,0 +1,61 @@
+// hypart — expression IR for loop-body semantics.
+//
+// The cost model only needs access patterns, but proving that a partition
+// and mapping are *semantically* correct (the paper's Theorem 1 in action)
+// requires executing the loop.  Statements may carry a right-hand-side
+// expression tree; the interpreters in exec/interpreter.hpp evaluate it
+// sequentially and under distributed message-passing execution and compare
+// results.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loop/loop_nest.hpp"
+
+namespace hypart {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree node.
+struct Expr {
+  enum class Kind { Constant, ArrayRef, Add, Sub, Mul, Div, Min, Max, Neg };
+
+  Kind kind = Kind::Constant;
+  double constant = 0.0;                 ///< Kind::Constant
+  std::string array;                     ///< Kind::ArrayRef
+  std::vector<AffineExpr> subscripts;    ///< Kind::ArrayRef
+  ExprPtr lhs;                           ///< binary ops / Neg
+  ExprPtr rhs;                           ///< binary ops
+
+  [[nodiscard]] std::string to_string(const std::vector<std::string>& index_names = {}) const;
+};
+
+// ---- constructors -----------------------------------------------------------
+
+ExprPtr constant(double v);
+ExprPtr ref(std::string array, std::vector<AffineExpr> subscripts);
+
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, ExprPtr b);
+ExprPtr operator/(ExprPtr a, ExprPtr b);
+ExprPtr emin(ExprPtr a, ExprPtr b);
+ExprPtr emax(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a);
+
+/// All ArrayRef nodes in the tree (pre-order).
+void collect_refs(const ExprPtr& e, std::vector<const Expr*>& out);
+
+/// Number of arithmetic operations in the tree (the statement's flops).
+std::int64_t operation_count(const ExprPtr& e);
+
+/// Evaluate with a value-lookup callback for array references.
+double evaluate(const ExprPtr& e,
+                const std::function<double(const std::string&, const IntVec&)>& load,
+                const IntVec& iteration);
+
+}  // namespace hypart

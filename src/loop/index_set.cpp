@@ -1,0 +1,112 @@
+#include "loop/index_set.hpp"
+
+#include <stdexcept>
+
+namespace hypart {
+
+IndexSet::IndexSet(const LoopNest& nest) : dims_(nest.dims()) {}
+
+std::int64_t IndexSet::lower(std::size_t j, const IntVec& outer) const {
+  return dims_[j].lower.evaluate(outer);
+}
+
+std::int64_t IndexSet::upper(std::size_t j, const IntVec& outer) const {
+  return dims_[j].upper.evaluate(outer);
+}
+
+void IndexSet::for_each(const std::function<void(const IntVec&)>& visit) const {
+  const std::size_t n = dims_.size();
+  IntVec point(n, 0);
+  // Iterative lexicographic walk (no recursion: nests can be deep and hot).
+  std::size_t level = 0;
+  std::vector<std::int64_t> hi(n, 0);
+  while (true) {
+    if (level == n) {
+      visit(point);
+      // Backtrack to the deepest level that can still advance.
+      while (level > 0) {
+        --level;
+        if (point[level] < hi[level]) {
+          ++point[level];
+          ++level;
+          break;
+        }
+      }
+      if (level == 0 && point[0] >= hi[0]) return;
+      if (level == 0) return;  // exhausted
+      continue;
+    }
+    std::int64_t lo = dims_[level].lower.evaluate(point);
+    std::int64_t up = dims_[level].upper.evaluate(point);
+    if (lo > up) {
+      // Empty subrange: backtrack.
+      bool moved = false;
+      while (level > 0) {
+        --level;
+        if (point[level] < hi[level]) {
+          ++point[level];
+          ++level;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) return;
+      continue;
+    }
+    point[level] = lo;
+    hi[level] = up;
+    ++level;
+  }
+}
+
+std::vector<IntVec> IndexSet::points() const {
+  std::vector<IntVec> pts;
+  for_each([&](const IntVec& p) { pts.push_back(p); });
+  return pts;
+}
+
+std::uint64_t IndexSet::size() const {
+  std::uint64_t count = 0;
+  // Fast path: rectangular product.
+  bool rect = true;
+  for (const LoopDim& d : dims_)
+    if (!d.lower.is_constant() || !d.upper.is_constant()) {
+      rect = false;
+      break;
+    }
+  if (rect) {
+    count = 1;
+    for (const LoopDim& d : dims_) {
+      std::int64_t lo = d.lower.constant;
+      std::int64_t up = d.upper.constant;
+      if (up < lo) return 0;
+      count *= static_cast<std::uint64_t>(up - lo + 1);
+    }
+    return count;
+  }
+  for_each([&](const IntVec&) { ++count; });
+  return count;
+}
+
+bool IndexSet::contains(const IntVec& point) const {
+  if (point.size() != dims_.size()) return false;
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    std::int64_t lo = dims_[j].lower.evaluate(point);
+    std::int64_t up = dims_[j].upper.evaluate(point);
+    if (point[j] < lo || point[j] > up) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> IndexSet::rectangular_bounds() const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> b;
+  b.reserve(dims_.size());
+  for (const LoopDim& d : dims_) {
+    if (!d.lower.is_constant() || !d.upper.is_constant())
+      throw std::logic_error("IndexSet::rectangular_bounds: nest is not rectangular");
+    b.emplace_back(d.lower.constant, d.upper.constant);
+  }
+  return b;
+}
+
+}  // namespace hypart

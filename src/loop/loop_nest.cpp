@@ -1,0 +1,254 @@
+#include "loop/loop_nest.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "loop/expr.hpp"
+
+namespace hypart {
+
+AffineExpr AffineExpr::index(std::size_t level, std::int64_t coefficient, std::int64_t offset) {
+  AffineExpr e;
+  e.constant = offset;
+  e.coeffs.assign(level + 1, 0);
+  e.coeffs[level] = coefficient;
+  return e;
+}
+
+std::int64_t AffineExpr::evaluate(const IntVec& indices) const {
+  std::int64_t v = constant;
+  if (coeffs.size() > indices.size())
+    throw std::invalid_argument("AffineExpr::evaluate: too few indices");
+  for (std::size_t k = 0; k < coeffs.size(); ++k)
+    v = detail::checked_add(v, detail::checked_mul(coeffs[k], indices[k]));
+  return v;
+}
+
+bool AffineExpr::is_constant() const { return is_zero(coeffs); }
+
+std::string AffineExpr::to_string(const std::vector<std::string>& index_names) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k] == 0) continue;
+    std::string var = k < index_names.size() ? index_names[k] : ("i" + std::to_string(k + 1));
+    if (!first) os << (coeffs[k] > 0 ? "+" : "-");
+    else if (coeffs[k] < 0) os << "-";
+    std::int64_t a = coeffs[k] < 0 ? -coeffs[k] : coeffs[k];
+    if (a != 1) os << a << "*";
+    os << var;
+    first = false;
+  }
+  if (constant != 0 || first) {
+    if (!first && constant > 0) os << "+";
+    os << constant;
+  }
+  return os.str();
+}
+
+bool operator==(const AffineExpr& a, const AffineExpr& b) {
+  std::size_t n = std::max(a.coeffs.size(), b.coeffs.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    std::int64_t ca = k < a.coeffs.size() ? a.coeffs[k] : 0;
+    std::int64_t cb = k < b.coeffs.size() ? b.coeffs[k] : 0;
+    if (ca != cb) return false;
+  }
+  return a.constant == b.constant;
+}
+
+IntMat ArrayAccess::access_matrix(std::size_t depth) const {
+  IntMat f(subscripts.size(), depth);
+  for (std::size_t r = 0; r < subscripts.size(); ++r) {
+    const IntVec& coeffs = subscripts[r].coeffs;
+    if (coeffs.size() > depth)
+      throw std::invalid_argument("ArrayAccess: subscript references index deeper than nest");
+    for (std::size_t c = 0; c < coeffs.size(); ++c) f.at(r, c) = coeffs[c];
+  }
+  return f;
+}
+
+IntVec ArrayAccess::offset_vector() const {
+  IntVec f(subscripts.size());
+  for (std::size_t r = 0; r < subscripts.size(); ++r) f[r] = subscripts[r].constant;
+  return f;
+}
+
+std::string ArrayAccess::to_string(const std::vector<std::string>& index_names) const {
+  std::string s = array + "[";
+  for (std::size_t i = 0; i < subscripts.size(); ++i) {
+    if (i) s += ",";
+    s += subscripts[i].to_string(index_names);
+  }
+  return s + "]";
+}
+
+std::vector<ArrayAccess> Statement::reads() const {
+  std::vector<ArrayAccess> r;
+  for (const ArrayAccess& a : accesses)
+    if (a.kind == AccessKind::Read) r.push_back(a);
+  return r;
+}
+
+std::vector<ArrayAccess> Statement::writes() const {
+  std::vector<ArrayAccess> w;
+  for (const ArrayAccess& a : accesses)
+    if (a.kind == AccessKind::Write) w.push_back(a);
+  return w;
+}
+
+LoopNest::LoopNest(std::string name, std::vector<LoopDim> dims, std::vector<Statement> statements)
+    : name_(std::move(name)), dims_(std::move(dims)), statements_(std::move(statements)) {
+  if (dims_.empty()) throw std::invalid_argument("LoopNest: at least one loop dimension required");
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    if (dims_[j].lower.coeffs.size() > j || dims_[j].upper.coeffs.size() > j) {
+      // A bound may only reference strictly-outer indices (paper Section II).
+      for (std::size_t k = j; k < dims_[j].lower.coeffs.size(); ++k)
+        if (dims_[j].lower.coeffs[k] != 0)
+          throw std::invalid_argument("LoopNest: lower bound of " + dims_[j].name +
+                                      " references a non-outer index");
+      for (std::size_t k = j; k < dims_[j].upper.coeffs.size(); ++k)
+        if (dims_[j].upper.coeffs[k] != 0)
+          throw std::invalid_argument("LoopNest: upper bound of " + dims_[j].name +
+                                      " references a non-outer index");
+    }
+  }
+}
+
+std::vector<std::string> LoopNest::index_names() const {
+  std::vector<std::string> names;
+  names.reserve(dims_.size());
+  for (const LoopDim& d : dims_) names.push_back(d.name);
+  return names;
+}
+
+std::int64_t LoopNest::body_flops() const {
+  std::int64_t total = 0;
+  for (const Statement& s : statements_) total += s.flop_count;
+  return total;
+}
+
+bool LoopNest::is_rectangular() const {
+  for (const LoopDim& d : dims_)
+    if (!d.lower.is_constant() || !d.upper.is_constant()) return false;
+  return true;
+}
+
+std::string LoopNest::to_string() const {
+  std::ostringstream os;
+  std::vector<std::string> names = index_names();
+  std::string indent;
+  for (const LoopDim& d : dims_) {
+    os << indent << "for " << d.name << " = " << d.lower.to_string(names) << " to "
+       << d.upper.to_string(names) << "\n";
+    indent += "  ";
+  }
+  for (const Statement& s : statements_) {
+    os << indent << s.label << ": ";
+    bool first = true;
+    for (const ArrayAccess& a : s.accesses) {
+      if (a.kind != AccessKind::Write) continue;
+      os << a.to_string(names) << " := ";
+      first = false;
+    }
+    if (first) os << "(no write) ";
+    if (s.rhs) {
+      os << s.rhs->to_string(names);
+    } else {
+      bool first_read = true;
+      for (const ArrayAccess& a : s.accesses) {
+        if (a.kind != AccessKind::Read) continue;
+        if (!first_read) os << " op ";
+        os << a.to_string(names);
+        first_read = false;
+      }
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+LoopNestBuilder& LoopNestBuilder::loop(std::string index_name, AffineExpr lower, AffineExpr upper) {
+  dims_.push_back({std::move(index_name), std::move(lower), std::move(upper)});
+  return *this;
+}
+
+LoopNestBuilder& LoopNestBuilder::statement(std::string label, std::int64_t flops) {
+  Statement s;
+  s.label = std::move(label);
+  s.flop_count = flops;
+  statements_.push_back(std::move(s));
+  return *this;
+}
+
+Statement& LoopNestBuilder::current_statement() {
+  if (statements_.empty())
+    throw std::logic_error("LoopNestBuilder: read()/write() before statement()");
+  return statements_.back();
+}
+
+LoopNestBuilder& LoopNestBuilder::write(std::string array, std::vector<AffineExpr> subscripts) {
+  current_statement().accesses.push_back({std::move(array), std::move(subscripts), AccessKind::Write});
+  return *this;
+}
+
+LoopNestBuilder& LoopNestBuilder::read(std::string array, std::vector<AffineExpr> subscripts) {
+  current_statement().accesses.push_back({std::move(array), std::move(subscripts), AccessKind::Read});
+  return *this;
+}
+
+LoopNestBuilder& LoopNestBuilder::assign(std::string label, std::string array,
+                                         std::vector<AffineExpr> subscripts, ExprPtr value) {
+  if (!value) throw std::invalid_argument("LoopNestBuilder::assign: null expression");
+  Statement s;
+  s.label = std::move(label);
+  s.rhs = value;
+  s.flop_count = std::max<std::int64_t>(operation_count(value), 1);
+  s.accesses.push_back({std::move(array), std::move(subscripts), AccessKind::Write});
+  std::vector<const Expr*> refs;
+  collect_refs(value, refs);
+  for (const Expr* r : refs) {
+    // Deduplicate identical reads (same array and subscripts).
+    bool dup = std::any_of(s.accesses.begin(), s.accesses.end(), [&](const ArrayAccess& a) {
+      return a.kind == AccessKind::Read && a.array == r->array &&
+             a.subscripts == r->subscripts;
+    });
+    if (!dup) s.accesses.push_back({r->array, r->subscripts, AccessKind::Read});
+  }
+  statements_.push_back(std::move(s));
+  return *this;
+}
+
+LoopNest LoopNestBuilder::build() const { return {name_, dims_, statements_}; }
+
+AffineExpr idx(std::size_t level) { return AffineExpr::index(level); }
+
+AffineExpr operator+(AffineExpr e, std::int64_t c) {
+  e.constant = detail::checked_add(e.constant, c);
+  return e;
+}
+
+AffineExpr operator-(AffineExpr e, std::int64_t c) { return std::move(e) + (-c); }
+
+AffineExpr operator+(AffineExpr a, const AffineExpr& b) {
+  a.constant = detail::checked_add(a.constant, b.constant);
+  if (b.coeffs.size() > a.coeffs.size()) a.coeffs.resize(b.coeffs.size(), 0);
+  for (std::size_t k = 0; k < b.coeffs.size(); ++k)
+    a.coeffs[k] = detail::checked_add(a.coeffs[k], b.coeffs[k]);
+  return a;
+}
+
+AffineExpr operator-(AffineExpr a, const AffineExpr& b) {
+  AffineExpr nb = b;
+  nb.constant = detail::checked_neg(nb.constant);
+  nb.coeffs = negate(nb.coeffs);
+  return std::move(a) + nb;
+}
+
+AffineExpr operator*(std::int64_t k, AffineExpr e) {
+  e.constant = detail::checked_mul(e.constant, k);
+  e.coeffs = scale(e.coeffs, k);
+  return e;
+}
+
+}  // namespace hypart

@@ -1,0 +1,160 @@
+// hypart — loop-nest intermediate representation.
+//
+// Models the paper's n-nested loop (Section II):
+//
+//   for I1 = l1 to u1
+//     for I2 = l2 to u2
+//       ...
+//         Statement_1; ... Statement_m;
+//
+// Bounds l_j / u_j are integer affine expressions in the outer indices
+// I_1..I_{j-1} (the paper's model); step is 1.  Statements carry affine
+// array accesses from which the constant (uniform) loop-carried dependence
+// vectors are extracted (loop/dependence.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numeric/int_linalg.hpp"
+
+namespace hypart {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;  // see loop/expr.hpp
+
+/// Integer affine expression  c0 + sum_k coeffs[k] * I_{k+1}  over the loop
+/// indices of the enclosing nest.  coeffs may be shorter than the nest depth
+/// (missing coefficients are zero).
+struct AffineExpr {
+  std::int64_t constant = 0;
+  IntVec coeffs;  ///< coefficient of each loop index, outermost first
+
+  AffineExpr() = default;
+  AffineExpr(std::int64_t c) : constant(c) {}  // NOLINT: implicit by design
+  AffineExpr(std::int64_t c, IntVec k) : constant(c), coeffs(std::move(k)) {}
+
+  /// Expression that is exactly loop index `level` (0-based, outermost = 0).
+  static AffineExpr index(std::size_t level, std::int64_t coefficient = 1,
+                          std::int64_t offset = 0);
+
+  [[nodiscard]] std::int64_t evaluate(const IntVec& indices) const;
+  [[nodiscard]] bool is_constant() const;
+  [[nodiscard]] std::string to_string(const std::vector<std::string>& index_names = {}) const;
+
+  friend bool operator==(const AffineExpr& a, const AffineExpr& b);
+};
+
+/// One dimension of the nest: `for I = lower to upper`.
+struct LoopDim {
+  std::string name;   ///< index variable name (for printing)
+  AffineExpr lower;
+  AffineExpr upper;
+};
+
+enum class AccessKind { Read, Write };
+
+/// An affine array access  Array[sub_1, ..., sub_k]  inside a statement.
+struct ArrayAccess {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+  AccessKind kind = AccessKind::Read;
+
+  /// Access matrix F (one row per subscript, one column per loop index of a
+  /// depth-n nest) and offset vector f, such that the accessed element is
+  /// F*I + f for iteration vector I.
+  [[nodiscard]] IntMat access_matrix(std::size_t depth) const;
+  [[nodiscard]] IntVec offset_vector() const;
+
+  [[nodiscard]] std::string to_string(const std::vector<std::string>& index_names = {}) const;
+};
+
+/// A loop-body statement: one write and any number of reads, plus an
+/// operation count used by the simulator's t_calc cost model.  Statements
+/// built with LoopNestBuilder::assign additionally carry executable
+/// right-hand-side semantics (loop/expr.hpp) for the interpreters.
+struct Statement {
+  std::string label;
+  std::vector<ArrayAccess> accesses;
+  std::int64_t flop_count = 1;  ///< floating-point ops per execution
+  ExprPtr rhs;                  ///< optional executable semantics
+
+  [[nodiscard]] std::vector<ArrayAccess> reads() const;
+  [[nodiscard]] std::vector<ArrayAccess> writes() const;
+  [[nodiscard]] bool is_executable() const { return rhs != nullptr; }
+};
+
+/// An n-nested loop with statements.  Construct with LoopNestBuilder.
+class LoopNest {
+ public:
+  LoopNest(std::string name, std::vector<LoopDim> dims, std::vector<Statement> statements);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t depth() const { return dims_.size(); }
+  [[nodiscard]] const std::vector<LoopDim>& dims() const { return dims_; }
+  [[nodiscard]] const std::vector<Statement>& statements() const { return statements_; }
+  [[nodiscard]] std::vector<std::string> index_names() const;
+
+  /// Total flops of one iteration of the loop body.
+  [[nodiscard]] std::int64_t body_flops() const;
+
+  /// True if every bound is a constant (rectangular iteration space).
+  [[nodiscard]] bool is_rectangular() const;
+
+  /// Pretty-printed source form, close to the paper's notation.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<LoopDim> dims_;
+  std::vector<Statement> statements_;
+};
+
+/// Fluent builder for LoopNest.
+///
+///   LoopNest l1 = LoopNestBuilder("L1")
+///       .loop("i", 0, 3).loop("j", 0, 3)
+///       .statement("S1", 2)
+///         .write("A", {idx(0) + 1, idx(1) + 1})
+///         .read("A", {idx(0) + 1, idx(1)})
+///         .read("B", {idx(0), idx(1)})
+///       .build();
+class LoopNestBuilder {
+ public:
+  explicit LoopNestBuilder(std::string name) : name_(std::move(name)) {}
+
+  LoopNestBuilder& loop(std::string index_name, AffineExpr lower, AffineExpr upper);
+  LoopNestBuilder& statement(std::string label, std::int64_t flops = 1);
+  LoopNestBuilder& write(std::string array, std::vector<AffineExpr> subscripts);
+  LoopNestBuilder& read(std::string array, std::vector<AffineExpr> subscripts);
+
+  /// Executable statement:  array[subscripts] := value.  Adds the write
+  /// access, derives all read accesses from the expression's array
+  /// references, sets flop_count = operation_count(value), and records the
+  /// expression for the interpreters.
+  LoopNestBuilder& assign(std::string label, std::string array,
+                          std::vector<AffineExpr> subscripts, ExprPtr value);
+
+  [[nodiscard]] LoopNest build() const;
+
+ private:
+  Statement& current_statement();
+
+  std::string name_;
+  std::vector<LoopDim> dims_;
+  std::vector<Statement> statements_;
+};
+
+/// Convenience factory for "the k-th loop index" in builder expressions.
+AffineExpr idx(std::size_t level);
+
+AffineExpr operator+(AffineExpr e, std::int64_t c);
+AffineExpr operator-(AffineExpr e, std::int64_t c);
+AffineExpr operator+(AffineExpr a, const AffineExpr& b);
+AffineExpr operator-(AffineExpr a, const AffineExpr& b);
+AffineExpr operator*(std::int64_t k, AffineExpr e);
+
+}  // namespace hypart

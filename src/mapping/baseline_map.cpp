@@ -1,0 +1,99 @@
+#include "mapping/baseline_map.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace hypart {
+
+namespace {
+void require_procs(std::size_t processors) {
+  if (processors == 0) throw std::invalid_argument("mapping: zero processors");
+}
+}  // namespace
+
+Mapping map_round_robin(const TaskInteractionGraph& tig, std::size_t processors) {
+  require_procs(processors);
+  Mapping m;
+  m.processor_count = processors;
+  m.method = "round-robin";
+  m.block_to_proc.resize(tig.vertex_count());
+  for (std::size_t b = 0; b < tig.vertex_count(); ++b) m.block_to_proc[b] = b % processors;
+  return m;
+}
+
+Mapping map_contiguous(const TaskInteractionGraph& tig, std::size_t processors) {
+  require_procs(processors);
+  Mapping m;
+  m.processor_count = processors;
+  m.method = "contiguous";
+  const std::size_t n = tig.vertex_count();
+  m.block_to_proc.resize(n);
+  // Distribute as evenly as possible: first (n mod P) processors get one extra.
+  const std::size_t base = n / processors;
+  const std::size_t extra = n % processors;
+  std::size_t b = 0;
+  for (std::size_t p = 0; p < processors && b < n; ++p) {
+    std::size_t take = base + (p < extra ? 1 : 0);
+    for (std::size_t k = 0; k < take && b < n; ++k) m.block_to_proc[b++] = p;
+  }
+  return m;
+}
+
+Mapping map_random(const TaskInteractionGraph& tig, std::size_t processors, std::uint64_t seed) {
+  require_procs(processors);
+  Mapping m;
+  m.processor_count = processors;
+  m.method = "random";
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> dist(0, processors - 1);
+  m.block_to_proc.resize(tig.vertex_count());
+  for (std::size_t b = 0; b < tig.vertex_count(); ++b) m.block_to_proc[b] = dist(rng);
+  return m;
+}
+
+Mapping refine_greedy_swap(const TaskInteractionGraph& tig, Mapping start, const Topology& topo,
+                           std::size_t max_passes) {
+  if (start.block_to_proc.size() != tig.vertex_count())
+    throw std::invalid_argument("refine_greedy_swap: mapping size mismatch");
+
+  // Incremental cost of one vertex: sum over incident edges of weight*hops.
+  std::vector<std::vector<std::pair<std::size_t, std::int64_t>>> adj(tig.vertex_count());
+  for (const auto& [e, w] : tig.edges()) {
+    adj[e.first].emplace_back(e.second, w);
+    adj[e.second].emplace_back(e.first, w);
+  }
+  auto vertex_cost = [&](std::size_t v, ProcId at) {
+    std::int64_t c = 0;
+    for (const auto& [u, w] : adj[v])
+      c += w * static_cast<std::int64_t>(topo.distance(at, start.block_to_proc[u]));
+    return c;
+  };
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t a = 0; a < tig.vertex_count(); ++a) {
+      for (std::size_t b = a + 1; b < tig.vertex_count(); ++b) {
+        ProcId pa = start.block_to_proc[a];
+        ProcId pb = start.block_to_proc[b];
+        if (pa == pb) continue;
+        std::int64_t before = vertex_cost(a, pa) + vertex_cost(b, pb);
+        // Cost after swapping; the a<->b edge (if any) contributes the same
+        // distance both times, so the comparison stays exact.
+        start.block_to_proc[a] = pb;
+        start.block_to_proc[b] = pa;
+        std::int64_t after = vertex_cost(a, pb) + vertex_cost(b, pa);
+        if (after < before) {
+          improved = true;
+        } else {
+          start.block_to_proc[a] = pa;  // revert
+          start.block_to_proc[b] = pb;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  start.method += "+greedy-swap";
+  return start;
+}
+
+}  // namespace hypart

@@ -1,0 +1,32 @@
+// hypart — baseline block-to-processor mappings for ablation studies.
+//
+// Algorithm 2 is compared against topology-oblivious placements (random,
+// round-robin, contiguous) and a greedy pairwise-swap refinement that
+// approximates classic task-allocation heuristics (paper Section IV cites
+// Sadayappan & Ercal's nearest-neighbor mapping as the family of
+// techniques the clusters could be handed to).
+#pragma once
+
+#include <cstdint>
+
+#include "mapping/tig.hpp"
+#include "topology/topology.hpp"
+
+namespace hypart {
+
+/// Block b -> processor (b mod N).
+Mapping map_round_robin(const TaskInteractionGraph& tig, std::size_t processors);
+
+/// Contiguous slabs of block ids per processor (row-major block mapping).
+Mapping map_contiguous(const TaskInteractionGraph& tig, std::size_t processors);
+
+/// Uniform random placement (deterministic for a given seed).
+Mapping map_random(const TaskInteractionGraph& tig, std::size_t processors, std::uint64_t seed);
+
+/// Greedy hill climbing: repeatedly swap the processor assignments of two
+/// blocks when doing so lowers `weight * hops` total communication cost;
+/// runs at most `max_passes` full passes.  Refines any starting mapping.
+Mapping refine_greedy_swap(const TaskInteractionGraph& tig, Mapping start, const Topology& topo,
+                           std::size_t max_passes = 4);
+
+}  // namespace hypart

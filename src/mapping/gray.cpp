@@ -1,0 +1,51 @@
+#include "mapping/gray.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hypart {
+
+std::uint64_t gray_encode(std::uint64_t i) { return i ^ (i >> 1); }
+
+std::uint64_t gray_decode(std::uint64_t g) {
+  std::uint64_t i = g;
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+unsigned popcount64(std::uint64_t x) { return static_cast<unsigned>(std::popcount(x)); }
+
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+unsigned log2_floor(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("log2_floor(0)");
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+unsigned log2_exact(std::uint64_t x) {
+  if (!is_power_of_two(x)) throw std::invalid_argument("log2_exact: not a power of two");
+  return log2_floor(x);
+}
+
+std::uint64_t concat_gray(const std::vector<std::uint64_t>& ranks,
+                          const std::vector<unsigned>& bits) {
+  if (ranks.size() != bits.size())
+    throw std::invalid_argument("concat_gray: ranks/bits size mismatch");
+  std::uint64_t code = 0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    std::uint64_t g = gray_encode(ranks[i]);
+    if (bits[i] < 64 && g >= (1ULL << bits[i]))
+      throw std::invalid_argument("concat_gray: rank does not fit in its bit budget");
+    code = (code << bits[i]) | g;
+  }
+  return code;
+}
+
+std::vector<std::uint64_t> gray_sequence(unsigned n) {
+  if (n >= 63) throw std::invalid_argument("gray_sequence: n too large");
+  std::vector<std::uint64_t> seq(1ULL << n);
+  for (std::uint64_t i = 0; i < seq.size(); ++i) seq[i] = gray_encode(i);
+  return seq;
+}
+
+}  // namespace hypart

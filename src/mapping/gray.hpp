@@ -1,0 +1,39 @@
+// hypart — binary-reflected Gray code utilities (Algorithm 2, Phase II).
+//
+// Clusters are numbered with per-direction Gray codes so that clusters
+// adjacent along a bisection direction land on hypercube neighbors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hypart {
+
+/// i-th binary-reflected Gray code: i XOR (i >> 1).
+std::uint64_t gray_encode(std::uint64_t i);
+
+/// Inverse of gray_encode.
+std::uint64_t gray_decode(std::uint64_t g);
+
+/// Number of set bits.
+unsigned popcount64(std::uint64_t x);
+
+/// True if x is a power of two (x > 0).
+bool is_power_of_two(std::uint64_t x);
+
+/// floor(log2(x)); throws on x == 0.
+unsigned log2_floor(std::uint64_t x);
+
+/// exact log2; throws if x is not a power of two.
+unsigned log2_exact(std::uint64_t x);
+
+/// Concatenate per-direction Gray codes into one processor number.
+/// `ranks[i]` is the interval rank along direction i, encoded in `bits[i]`
+/// bits; direction 0 occupies the most significant bits.
+std::uint64_t concat_gray(const std::vector<std::uint64_t>& ranks,
+                          const std::vector<unsigned>& bits);
+
+/// The full n-bit Gray sequence (length 2^n); useful for tests and printing.
+std::vector<std::uint64_t> gray_sequence(unsigned n);
+
+}  // namespace hypart

@@ -1,0 +1,100 @@
+#include "mapping/hypercube_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mapping/gray.hpp"
+
+namespace hypart {
+
+HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigned cube_dim,
+                                        const HypercubeMapOptions& options) {
+  const std::size_t nverts = tig.vertex_count();
+  if (nverts == 0) throw std::invalid_argument("map_to_hypercube: empty TIG");
+
+  // Bisection directions: the TIG coordinate axes (Ω), else vertex order.
+  const bool coords = tig.has_coordinates();
+  const std::size_t beta = coords ? std::max<std::size_t>(tig.coordinate_dimensions(), 1) : 1;
+
+  auto coord_along = [&](std::size_t v, std::size_t dir) -> std::int64_t {
+    if (!coords) return static_cast<std::int64_t>(v);
+    const std::optional<IntVec>& c = tig.coordinates(v);
+    return dir < c->size() ? (*c)[dir] : 0;
+  };
+
+  // ---- Phase I: cluster formation -----------------------------------------
+  std::vector<Cluster> clusters(1);
+  clusters[0].vertices.resize(nverts);
+  for (std::size_t v = 0; v < nverts; ++v) clusters[0].vertices[v] = v;
+  clusters[0].ranks.assign(beta, 0);
+  std::vector<unsigned> bits(beta, 0);
+
+  for (unsigned j = 0; j < cube_dim; ++j) {
+    const std::size_t dir = j % beta;
+    ++bits[dir];
+    std::vector<Cluster> next;
+    next.reserve(clusters.size() * 2);
+    for (Cluster& c : clusters) {
+      // Deterministic sort along the direction; ties broken by the full
+      // coordinate vector, then vertex id, so splits are reproducible.
+      std::sort(c.vertices.begin(), c.vertices.end(), [&](std::size_t a, std::size_t b) {
+        std::int64_t ca = coord_along(a, dir), cb = coord_along(b, dir);
+        if (ca != cb) return ca < cb;
+        for (std::size_t d = 0; d < beta; ++d) {
+          std::int64_t xa = coord_along(a, d), xb = coord_along(b, d);
+          if (xa != xb) return xa < xb;
+        }
+        return a < b;
+      });
+      std::size_t half = c.vertices.size() / 2 + (c.vertices.size() % 2);
+      if (options.weighted && c.vertices.size() >= 2) {
+        // Smallest prefix whose compute weight reaches half the cluster's.
+        std::int64_t total = 0;
+        for (std::size_t v : c.vertices) total += tig.compute_weight(v);
+        std::int64_t prefix = 0;
+        std::size_t cut = 0;
+        while (cut < c.vertices.size() && 2 * prefix < total)
+          prefix += tig.compute_weight(c.vertices[cut++]);
+        half = std::clamp<std::size_t>(cut, 1, c.vertices.size() - 1);
+      }
+      Cluster low, high;
+      low.vertices.assign(c.vertices.begin(), c.vertices.begin() + static_cast<std::ptrdiff_t>(half));
+      high.vertices.assign(c.vertices.begin() + static_cast<std::ptrdiff_t>(half), c.vertices.end());
+      low.ranks = c.ranks;
+      high.ranks = c.ranks;
+      low.ranks[dir] = c.ranks[dir] * 2;
+      high.ranks[dir] = c.ranks[dir] * 2 + 1;
+      next.push_back(std::move(low));
+      next.push_back(std::move(high));
+    }
+    clusters = std::move(next);
+  }
+
+  // ---- Phase II: cluster allocation ---------------------------------------
+  HypercubeMappingResult result;
+  result.bits_per_direction = bits;
+  result.directions_used = static_cast<std::size_t>(
+      std::count_if(bits.begin(), bits.end(), [](unsigned b) { return b > 0; }));
+
+  std::vector<std::uint64_t> ranks_used;
+  std::vector<unsigned> bits_used;
+  result.mapping.block_to_proc.assign(nverts, 0);
+  result.mapping.processor_count = std::size_t{1} << cube_dim;
+  result.mapping.method = "gray-bisection";
+
+  for (Cluster& c : clusters) {
+    ranks_used.clear();
+    bits_used.clear();
+    for (std::size_t d = 0; d < beta; ++d) {
+      if (bits[d] == 0) continue;
+      ranks_used.push_back(c.ranks[d]);
+      bits_used.push_back(bits[d]);
+    }
+    c.processor = concat_gray(ranks_used, bits_used);
+    for (std::size_t v : c.vertices) result.mapping.block_to_proc[v] = c.processor;
+  }
+  result.clusters = std::move(clusters);
+  return result;
+}
+
+}  // namespace hypart

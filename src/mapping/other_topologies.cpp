@@ -1,0 +1,135 @@
+#include "mapping/other_topologies.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mapping/gray.hpp"
+
+namespace hypart {
+
+namespace {
+
+struct RankedCluster {
+  std::vector<std::size_t> vertices;
+  std::vector<std::uint64_t> ranks;
+};
+
+/// Recursive bisection along the given direction schedule (direction index
+/// per split); identical to Algorithm 2 Phase I.
+std::vector<RankedCluster> bisect(const TaskInteractionGraph& tig,
+                                  const std::vector<std::size_t>& schedule,
+                                  std::size_t directions) {
+  const bool coords = tig.has_coordinates();
+  auto coord_along = [&](std::size_t v, std::size_t dir) -> std::int64_t {
+    if (!coords) return static_cast<std::int64_t>(v);
+    const std::optional<IntVec>& c = tig.coordinates(v);
+    return dir < c->size() ? (*c)[dir] : 0;
+  };
+
+  std::vector<RankedCluster> clusters(1);
+  clusters[0].vertices.resize(tig.vertex_count());
+  for (std::size_t v = 0; v < tig.vertex_count(); ++v) clusters[0].vertices[v] = v;
+  clusters[0].ranks.assign(directions, 0);
+
+  for (std::size_t dir : schedule) {
+    std::vector<RankedCluster> next;
+    next.reserve(clusters.size() * 2);
+    for (RankedCluster& c : clusters) {
+      std::sort(c.vertices.begin(), c.vertices.end(), [&](std::size_t a, std::size_t b) {
+        std::int64_t ca = coord_along(a, dir), cb = coord_along(b, dir);
+        if (ca != cb) return ca < cb;
+        for (std::size_t d = 0; d < directions; ++d) {
+          std::int64_t xa = coord_along(a, d), xb = coord_along(b, d);
+          if (xa != xb) return xa < xb;
+        }
+        return a < b;
+      });
+      const std::size_t half = c.vertices.size() / 2 + (c.vertices.size() % 2);
+      RankedCluster low, high;
+      low.vertices.assign(c.vertices.begin(),
+                          c.vertices.begin() + static_cast<std::ptrdiff_t>(half));
+      high.vertices.assign(c.vertices.begin() + static_cast<std::ptrdiff_t>(half),
+                           c.vertices.end());
+      low.ranks = c.ranks;
+      high.ranks = c.ranks;
+      low.ranks[dir] = c.ranks[dir] * 2;
+      high.ranks[dir] = c.ranks[dir] * 2 + 1;
+      next.push_back(std::move(low));
+      next.push_back(std::move(high));
+    }
+    clusters = std::move(next);
+  }
+  return clusters;
+}
+
+std::size_t tig_directions(const TaskInteractionGraph& tig) {
+  return tig.has_coordinates() ? std::max<std::size_t>(tig.coordinate_dimensions(), 1) : 1;
+}
+
+}  // namespace
+
+Mapping map_to_mesh(const TaskInteractionGraph& tig, const Mesh2D& mesh) {
+  if (tig.vertex_count() == 0) throw std::invalid_argument("map_to_mesh: empty TIG");
+  const unsigned wx = log2_exact(mesh.width());
+  const unsigned wy = log2_exact(mesh.height());
+  const std::size_t beta = tig_directions(tig);
+
+  Mapping m;
+  m.processor_count = mesh.size();
+  m.method = "mesh-bisection";
+  m.block_to_proc.assign(tig.vertex_count(), 0);
+
+  if (beta == 1) {
+    // Linear ranks laid out boustrophedon so consecutive clusters are
+    // mesh neighbors.
+    std::vector<std::size_t> schedule(wx + wy, 0);
+    std::vector<RankedCluster> clusters = bisect(tig, schedule, 1);
+    for (const RankedCluster& c : clusters) {
+      std::uint64_t r = c.ranks[0];
+      std::size_t y = r / mesh.width();
+      std::size_t xr = r % mesh.width();
+      std::size_t x = (y % 2 == 0) ? xr : mesh.width() - 1 - xr;
+      ProcId proc = y * mesh.width() + x;
+      for (std::size_t v : c.vertices) m.block_to_proc[v] = proc;
+    }
+    return m;
+  }
+
+  // Alternate x/y splits until each direction has its budget.
+  std::vector<std::size_t> schedule;
+  unsigned nx = 0, ny = 0;
+  while (nx < wx || ny < wy) {
+    if (nx < wx) {
+      schedule.push_back(0);
+      ++nx;
+    }
+    if (ny < wy) {
+      schedule.push_back(1);
+      ++ny;
+    }
+  }
+  std::vector<RankedCluster> clusters = bisect(tig, schedule, std::max<std::size_t>(beta, 2));
+  for (const RankedCluster& c : clusters) {
+    ProcId proc = c.ranks[1] * mesh.width() + c.ranks[0];
+    for (std::size_t v : c.vertices) m.block_to_proc[v] = proc;
+  }
+  return m;
+}
+
+Mapping map_to_ring(const TaskInteractionGraph& tig, std::size_t processors) {
+  if (tig.vertex_count() == 0) throw std::invalid_argument("map_to_ring: empty TIG");
+  const unsigned bits = log2_exact(processors);
+
+  Mapping m;
+  m.processor_count = processors;
+  m.method = "ring-bisection";
+  m.block_to_proc.assign(tig.vertex_count(), 0);
+
+  std::vector<std::size_t> schedule(bits, 0);  // always the primary direction
+  std::vector<RankedCluster> clusters = bisect(tig, schedule, tig_directions(tig));
+  for (const RankedCluster& c : clusters)
+    for (std::size_t v : c.vertices) m.block_to_proc[v] = c.ranks[0];
+  return m;
+}
+
+}  // namespace hypart

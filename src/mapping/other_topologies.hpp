@@ -1,0 +1,25 @@
+// hypart — cluster mapping for non-hypercube machines.
+//
+// The paper's Algorithm 2 targets binary n-cubes; the same
+// bisect-then-number idea extends to other regular interconnects:
+//  * 2-D mesh: bisect alternately along the first two lattice directions
+//    and use the interval ranks directly as mesh coordinates (mesh
+//    neighbors are rank-adjacent, so no Gray code is needed);
+//  * ring: bisect along the primary direction into N linear ranks
+//    (consecutive ranks are ring neighbors);
+//  * a 1-directional TIG on a mesh is laid out boustrophedon (snake) so
+//    consecutive clusters stay adjacent.
+#pragma once
+
+#include "mapping/tig.hpp"
+#include "topology/topology.hpp"
+
+namespace hypart {
+
+/// Map blocks onto a w x h mesh; both dimensions must be powers of two.
+Mapping map_to_mesh(const TaskInteractionGraph& tig, const Mesh2D& mesh);
+
+/// Map blocks onto an N-processor ring; N must be a power of two.
+Mapping map_to_ring(const TaskInteractionGraph& tig, std::size_t processors);
+
+}  // namespace hypart

@@ -1,0 +1,119 @@
+// hypart — integer vectors/matrices and lattice normal forms.
+//
+// Dependence vectors, index points and scaled projected points are all
+// integer vectors.  The Hermite and Smith normal forms drive the
+// independent-partitioning baselines (GCD / minimum-distance family,
+// paper §I): the number of independent blocks of a full-rank dependence
+// lattice equals |det| of its basis, and residue classes modulo the lattice
+// label the blocks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/rational.hpp"
+
+namespace hypart {
+
+/// Dense integer vector (an index point, dependence vector, or time function).
+using IntVec = std::vector<std::int64_t>;
+
+/// Dense row-major integer matrix.
+class IntMat {
+ public:
+  IntMat() = default;
+  IntMat(std::size_t rows, std::size_t cols, std::int64_t fill = 0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from a list of rows; all rows must have equal length.
+  static IntMat from_rows(const std::vector<IntVec>& rows);
+  /// Build from a list of columns (e.g. a dependence matrix whose columns
+  /// are dependence vectors, as in the paper's Example 2).
+  static IntMat from_cols(const std::vector<IntVec>& cols);
+  static IntMat identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  std::int64_t& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] std::int64_t at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] IntVec row(std::size_t r) const;
+  [[nodiscard]] IntVec col(std::size_t c) const;
+
+  [[nodiscard]] IntMat transposed() const;
+  [[nodiscard]] IntMat multiplied(const IntMat& o) const;
+
+  friend bool operator==(const IntMat& a, const IntMat& b) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntMat& m);
+
+// ---- vector operations ----------------------------------------------------
+
+IntVec add(const IntVec& a, const IntVec& b);
+IntVec sub(const IntVec& a, const IntVec& b);
+IntVec scale(const IntVec& a, std::int64_t k);
+IntVec negate(const IntVec& a);
+std::int64_t dot(const IntVec& a, const IntVec& b);
+bool is_zero(const IntVec& a);
+
+/// gcd of all components (0 for the zero vector).
+std::int64_t content(const IntVec& a);
+
+/// Divide every component by its content, keeping the sign of the first
+/// nonzero component positive.  Returns the zero vector unchanged.
+IntVec primitive(const IntVec& a);
+
+std::string to_string(const IntVec& a);
+
+// ---- extended gcd ----------------------------------------------------------
+
+struct ExtGcd {
+  std::int64_t g;  ///< gcd(a, b) >= 0
+  std::int64_t x;  ///< Bezout coefficient of a
+  std::int64_t y;  ///< Bezout coefficient of b
+};
+ExtGcd ext_gcd(std::int64_t a, std::int64_t b);
+
+// ---- normal forms ----------------------------------------------------------
+
+/// Result of a column-style Hermite normal form computation: H = A * U with
+/// U unimodular, H lower-triangular-ish with pivot columns first.
+struct HermiteResult {
+  IntMat h;          ///< the Hermite normal form (same shape as input)
+  IntMat u;          ///< unimodular column-transform, A*U == H
+  std::size_t rank;  ///< number of nonzero columns of h
+};
+
+/// Column Hermite normal form of an integer matrix (columns are generators
+/// of a lattice).  Pivots are positive; entries right of a pivot are zero;
+/// entries in a pivot row left of the pivot are reduced to [0, pivot).
+HermiteResult hermite_normal_form(const IntMat& a);
+
+/// Smith normal form: S = U * A * V with U, V unimodular and S diagonal with
+/// s1 | s2 | ... | sr, the elementary divisors.
+struct SmithResult {
+  IntMat s;
+  IntMat u;
+  IntMat v;
+  std::vector<std::int64_t> divisors;  ///< nonzero diagonal entries, each dividing the next
+};
+SmithResult smith_normal_form(const IntMat& a);
+
+/// Rank of an integer matrix (computed exactly over Q).
+std::size_t int_rank(const IntMat& a);
+
+/// Determinant of a square integer matrix (exact, fraction-free Bareiss).
+std::int64_t int_det(const IntMat& a);
+
+}  // namespace hypart

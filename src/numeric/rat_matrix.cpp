@@ -1,0 +1,253 @@
+#include "numeric/rat_matrix.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hypart {
+
+RatVec to_rational(const IntVec& v) {
+  RatVec r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = Rational(v[i]);
+  return r;
+}
+
+RatVec add(const RatVec& a, const RatVec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("RatVec add: size mismatch");
+  RatVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+RatVec sub(const RatVec& a, const RatVec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("RatVec sub: size mismatch");
+  RatVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+RatVec scale(const RatVec& a, const Rational& k) {
+  RatVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] * k;
+  return r;
+}
+
+Rational dot(const RatVec& a, const RatVec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("RatVec dot: size mismatch");
+  Rational s;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Rational dot(const RatVec& a, const IntVec& b) { return dot(a, to_rational(b)); }
+
+bool is_zero(const RatVec& a) {
+  return std::all_of(a.begin(), a.end(), [](const Rational& x) { return x.is_zero(); });
+}
+
+std::string to_string(const RatVec& a) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i) s += ", ";
+    s += a[i].to_string();
+  }
+  return s + ")";
+}
+
+std::int64_t denominator_lcm(const RatVec& v) {
+  std::int64_t l = 1;
+  for (const Rational& x : v) l = lcm64(l, x.den());
+  return l;
+}
+
+RatMat RatMat::from_rows(const std::vector<RatVec>& rows) {
+  RatMat m(rows.size(), rows.empty() ? 0 : rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols()) throw std::invalid_argument("RatMat::from_rows: ragged rows");
+    for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+RatMat RatMat::from_cols(const std::vector<RatVec>& cols) {
+  RatMat m(cols.empty() ? 0 : cols.front().size(), cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].size() != m.rows()) throw std::invalid_argument("RatMat::from_cols: ragged columns");
+    for (std::size_t r = 0; r < m.rows(); ++r) m.at(r, c) = cols[c][r];
+  }
+  return m;
+}
+
+RatMat RatMat::from_int(const IntMat& m) {
+  RatMat r(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) r.at(i, j) = Rational(m.at(i, j));
+  return r;
+}
+
+RatMat RatMat::identity(std::size_t n) {
+  RatMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = Rational(1);
+  return m;
+}
+
+RatVec RatMat::row(std::size_t r) const {
+  RatVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = at(r, c);
+  return v;
+}
+
+RatVec RatMat::col(std::size_t c) const {
+  RatVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = at(r, c);
+  return v;
+}
+
+RatMat RatMat::transposed() const {
+  RatMat m(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) m.at(c, r) = at(r, c);
+  return m;
+}
+
+RatMat RatMat::multiplied(const RatMat& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("RatMat::multiplied: shape mismatch");
+  RatMat m(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      if (at(r, k).is_zero()) continue;
+      for (std::size_t c = 0; c < o.cols_; ++c) m.at(r, c) += at(r, k) * o.at(k, c);
+    }
+  return m;
+}
+
+RatVec RatMat::apply(const RatVec& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("RatMat::apply: size mismatch");
+  RatVec r(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) r[i] = dot(row(i), v);
+  return r;
+}
+
+std::vector<std::size_t> RatMat::rref(RatMat& m) const {
+  std::vector<std::size_t> pivot_cols;
+  std::size_t pr = 0;
+  for (std::size_t pc = 0; pc < m.cols_ && pr < m.rows_; ++pc) {
+    std::size_t sel = pr;
+    while (sel < m.rows_ && m.at(sel, pc).is_zero()) ++sel;
+    if (sel == m.rows_) continue;
+    if (sel != pr)
+      for (std::size_t c = 0; c < m.cols_; ++c) std::swap(m.at(pr, c), m.at(sel, c));
+    Rational inv = m.at(pr, pc).reciprocal();
+    for (std::size_t c = pc; c < m.cols_; ++c) m.at(pr, c) *= inv;
+    for (std::size_t r = 0; r < m.rows_; ++r) {
+      if (r == pr || m.at(r, pc).is_zero()) continue;
+      Rational f = m.at(r, pc);
+      for (std::size_t c = pc; c < m.cols_; ++c) m.at(r, c) -= f * m.at(pr, c);
+    }
+    pivot_cols.push_back(pc);
+    ++pr;
+  }
+  return pivot_cols;
+}
+
+std::size_t RatMat::rank() const {
+  RatMat m = *this;
+  return rref(m).size();
+}
+
+Rational RatMat::det() const {
+  if (rows_ != cols_) throw std::invalid_argument("RatMat::det: matrix not square");
+  RatMat m = *this;
+  Rational result(1);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    std::size_t sel = k;
+    while (sel < rows_ && m.at(sel, k).is_zero()) ++sel;
+    if (sel == rows_) return Rational(0);
+    if (sel != k) {
+      for (std::size_t c = 0; c < cols_; ++c) std::swap(m.at(k, c), m.at(sel, c));
+      result = -result;
+    }
+    result *= m.at(k, k);
+    Rational inv = m.at(k, k).reciprocal();
+    for (std::size_t r = k + 1; r < rows_; ++r) {
+      if (m.at(r, k).is_zero()) continue;
+      Rational f = m.at(r, k) * inv;
+      for (std::size_t c = k; c < cols_; ++c) m.at(r, c) -= f * m.at(k, c);
+    }
+  }
+  return result;
+}
+
+std::optional<RatVec> RatMat::solve(const RatVec& b) const {
+  if (b.size() != rows_) throw std::invalid_argument("RatMat::solve: rhs size mismatch");
+  RatMat aug(rows_, cols_ + 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) aug.at(r, c) = at(r, c);
+    aug.at(r, cols_) = b[r];
+  }
+  std::vector<std::size_t> pivots = rref(aug);
+  // Inconsistent if a pivot sits in the augmented column.
+  if (!pivots.empty() && pivots.back() == cols_) return std::nullopt;
+  RatVec x(cols_);
+  for (std::size_t i = 0; i < pivots.size(); ++i) x[pivots[i]] = aug.at(i, cols_);
+  return x;
+}
+
+std::vector<RatVec> RatMat::nullspace() const {
+  RatMat m = *this;
+  std::vector<std::size_t> pivots = rref(m);
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t pc : pivots) is_pivot[pc] = true;
+  std::vector<RatVec> basis;
+  for (std::size_t fc = 0; fc < cols_; ++fc) {
+    if (is_pivot[fc]) continue;
+    RatVec v(cols_);
+    v[fc] = Rational(1);
+    for (std::size_t i = 0; i < pivots.size(); ++i) v[pivots[i]] = -m.at(i, fc);
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::optional<RatMat> RatMat::inverse() const {
+  if (rows_ != cols_) return std::nullopt;
+  RatMat aug(rows_, 2 * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) aug.at(r, c) = at(r, c);
+    aug.at(r, cols_ + r) = Rational(1);
+  }
+  std::vector<std::size_t> pivots = rref(aug);
+  if (pivots.size() != rows_) return std::nullopt;
+  for (std::size_t i = 0; i < pivots.size(); ++i)
+    if (pivots[i] != i) return std::nullopt;
+  RatMat inv(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) inv.at(r, c) = aug.at(r, cols_ + c);
+  return inv;
+}
+
+std::string RatMat::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) os << (c ? " " : "[") << at(r, c).to_string();
+    os << "]";
+    if (r + 1 != rows_) os << "\n";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const RatMat& m) { return os << m.to_string(); }
+
+std::size_t rank_of(const std::vector<RatVec>& vectors) {
+  if (vectors.empty()) return 0;
+  return RatMat::from_cols(vectors).rank();
+}
+
+bool in_span(const std::vector<RatVec>& basis, const RatVec& v) {
+  if (is_zero(v)) return true;
+  if (basis.empty()) return false;
+  return RatMat::from_cols(basis).solve(v).has_value();
+}
+
+}  // namespace hypart

@@ -1,0 +1,90 @@
+// hypart — exact linear algebra over Q.
+//
+// Used for rank computations over projected dependence vectors (rational
+// coordinates), solving for hyperplane normal candidates, and geometric
+// checks in tests.  Everything is exact Gaussian elimination over Rational.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numeric/int_linalg.hpp"
+#include "numeric/rational.hpp"
+
+namespace hypart {
+
+/// Dense rational vector.
+using RatVec = std::vector<Rational>;
+
+RatVec to_rational(const IntVec& v);
+RatVec add(const RatVec& a, const RatVec& b);
+RatVec sub(const RatVec& a, const RatVec& b);
+RatVec scale(const RatVec& a, const Rational& k);
+Rational dot(const RatVec& a, const RatVec& b);
+Rational dot(const RatVec& a, const IntVec& b);
+bool is_zero(const RatVec& a);
+std::string to_string(const RatVec& a);
+
+/// Smallest positive integer r with r*v integral; 1 for integral vectors
+/// (including the zero vector).  This is the r_i of Algorithm 1, Step 1.
+std::int64_t denominator_lcm(const RatVec& v);
+
+/// Dense row-major rational matrix with exact elimination routines.
+class RatMat {
+ public:
+  RatMat() = default;
+  RatMat(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  static RatMat from_rows(const std::vector<RatVec>& rows);
+  static RatMat from_cols(const std::vector<RatVec>& cols);
+  static RatMat from_int(const IntMat& m);
+  static RatMat identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  Rational& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] const Rational& at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] RatVec row(std::size_t r) const;
+  [[nodiscard]] RatVec col(std::size_t c) const;
+  [[nodiscard]] RatMat transposed() const;
+  [[nodiscard]] RatMat multiplied(const RatMat& o) const;
+  [[nodiscard]] RatVec apply(const RatVec& v) const;
+
+  [[nodiscard]] std::size_t rank() const;
+  [[nodiscard]] Rational det() const;
+
+  /// Solve A x = b exactly; nullopt if inconsistent.  If the system is
+  /// underdetermined, returns one particular solution.
+  [[nodiscard]] std::optional<RatVec> solve(const RatVec& b) const;
+
+  /// Basis of the (right) nullspace of A.
+  [[nodiscard]] std::vector<RatVec> nullspace() const;
+
+  /// Exact inverse; nullopt if singular or non-square.
+  [[nodiscard]] std::optional<RatMat> inverse() const;
+
+  friend bool operator==(const RatMat& a, const RatMat& b) = default;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  /// Reduced row echelon form; returns pivot column of each pivot row.
+  [[nodiscard]] std::vector<std::size_t> rref(RatMat& m) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Rational> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const RatMat& m);
+
+/// Rank of a set of rational vectors (columns).
+std::size_t rank_of(const std::vector<RatVec>& vectors);
+
+/// True if `v` is in the span of `basis`.
+bool in_span(const std::vector<RatVec>& basis, const RatVec& v);
+
+}  // namespace hypart

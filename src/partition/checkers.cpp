@@ -1,0 +1,98 @@
+#include "partition/checkers.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace hypart {
+
+bool check_exact_cover(const ComputationStructure& q, const Partition& p) {
+  std::vector<bool> seen(q.vertices().size(), false);
+  std::size_t assigned = 0;
+  for (const PartitionBlock& b : p.blocks()) {
+    for (std::size_t vid : b.iterations) {
+      if (vid >= seen.size() || seen[vid]) return false;
+      seen[vid] = true;
+      ++assigned;
+    }
+  }
+  return assigned == q.vertices().size();
+}
+
+bool check_theorem1(const ComputationStructure& q, const TimeFunction& tf, const Partition& p) {
+  for (const PartitionBlock& b : p.blocks()) {
+    std::unordered_set<std::int64_t> steps;
+    steps.reserve(b.iterations.size());
+    for (std::size_t vid : b.iterations) {
+      std::int64_t s = tf.step_of(q.vertices()[vid]);
+      if (!steps.insert(s).second) return false;  // two iterations share a hyperplane
+    }
+  }
+  return true;
+}
+
+std::string Theorem2Report::to_string() const {
+  std::ostringstream os;
+  os << "Theorem 2: m=" << m << " beta=" << beta << " bound=2m-beta=" << bound
+     << " observed max out-degree=" << max_out_degree << " => " << (holds ? "HOLDS" : "VIOLATED");
+  return os.str();
+}
+
+Theorem2Report check_theorem2(const Grouping& grouping) {
+  Theorem2Report rep;
+  rep.m = grouping.projected().original_deps().size();
+  rep.beta = grouping.beta();
+  rep.bound = 2 * rep.m - rep.beta;
+  Digraph g = grouping.group_digraph();
+  for (std::size_t v = 0; v < g.vertex_count(); ++v)
+    rep.max_out_degree = std::max(rep.max_out_degree, g.out_degree(v));
+  rep.holds = rep.max_out_degree <= rep.bound;
+  return rep;
+}
+
+LemmaReport check_lemmas(const Grouping& grouping) {
+  LemmaReport rep;
+  rep.lemma2_holds = true;
+  rep.lemma3_holds = true;
+  const ProjectedStructure& ps = grouping.projected();
+  const std::vector<IntVec>& pdeps = ps.projected_deps_scaled();
+
+  std::unordered_set<std::size_t> special;  // grouping + auxiliary dep indices
+  if (grouping.grouping_vector_index()) special.insert(*grouping.grouping_vector_index());
+  for (std::size_t k : grouping.auxiliary_vector_indices()) special.insert(k);
+
+  // For Lemma 2/3 purposes a dependence direction is "special" if its
+  // projected vector equals a grouping/auxiliary vector (the paper reasons
+  // about directions, and duplicate dependences share a direction).
+  auto is_special_direction = [&](std::size_t k) {
+    if (special.contains(k)) return true;
+    for (std::size_t s : special)
+      if (pdeps[k] == pdeps[s]) return true;
+    return false;
+  };
+
+  for (std::size_t gid = 0; gid < grouping.group_count(); ++gid) {
+    const Group& grp = grouping.groups()[gid];
+    for (std::size_t k = 0; k < pdeps.size(); ++k) {
+      if (is_zero(pdeps[k])) continue;
+      std::set<std::size_t> succ;
+      for (std::size_t pid : grp.members()) {
+        std::optional<std::size_t> q = ps.find_point(add(ps.points()[pid], pdeps[k]));
+        if (!q) continue;
+        std::size_t gq = grouping.group_of_point(*q);
+        if (gq != gid) succ.insert(gq);
+      }
+      if (is_special_direction(k)) {
+        rep.worst_lemma2_fanout = std::max(rep.worst_lemma2_fanout, succ.size());
+        if (succ.size() > 1) rep.lemma2_holds = false;
+      } else {
+        rep.worst_lemma3_fanout = std::max(rep.worst_lemma3_fanout, succ.size());
+        if (succ.size() > 2) rep.lemma3_holds = false;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace hypart

@@ -1,0 +1,93 @@
+#include "partition/projection.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace hypart {
+
+IntVec project_scaled(const IntVec& j, const TimeFunction& tf) {
+  const std::int64_t s = tf.norm2();
+  const std::int64_t t = tf.step_of(j);
+  IntVec p = sub(scale(j, s), scale(tf.pi, t));
+  return p;
+}
+
+ProjectedStructure::ProjectedStructure(const ComputationStructure& q, const TimeFunction& tf)
+    : tf_(tf), dim_(q.dimension()), deps_(q.dependences()) {
+  if (tf.dimension() != q.dimension())
+    throw std::invalid_argument("ProjectedStructure: time function dimension mismatch");
+  if (!is_valid_time_function(tf, q.dependences()))
+    throw std::invalid_argument("ProjectedStructure: invalid time function for dependences");
+  scale_ = tf.norm2();
+
+  // Project every vertex and count line populations; dedup via ordered map
+  // so points() comes out lexicographically sorted and deterministic.
+  std::map<IntVec, std::size_t> population;
+  for (const IntVec& v : q.vertices()) ++population[project_scaled(v, tf)];
+  points_.reserve(population.size());
+  line_pop_.reserve(population.size());
+  for (const auto& [pt, count] : population) {
+    index_.emplace(pt, points_.size());
+    points_.push_back(pt);
+    line_pop_.push_back(count);
+  }
+
+  proj_deps_.reserve(deps_.size());
+  for (const IntVec& d : deps_) proj_deps_.push_back(project_scaled(d, tf));
+}
+
+RatVec ProjectedStructure::point_rational(std::size_t id) const {
+  const IntVec& p = points_.at(id);
+  RatVec r(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) r[i] = Rational(p[i], scale_);
+  return r;
+}
+
+RatVec ProjectedStructure::projected_dep_rational(std::size_t k) const {
+  const IntVec& d = proj_deps_.at(k);
+  RatVec r(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) r[i] = Rational(d[i], scale_);
+  return r;
+}
+
+std::int64_t ProjectedStructure::replication_factor(std::size_t k) const {
+  // r = s / gcd(s, content(scaled dep)): the smallest r with r*d^p integral.
+  const IntVec& e = proj_deps_.at(k);
+  std::int64_t g = gcd64(scale_, content(e));
+  return scale_ / g;
+}
+
+std::size_t ProjectedStructure::projected_rank() const {
+  std::vector<RatVec> cols;
+  cols.reserve(proj_deps_.size());
+  for (std::size_t k = 0; k < proj_deps_.size(); ++k)
+    cols.push_back(projected_dep_rational(k));
+  return rank_of(cols);
+}
+
+std::optional<std::size_t> ProjectedStructure::find_point(const IntVec& scaled) const {
+  auto it = index_.find(scaled);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ProjectedStructure::point_of(const IntVec& j) const {
+  std::optional<std::size_t> id = find_point(project_scaled(j, tf_));
+  if (!id) throw std::out_of_range("ProjectedStructure::point_of: point projects outside V^p");
+  return *id;
+}
+
+Digraph ProjectedStructure::to_digraph() const {
+  Digraph g(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    for (const IntVec& dp : proj_deps_) {
+      if (is_zero(dp)) continue;
+      std::optional<std::size_t> j = find_point(add(points_[i], dp));
+      if (j) g.add_edge(i, *j);
+    }
+  }
+  return g;
+}
+
+}  // namespace hypart

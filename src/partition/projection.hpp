@@ -1,0 +1,83 @@
+// hypart — projection phase of Algorithm 1 (paper Defs. 3-5).
+//
+// The index set is projected onto the zero-hyperplane Π·x = 0:
+//     j^p = j - (j·Π / Π·Π) Π.
+// Coordinates of j^p are rational with denominators dividing s = Π·Π, so we
+// store the *scaled* integer point  ĵ = s·j - (j·Π)·Π ∈ Z^n  and carry s
+// alongside.  All projection-phase geometry is exact integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/comp_structure.hpp"
+#include "numeric/rat_matrix.hpp"
+#include "schedule/hyperplane.hpp"
+
+namespace hypart {
+
+/// Scaled projection of a point: s*j - (Π·j)*Π with s = Π·Π.
+IntVec project_scaled(const IntVec& j, const TimeFunction& tf);
+
+/// The projected structure Q^p = (V^p, D^p) of Def. 5, in scaled-integer
+/// coordinates.  Every projected point represents one projection line of
+/// the original structure.
+class ProjectedStructure {
+ public:
+  ProjectedStructure(const ComputationStructure& q, const TimeFunction& tf);
+
+  [[nodiscard]] const TimeFunction& time_function() const { return tf_; }
+  /// The scaling constant s = Π·Π.
+  [[nodiscard]] std::int64_t scale() const { return scale_; }
+  [[nodiscard]] std::size_t dimension() const { return dim_; }
+
+  /// Distinct projected points, lexicographically sorted (scaled coords).
+  [[nodiscard]] const std::vector<IntVec>& points() const { return points_; }
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+
+  /// Rational (true) coordinates of projected point `id`.
+  [[nodiscard]] RatVec point_rational(std::size_t id) const;
+
+  /// Scaled projected dependence vectors, one per original dependence
+  /// (duplicates and zeros preserved so indices line up with the original D).
+  [[nodiscard]] const std::vector<IntVec>& projected_deps_scaled() const { return proj_deps_; }
+  /// Rational coordinates of projected dependence `k`.
+  [[nodiscard]] RatVec projected_dep_rational(std::size_t k) const;
+
+  /// The original dependence vectors (same order as projected_deps_scaled).
+  [[nodiscard]] const std::vector<IntVec>& original_deps() const { return deps_; }
+
+  /// r_k of Algorithm 1 Step 1: the smallest positive integer such that
+  /// r_k * d_k^p is integral (1 for dependences parallel to Π).
+  [[nodiscard]] std::int64_t replication_factor(std::size_t k) const;
+
+  /// rank(mat(D^p)) — the paper's β.
+  [[nodiscard]] std::size_t projected_rank() const;
+
+  /// Id of the projected point for scaled coordinates; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> find_point(const IntVec& scaled) const;
+
+  /// Id of the projected point of original index point j (must project into
+  /// V^p; throws otherwise).
+  [[nodiscard]] std::size_t point_of(const IntVec& j) const;
+
+  /// Number of original index points on the projection line of point `id`.
+  [[nodiscard]] std::size_t line_population(std::size_t id) const { return line_pop_[id]; }
+
+  /// Projected-structure arcs: (from point id, to point id, dep index) for
+  /// every pair v_j^p = v_i^p + d_k^p with both ends in V^p and d_k^p != 0.
+  [[nodiscard]] Digraph to_digraph() const;
+
+ private:
+  TimeFunction tf_;
+  std::int64_t scale_ = 1;
+  std::size_t dim_ = 0;
+  std::vector<IntVec> points_;
+  std::vector<std::size_t> line_pop_;
+  std::vector<IntVec> proj_deps_;
+  std::vector<IntVec> deps_;
+  PointIndexMap index_;
+};
+
+}  // namespace hypart

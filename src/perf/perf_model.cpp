@@ -1,0 +1,39 @@
+#include "perf/perf_model.hpp"
+
+#include <stdexcept>
+
+namespace hypart {
+namespace perf {
+
+std::int64_t matvec_bottleneck_points(std::int64_t m, std::int64_t n_procs) {
+  if (m <= 0 || n_procs <= 0) throw std::invalid_argument("matvec model: nonpositive size");
+  if (n_procs == 1) return m * m;
+  // l = floor((N-2)/N * M) + 1;  W = sum_{i=l}^{M} i.
+  std::int64_t l = ((n_procs - 2) * m) / n_procs + 1;
+  if (l < 1) l = 1;
+  std::int64_t w = (m * (m + 1)) / 2 - ((l - 1) * l) / 2;
+  return w;
+}
+
+Cost matvec_exec_time(std::int64_t m, std::int64_t n_procs) {
+  std::int64_t w = matvec_bottleneck_points(m, n_procs);
+  if (n_procs == 1) return Cost{2 * w, 0, 0};
+  std::int64_t msgs = 2 * m - 2;
+  return Cost{2 * w, msgs, msgs};
+}
+
+double matvec_speedup(std::int64_t m, std::int64_t n_procs, const MachineParams& machine) {
+  double seq = Cost{2 * m * m, 0, 0}.value(machine);
+  double par = matvec_exec_time(m, n_procs).value(machine);
+  return par > 0 ? seq / par : 0.0;
+}
+
+double matvec_comm_ratio(std::int64_t m, std::int64_t n_procs, const MachineParams& machine) {
+  Cost c = matvec_exec_time(m, n_procs);
+  double compute = Cost{c.calc, 0, 0}.value(machine);
+  double comm = Cost{0, c.start, c.comm}.value(machine);
+  return compute > 0 ? comm / compute : 0.0;
+}
+
+}  // namespace perf
+}  // namespace hypart

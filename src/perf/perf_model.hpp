@@ -1,0 +1,32 @@
+// hypart — analytic performance model (paper Section IV, Table I).
+//
+// For matrix-vector multiplication partitioned with Π = (1,1) and mapped
+// onto an N-processor hypercube, the paper derives
+//   T_exec(N) = 2 W t_calc + (2M-2)(t_start + t_comm),
+//   W = sum_{i=l}^{M} i,   l = floor((N-2)/N * M) + 1,
+// with N = 1 reducing to the sequential 2 M^2 t_calc.  This module encodes
+// the closed form (reproducing Table I verbatim) plus generic helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace hypart {
+namespace perf {
+
+/// The paper's W: index points assigned to the most loaded processor.
+std::int64_t matvec_bottleneck_points(std::int64_t m, std::int64_t n_procs);
+
+/// Closed-form T_exec(N) for matrix-vector multiplication of size M on an
+/// N-processor hypercube (Table I).  N == 1 is the sequential special case.
+Cost matvec_exec_time(std::int64_t m, std::int64_t n_procs);
+
+/// Speedup of the closed form vs. sequential execution for a machine.
+double matvec_speedup(std::int64_t m, std::int64_t n_procs, const MachineParams& machine);
+
+/// Communication-to-computation ratio of the closed form.
+double matvec_comm_ratio(std::int64_t m, std::int64_t n_procs, const MachineParams& machine);
+
+}  // namespace perf
+}  // namespace hypart

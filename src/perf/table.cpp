@@ -1,0 +1,50 @@
+#include "perf/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hypart {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::cell_to_string(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << " " << std::setw(static_cast<int>(width[c])) << std::left << cells[c] << " |";
+    os << "\n";
+  };
+  auto print_sep = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) os << std::string(width[c] + 2, '-') << "+";
+    os << "\n";
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  return os.str();
+}
+
+}  // namespace hypart

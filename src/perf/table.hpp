@@ -1,0 +1,42 @@
+// hypart — plain-text table formatting for benchmark reports.
+//
+// Benches print the paper's tables and figure summaries; this keeps the
+// layout code out of each binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hypart {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Row helper accepting heterogeneous printable cells.
+  template <typename... Cells>
+  TextTable& row(const Cells&... cells) {
+    return add_row({cell_to_string(cells)...});
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell_to_string(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hypart

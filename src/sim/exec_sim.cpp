@@ -1,0 +1,201 @@
+#include "sim/exec_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+namespace hypart {
+
+double SimResult::speedup(const MachineParams& m, std::int64_t total_iterations,
+                          std::int64_t flops_per_iteration) const {
+  double seq = static_cast<double>(total_iterations) * static_cast<double>(flops_per_iteration) *
+               m.t_calc;
+  return time > 0 ? seq / time : 0.0;
+}
+
+SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,
+                             const Partition& part, const Mapping& mapping, const Topology& topo,
+                             const MachineParams& machine, const SimOptions& opts) {
+  if (mapping.block_to_proc.size() != part.block_count())
+    throw std::invalid_argument("simulate_execution: mapping/partition size mismatch");
+  const std::size_t nprocs = mapping.processor_count;
+  if (topo.size() < nprocs)
+    throw std::invalid_argument("simulate_execution: topology smaller than processor count");
+
+  SimResult res;
+  res.per_proc_iterations.assign(nprocs, 0);
+
+  // Processor of every vertex and the schedule extent.
+  std::vector<ProcId> vproc(q.vertices().size());
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+  for (std::size_t vid = 0; vid < q.vertices().size(); ++vid) {
+    vproc[vid] = mapping.block_to_proc[part.block_of(vid)];
+    ++res.per_proc_iterations[vproc[vid]];
+    std::int64_t s = tf.step_of(q.vertices()[vid]);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  res.steps = hi - lo + 1;
+
+  // Bottleneck compute: the most loaded processor.
+  std::int64_t max_iters = 0;
+  for (std::int64_t c : res.per_proc_iterations) max_iters = std::max(max_iters, c);
+  res.compute_bottleneck = Cost{max_iters * opts.flops_per_iteration, 0, 0};
+
+  if (opts.accounting == CommAccounting::PaperMaxChannel) {
+    // Channel volume per unordered processor pair (each crossing arc is a
+    // one-word message).
+    std::map<std::pair<ProcId, ProcId>, std::int64_t> channel;
+    q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+      ProcId ps = vproc[q.id_of(src)];
+      ProcId pd = vproc[q.id_of(dst)];
+      if (ps == pd) return;
+      auto key = std::minmax(ps, pd);
+      ++channel[{key.first, key.second}];
+      ++res.messages;
+      ++res.words;
+    });
+    std::int64_t worst = 0;
+    for (const auto& [pair, vol] : channel) {
+      std::int64_t cost_units = vol;
+      if (opts.charge_hops)
+        cost_units *= static_cast<std::int64_t>(topo.distance(pair.first, pair.second));
+      worst = std::max(worst, cost_units);
+    }
+    res.comm_bottleneck = Cost{0, worst, worst};
+    res.total = res.compute_bottleneck + res.comm_bottleneck;
+    res.time = res.total.value(machine);
+    return res;
+  }
+
+  if (opts.accounting == CommAccounting::LinkContention) {
+    const auto* cube = dynamic_cast<const Hypercube*>(&topo);
+    if (cube == nullptr)
+      throw std::invalid_argument(
+          "simulate_execution: LinkContention accounting requires a Hypercube topology");
+
+    // Words per (step, src, dst) channel, then routed over e-cube links.
+    std::map<std::tuple<std::int64_t, ProcId, ProcId>, std::int64_t> channel_words;
+    q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+      ProcId ps = vproc[q.id_of(src)];
+      ProcId pd = vproc[q.id_of(dst)];
+      if (ps == pd) return;
+      ++channel_words[{tf.step_of(src), ps, pd}];
+      ++res.words;
+    });
+    res.messages = static_cast<std::int64_t>(channel_words.size());
+
+    std::map<std::pair<std::int64_t, ProcId>, std::int64_t> iters_at_step;
+    for (std::size_t vid = 0; vid < q.vertices().size(); ++vid)
+      ++iters_at_step[{tf.step_of(q.vertices()[vid]), vproc[vid]}];
+
+    // Per step: busiest processor's compute + busiest link's serialized
+    // traffic (a directed link is a (from, to) neighbor pair).
+    std::map<std::int64_t, std::int64_t> step_compute;  // max iterations at step
+    for (const auto& [key, count] : iters_at_step)
+      step_compute[key.first] = std::max(step_compute[key.first], count);
+
+    struct LinkLoad {
+      std::int64_t msgs = 0;
+      std::int64_t words = 0;
+    };
+    std::map<std::int64_t, std::map<std::pair<ProcId, ProcId>, LinkLoad>> per_step_links;
+    std::map<std::pair<ProcId, ProcId>, std::int64_t> total_link_words;
+    for (const auto& [key, words] : channel_words) {
+      auto [step, src, dst] = key;
+      ProcId at = src;
+      for (ProcId hop : cube->ecube_route(src, dst)) {
+        LinkLoad& l = per_step_links[step][{at, hop}];
+        ++l.msgs;
+        l.words += words;
+        total_link_words[{at, hop}] += words;
+        at = hop;
+      }
+    }
+    for (const auto& [link, words] : total_link_words)
+      res.max_link_words = std::max(res.max_link_words, words);
+
+    Cost total;
+    for (const auto& [step, max_iters_step] : step_compute) {
+      Cost step_cost{max_iters_step * opts.flops_per_iteration, 0, 0};
+      auto it = per_step_links.find(step);
+      if (it != per_step_links.end()) {
+        std::int64_t worst_msgs = 0, worst_words = 0;
+        double worst_val = -1.0;
+        for (const auto& [link, load] : it->second) {
+          double v = Cost{0, load.msgs, load.words}.value(machine);
+          if (v > worst_val) {
+            worst_val = v;
+            worst_msgs = load.msgs;
+            worst_words = load.words;
+          }
+        }
+        step_cost += Cost{0, worst_msgs, worst_words};
+        res.comm_bottleneck += Cost{0, worst_msgs, worst_words};
+      }
+      total += step_cost;
+    }
+    res.total = total;
+    res.time = total.value(machine);
+    return res;
+  }
+
+  // ---- PerStepBarrier ------------------------------------------------------
+  // Iterations per (step, proc) and words per (step, src, dst).
+  struct StepKey {
+    std::int64_t step;
+    ProcId src, dst;
+    bool operator<(const StepKey& o) const {
+      if (step != o.step) return step < o.step;
+      if (src != o.src) return src < o.src;
+      return dst < o.dst;
+    }
+  };
+  std::map<std::pair<std::int64_t, ProcId>, std::int64_t> iters_at;
+  for (std::size_t vid = 0; vid < q.vertices().size(); ++vid)
+    ++iters_at[{tf.step_of(q.vertices()[vid]), vproc[vid]}];
+
+  std::map<StepKey, std::int64_t> msg_words;
+  q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+    ProcId ps = vproc[q.id_of(src)];
+    ProcId pd = vproc[q.id_of(dst)];
+    if (ps == pd) return;
+    ++msg_words[{tf.step_of(src), ps, pd}];
+    ++res.words;
+  });
+  res.messages = static_cast<std::int64_t>(msg_words.size());
+
+  // Per step: each processor's time = compute + its aggregated sends; the
+  // step ends when the slowest processor finishes (barrier semantics).
+  std::map<std::int64_t, std::unordered_map<ProcId, Cost>> per_step_proc;
+  for (const auto& [key, count] : iters_at)
+    per_step_proc[key.first][key.second] +=
+        Cost{count * opts.flops_per_iteration, 0, 0};
+  for (const auto& [key, wordcount] : msg_words) {
+    std::int64_t mult =
+        opts.charge_hops ? static_cast<std::int64_t>(topo.distance(key.src, key.dst)) : 1;
+    per_step_proc[key.step][key.src] += Cost{0, mult, mult * wordcount};
+  }
+
+  Cost total;
+  for (const auto& [step, procs] : per_step_proc) {
+    double worst_val = -1.0;
+    Cost worst;
+    for (const auto& [p, c] : procs) {
+      double v = c.value(machine);
+      if (v > worst_val) {
+        worst_val = v;
+        worst = c;
+      }
+    }
+    total += worst;
+    res.comm_bottleneck += Cost{0, worst.start, worst.comm};
+  }
+  res.total = total;
+  res.time = total.value(machine);
+  return res;
+}
+
+}  // namespace hypart

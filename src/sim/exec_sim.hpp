@@ -1,0 +1,69 @@
+// hypart — execution simulator for partitioned, mapped nested loops.
+//
+// We have no 1991 message-passing hypercube, so the machine is simulated:
+// iterations execute step-synchronously by hyperplane (all points with
+// Π·x = t run at step t on their assigned processors); every dependence arc
+// crossing processors becomes a one-word message charged t_start + t_comm
+// (optionally scaled by hop count).  Two accounting conventions are
+// provided:
+//
+//  * PaperMaxChannel — the paper's Table I convention:
+//        T = max_p compute_p + max_{p!=q} channel_volume(p,q)*(t_start+t_comm)
+//    ("the communication time is determined by the largest amount of
+//     interblock communication that occurred between two processors").
+//  * PerStepBarrier — a step-synchronous model with per-(step, src, dst)
+//    message aggregation:
+//        T = sum_t max_p [ compute_p(t) + sum_{msgs sent by p at t}
+//                                          (t_start + words*t_comm) ]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/tig.hpp"
+#include "partition/blocks.hpp"
+#include "sim/machine.hpp"
+#include "topology/topology.hpp"
+
+namespace hypart {
+
+//  * LinkContention — messages are routed over the hypercube's physical
+//    links with deterministic e-cube routing; each link serializes its
+//    traffic, so the communication time of a step is the busiest link's
+//    total (msgs*t_start + words*t_comm).  Models the congestion that the
+//    first two conventions ignore.
+enum class CommAccounting {
+  PaperMaxChannel,
+  PerStepBarrier,
+  LinkContention,
+};
+
+struct SimOptions {
+  CommAccounting accounting = CommAccounting::PaperMaxChannel;
+  bool charge_hops = false;            ///< multiply message cost by hop distance
+  std::int64_t flops_per_iteration = 1;
+};
+
+struct SimResult {
+  Cost total;               ///< symbolic total execution cost
+  double time = 0.0;        ///< total.value(machine)
+  Cost compute_bottleneck;  ///< max over processors of total compute
+  Cost comm_bottleneck;     ///< communication term of `total`
+  std::int64_t steps = 0;   ///< schedule length (hyperplane count)
+  std::int64_t messages = 0;  ///< total messages (after aggregation, if any)
+  std::int64_t words = 0;     ///< total words crossing processors
+  std::vector<std::int64_t> per_proc_iterations;
+
+  /// Speedup vs. the same work on one processor (all-compute, no comm).
+  [[nodiscard]] double speedup(const MachineParams& m, std::int64_t total_iterations,
+                               std::int64_t flops_per_iteration) const;
+
+  /// Busiest-link word count over the whole run (LinkContention only).
+  std::int64_t max_link_words = 0;
+};
+
+SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,
+                             const Partition& part, const Mapping& mapping, const Topology& topo,
+                             const MachineParams& machine, const SimOptions& opts = {});
+
+}  // namespace hypart

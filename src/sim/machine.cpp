@@ -1,0 +1,33 @@
+#include "sim/machine.hpp"
+
+#include <sstream>
+
+namespace hypart {
+
+std::string Cost::to_string() const {
+  std::ostringstream os;
+  bool any = false;
+  if (calc != 0) {
+    os << calc << " t_calc";
+    any = true;
+  }
+  if (start != 0 && start == comm) {
+    if (any) os << " + ";
+    os << start << "(t_start+t_comm)";
+    return any || start ? os.str() : "0";
+  }
+  if (start != 0) {
+    if (any) os << " + ";
+    os << start << " t_start";
+    any = true;
+  }
+  if (comm != 0) {
+    if (any) os << " + ";
+    os << comm << " t_comm";
+    any = true;
+  }
+  if (!any) return "0";
+  return os.str();
+}
+
+}  // namespace hypart

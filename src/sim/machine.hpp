@@ -1,0 +1,47 @@
+// hypart — machine cost model (paper Section IV).
+//
+// The target is a message-passing multiprocessor where a floating-point
+// operation costs t_calc and transmitting k words costs t_start + k*t_comm.
+// Costs are kept symbolically (integer multiples of the three constants) so
+// Table I can be reproduced verbatim ("786944 t_calc + 2046(t_comm+t_start)")
+// and numerically for any concrete machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hypart {
+
+/// Concrete machine constants.  Defaults reflect the paper's observation
+/// that message overhead is an order of magnitude above computation.
+struct MachineParams {
+  double t_calc = 1.0;
+  double t_start = 50.0;
+  double t_comm = 5.0;
+};
+
+/// A symbolic cost  calc*t_calc + start*t_start + comm*t_comm.
+struct Cost {
+  std::int64_t calc = 0;
+  std::int64_t start = 0;
+  std::int64_t comm = 0;
+
+  [[nodiscard]] double value(const MachineParams& m) const {
+    return static_cast<double>(calc) * m.t_calc + static_cast<double>(start) * m.t_start +
+           static_cast<double>(comm) * m.t_comm;
+  }
+
+  Cost& operator+=(const Cost& o) {
+    calc += o.calc;
+    start += o.start;
+    comm += o.comm;
+    return *this;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+  friend bool operator==(const Cost& a, const Cost& b) = default;
+
+  /// Paper-style rendering, e.g. "786944 t_calc + 2046(t_start+t_comm)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace hypart

@@ -1,0 +1,75 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace hypart {
+
+UtilizationReport processor_utilization(const ComputationStructure& q, const TimeFunction& tf,
+                                        const Partition& part, const Mapping& mapping,
+                                        std::size_t max_chart_steps) {
+  UtilizationReport rep;
+  const std::size_t nprocs = mapping.processor_count;
+  rep.per_proc_busy.assign(nprocs, 0.0);
+
+  std::map<std::pair<std::int64_t, ProcId>, std::int64_t> iters_at;
+  rep.first_step = INT64_MAX;
+  rep.last_step = INT64_MIN;
+  for (std::size_t vid = 0; vid < q.vertices().size(); ++vid) {
+    std::int64_t s = tf.step_of(q.vertices()[vid]);
+    ProcId p = mapping.block_to_proc[part.block_of(vid)];
+    ++iters_at[{s, p}];
+    rep.first_step = std::min(rep.first_step, s);
+    rep.last_step = std::max(rep.last_step, s);
+  }
+  if (rep.first_step > rep.last_step) {
+    rep.first_step = rep.last_step = 0;
+    return rep;
+  }
+  const std::int64_t nsteps = rep.steps();
+
+  std::vector<std::int64_t> busy_steps(nprocs, 0);
+  for (const auto& [key, count] : iters_at) {
+    (void)count;
+    ++busy_steps[key.second];
+  }
+  std::int64_t busy_total = 0;
+  for (std::size_t p = 0; p < nprocs; ++p) {
+    rep.per_proc_busy[p] = static_cast<double>(busy_steps[p]) / static_cast<double>(nsteps);
+    busy_total += busy_steps[p];
+  }
+  rep.mean_utilization = nprocs
+                             ? static_cast<double>(busy_total) /
+                                   (static_cast<double>(nsteps) * static_cast<double>(nprocs))
+                             : 0.0;
+
+  // Text Gantt, resampled to at most max_chart_steps columns.
+  const std::int64_t stride =
+      std::max<std::int64_t>(1, (nsteps + static_cast<std::int64_t>(max_chart_steps) - 1) /
+                                    static_cast<std::int64_t>(max_chart_steps));
+  std::ostringstream os;
+  os << "steps " << rep.first_step << ".." << rep.last_step;
+  if (stride > 1) os << " (every " << stride << ")";
+  os << "\n";
+  for (std::size_t p = 0; p < nprocs; ++p) {
+    os << "P";
+    os.width(3);
+    os << std::left << p << "|";
+    for (std::int64_t s = rep.first_step; s <= rep.last_step; s += stride) {
+      std::int64_t count = 0;
+      for (std::int64_t k = s; k < std::min(s + stride, rep.last_step + 1); ++k) {
+        auto it = iters_at.find({k, static_cast<ProcId>(p)});
+        if (it != iters_at.end()) count += it->second;
+      }
+      char c = '.';
+      if (count > 0) c = count < 10 ? static_cast<char>('0' + count) : '+';
+      os << c;
+    }
+    os << "|  busy " << static_cast<int>(rep.per_proc_busy[p] * 100.0 + 0.5) << "%\n";
+  }
+  rep.gantt = os.str();
+  return rep;
+}
+
+}  // namespace hypart

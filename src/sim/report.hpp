@@ -1,0 +1,35 @@
+// hypart — execution reports: per-processor utilization and text Gantt.
+//
+// The hyperplane schedule keeps processors busy only while their blocks'
+// hyperplanes are active; this report makes the idle time visible (the
+// paper's Section IV discusses processor idling as a first-order effect of
+// poor mappings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/tig.hpp"
+#include "partition/blocks.hpp"
+
+namespace hypart {
+
+struct UtilizationReport {
+  std::int64_t first_step = 0;
+  std::int64_t last_step = 0;
+  std::vector<double> per_proc_busy;  ///< fraction of steps with >= 1 iteration
+  double mean_utilization = 0.0;      ///< busy processor-steps / total processor-steps
+  std::string gantt;                  ///< rows = processors, cols = steps
+
+  [[nodiscard]] std::int64_t steps() const { return last_step - first_step + 1; }
+};
+
+/// Utilization of every processor under the hyperplane schedule.  The Gantt
+/// chart prints one character per (processor, step): '.' idle, digits for
+/// iteration counts, '+' for ten or more; charts wider than `max_chart_steps`
+/// are resampled by taking every k-th step.
+UtilizationReport processor_utilization(const ComputationStructure& q, const TimeFunction& tf,
+                                        const Partition& part, const Mapping& mapping,
+                                        std::size_t max_chart_steps = 96);
+
+}  // namespace hypart

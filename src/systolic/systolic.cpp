@@ -1,0 +1,47 @@
+#include "systolic/systolic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hypart {
+
+std::string SystolicArray::summary() const {
+  std::ostringstream os;
+  os << pe_count << " PEs (" << dimensionality << "-D array), " << link_directions.size()
+     << " link directions, " << directed_links << " links, span " << schedule_span
+     << " steps, mean PE utilization " << static_cast<int>(mean_pe_utilization * 100 + 0.5)
+     << "%";
+  return os.str();
+}
+
+SystolicArray derive_systolic_array(const ComputationStructure& q,
+                                    const ProjectedStructure& ps) {
+  SystolicArray array;
+  array.pe_count = ps.point_count();
+  array.dimensionality = ps.dimension() == 0 ? 0 : ps.dimension() - 1;
+  array.pe_positions = ps.points();
+
+  for (const IntVec& dp : ps.projected_deps_scaled()) {
+    if (is_zero(dp)) continue;
+    if (std::find(array.link_directions.begin(), array.link_directions.end(), dp) ==
+        array.link_directions.end())
+      array.link_directions.push_back(dp);
+  }
+  array.directed_links = ps.to_digraph().edge_count();
+
+  ScheduleProfile profile = profile_schedule(ps.time_function(), q.vertices());
+  array.schedule_span = profile.span();
+
+  std::size_t busy_pe_steps = 0;
+  for (std::size_t i = 0; i < ps.point_count(); ++i) {
+    std::size_t pop = ps.line_population(i);
+    array.busiest_pe_steps = std::max(array.busiest_pe_steps, pop);
+    busy_pe_steps += pop;  // a line is busy exactly once per resident iteration
+  }
+  const double denom =
+      static_cast<double>(array.pe_count) * static_cast<double>(array.schedule_span);
+  array.mean_pe_utilization = denom > 0 ? static_cast<double>(busy_pe_steps) / denom : 0.0;
+  return array;
+}
+
+}  // namespace hypart

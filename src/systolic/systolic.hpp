@@ -1,0 +1,38 @@
+// hypart — systolic-array space transformation, for comparison.
+//
+// The hyperplane method's classic space transformation (Moldovan & Fortes,
+// Lee & Kedem — the paper's refs [11], [15]) assigns each projection line
+// to its own processing element: the projected structure *is* the systolic
+// array.  Section II argues this is unsuitable for message-passing
+// machines — the PE count grows with the problem, PEs idle outside their
+// line's active steps, and every projected dependence becomes a physical
+// link.  This module derives that array so benches can quantify the
+// argument against Algorithm 1's fixed-machine blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/projection.hpp"
+
+namespace hypart {
+
+struct SystolicArray {
+  std::size_t pe_count = 0;        ///< one PE per projection line
+  std::size_t dimensionality = 0;  ///< n-1 (the zero-hyperplane's dimension)
+  std::vector<IntVec> pe_positions;      ///< scaled projected points
+  std::vector<IntVec> link_directions;   ///< distinct nonzero projected deps (scaled)
+  std::size_t directed_links = 0;        ///< arcs of the projected structure
+  std::int64_t schedule_span = 0;        ///< steps the wavefront takes
+  std::size_t busiest_pe_steps = 0;      ///< iterations on the longest line
+  double mean_pe_utilization = 0.0;      ///< busy PE-steps / (PEs * span)
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Derive the systolic array induced by projecting along Π.
+SystolicArray derive_systolic_array(const ComputationStructure& q,
+                                    const ProjectedStructure& ps);
+
+}  // namespace hypart

@@ -1,0 +1,125 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mapping/gray.hpp"
+
+namespace hypart {
+
+double Topology::average_distance() const {
+  const std::size_t n = size();
+  if (n < 2) return 0.0;
+  std::uint64_t total = 0;
+  for (ProcId a = 0; a < n; ++a)
+    for (ProcId b = a + 1; b < n; ++b) total += distance(a, b);
+  return 2.0 * static_cast<double>(total) / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+unsigned Topology::diameter() const {
+  const std::size_t n = size();
+  unsigned d = 0;
+  for (ProcId a = 0; a < n; ++a)
+    for (ProcId b = a + 1; b < n; ++b) d = std::max(d, distance(a, b));
+  return d;
+}
+
+Hypercube::Hypercube(unsigned dimension) : dim_(dimension) {
+  if (dimension >= 40) throw std::invalid_argument("Hypercube: dimension too large");
+}
+
+std::string Hypercube::name() const { return "hypercube(n=" + std::to_string(dim_) + ")"; }
+
+unsigned Hypercube::distance(ProcId a, ProcId b) const {
+  if (a >= size() || b >= size()) throw std::out_of_range("Hypercube::distance");
+  return popcount64(a ^ b);
+}
+
+std::vector<ProcId> Hypercube::neighbors(ProcId p) const {
+  if (p >= size()) throw std::out_of_range("Hypercube::neighbors");
+  std::vector<ProcId> n;
+  n.reserve(dim_);
+  for (unsigned k = 0; k < dim_; ++k) n.push_back(p ^ (ProcId{1} << k));
+  return n;
+}
+
+std::vector<ProcId> Hypercube::ecube_route(ProcId a, ProcId b) const {
+  if (a >= size() || b >= size()) throw std::out_of_range("Hypercube::ecube_route");
+  std::vector<ProcId> path;
+  ProcId cur = a;
+  ProcId diff = a ^ b;
+  for (unsigned k = 0; k < dim_; ++k) {
+    if (diff & (ProcId{1} << k)) {
+      cur ^= ProcId{1} << k;
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+Mesh2D::Mesh2D(std::size_t width, std::size_t height) : w_(width), h_(height) {
+  if (w_ == 0 || h_ == 0) throw std::invalid_argument("Mesh2D: empty mesh");
+}
+
+std::string Mesh2D::name() const {
+  return "mesh(" + std::to_string(w_) + "x" + std::to_string(h_) + ")";
+}
+
+unsigned Mesh2D::distance(ProcId a, ProcId b) const {
+  if (a >= size() || b >= size()) throw std::out_of_range("Mesh2D::distance");
+  std::int64_t ax = static_cast<std::int64_t>(a % w_), ay = static_cast<std::int64_t>(a / w_);
+  std::int64_t bx = static_cast<std::int64_t>(b % w_), by = static_cast<std::int64_t>(b / w_);
+  return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+std::vector<ProcId> Mesh2D::neighbors(ProcId p) const {
+  if (p >= size()) throw std::out_of_range("Mesh2D::neighbors");
+  std::size_t x = p % w_, y = p / w_;
+  std::vector<ProcId> n;
+  if (x > 0) n.push_back(p - 1);
+  if (x + 1 < w_) n.push_back(p + 1);
+  if (y > 0) n.push_back(p - w_);
+  if (y + 1 < h_) n.push_back(p + w_);
+  return n;
+}
+
+Ring::Ring(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("Ring: empty ring");
+}
+
+std::string Ring::name() const { return "ring(" + std::to_string(n_) + ")"; }
+
+unsigned Ring::distance(ProcId a, ProcId b) const {
+  if (a >= n_ || b >= n_) throw std::out_of_range("Ring::distance");
+  std::uint64_t d = a > b ? a - b : b - a;
+  return static_cast<unsigned>(std::min<std::uint64_t>(d, n_ - d));
+}
+
+std::vector<ProcId> Ring::neighbors(ProcId p) const {
+  if (p >= n_) throw std::out_of_range("Ring::neighbors");
+  if (n_ == 1) return {};
+  if (n_ == 2) return {p ^ 1};
+  return {(p + n_ - 1) % n_, (p + 1) % n_};
+}
+
+FullyConnected::FullyConnected(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("FullyConnected: empty machine");
+}
+
+std::string FullyConnected::name() const { return "fully-connected(" + std::to_string(n_) + ")"; }
+
+unsigned FullyConnected::distance(ProcId a, ProcId b) const {
+  if (a >= n_ || b >= n_) throw std::out_of_range("FullyConnected::distance");
+  return a == b ? 0u : 1u;
+}
+
+std::vector<ProcId> FullyConnected::neighbors(ProcId p) const {
+  if (p >= n_) throw std::out_of_range("FullyConnected::neighbors");
+  std::vector<ProcId> n;
+  n.reserve(n_ - 1);
+  for (ProcId q = 0; q < n_; ++q)
+    if (q != p) n.push_back(q);
+  return n;
+}
+
+}  // namespace hypart

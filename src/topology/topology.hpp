@@ -1,0 +1,99 @@
+// hypart — interconnection topologies of the target machines.
+//
+// The paper maps onto binary n-cubes; mesh and ring models are provided for
+// the mapping-quality ablations.  Distances are hop counts; the hypercube
+// also exposes deterministic e-cube routing for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hypart {
+
+using ProcId = std::uint64_t;
+
+/// Abstract processor interconnect.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Hop distance between two processors.
+  [[nodiscard]] virtual unsigned distance(ProcId a, ProcId b) const = 0;
+  /// Direct neighbors of a processor.
+  [[nodiscard]] virtual std::vector<ProcId> neighbors(ProcId p) const = 0;
+
+  [[nodiscard]] bool are_neighbors(ProcId a, ProcId b) const { return distance(a, b) == 1; }
+
+  /// Average pairwise distance (useful as a topology figure of merit).
+  [[nodiscard]] double average_distance() const;
+  [[nodiscard]] unsigned diameter() const;
+};
+
+/// Binary n-cube: N = 2^n processors, neighbors differ in one bit.
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(unsigned dimension);
+
+  [[nodiscard]] unsigned dimension() const { return dim_; }
+  [[nodiscard]] std::size_t size() const override { return std::size_t{1} << dim_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned distance(ProcId a, ProcId b) const override;
+  [[nodiscard]] std::vector<ProcId> neighbors(ProcId p) const override;
+
+  /// Deterministic e-cube route a -> b (list of intermediate+final hops).
+  [[nodiscard]] std::vector<ProcId> ecube_route(ProcId a, ProcId b) const;
+
+ private:
+  unsigned dim_;
+};
+
+/// w x h mesh, row-major processor ids, no wraparound.
+class Mesh2D final : public Topology {
+ public:
+  Mesh2D(std::size_t width, std::size_t height);
+
+  [[nodiscard]] std::size_t width() const { return w_; }
+  [[nodiscard]] std::size_t height() const { return h_; }
+  [[nodiscard]] std::size_t size() const override { return w_ * h_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned distance(ProcId a, ProcId b) const override;
+  [[nodiscard]] std::vector<ProcId> neighbors(ProcId p) const override;
+
+ private:
+  std::size_t w_, h_;
+};
+
+/// N-processor ring.
+class Ring final : public Topology {
+ public:
+  explicit Ring(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned distance(ProcId a, ProcId b) const override;
+  [[nodiscard]] std::vector<ProcId> neighbors(ProcId p) const override;
+
+ private:
+  std::size_t n_;
+};
+
+/// Fully connected machine (distance 1 everywhere) — the "no topology"
+/// reference point for mapping ablations.
+class FullyConnected final : public Topology {
+ public:
+  explicit FullyConnected(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned distance(ProcId a, ProcId b) const override;
+  [[nodiscard]] std::vector<ProcId> neighbors(ProcId p) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace hypart

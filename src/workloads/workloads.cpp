@@ -1,0 +1,151 @@
+#include "workloads/workloads.hpp"
+
+#include "loop/expr.hpp"
+
+namespace hypart {
+namespace workloads {
+
+LoopNest example_l1(std::int64_t size) {
+  // S1: A[i+1,j+1] := A[i+1,j] + B[i,j];
+  // S2: B[i+1,j]   := A[i,j] * 2 + C;     (C is a scalar constant)
+  return LoopNestBuilder("L1")
+      .loop("i", 0, size)
+      .loop("j", 0, size)
+      .assign("S1", "A", {idx(0) + 1, idx(1) + 1},
+              ref("A", {idx(0) + 1, idx(1)}) + ref("B", {idx(0), idx(1)}))
+      .assign("S2", "B", {idx(0) + 1, idx(1)},
+              ref("A", {idx(0), idx(1)}) * constant(2.0) + constant(3.0))
+      .build();
+}
+
+LoopNest matrix_multiplication(std::int64_t n) {
+  return LoopNestBuilder("matmul")
+      .loop("i", 0, n)
+      .loop("j", 0, n)
+      .loop("k", 0, n)
+      .assign("S", "C", {idx(0), idx(1)},
+              ref("C", {idx(0), idx(1)}) + ref("A", {idx(0), idx(2)}) * ref("B", {idx(2), idx(1)}))
+      .build();
+}
+
+LoopNest matrix_multiplication_rewritten(std::int64_t n) {
+  // The paper's (L3): A^(i,j,k) := A^(i,j-1,k); B^(i,j,k) := B^(i-1,j,k);
+  // C^(i,j,k) := C^(i,j,k-1) + A^(i,j,k)*B^(i,j,k).
+  return LoopNestBuilder("matmul-rewritten")
+      .loop("i", 0, n)
+      .loop("j", 0, n)
+      .loop("k", 0, n)
+      .assign("S1", "Ap", {idx(0), idx(1), idx(2)}, ref("Ap", {idx(0), idx(1) - 1, idx(2)}))
+      .assign("S2", "Bp", {idx(0), idx(1), idx(2)}, ref("Bp", {idx(0) - 1, idx(1), idx(2)}))
+      .assign("S3", "Cp", {idx(0), idx(1), idx(2)},
+              ref("Cp", {idx(0), idx(1), idx(2) - 1}) +
+                  ref("Ap", {idx(0), idx(1), idx(2)}) * ref("Bp", {idx(0), idx(1), idx(2)}))
+      .build();
+}
+
+LoopNest matrix_vector_rewritten(std::int64_t m) {
+  // The paper's (L5): x^(i,j) := x^(i-1,j); y^(i,j) := y^(i,j-1) + A*x.
+  return LoopNestBuilder("matvec-rewritten")
+      .loop("i", 1, m)
+      .loop("j", 1, m)
+      .assign("S1", "xp", {idx(0), idx(1)}, ref("xp", {idx(0) - 1, idx(1)}))
+      .assign("S2", "yp", {idx(0), idx(1)},
+              ref("yp", {idx(0), idx(1) - 1}) +
+                  ref("A", {idx(0), idx(1)}) * ref("xp", {idx(0), idx(1)}))
+      .build();
+}
+
+LoopNest matrix_vector(std::int64_t m) {
+  return LoopNestBuilder("matvec")
+      .loop("i", 1, m)
+      .loop("j", 1, m)
+      .assign("S", "y", {idx(0)},
+              ref("y", {idx(0)}) + ref("A", {idx(0), idx(1)}) * ref("x", {idx(1)}))
+      .build();
+}
+
+LoopNest convolution1d(std::int64_t n, std::int64_t k) {
+  return LoopNestBuilder("conv1d")
+      .loop("i", 0, n - 1)
+      .loop("j", 0, k - 1)
+      .assign("S", "y", {idx(0)},
+              ref("y", {idx(0)}) + ref("x", {idx(0) - idx(1)}) * ref("h", {idx(1)}))
+      .build();
+}
+
+LoopNest transitive_closure(std::int64_t n) {
+  // Uniformized (Guibas-Kung-Thompson style) closure recurrence; over
+  // doubles the and/or pair is modelled by */+, which has the identical
+  // dependence structure.
+  return LoopNestBuilder("transitive-closure")
+      .loop("k", 0, n - 1)
+      .loop("i", 0, n - 1)
+      .loop("j", 0, n - 1)
+      .assign("S", "R", {idx(1), idx(2)},
+              ref("R", {idx(1), idx(2)}) + ref("P", {idx(1), idx(0)}) * ref("Q", {idx(0), idx(2)}))
+      .build();
+}
+
+LoopNest sor2d(std::int64_t rows, std::int64_t cols) {
+  return LoopNestBuilder("sor2d")
+      .loop("i", 1, rows)
+      .loop("j", 1, cols)
+      .assign("S", "A", {idx(0), idx(1)},
+              (ref("A", {idx(0) - 1, idx(1)}) + ref("A", {idx(0), idx(1) - 1})) * constant(0.5) +
+                  constant(0.125))
+      .build();
+}
+
+LoopNest wavefront3d(std::int64_t n) {
+  return LoopNestBuilder("wavefront3d")
+      .loop("i", 1, n)
+      .loop("j", 1, n)
+      .loop("k", 1, n)
+      .assign("S", "A", {idx(0), idx(1), idx(2)},
+              (ref("A", {idx(0) - 1, idx(1), idx(2)}) + ref("A", {idx(0), idx(1) - 1, idx(2)}) +
+               ref("A", {idx(0), idx(1), idx(2) - 1})) *
+                  constant(1.0 / 3.0))
+      .build();
+}
+
+LoopNest strided_recurrence(std::int64_t size, std::int64_t stride) {
+  return LoopNestBuilder("strided-recurrence")
+      .loop("i", 0, size)
+      .loop("j", 0, size)
+      .assign("S", "A", {idx(0), idx(1)},
+              ref("A", {idx(0) - stride, idx(1)}) + ref("A", {idx(0), idx(1) - stride}))
+      .build();
+}
+
+LoopNest convolution2d(std::int64_t n, std::int64_t k) {
+  return LoopNestBuilder("conv2d")
+      .loop("i", 0, n - 1)
+      .loop("j", 0, n - 1)
+      .loop("k", 0, k - 1)
+      .loop("l", 0, k - 1)
+      .assign("S", "y", {idx(0), idx(1)},
+              ref("y", {idx(0), idx(1)}) +
+                  ref("h", {idx(2), idx(3)}) * ref("x", {idx(0) - idx(2), idx(1) - idx(3)}))
+      .build();
+}
+
+LoopNest triangular_matvec(std::int64_t n) {
+  return LoopNestBuilder("triangular-matvec")
+      .loop("i", 1, n)
+      .loop("j", 1, idx(0) - 1)
+      .assign("S", "y", {idx(0)},
+              ref("y", {idx(0)}) + ref("L", {idx(0), idx(1)}) * ref("b", {idx(1)}))
+      .build();
+}
+
+LoopNest dft_horner(std::int64_t n) {
+  return LoopNestBuilder("dft-horner")
+      .loop("k", 0, n - 1)
+      .loop("t", 0, n - 1)
+      .assign("S", "F", {idx(0)},
+              ref("F", {idx(0)}) * ref("w", {idx(0)}) + ref("x", {-1 * idx(1) + (n - 1)}))
+      .build();
+}
+
+}  // namespace workloads
+}  // namespace hypart

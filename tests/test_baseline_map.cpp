@@ -1,0 +1,98 @@
+#include "mapping/baseline_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapping/hypercube_map.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(BaselineMap, RoundRobin) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 2);  // 8 blocks
+  Mapping m = map_round_robin(tig, 3);
+  EXPECT_EQ(m.block_to_proc, (std::vector<ProcId>{0, 1, 2, 0, 1, 2, 0, 1}));
+  EXPECT_EQ(m.method, "round-robin");
+}
+
+TEST(BaselineMap, Contiguous) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 2);
+  Mapping m = map_contiguous(tig, 3);
+  // 8 blocks over 3 procs: 3, 3, 2.
+  EXPECT_EQ(m.block_to_proc, (std::vector<ProcId>{0, 0, 0, 1, 1, 1, 2, 2}));
+}
+
+TEST(BaselineMap, ContiguousExactDivision) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 2);
+  Mapping m = map_contiguous(tig, 4);
+  EXPECT_EQ(m.block_to_proc, (std::vector<ProcId>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(BaselineMap, RandomDeterministicPerSeed) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(5, 5);
+  Mapping a = map_random(tig, 8, 42);
+  Mapping b = map_random(tig, 8, 42);
+  Mapping c = map_random(tig, 8, 43);
+  EXPECT_EQ(a.block_to_proc, b.block_to_proc);
+  EXPECT_NE(a.block_to_proc, c.block_to_proc);
+  for (ProcId p : a.block_to_proc) EXPECT_LT(p, 8u);
+}
+
+TEST(BaselineMap, ZeroProcsThrows) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);
+  EXPECT_THROW(map_round_robin(tig, 0), std::invalid_argument);
+  EXPECT_THROW(map_contiguous(tig, 0), std::invalid_argument);
+  EXPECT_THROW(map_random(tig, 0, 1), std::invalid_argument);
+}
+
+TEST(BaselineMap, GreedySwapNeverWorsens) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  Hypercube cube(3);
+  Mapping start = map_random(tig, 8, 7);
+  MappingMetrics before = evaluate_mapping(tig, start, cube);
+  Mapping refined = refine_greedy_swap(tig, start, cube);
+  MappingMetrics after = evaluate_mapping(tig, refined, cube);
+  EXPECT_LE(after.total_comm_cost, before.total_comm_cost);
+  EXPECT_NE(refined.method.find("greedy-swap"), std::string::npos);
+}
+
+TEST(BaselineMap, GreedySwapPreservesLoadDistribution) {
+  // Swaps exchange assignments, so the multiset of per-proc block counts is
+  // invariant.
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  Hypercube cube(3);
+  Mapping start = map_contiguous(tig, 8);
+  Mapping refined = refine_greedy_swap(tig, start, cube);
+  std::vector<std::size_t> count_before(8, 0), count_after(8, 0);
+  for (ProcId p : start.block_to_proc) ++count_before[p];
+  for (ProcId p : refined.block_to_proc) ++count_after[p];
+  std::sort(count_before.begin(), count_before.end());
+  std::sort(count_after.begin(), count_after.end());
+  EXPECT_EQ(count_before, count_after);
+}
+
+TEST(BaselineMap, GrayBeatsRandomOnMesh) {
+  // The paper's claim, quantified: Algorithm 2 produces lower comm cost
+  // than random placement on the mesh TIG.
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(8, 8);
+  Hypercube cube(4);
+  MappingMetrics gray = evaluate_mapping(tig, map_to_hypercube(tig, 4).mapping, cube);
+  double random_total = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Mapping r = map_random(tig, 16, seed);
+    random_total += static_cast<double>(evaluate_mapping(tig, r, cube).total_comm_cost);
+  }
+  EXPECT_LT(static_cast<double>(gray.total_comm_cost), random_total / 5.0);
+}
+
+TEST(BaselineMap, GreedySwapSizeMismatchThrows) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);
+  Mapping bad;
+  bad.processor_count = 2;
+  bad.block_to_proc = {0};
+  EXPECT_THROW(refine_greedy_swap(tig, bad, Hypercube(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hypart

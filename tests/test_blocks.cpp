@@ -1,0 +1,140 @@
+#include "partition/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+struct PartitionFixture {
+  std::unique_ptr<ComputationStructure> q;
+  std::unique_ptr<ProjectedStructure> ps;
+  Grouping grouping;
+  Partition partition;
+};
+
+PartitionFixture make(const LoopNest& nest, const IntVec& pi, GroupingOptions gopts = {}) {
+  PartitionFixture s;
+  s.q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+  s.ps = std::make_unique<ProjectedStructure>(*s.q, TimeFunction{pi});
+  s.grouping = Grouping::compute(*s.ps, gopts);
+  s.partition = Partition::build(*s.q, s.grouping);
+  return s;
+}
+
+TEST(PartitionTest, L1BlocksMatchGroups) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  EXPECT_EQ(s.partition.block_count(), 4u);
+  // Total iterations across blocks = 16.
+  std::size_t total = 0;
+  for (const PartitionBlock& b : s.partition.blocks()) total += b.iterations.size();
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(PartitionTest, L1InterblockCommunicationIs12) {
+  // Paper Section II: "the number of data dependencies between index points
+  // is 33, and only 12 of them require interprocessor communication".
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  PartitionStats stats = compute_partition_stats(*s.q, s.partition);
+  EXPECT_EQ(stats.total_arcs, 33u);
+  EXPECT_EQ(stats.interblock_arcs, 12u);
+  EXPECT_EQ(stats.intrablock_arcs, 21u);
+  EXPECT_NEAR(stats.interblock_fraction(), 12.0 / 33.0, 1e-12);
+}
+
+TEST(PartitionTest, BlockOfConsistent) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  for (std::size_t b = 0; b < s.partition.block_count(); ++b)
+    for (std::size_t vid : s.partition.blocks()[b].iterations)
+      EXPECT_EQ(s.partition.block_of(vid), b);
+  EXPECT_THROW(static_cast<void>(s.partition.block_of(999)), std::out_of_range);
+}
+
+TEST(PartitionTest, BlockIsUnionOfItsProjectionLines) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  for (std::size_t b = 0; b < s.partition.block_count(); ++b) {
+    const Group& g = s.grouping.groups()[b];
+    std::vector<std::size_t> members = g.members();
+    std::set<std::size_t> group_points(members.begin(), members.end());
+    std::size_t expected = 0;
+    for (std::size_t pid : group_points) expected += s.ps->line_population(pid);
+    EXPECT_EQ(s.partition.blocks()[b].iterations.size(), expected);
+    for (std::size_t vid : s.partition.blocks()[b].iterations)
+      EXPECT_TRUE(group_points.contains(s.ps->point_of(s.q->vertices()[vid])));
+  }
+}
+
+TEST(PartitionTest, MinMaxBlockSizes) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  // Blocks pair adjacent lines of lengths (1,2,3,4,3,2,1): sizes depend on
+  // pairing phase, but max is at least 4 (the diagonal's line) and min >= 1.
+  EXPECT_GE(s.partition.max_block_size(), 4u);
+  EXPECT_GE(s.partition.min_block_size(), 1u);
+  EXPECT_LE(s.partition.max_block_size(), 7u);
+}
+
+TEST(PartitionTest, MatvecBlockSizes) {
+  // M groups of two adjacent lines; the diagonal block has 2M-1 points.
+  const std::int64_t m = 6;
+  PartitionFixture s = make(workloads::matrix_vector(m), {1, 1});
+  EXPECT_EQ(s.partition.block_count(), static_cast<std::size_t>(m));
+  EXPECT_EQ(s.partition.max_block_size(), static_cast<std::size_t>(2 * m - 1));
+}
+
+TEST(PartitionTest, StatsBlockCommGraphHasInterblockWeight) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  PartitionStats stats = compute_partition_stats(*s.q, s.partition);
+  EXPECT_EQ(stats.block_comm.total_weight(),
+            static_cast<std::int64_t>(stats.interblock_arcs));
+}
+
+TEST(PartitionTest, MatmulBlocksCover64Iterations) {
+  PartitionFixture s = make(workloads::matrix_multiplication(), {1, 1, 1});
+  EXPECT_GE(s.partition.block_count(), 13u);  // ceil(37/3)
+  EXPECT_LE(s.partition.block_count(), 21u);
+  std::size_t total = 0;
+  for (const PartitionBlock& b : s.partition.blocks()) total += b.iterations.size();
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(PartitionTest, EmptyInterblockFractionOnSingleBlock) {
+  // 1-D loop: one projection line -> one block -> no interblock comm.
+  ComputationStructure q({{0}, {1}, {2}}, {{1}});
+  ProjectedStructure ps(q, TimeFunction{{1}});
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(q, g);
+  PartitionStats stats = compute_partition_stats(q, p);
+  EXPECT_EQ(stats.total_arcs, 2u);
+  EXPECT_EQ(stats.interblock_arcs, 0u);
+  EXPECT_EQ(stats.interblock_fraction(), 0.0);
+}
+
+class InterblockMonotonicity : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(InterblockMonotonicity, GroupingNeverWorseThanSingletonGroups) {
+  // Grouping r projected points per block can only reduce interblock arcs
+  // relative to one-line-per-block partitioning.
+  std::int64_t n = GetParam();
+  ComputationStructure q = ComputationStructure::from_loop(workloads::sor2d(n, n));
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  Grouping grouped = Grouping::compute(ps);
+  Partition p = Partition::build(q, grouped);
+  PartitionStats with_grouping = compute_partition_stats(q, p);
+
+  // Singleton "grouping": every projected point its own block, realized by
+  // counting arcs that change projected point.
+  std::size_t singleton_interblock = 0;
+  q.for_each_arc([&](const IntVec& a, const IntVec& b, std::size_t) {
+    if (ps.point_of(a) != ps.point_of(b)) ++singleton_interblock;
+  });
+  EXPECT_LE(with_grouping.interblock_arcs, singleton_interblock);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InterblockMonotonicity, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,135 @@
+#include "partition/checkers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+struct PartitionFixture {
+  std::unique_ptr<ComputationStructure> q;
+  std::unique_ptr<ProjectedStructure> ps;
+  Grouping grouping;
+  Partition partition;
+  TimeFunction tf;
+};
+
+PartitionFixture make(const LoopNest& nest, const IntVec& pi) {
+  PartitionFixture s;
+  s.q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+  s.tf = TimeFunction{pi};
+  s.ps = std::make_unique<ProjectedStructure>(*s.q, s.tf);
+  s.grouping = Grouping::compute(*s.ps);
+  s.partition = Partition::build(*s.q, s.grouping);
+  return s;
+}
+
+TEST(Checkers, L1AllHold) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  EXPECT_TRUE(check_exact_cover(*s.q, s.partition));
+  EXPECT_TRUE(check_theorem1(*s.q, s.tf, s.partition));
+  Theorem2Report t2 = check_theorem2(s.grouping);
+  EXPECT_TRUE(t2.holds);
+  EXPECT_EQ(t2.m, 3u);
+  EXPECT_EQ(t2.beta, 1u);
+  EXPECT_EQ(t2.bound, 5u);
+  LemmaReport lr = check_lemmas(s.grouping);
+  EXPECT_TRUE(lr.lemma2_holds);
+  EXPECT_TRUE(lr.lemma3_holds);
+}
+
+TEST(Checkers, MatmulTheorem2MatchesPaper) {
+  // Paper: "there are 2x3-2 = 4 groups that depend on the group G_10".
+  PartitionFixture s = make(workloads::matrix_multiplication(), {1, 1, 1});
+  Theorem2Report t2 = check_theorem2(s.grouping);
+  EXPECT_EQ(t2.m, 3u);
+  EXPECT_EQ(t2.beta, 2u);
+  EXPECT_EQ(t2.bound, 4u);
+  EXPECT_TRUE(t2.holds);
+  EXPECT_LE(t2.max_out_degree, 4u);  // the paper's grouping attains it (see
+                                     // PaperFig7 in test_paper_examples)
+  LemmaReport lr = check_lemmas(s.grouping);
+  EXPECT_TRUE(lr.lemma2_holds);
+  EXPECT_TRUE(lr.lemma3_holds);
+}
+
+TEST(Checkers, Theorem1DetectsViolation) {
+  // Under Π = (1,1) the L1 partition is valid; re-checking the same blocks
+  // against a *different* Π under which block-mates share a hyperplane must
+  // report a violation.  Each L1 block holds two adjacent projection lines,
+  // so e.g. (1,0) and (1,1) end up in one block; under Π' = (1,0) they both
+  // execute at step 1.
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  EXPECT_TRUE(check_theorem1(*s.q, s.tf, s.partition));
+  EXPECT_FALSE(check_theorem1(*s.q, TimeFunction{{1, 0}}, s.partition));
+}
+
+TEST(Checkers, ExactCoverDetectsViolation) {
+  ComputationStructure q({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {{0, 1}});
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(q, g);
+  EXPECT_TRUE(check_exact_cover(q, p));
+  // A partition of a *different* structure cannot cover this one.
+  ComputationStructure bigger({{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}}, {{0, 1}});
+  EXPECT_FALSE(check_exact_cover(bigger, p));
+}
+
+TEST(Checkers, Theorem2ReportToString) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  std::string str = check_theorem2(s.grouping).to_string();
+  EXPECT_NE(str.find("HOLDS"), std::string::npos);
+  EXPECT_NE(str.find("m=3"), std::string::npos);
+}
+
+TEST(Checkers, MatvecLemmasHold) {
+  PartitionFixture s = make(workloads::matrix_vector(8), {1, 1});
+  EXPECT_TRUE(check_exact_cover(*s.q, s.partition));
+  EXPECT_TRUE(check_theorem1(*s.q, s.tf, s.partition));
+  EXPECT_TRUE(check_theorem2(s.grouping).holds);
+  LemmaReport lr = check_lemmas(s.grouping);
+  EXPECT_TRUE(lr.lemma2_holds);
+  EXPECT_TRUE(lr.lemma3_holds);
+}
+
+// Theorem/lemma invariants must hold for every workload and size — the core
+// property suite of Algorithm 1.
+class TheoremProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(TheoremProperty, AllInvariantsHold) {
+  auto [which, n] = GetParam();
+  LoopNest nest = [&]() -> LoopNest {
+    switch (which) {
+      case 0: return workloads::example_l1(n);
+      case 1: return workloads::sor2d(n, n + 1);
+      case 2: return workloads::convolution1d(n + 2, n);
+      case 3: return workloads::matrix_vector(n + 1);
+      case 4: return workloads::matrix_multiplication(n);
+      default: return workloads::wavefront3d(n);
+    }
+  }();
+  ComputationStructure q = ComputationStructure::from_loop(nest);
+  auto tf = search_time_function(q);
+  ASSERT_TRUE(tf.has_value());
+  ProjectedStructure ps(q, *tf);
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(q, g);
+
+  EXPECT_TRUE(check_exact_cover(q, p)) << nest.name();
+  EXPECT_TRUE(check_theorem1(q, *tf, p)) << nest.name();
+  EXPECT_TRUE(check_theorem2(g).holds) << nest.name();
+  LemmaReport lr = check_lemmas(g);
+  EXPECT_TRUE(lr.lemma2_holds) << nest.name();
+  EXPECT_TRUE(lr.lemma3_holds) << nest.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadsAndSizes, TheoremProperty,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                                            ::testing::Values(2, 3, 4)));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,131 @@
+#include "codegen/spmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mapping/hypercube_map.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+struct CodegenFixture {
+  std::unique_ptr<ComputationStructure> q;
+  std::unique_ptr<ProjectedStructure> ps;
+  Grouping grouping;
+  Partition partition;
+  TaskInteractionGraph tig;
+  TimeFunction tf;
+  DependenceInfo deps;
+  LoopNest nest;
+  Mapping mapping;
+
+  CodegenFixture(LoopNest n, IntVec pi, unsigned dim) : nest(std::move(n)) {
+    deps = analyze_dependences(nest);
+    IndexSet is(nest);
+    q = std::make_unique<ComputationStructure>(is.points(), deps.distance_vectors());
+    tf = TimeFunction{std::move(pi)};
+    ps = std::make_unique<ProjectedStructure>(*q, tf);
+    grouping = Grouping::compute(*ps);
+    partition = Partition::build(*q, grouping);
+    tig = TaskInteractionGraph::from_partition(*q, partition, grouping);
+    mapping = map_to_hypercube(tig, dim).mapping;
+  }
+};
+
+TEST(SpmdCodegen, L1ProgramStructure) {
+  CodegenFixture f(workloads::example_l1(), {1, 1}, 1);
+  std::string prog =
+      generate_spmd_program(f.nest, *f.q, f.tf, f.partition, f.mapping, f.deps);
+
+  EXPECT_NE(prog.find("void node_program(int my_id)"), std::string::npos);
+  EXPECT_NE(prog.find("for (long t = 0; t <= 6; ++t)"), std::string::npos);
+  EXPECT_NE(prog.find("recv_all_pending(t)"), std::string::npos);
+  // Both statements of L1 appear with their semantics.
+  EXPECT_NE(prog.find("A[i+1, j+1] = (A[i+1,j] + B[i,j])"), std::string::npos);
+  EXPECT_NE(prog.find("/*S1*/"), std::string::npos);
+  EXPECT_NE(prog.find("/*S2*/"), std::string::npos);
+  // One send per dependence.
+  EXPECT_NE(prog.find("send(owner(i, j+1)"), std::string::npos);
+  EXPECT_NE(prog.find("send(owner(i+1, j+1)"), std::string::npos);
+  EXPECT_NE(prog.find("send(owner(i+1, j)"), std::string::npos);
+}
+
+TEST(SpmdCodegen, OwnerTableMatchesMapping) {
+  CodegenFixture f(workloads::matrix_vector(8), {1, 1}, 2);
+  std::string prog =
+      generate_spmd_program(f.nest, *f.q, f.tf, f.partition, f.mapping, f.deps);
+  std::string expected = "static const int BLOCK_OWNER[" +
+                         std::to_string(f.partition.block_count()) + "] = {";
+  for (std::size_t b = 0; b < f.partition.block_count(); ++b)
+    expected += (b ? ", " : "") + std::to_string(f.mapping.block_to_proc[b]);
+  expected += "};";
+  EXPECT_NE(prog.find(expected), std::string::npos) << prog;
+}
+
+TEST(SpmdCodegen, OptionsControlOutput) {
+  CodegenFixture f(workloads::example_l1(), {1, 1}, 1);
+  SpmdOptions bare;
+  bare.include_comments = false;
+  bare.include_owner_table = false;
+  std::string prog =
+      generate_spmd_program(f.nest, *f.q, f.tf, f.partition, f.mapping, f.deps, bare);
+  EXPECT_EQ(prog.find("//"), std::string::npos);
+  EXPECT_EQ(prog.find("BLOCK_OWNER"), std::string::npos);
+  EXPECT_NE(prog.find("node_program"), std::string::npos);
+}
+
+TEST(SpmdCodegen, TraceListsOnlyOwnIterations) {
+  CodegenFixture f(workloads::example_l1(), {1, 1}, 1);
+  for (ProcId p : {ProcId{0}, ProcId{1}}) {
+    std::string trace =
+        generate_processor_trace(f.nest, *f.q, f.tf, f.partition, f.mapping, f.deps, p, 999);
+    // Every "exec (i, j)" line must belong to processor p.
+    std::size_t pos = 0;
+    std::size_t count = 0;
+    while ((pos = trace.find("exec (", pos)) != std::string::npos) {
+      std::size_t close = trace.find(')', pos);
+      std::string tuple = trace.substr(pos + 5, close - pos - 4);
+      // parse "(a, b)"
+      std::int64_t a = 0, b = 0;
+      ASSERT_EQ(std::sscanf(tuple.c_str(), "(%ld, %ld)", &a, &b), 2) << tuple;
+      std::size_t vid = f.q->id_of({a, b});
+      EXPECT_EQ(f.mapping.block_to_proc[f.partition.block_of(vid)], p);
+      ++count;
+      pos = close;
+    }
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(SpmdCodegen, TraceTruncates) {
+  CodegenFixture f(workloads::matrix_vector(16), {1, 1}, 0);
+  std::string trace =
+      generate_processor_trace(f.nest, *f.q, f.tf, f.partition, f.mapping, f.deps, 0, 5);
+  EXPECT_NE(trace.find("(truncated)"), std::string::npos);
+}
+
+TEST(SpmdCodegen, TraceSendsMatchCrossingArcs) {
+  CodegenFixture f(workloads::matrix_vector(6), {1, 1}, 1);
+  std::size_t total_sends = 0;
+  for (ProcId p = 0; p < 2; ++p) {
+    std::string trace =
+        generate_processor_trace(f.nest, *f.q, f.tf, f.partition, f.mapping, f.deps, p, 100000);
+    std::size_t pos = 0;
+    while ((pos = trace.find("send ", pos)) != std::string::npos) {
+      ++total_sends;
+      ++pos;
+    }
+  }
+  std::size_t crossing = 0;
+  f.q->for_each_arc([&](const IntVec& a, const IntVec& b, std::size_t) {
+    ProcId pa = f.mapping.block_to_proc[f.partition.block_of(f.q->id_of(a))];
+    ProcId pb = f.mapping.block_to_proc[f.partition.block_of(f.q->id_of(b))];
+    if (pa != pb) ++crossing;
+  });
+  EXPECT_EQ(total_sends, crossing);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,89 @@
+#include "graph/comp_structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(CompStructure, FromL1MatchesPaperCounts) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  EXPECT_EQ(q.dimension(), 2u);
+  EXPECT_EQ(q.vertices().size(), 16u);
+  EXPECT_EQ(q.dependences().size(), 3u);
+  // Paper Section II: 33 data dependencies in loop L1 on the 4x4 domain.
+  EXPECT_EQ(q.dependence_arc_count(), 33u);
+}
+
+TEST(CompStructure, ArcEnumerationConsistent) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  std::size_t count = 0;
+  q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t k) {
+    ++count;
+    EXPECT_TRUE(q.contains(src));
+    EXPECT_TRUE(q.contains(dst));
+    EXPECT_EQ(sub(dst, src), q.dependences()[k]);
+  });
+  EXPECT_EQ(count, q.dependence_arc_count());
+}
+
+TEST(CompStructure, Acyclic) {
+  EXPECT_TRUE(ComputationStructure::from_loop(workloads::example_l1()).is_acyclic());
+  EXPECT_TRUE(ComputationStructure::from_loop(workloads::matrix_vector(4)).is_acyclic());
+  EXPECT_TRUE(ComputationStructure::from_loop(workloads::matrix_multiplication(2)).is_acyclic());
+}
+
+TEST(CompStructure, IdLookup) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  std::size_t id = q.id_of({2, 3});
+  EXPECT_EQ(q.vertices()[id], (IntVec{2, 3}));
+  EXPECT_THROW(static_cast<void>(q.id_of({9, 9})), std::out_of_range);
+}
+
+TEST(CompStructure, ExplicitConstruction) {
+  ComputationStructure q({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {{0, 1}, {1, 0}});
+  EXPECT_EQ(q.dependence_arc_count(), 4u);
+  Digraph g = q.to_digraph();
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(CompStructure, RejectsBadInput) {
+  EXPECT_THROW(ComputationStructure({}, {{1}}), std::invalid_argument);
+  EXPECT_THROW(ComputationStructure({{0, 0}}, {{1}}), std::invalid_argument);       // dim mismatch
+  EXPECT_THROW(ComputationStructure({{0, 0}}, {{0, 0}}), std::invalid_argument);    // zero dep
+  EXPECT_THROW(ComputationStructure({{0, 0}, {0, 0}}, {{0, 1}}), std::invalid_argument);  // dup
+}
+
+TEST(CompStructure, MatvecArcCount) {
+  // M x M matvec, D = {(1,0),(0,1)}: each dependence has M(M-1) in-domain
+  // pairs -> 2*M*(M-1) arcs.
+  const std::int64_t m = 5;
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_vector(m));
+  EXPECT_EQ(q.dependence_arc_count(), static_cast<std::size_t>(2 * m * (m - 1)));
+}
+
+TEST(CompStructure, DigraphLongestPathMatchesScheduleLowerBound) {
+  // The longest dependence chain bounds any schedule from below; for the
+  // wavefront stencil on an n^3 cube it is 3(n-1).
+  ComputationStructure q = ComputationStructure::from_loop(workloads::wavefront3d(4));
+  EXPECT_EQ(q.to_digraph().dag_longest_path(), 9u);
+}
+
+class ArcCountProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ArcCountProperty, Sor2dArcFormula) {
+  // sor2d on rows x cols with D = {(1,0),(0,1)}:
+  // (rows-1)*cols + rows*(cols-1) arcs.
+  std::int64_t n = GetParam();
+  ComputationStructure q = ComputationStructure::from_loop(workloads::sor2d(n, n + 2));
+  std::int64_t rows = n, cols = n + 2;
+  EXPECT_EQ(q.dependence_arc_count(),
+            static_cast<std::size_t>((rows - 1) * cols + rows * (cols - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArcCountProperty, ::testing::Values(2, 3, 4, 7, 10));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,189 @@
+#include "loop/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+bool has_distance(const DependenceInfo& info, const IntVec& d) {
+  auto dv = info.distance_vectors();
+  return std::find(dv.begin(), dv.end(), d) != dv.end();
+}
+
+TEST(LexPositive, Basics) {
+  EXPECT_TRUE(lex_positive({1, -5}));
+  EXPECT_TRUE(lex_positive({0, 1}));
+  EXPECT_FALSE(lex_positive({0, 0}));
+  EXPECT_FALSE(lex_positive({-1, 5}));
+  EXPECT_FALSE(lex_positive({0, -1, 3}));
+}
+
+TEST(Dependence, L1RecoversPaperVectors) {
+  // Paper Example 1: D = {(0,1), (1,1), (1,0)}.
+  DependenceInfo info = analyze_dependences(workloads::example_l1());
+  auto dv = info.distance_vectors();
+  EXPECT_EQ(dv.size(), 3u);
+  EXPECT_TRUE(has_distance(info, {0, 1}));
+  EXPECT_TRUE(has_distance(info, {1, 1}));
+  EXPECT_TRUE(has_distance(info, {1, 0}));
+}
+
+TEST(Dependence, MatmulRecoversExample2Matrix) {
+  // Paper Example 2: columns (0,1,0), (1,0,0), (0,0,1).
+  DependenceInfo info = analyze_dependences(workloads::matrix_multiplication());
+  auto dv = info.distance_vectors();
+  EXPECT_EQ(dv.size(), 3u);
+  EXPECT_TRUE(has_distance(info, {0, 1, 0}));  // A broadcast along j
+  EXPECT_TRUE(has_distance(info, {1, 0, 0}));  // B broadcast along i
+  EXPECT_TRUE(has_distance(info, {0, 0, 1}));  // C reduction along k
+}
+
+TEST(Dependence, MatvecRecoversSectionIV) {
+  // D = {(1,0) via x, (0,1) via y}.
+  DependenceInfo info = analyze_dependences(workloads::matrix_vector(4));
+  auto dv = info.distance_vectors();
+  EXPECT_EQ(dv.size(), 2u);
+  EXPECT_TRUE(has_distance(info, {1, 0}));
+  EXPECT_TRUE(has_distance(info, {0, 1}));
+}
+
+TEST(Dependence, ConvolutionMatchesL1Structure) {
+  DependenceInfo info = analyze_dependences(workloads::convolution1d(8, 4));
+  auto dv = info.distance_vectors();
+  EXPECT_EQ(dv.size(), 3u);
+  EXPECT_TRUE(has_distance(info, {0, 1}));
+  EXPECT_TRUE(has_distance(info, {1, 1}));
+  EXPECT_TRUE(has_distance(info, {1, 0}));
+}
+
+TEST(Dependence, Wavefront3d) {
+  DependenceInfo info = analyze_dependences(workloads::wavefront3d(4));
+  auto dv = info.distance_vectors();
+  EXPECT_EQ(dv.size(), 3u);
+  EXPECT_TRUE(has_distance(info, {1, 0, 0}));
+  EXPECT_TRUE(has_distance(info, {0, 1, 0}));
+  EXPECT_TRUE(has_distance(info, {0, 0, 1}));
+}
+
+TEST(Dependence, StridedRecurrence) {
+  DependenceInfo info = analyze_dependences(workloads::strided_recurrence(9, 3));
+  EXPECT_TRUE(has_distance(info, {3, 0}));
+  EXPECT_TRUE(has_distance(info, {0, 3}));
+  EXPECT_EQ(info.distance_vectors().size(), 2u);
+}
+
+TEST(Dependence, KindsAreLabelled) {
+  DependenceInfo info = analyze_dependences(workloads::matrix_multiplication());
+  bool saw_reduction = false, saw_input = false;
+  for (const Dependence& d : info.dependences) {
+    if (d.kind == DependenceKind::Reduction) saw_reduction = true;
+    if (d.kind == DependenceKind::InputReuse) saw_input = true;
+  }
+  EXPECT_TRUE(saw_reduction);  // C chain
+  EXPECT_TRUE(saw_input);      // A and B broadcasts
+}
+
+TEST(Dependence, InputReuseCanBeDisabled) {
+  DependenceOptions opts;
+  opts.include_input_reuse = false;
+  DependenceInfo info = analyze_dependences(workloads::matrix_vector(4), opts);
+  // Only the y reduction remains.
+  EXPECT_EQ(info.distance_vectors().size(), 1u);
+  EXPECT_TRUE(has_distance(info, {0, 1}));
+}
+
+TEST(Dependence, ReductionsCanBeDisabled) {
+  DependenceOptions opts;
+  opts.include_reductions = false;
+  opts.include_input_reuse = false;
+  DependenceInfo info = analyze_dependences(workloads::matrix_vector(4), opts);
+  EXPECT_TRUE(info.distance_vectors().empty());
+}
+
+TEST(Dependence, AntiDependenceCanonicalized) {
+  // Write A[i] after reading A[i+1]: distance (write -> read) is (-1),
+  // canonicalized to lexicographically positive (1).
+  LoopNest nest = LoopNestBuilder("anti")
+                      .loop("i", 0, 7)
+                      .statement("S")
+                      .write("A", {idx(0)})
+                      .read("A", {idx(0) + 1})
+                      .build();
+  DependenceInfo info = analyze_dependences(nest);
+  ASSERT_EQ(info.distance_vectors().size(), 1u);
+  EXPECT_EQ(info.distance_vectors()[0], (IntVec{1}));
+}
+
+TEST(Dependence, LoopIndependentIgnored) {
+  // Same-iteration write/read: no loop-carried dependence.
+  LoopNest nest = LoopNestBuilder("indep")
+                      .loop("i", 0, 7)
+                      .statement("S")
+                      .write("A", {idx(0)})
+                      .read("B", {idx(0)})
+                      .statement("T")
+                      .write("B", {idx(0)})
+                      .read("A", {idx(0)})
+                      .build();
+  DependenceInfo info = analyze_dependences(nest);
+  EXPECT_TRUE(info.distance_vectors().empty());
+}
+
+TEST(Dependence, NoDependenceWhenElementsNeverMeet) {
+  // Write A[2i], read A[2i+1]: disjoint elements.
+  LoopNest nest = LoopNestBuilder("disjoint")
+                      .loop("i", 0, 7)
+                      .statement("S")
+                      .write("A", {2 * idx(0)})
+                      .read("A", {2 * idx(0) + 1})
+                      .build();
+  DependenceInfo info = analyze_dependences(nest);
+  EXPECT_TRUE(info.distance_vectors().empty());
+}
+
+TEST(Dependence, NonUniformThrowsWhenRequired) {
+  // Write A[i], read A[2i]: access matrices differ -> non-uniform.
+  LoopNest nest = LoopNestBuilder("nonuniform")
+                      .loop("i", 0, 7)
+                      .statement("S")
+                      .write("A", {idx(0)})
+                      .read("A", {2 * idx(0)})
+                      .build();
+  EXPECT_THROW(analyze_dependences(nest), NonUniformDependenceError);
+
+  DependenceOptions lax;
+  lax.require_uniform = false;
+  DependenceInfo info = analyze_dependences(nest, lax);
+  EXPECT_FALSE(info.warnings.empty());
+}
+
+TEST(Dependence, AllVectorsLexPositive) {
+  for (const LoopNest& nest :
+       {workloads::example_l1(), workloads::matrix_vector(5), workloads::sor2d(4, 4),
+        workloads::convolution1d(6, 3)}) {
+    DependenceInfo info = analyze_dependences(nest);
+    for (const IntVec& d : info.distance_vectors()) EXPECT_TRUE(lex_positive(d));
+  }
+}
+
+TEST(Dependence, DependenceMatrixShape) {
+  DependenceInfo info = analyze_dependences(workloads::matrix_multiplication());
+  IntMat d = info.dependence_matrix(3);
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 3u);
+}
+
+TEST(Dependence, ToStringMentionsArrayAndKind) {
+  DependenceInfo info = analyze_dependences(workloads::matrix_vector(4));
+  ASSERT_FALSE(info.dependences.empty());
+  std::string s = info.dependences.front().to_string();
+  EXPECT_NE(s.find("("), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypart

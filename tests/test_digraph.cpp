@@ -1,0 +1,134 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hypart {
+namespace {
+
+TEST(DigraphTest, AddVerticesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, 5);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_weight(1, 2), 5);
+  EXPECT_EQ(g.edge_weight(2, 1), 0);
+}
+
+TEST(DigraphTest, ParallelEdgesMerge) {
+  Digraph g(2);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 3);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge_weight(0, 1), 5);
+  EXPECT_EQ(g.total_weight(), 5);
+  // In-edge mirror is updated too.
+  ASSERT_EQ(g.in_edges(1).size(), 1u);
+  EXPECT_EQ(g.in_edges(1)[0].weight, 5);
+}
+
+TEST(DigraphTest, Degrees) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+  EXPECT_EQ(g.in_degree(2), 1u);
+}
+
+TEST(DigraphTest, AddVertexGrows) {
+  Digraph g;
+  EXPECT_EQ(g.add_vertex(), 0u);
+  EXPECT_EQ(g.add_vertex(), 1u);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(DigraphTest, OutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+}
+
+TEST(DigraphTest, TopologicalOrder) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  std::vector<std::size_t> order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](std::size_t v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(3), pos(2));
+}
+
+TEST(DigraphTest, CycleDetection) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.topological_order().empty());
+  EXPECT_FALSE(g.is_acyclic());
+
+  Digraph dag(3);
+  dag.add_edge(0, 1);
+  EXPECT_TRUE(dag.is_acyclic());
+  EXPECT_TRUE(Digraph(0).is_acyclic());
+}
+
+TEST(DigraphTest, Reachability) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  std::vector<std::size_t> r = g.reachable_from(0);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(g.reachable_from(4), (std::vector<std::size_t>{4}));
+}
+
+TEST(DigraphTest, WeakComponents) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(3, 4);
+  std::vector<std::size_t> comp = g.weak_components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(DigraphTest, LongestPath) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  EXPECT_EQ(g.dag_longest_path(), 3u);
+
+  Digraph cyc(2);
+  cyc.add_edge(0, 1);
+  cyc.add_edge(1, 0);
+  EXPECT_THROW(static_cast<void>(cyc.dag_longest_path()), std::logic_error);
+}
+
+TEST(DigraphTest, LongestPathEmptyGraph) {
+  Digraph g(3);
+  EXPECT_EQ(g.dag_longest_path(), 0u);
+}
+
+}  // namespace
+}  // namespace hypart

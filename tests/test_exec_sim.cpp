@@ -1,0 +1,261 @@
+#include "sim/exec_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mapping/baseline_map.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "perf/perf_model.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+struct PartitionFixture {
+  std::unique_ptr<ComputationStructure> q;
+  std::unique_ptr<ProjectedStructure> ps;
+  Grouping grouping;
+  Partition partition;
+  TaskInteractionGraph tig;
+  TimeFunction tf;
+};
+
+PartitionFixture make(const LoopNest& nest, const IntVec& pi) {
+  PartitionFixture s;
+  s.q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+  s.tf = TimeFunction{pi};
+  s.ps = std::make_unique<ProjectedStructure>(*s.q, s.tf);
+  s.grouping = Grouping::compute(*s.ps);
+  s.partition = Partition::build(*s.q, s.grouping);
+  s.tig = TaskInteractionGraph::from_partition(*s.q, s.partition, s.grouping);
+  return s;
+}
+
+TEST(ExecSim, SingleProcessorIsAllCompute) {
+  PartitionFixture s = make(workloads::matrix_vector(8), {1, 1});
+  Mapping one;
+  one.processor_count = 1;
+  one.block_to_proc.assign(s.partition.block_count(), 0);
+  SimOptions opts;
+  opts.flops_per_iteration = 2;
+  SimResult r = simulate_execution(*s.q, s.tf, s.partition, one, Hypercube(0), MachineParams{}, opts);
+  EXPECT_EQ(r.total, (Cost{2 * 64, 0, 0}));
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.words, 0);
+  EXPECT_EQ(r.per_proc_iterations[0], 64);
+}
+
+TEST(ExecSim, MatvecMatchesClosedFormPaperAccounting) {
+  // The simulator under PaperMaxChannel accounting must reproduce the
+  // Section IV closed form exactly for the matvec partition/mapping.
+  const std::int64_t m = 32;
+  PartitionFixture s = make(workloads::matrix_vector(m), {1, 1});
+  for (unsigned dim : {1u, 2u, 3u}) {
+    HypercubeMappingResult hm = map_to_hypercube(s.tig, dim);
+    SimOptions opts;
+    opts.flops_per_iteration = 2;
+    SimResult r = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(dim),
+                                     MachineParams{}, opts);
+    Cost expected = perf::matvec_exec_time(m, std::int64_t{1} << dim);
+    EXPECT_EQ(r.total, expected) << "N = " << (1 << dim);
+  }
+}
+
+TEST(ExecSim, CommInvariantInMachineSize) {
+  // Table I's observation: the comm term is independent of N.
+  const std::int64_t m = 24;
+  PartitionFixture s = make(workloads::matrix_vector(m), {1, 1});
+  std::int64_t comm_start = -1;
+  for (unsigned dim : {1u, 2u, 3u}) {
+    HypercubeMappingResult hm = map_to_hypercube(s.tig, dim);
+    SimResult r = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(dim),
+                                     MachineParams{}, SimOptions{});
+    if (comm_start < 0) comm_start = r.comm_bottleneck.start;
+    EXPECT_EQ(r.comm_bottleneck.start, comm_start);
+    EXPECT_EQ(r.comm_bottleneck.start, 2 * m - 2);
+  }
+}
+
+TEST(ExecSim, StepsMatchScheduleSpan) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  Mapping one;
+  one.processor_count = 1;
+  one.block_to_proc.assign(s.partition.block_count(), 0);
+  SimResult r = simulate_execution(*s.q, s.tf, s.partition, one, Hypercube(0), MachineParams{},
+                                   SimOptions{});
+  EXPECT_EQ(r.steps, 7);  // hyperplanes i+j = 0..6
+}
+
+TEST(ExecSim, PerStepBarrierAggregatesMessages) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  HypercubeMappingResult hm = map_to_hypercube(s.tig, 1);
+  SimOptions opts;
+  opts.accounting = CommAccounting::PerStepBarrier;
+  SimResult r = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(1),
+                                   MachineParams{}, opts);
+  // Aggregation: messages (per step/src/dst) <= words (per arc).
+  EXPECT_GT(r.words, 0);
+  EXPECT_LE(r.messages, r.words);
+  EXPECT_GT(r.time, 0.0);
+}
+
+TEST(ExecSim, BarrierModelIsAtLeastMaxChannelCompute) {
+  // The step-synchronous model includes idle time, so its compute+comm time
+  // is at least the bottleneck-compute of the aggregate model.
+  PartitionFixture s = make(workloads::matrix_vector(12), {1, 1});
+  HypercubeMappingResult hm = map_to_hypercube(s.tig, 2);
+  MachineParams mp{1.0, 0.0, 0.0};  // compute only
+  SimOptions agg;
+  SimOptions barrier;
+  barrier.accounting = CommAccounting::PerStepBarrier;
+  SimResult ra = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(2), mp, agg);
+  SimResult rb = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(2), mp, barrier);
+  EXPECT_GE(rb.time, ra.compute_bottleneck.value(mp));
+}
+
+TEST(ExecSim, ChargeHopsIncreasesRemoteCost) {
+  PartitionFixture s = make(workloads::matrix_vector(16), {1, 1});
+  // Round-robin scatters adjacent blocks across the cube -> multi-hop routes.
+  Mapping rr = map_round_robin(s.tig, 8);
+  SimOptions plain;
+  SimOptions hops;
+  hops.charge_hops = true;
+  SimResult r0 = simulate_execution(*s.q, s.tf, s.partition, rr, Hypercube(3), MachineParams{},
+                                    plain);
+  SimResult r1 = simulate_execution(*s.q, s.tf, s.partition, rr, Hypercube(3), MachineParams{},
+                                    hops);
+  EXPECT_GE(r1.time, r0.time);
+}
+
+TEST(ExecSim, SpeedupSaneAndBounded) {
+  const std::int64_t m = 32;
+  PartitionFixture s = make(workloads::matrix_vector(m), {1, 1});
+  HypercubeMappingResult hm = map_to_hypercube(s.tig, 3);
+  SimOptions opts;
+  opts.flops_per_iteration = 2;
+  MachineParams mp{1.0, 2.0, 1.0};
+  SimResult r = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(3), mp, opts);
+  double sp = r.speedup(mp, static_cast<std::int64_t>(s.q->vertices().size()), 2);
+  EXPECT_GT(sp, 1.0);
+  EXPECT_LE(sp, 8.0);
+}
+
+TEST(ExecSim, ValidationErrors) {
+  PartitionFixture s = make(workloads::example_l1(), {1, 1});
+  Mapping bad;
+  bad.processor_count = 2;
+  bad.block_to_proc = {0};  // wrong size
+  EXPECT_THROW(simulate_execution(*s.q, s.tf, s.partition, bad, Hypercube(1), MachineParams{},
+                                  SimOptions{}),
+               std::invalid_argument);
+  Mapping too_many;
+  too_many.processor_count = 8;
+  too_many.block_to_proc.assign(s.partition.block_count(), 0);
+  EXPECT_THROW(simulate_execution(*s.q, s.tf, s.partition, too_many, Hypercube(1), MachineParams{},
+                                  SimOptions{}),
+               std::invalid_argument);
+}
+
+TEST(ExecSim, BarrierHandComputedTinyCase) {
+  // 1-D chain of 4 iterations, d = (1); two blocks of two iterations, one
+  // per processor.  Steps 0..3, one iteration each; the boundary arc
+  // (1)->(2) is a one-word message sent at step 1.
+  ComputationStructure q({{0}, {1}, {2}, {3}}, {{1}});
+  TimeFunction tf{{1}};
+  Partition part = Partition::from_labels(q, {0, 0, 1, 1});
+  Mapping map;
+  map.processor_count = 2;
+  map.block_to_proc = {0, 1};
+  SimOptions opts;
+  opts.accounting = CommAccounting::PerStepBarrier;
+  opts.flops_per_iteration = 3;
+  MachineParams mp{1.0, 10.0, 2.0};
+  SimResult r = simulate_execution(q, tf, part, map, Hypercube(1), mp, opts);
+  // Steps 0..3: compute 3 t_calc each; step 1 additionally sends one
+  // message (10 + 2).  Total = 4*3 + 12 = 24.
+  EXPECT_EQ(r.steps, 4);
+  EXPECT_EQ(r.messages, 1);
+  EXPECT_EQ(r.words, 1);
+  EXPECT_DOUBLE_EQ(r.time, 24.0);
+  EXPECT_EQ(r.total, (Cost{12, 1, 1}));
+}
+
+TEST(ExecSim, PaperAccountingHandComputedTinyCase) {
+  // Same chain: compute bottleneck 2 iterations * 3 flops; one channel of
+  // one word.
+  ComputationStructure q({{0}, {1}, {2}, {3}}, {{1}});
+  TimeFunction tf{{1}};
+  Partition part = Partition::from_labels(q, {0, 0, 1, 1});
+  Mapping map;
+  map.processor_count = 2;
+  map.block_to_proc = {0, 1};
+  SimOptions opts;
+  opts.flops_per_iteration = 3;
+  SimResult r = simulate_execution(q, tf, part, map, Hypercube(1), MachineParams{}, opts);
+  EXPECT_EQ(r.total, (Cost{6, 1, 1}));
+  EXPECT_EQ(r.compute_bottleneck, (Cost{6, 0, 0}));
+  EXPECT_EQ(r.comm_bottleneck, (Cost{0, 1, 1}));
+}
+
+TEST(ExecSim, LinkContentionHandComputedTwoHopCase) {
+  // Iterations on procs 00 and 11 of a 2-cube: the e-cube route 00->01->11
+  // uses two links; each carries the single one-word message.
+  ComputationStructure q({{0}, {1}}, {{1}});
+  TimeFunction tf{{1}};
+  Partition part = Partition::from_labels(q, {0, 1});
+  Mapping map;
+  map.processor_count = 4;
+  map.block_to_proc = {0b00, 0b11};
+  SimOptions opts;
+  opts.accounting = CommAccounting::LinkContention;
+  MachineParams mp{1.0, 10.0, 2.0};
+  SimResult r = simulate_execution(q, tf, part, map, Hypercube(2), mp, opts);
+  // Step 0: compute 1 + busiest link (1 msg, 1 word) = 1 + 12; step 1:
+  // compute 1.  Total = 14... the message occupies each of the two links
+  // with (10+2), but per-step max is a single link's 12.
+  EXPECT_DOUBLE_EQ(r.time, 1.0 + 12.0 + 1.0);
+  EXPECT_EQ(r.max_link_words, 1);
+  EXPECT_EQ(r.words, 1);
+}
+
+TEST(ExecSim, FromLabelsPartitionSimulates) {
+  // Partition::from_labels wraps arbitrary partitionings (e.g. the GCD
+  // baseline's residue classes) for the simulator.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::strided_recurrence(5, 2));
+  std::vector<std::size_t> labels(q.vertices().size());
+  for (std::size_t vid = 0; vid < labels.size(); ++vid) {
+    const IntVec& v = q.vertices()[vid];
+    labels[vid] = static_cast<std::size_t>((v[0] % 2) * 2 + (v[1] % 2));
+  }
+  Partition part = Partition::from_labels(q, labels);
+  EXPECT_EQ(part.block_count(), 4u);
+  Mapping map;
+  map.processor_count = 4;
+  map.block_to_proc = {0, 1, 2, 3};
+  SimResult r = simulate_execution(q, TimeFunction{{1, 1}}, part, map, Hypercube(2),
+                                   MachineParams{}, SimOptions{});
+  // Residue classes are dependence-independent: zero messages.
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.comm_bottleneck, (Cost{0, 0, 0}));
+}
+
+class SimMonotonicityProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SimMonotonicityProperty, MoreProcessorsNeverIncreaseComputeBottleneck) {
+  std::int64_t m = GetParam();
+  PartitionFixture s = make(workloads::matrix_vector(m), {1, 1});
+  std::int64_t prev = INT64_MAX;
+  for (unsigned dim : {0u, 1u, 2u}) {
+    HypercubeMappingResult hm = map_to_hypercube(s.tig, dim);
+    SimResult r = simulate_execution(*s.q, s.tf, s.partition, hm.mapping, Hypercube(dim),
+                                     MachineParams{}, SimOptions{});
+    EXPECT_LE(r.compute_bottleneck.calc, prev);
+    prev = r.compute_bottleneck.calc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimMonotonicityProperty, ::testing::Values(8, 16, 20, 32));
+
+}  // namespace
+}  // namespace hypart

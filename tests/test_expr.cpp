@@ -1,0 +1,94 @@
+#include "loop/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+double eval_no_arrays(const ExprPtr& e) {
+  return evaluate(e, [](const std::string&, const IntVec&) -> double {
+    throw std::logic_error("no arrays expected");
+  }, {});
+}
+
+TEST(ExprTest, ConstantsAndArithmetic) {
+  EXPECT_DOUBLE_EQ(eval_no_arrays(constant(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(constant(2.0) + constant(3.0)), 5.0);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(constant(2.0) - constant(3.0)), -1.0);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(constant(2.0) * constant(3.0)), 6.0);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(constant(3.0) / constant(2.0)), 1.5);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(-constant(4.0)), -4.0);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(emin(constant(1.0), constant(2.0))), 1.0);
+  EXPECT_DOUBLE_EQ(eval_no_arrays(emax(constant(1.0), constant(2.0))), 2.0);
+}
+
+TEST(ExprTest, ArrayRefEvaluation) {
+  // A[i+1, j] at iteration (2, 5) reads element (3, 5).
+  ExprPtr e = ref("A", {idx(0) + 1, idx(1)});
+  IntVec seen_element;
+  std::string seen_array;
+  double v = evaluate(e,
+                      [&](const std::string& a, const IntVec& el) {
+                        seen_array = a;
+                        seen_element = el;
+                        return 42.0;
+                      },
+                      {2, 5});
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  EXPECT_EQ(seen_array, "A");
+  EXPECT_EQ(seen_element, (IntVec{3, 5}));
+}
+
+TEST(ExprTest, OperationCount) {
+  EXPECT_EQ(operation_count(constant(1.0)), 0);
+  EXPECT_EQ(operation_count(ref("A", {idx(0)})), 0);
+  EXPECT_EQ(operation_count(constant(1.0) + constant(2.0)), 1);
+  ExprPtr fma = ref("C", {idx(0)}) + ref("A", {idx(0)}) * ref("B", {idx(0)});
+  EXPECT_EQ(operation_count(fma), 2);
+  EXPECT_EQ(operation_count(-fma), 3);
+}
+
+TEST(ExprTest, CollectRefs) {
+  ExprPtr e = ref("C", {idx(0)}) + ref("A", {idx(0)}) * ref("B", {idx(1)}) + constant(1.0);
+  std::vector<const Expr*> refs;
+  collect_refs(e, refs);
+  ASSERT_EQ(refs.size(), 3u);
+  std::multiset<std::string> names;
+  for (const Expr* r : refs) names.insert(r->array);
+  EXPECT_EQ(names, (std::multiset<std::string>{"A", "B", "C"}));
+}
+
+TEST(ExprTest, ToString) {
+  ExprPtr e = ref("C", {idx(0), idx(1)}) + ref("A", {idx(0) - 1, idx(1)}) * constant(2.0);
+  std::string s = e->to_string({"i", "j"});
+  EXPECT_NE(s.find("C[i,j]"), std::string::npos);
+  EXPECT_NE(s.find("A[i-1,j]"), std::string::npos);
+  EXPECT_NE(s.find("*"), std::string::npos);
+}
+
+TEST(ExprTest, NullEvaluationThrows) {
+  EXPECT_THROW(eval_no_arrays(nullptr), std::invalid_argument);
+}
+
+TEST(ExprTest, AssignBuilderDerivesAccesses) {
+  LoopNest nest = LoopNestBuilder("t")
+                      .loop("i", 0, 3)
+                      .assign("S", "A", {idx(0)},
+                              ref("A", {idx(0) - 1}) + ref("B", {idx(0)}) * ref("B", {idx(0)}))
+                      .build();
+  const Statement& s = nest.statements()[0];
+  EXPECT_TRUE(s.is_executable());
+  EXPECT_EQ(s.writes().size(), 1u);
+  // B[i] appears twice in the expression but is deduplicated as an access.
+  EXPECT_EQ(s.reads().size(), 2u);
+  EXPECT_EQ(s.flop_count, 2);
+}
+
+TEST(ExprTest, AssignNullThrows) {
+  LoopNestBuilder b("t");
+  b.loop("i", 0, 3);
+  EXPECT_THROW(b.assign("S", "A", {idx(0)}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hypart

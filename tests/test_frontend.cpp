@@ -1,0 +1,192 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/interpreter.hpp"
+#include "frontend/lexer.hpp"
+#include "loop/dependence.hpp"
+#include "loop/index_set.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+constexpr const char* kL1Source = R"(
+# The paper's loop (L1).
+loop L1 {
+  for i = 0 to 3
+  for j = 0 to 3
+  S1: A[i+1, j+1] = A[i+1, j] + B[i, j];
+  S2: B[i+1, j]   = A[i, j] * 2 + 3;
+}
+)";
+
+TEST(Lexer, TokenKindsAndPositions) {
+  std::vector<Token> toks = tokenize("for i = 0 to 3");
+  ASSERT_EQ(toks.size(), 7u);  // for i = 0 to 3 <end>
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].text, "for");
+  EXPECT_EQ(toks[2].kind, TokenKind::Assign);
+  EXPECT_EQ(toks[3].kind, TokenKind::Integer);
+  EXPECT_EQ(toks[3].int_value, 0);
+  EXPECT_EQ(toks.back().kind, TokenKind::End);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].column, 1u);
+}
+
+TEST(Lexer, FloatsCommentsAndSymbols) {
+  std::vector<Token> toks = tokenize("A[i] = 2.5; # comment\n// also comment\nB[1]");
+  bool saw_float = false;
+  for (const Token& t : toks)
+    if (t.kind == TokenKind::Float) {
+      saw_float = true;
+      EXPECT_DOUBLE_EQ(t.float_value, 2.5);
+    }
+  EXPECT_TRUE(saw_float);
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  try {
+    tokenize("a ? b");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 3u);
+  }
+  EXPECT_THROW(tokenize("1.2.3"), ParseError);
+}
+
+TEST(ParserTest, L1RoundTrip) {
+  LoopNest parsed = parse_loop_nest(kL1Source);
+  EXPECT_EQ(parsed.name(), "L1");
+  EXPECT_EQ(parsed.depth(), 2u);
+  ASSERT_EQ(parsed.statements().size(), 2u);
+  EXPECT_EQ(parsed.statements()[0].label, "S1");
+  EXPECT_TRUE(parsed.statements()[0].is_executable());
+
+  // Same dependences as the builder-made L1.
+  DependenceInfo a = analyze_dependences(parsed);
+  DependenceInfo b = analyze_dependences(workloads::example_l1());
+  EXPECT_EQ(a.distance_vectors(), b.distance_vectors());
+
+  // Same executed values as the builder-made L1.
+  ArrayStore pa = run_sequential(parsed);
+  ArrayStore pb = run_sequential(workloads::example_l1());
+  EquivalenceReport rep = compare_stores(pb, pa);
+  EXPECT_TRUE(rep.equal) << rep.first_mismatch;
+}
+
+TEST(ParserTest, TriangularBoundsAndCoefficients) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop tri {
+      for i = 0 to 7
+      for j = 2*i - 1 to 7
+      A[i, j] = A[i - 1, j] + 0.5;
+    }
+  )");
+  EXPECT_FALSE(nest.is_rectangular());
+  IndexSet is(nest);
+  EXPECT_TRUE(is.contains({1, 1}));
+  EXPECT_FALSE(is.contains({1, 0}));
+}
+
+TEST(ParserTest, MinMaxAndParens) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop mm {
+      for i = 1 to 4
+      A[i] = min(A[i - 1], 2.0) * (B[i] + max(B[i], 0.5)) / 4;
+    }
+  )");
+  const Statement& s = nest.statements()[0];
+  EXPECT_TRUE(s.is_executable());
+  EXPECT_GE(s.flop_count, 4);
+  ArrayStore out = run_sequential(nest);
+  EXPECT_TRUE(out.load("A", {1}).has_value());
+}
+
+TEST(ParserTest, AnonymousLabels) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop anon {
+      for i = 0 to 3
+      A[i] = 1;
+      B[i] = A[i] + 1;
+    }
+  )");
+  EXPECT_EQ(nest.statements()[0].label, "S1");
+  EXPECT_EQ(nest.statements()[1].label, "S2");
+}
+
+TEST(ParserTest, NegativeBoundsAndUnary) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop neg {
+      for i = -3 to 3
+      A[i] = -A[i - 1] - 1;
+    }
+  )");
+  IndexSet is(nest);
+  EXPECT_EQ(is.size(), 7u);
+}
+
+TEST(ParserTest, ErrorMessages) {
+  EXPECT_THROW(parse_loop_nest("loop x { }"), ParseError);  // no for
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to 3 }"), ParseError);  // no statement
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to 3 for i = 0 to 2 A[i] = 1; }"),
+               ParseError);  // duplicate index
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to j A[i] = 1; }"),
+               ParseError);  // bound uses undeclared index
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to 3 A[i] = i; }"),
+               ParseError);  // loop index in RHS outside subscripts
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to 3 A[i] = B; }"),
+               ParseError);  // bare identifier
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to 3 A[i] = 1 }"),
+               ParseError);  // missing semicolon
+}
+
+TEST(ParserTest, BoundMayNotUseOwnIndex) {
+  EXPECT_THROW(parse_loop_nest("loop x { for i = 0 to i A[i] = 1; }"), ParseError);
+}
+
+TEST(ParserRobustness, RandomTokenSoupNeverCrashes) {
+  // The parser must reject garbage with ParseError, never crash or accept.
+  const char* vocab[] = {"loop", "for",  "to", "min", "{", "}",  "[", "]", "(",
+                         ")",    "=",    ":",  ";",   ",", "+",  "-", "*", "/",
+                         "A",    "name", "i",  "0",   "7", "2.5"};
+  std::uint64_t state = 12345;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % (sizeof(vocab) / sizeof(vocab[0]));
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string src;
+    int len = 1 + static_cast<int>(next() % 30);
+    for (int k = 0; k < len; ++k) {
+      src += vocab[next()];
+      src += ' ';
+    }
+    try {
+      LoopNest nest = parse_loop_nest(src);
+      // Extremely unlikely, but if it parses it must be structurally valid.
+      EXPECT_GE(nest.depth(), 1u);
+    } catch (const ParseError&) {
+      // expected for almost every random string
+    }
+  }
+}
+
+TEST(ParserTest, ParsedMatvecRunsFullPipeline) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop matvec {
+      for i = 1 to 8
+      for j = 1 to 8
+      y[i] = y[i] + A[i, j] * x[j];
+    }
+  )");
+  DependenceInfo deps = analyze_dependences(nest);
+  EXPECT_EQ(deps.distance_vectors().size(), 2u);
+  ArrayStore parsed = run_sequential(nest);
+  ArrayStore canned = run_sequential(workloads::matrix_vector(8));
+  EXPECT_TRUE(compare_stores(canned, parsed).equal);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,90 @@
+#include "mapping/gray.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+TEST(Gray, EncodeFirstEight) {
+  // Classic 3-bit reflected Gray sequence.
+  std::vector<std::uint64_t> expected = {0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100};
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(gray_encode(i), expected[i]) << i;
+}
+
+TEST(Gray, DecodeInvertsEncode) {
+  for (std::uint64_t i = 0; i < 4096; ++i) EXPECT_EQ(gray_decode(gray_encode(i)), i);
+  EXPECT_EQ(gray_decode(gray_encode(0xDEADBEEFULL)), 0xDEADBEEFULL);
+}
+
+TEST(Gray, AdjacentCodesDifferInOneBit) {
+  for (std::uint64_t i = 0; i + 1 < 1024; ++i)
+    EXPECT_EQ(popcount64(gray_encode(i) ^ gray_encode(i + 1)), 1u) << i;
+}
+
+TEST(Gray, SequenceProperties) {
+  std::vector<std::uint64_t> seq = gray_sequence(4);
+  ASSERT_EQ(seq.size(), 16u);
+  // All distinct and within range.
+  std::vector<bool> seen(16, false);
+  for (std::uint64_t g : seq) {
+    ASSERT_LT(g, 16u);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+  // Cyclic adjacency (last differs from first in one bit too).
+  EXPECT_EQ(popcount64(seq.front() ^ seq.back()), 1u);
+}
+
+TEST(Gray, PopcountAndPowers) {
+  EXPECT_EQ(popcount64(0), 0u);
+  EXPECT_EQ(popcount64(0b1011), 3u);
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+TEST(Gray, Log2) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_THROW(log2_floor(0), std::invalid_argument);
+  EXPECT_EQ(log2_exact(8), 3u);
+  EXPECT_THROW(log2_exact(12), std::invalid_argument);
+}
+
+TEST(Gray, ConcatGrayMatchesPaperExample3) {
+  // Fig. 8: 2-bit Gray code for y, 1-bit for x; cluster with x-rank 0 and
+  // y-rank 0 is processor 000.  Binary number = x bits then y bits.
+  EXPECT_EQ(concat_gray({0, 0}, {1, 2}), 0b000u);
+  EXPECT_EQ(concat_gray({0, 1}, {1, 2}), 0b001u);
+  EXPECT_EQ(concat_gray({0, 2}, {1, 2}), 0b011u);
+  EXPECT_EQ(concat_gray({0, 3}, {1, 2}), 0b010u);
+  EXPECT_EQ(concat_gray({1, 0}, {1, 2}), 0b100u);
+  EXPECT_EQ(concat_gray({1, 3}, {1, 2}), 0b110u);
+}
+
+TEST(Gray, ConcatGrayNeighborProperty) {
+  // Clusters adjacent along one direction map to hypercube neighbors.
+  std::vector<unsigned> bits = {2, 3};
+  for (std::uint64_t a = 0; a < 4; ++a)
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      std::uint64_t self = concat_gray({a, b}, bits);
+      if (a + 1 < 4) {
+        EXPECT_EQ(popcount64(self ^ concat_gray({a + 1, b}, bits)), 1u);
+      }
+      if (b + 1 < 8) {
+        EXPECT_EQ(popcount64(self ^ concat_gray({a, b + 1}, bits)), 1u);
+      }
+    }
+}
+
+TEST(Gray, ConcatGrayValidation) {
+  EXPECT_THROW(concat_gray({1, 2}, {1}), std::invalid_argument);   // size mismatch
+  EXPECT_THROW(concat_gray({4}, {2}), std::invalid_argument);      // rank too big
+  EXPECT_EQ(concat_gray({}, {}), 0u);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,179 @@
+#include "mapping/hypercube_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "mapping/gray.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(HypercubeMap, MeshTigOntoThreeCube) {
+  // Paper Example 3 / Fig. 8: 4x4 mesh TIG onto a 3-cube; 8 clusters of 2.
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  HypercubeMappingResult res = map_to_hypercube(tig, 3);
+  EXPECT_EQ(res.mapping.processor_count, 8u);
+  EXPECT_EQ(res.clusters.size(), 8u);
+  for (const Cluster& c : res.clusters) EXPECT_EQ(c.vertices.size(), 2u);
+
+  // Every processor used exactly once.
+  std::set<ProcId> procs;
+  for (const Cluster& c : res.clusters) procs.insert(c.processor);
+  EXPECT_EQ(procs.size(), 8u);
+
+  // Division alternates x, y, x -> 2 bits along x, 1 along y.
+  ASSERT_EQ(res.bits_per_direction.size(), 2u);
+  EXPECT_EQ(res.bits_per_direction[0] + res.bits_per_direction[1], 3u);
+  EXPECT_EQ(res.directions_used, 2u);
+}
+
+TEST(HypercubeMap, MeshNeighborClustersLandOnNeighborProcessors) {
+  // The Gray numbering guarantee: clusters adjacent along a bisection
+  // direction are hypercube neighbors.
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  HypercubeMappingResult res = map_to_hypercube(tig, 3);
+  Hypercube cube(3);
+  // Sort clusters by rank vectors and compare neighbors.
+  for (const Cluster& a : res.clusters) {
+    for (const Cluster& b : res.clusters) {
+      std::size_t diff_dirs = 0;
+      bool adjacent = true;
+      for (std::size_t d = 0; d < a.ranks.size(); ++d) {
+        std::uint64_t ra = a.ranks[d], rb = b.ranks[d];
+        if (ra == rb) continue;
+        ++diff_dirs;
+        if (!(ra + 1 == rb || rb + 1 == ra)) adjacent = false;
+      }
+      if (diff_dirs == 1 && adjacent) {
+        EXPECT_EQ(cube.distance(a.processor, b.processor), 1u);
+      }
+    }
+  }
+}
+
+TEST(HypercubeMap, CubeDimZero) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);
+  HypercubeMappingResult res = map_to_hypercube(tig, 0);
+  EXPECT_EQ(res.mapping.processor_count, 1u);
+  for (ProcId p : res.mapping.block_to_proc) EXPECT_EQ(p, 0u);
+}
+
+TEST(HypercubeMap, BalancedClusterSizes) {
+  // 16 blocks over 4 procs -> 4 each; 10 blocks over 4 procs -> sizes 2..3.
+  TaskInteractionGraph tig16 = TaskInteractionGraph::mesh(4, 4);
+  for (const Cluster& c : map_to_hypercube(tig16, 2).clusters)
+    EXPECT_EQ(c.vertices.size(), 4u);
+
+  TaskInteractionGraph tig10 = TaskInteractionGraph::mesh(5, 2);
+  for (const Cluster& c : map_to_hypercube(tig10, 2).clusters) {
+    EXPECT_GE(c.vertices.size(), 2u);
+    EXPECT_LE(c.vertices.size(), 3u);
+  }
+}
+
+TEST(HypercubeMap, MoreProcsThanBlocks) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 1);  // 2 blocks
+  HypercubeMappingResult res = map_to_hypercube(tig, 3);        // 8 procs
+  EXPECT_EQ(res.clusters.size(), 8u);
+  std::size_t nonempty = 0;
+  for (const Cluster& c : res.clusters) nonempty += c.vertices.empty() ? 0 : 1;
+  EXPECT_EQ(nonempty, 2u);
+}
+
+TEST(HypercubeMap, WithoutCoordinatesFallsBackToVertexOrder) {
+  TaskInteractionGraph tig(8);
+  for (std::size_t v = 0; v + 1 < 8; ++v) tig.add_comm(v, v + 1, 1);  // a path
+  ASSERT_FALSE(tig.has_coordinates());
+  HypercubeMappingResult res = map_to_hypercube(tig, 3);
+  // Consecutive path vertices end up on neighboring processors (1-D Gray).
+  Hypercube cube(3);
+  for (std::size_t v = 0; v + 1 < 8; ++v)
+    EXPECT_EQ(cube.distance(res.mapping.block_to_proc[v], res.mapping.block_to_proc[v + 1]), 1u)
+        << v;
+}
+
+TEST(HypercubeMap, L1PipelineMapping) {
+  auto q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::example_l1(7)));  // 8x8 domain
+  ProjectedStructure ps(*q, TimeFunction{{1, 1}});
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(*q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, p, g);
+  HypercubeMappingResult res = map_to_hypercube(tig, 2);
+  EXPECT_EQ(res.mapping.block_to_proc.size(), p.block_count());
+  // The 1-D block chain must map to a Gray path: blocks adjacent in the
+  // lattice land on processors at distance <= 1... adjacent *clusters*
+  // are exactly distance 1.
+  Hypercube cube(2);
+  MappingMetrics metrics = evaluate_mapping(tig, res.mapping, cube);
+  EXPECT_DOUBLE_EQ(metrics.avg_hops_weighted, 1.0);  // only neighbor traffic
+}
+
+TEST(HypercubeMap, WeightedSplitImprovesLoadBalance) {
+  // matvec blocks carry wildly uneven iteration counts (the diagonal block
+  // has 2M-1 points, the corner blocks ~1); weighted bisection must not
+  // increase the bottleneck compute load — and typically lowers it.
+  const std::int64_t m = 32;
+  auto q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::matrix_vector(m)));
+  ProjectedStructure ps(*q, TimeFunction{{1, 1}});
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(*q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, p, g);
+
+  Hypercube cube(3);
+  HypercubeMapOptions weighted;
+  weighted.weighted = true;
+  MappingMetrics plain = evaluate_mapping(tig, map_to_hypercube(tig, 3).mapping, cube);
+  MappingMetrics balanced =
+      evaluate_mapping(tig, map_to_hypercube(tig, 3, weighted).mapping, cube);
+  EXPECT_LE(balanced.max_proc_compute, plain.max_proc_compute);
+  EXPECT_LT(balanced.compute_imbalance, plain.compute_imbalance + 1e-9);
+  // Still a complete assignment with neighbor-only traffic.
+  EXPECT_DOUBLE_EQ(balanced.avg_hops_weighted, 1.0);
+}
+
+TEST(HypercubeMap, WeightedSplitStillCoversAllBlocks) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(5, 5);
+  for (std::size_t v = 0; v < tig.vertex_count(); ++v)
+    tig.set_compute_weight(v, static_cast<std::int64_t>(1 + (v * 7) % 13));
+  HypercubeMapOptions weighted;
+  weighted.weighted = true;
+  HypercubeMappingResult res = map_to_hypercube(tig, 3, weighted);
+  std::size_t total = 0;
+  for (const Cluster& c : res.clusters) total += c.vertices.size();
+  EXPECT_EQ(total, 25u);
+  for (ProcId p : res.mapping.block_to_proc) EXPECT_LT(p, 8u);
+}
+
+TEST(HypercubeMap, EmptyTigThrows) {
+  TaskInteractionGraph tig;
+  EXPECT_THROW(map_to_hypercube(tig, 2), std::invalid_argument);
+}
+
+class MapBalanceProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MapBalanceProperty, ClusterSizesDifferByAtMostSplitRounding) {
+  unsigned dim = GetParam();
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(6, 5);  // 30 blocks
+  HypercubeMappingResult res = map_to_hypercube(tig, dim);
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (const Cluster& c : res.clusters) {
+    lo = std::min(lo, c.vertices.size());
+    hi = std::max(hi, c.vertices.size());
+  }
+  // Repeated halving of 30 keeps sizes within a factor-of-rounding band.
+  EXPECT_LE(hi - lo, static_cast<std::size_t>(dim));
+  // All blocks assigned exactly once.
+  std::size_t total = 0;
+  for (const Cluster& c : res.clusters) total += c.vertices.size();
+  EXPECT_EQ(total, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MapBalanceProperty, ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,141 @@
+#include "schedule/hyperplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(TimeFunctionTest, StepAndNorm) {
+  TimeFunction tf{{1, 1}};
+  EXPECT_EQ(tf.step_of({2, 3}), 5);
+  EXPECT_EQ(tf.norm2(), 2);
+  EXPECT_EQ(tf.to_string(), "(1, 1)");
+}
+
+TEST(Validity, L1UniformIsValid) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  EXPECT_TRUE(is_valid_time_function(TimeFunction{{1, 1}}, q.dependences()));
+  // (1,0) fails: d=(0,1) has Π·d = 0.
+  EXPECT_FALSE(is_valid_time_function(TimeFunction{{1, 0}}, q.dependences()));
+  // (1,-1) fails on (1,1)? Π·(1,1) = 0 -> invalid.
+  EXPECT_FALSE(is_valid_time_function(TimeFunction{{1, -1}}, q.dependences()));
+  EXPECT_FALSE(is_valid_time_function(TimeFunction{{0, 0}}, q.dependences()));
+  EXPECT_FALSE(is_valid_time_function(TimeFunction{{}}, q.dependences()));
+}
+
+TEST(Validity, MatmulUniformIsValid) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication(2));
+  EXPECT_TRUE(is_valid_time_function(TimeFunction{{1, 1, 1}}, q.dependences()));
+  EXPECT_FALSE(is_valid_time_function(TimeFunction{{1, 1, 0}}, q.dependences()));
+}
+
+TEST(Profile, L1Hyperplanes) {
+  // Fig. 1: hyperplanes i+j = 0..6 on the 4x4 domain; widest has 4 points.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  ScheduleProfile p = profile_schedule(TimeFunction{{1, 1}}, q.vertices());
+  EXPECT_EQ(p.first_step, 0);
+  EXPECT_EQ(p.last_step, 6);
+  EXPECT_EQ(p.step_count, 7u);
+  EXPECT_EQ(p.span(), 7);
+  EXPECT_EQ(p.max_parallelism, 4u);
+  EXPECT_EQ(p.points_per_step.at(0), 1u);
+  EXPECT_EQ(p.points_per_step.at(3), 4u);
+  EXPECT_EQ(p.points_per_step.at(6), 1u);
+}
+
+TEST(Profile, EmptyPoints) {
+  ScheduleProfile p = profile_schedule(TimeFunction{{1}}, {});
+  EXPECT_EQ(p.step_count, 0u);
+  EXPECT_EQ(p.max_parallelism, 0u);
+}
+
+TEST(Search, FindsOptimalForL1) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  auto tf = search_time_function(q);
+  ASSERT_TRUE(tf.has_value());
+  // (1,1) has span 7; no valid Π in the box does better (dependences force
+  // positive components).
+  EXPECT_TRUE(is_valid_time_function(*tf, q.dependences()));
+  ScheduleProfile p = profile_schedule(*tf, q.vertices());
+  EXPECT_EQ(p.span(), 7);
+  EXPECT_EQ(tf->pi, (IntVec{1, 1}));
+}
+
+TEST(Search, FindsOptimalForMatmul) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication(3));
+  auto tf = search_time_function(q);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_EQ(tf->pi, (IntVec{1, 1, 1}));
+  EXPECT_EQ(profile_schedule(*tf, q.vertices()).span(), 10);
+}
+
+TEST(Search, RespectsSearchBox) {
+  // Dependences {(2,-1), (-1,2)} require Π with both components positive and
+  // within ratio (1/2, 2); Π=(1,1) works.  A box of 0 coefficients can't.
+  ComputationStructure q({{0, 0}, {1, 1}}, {{2, -1}, {-1, 2}});
+  TimeFunctionSearchOptions opts;
+  opts.max_coefficient = 0;
+  EXPECT_FALSE(search_time_function(q, opts).has_value());
+  opts.max_coefficient = 1;
+  auto tf = search_time_function(q, opts);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_EQ(tf->pi, (IntVec{1, 1}));
+}
+
+TEST(Search, NonnegativeRestriction) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::sor2d(4, 4));
+  TimeFunctionSearchOptions opts;
+  opts.nonnegative_only = true;
+  auto tf = search_time_function(q, opts);
+  ASSERT_TRUE(tf.has_value());
+  for (std::int64_t c : tf->pi) EXPECT_GE(c, 0);
+}
+
+TEST(Search, NegativeCoefficientWhenBeneficial) {
+  // Dependence (1,-1) only: Π=(1,0) is valid with span N; Π=(1,-1)
+  // normalizes… search should find a valid Π regardless of sign structure.
+  ComputationStructure q({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {{1, -1}});
+  auto tf = search_time_function(q);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_GT(dot(tf->pi, {1, -1}), 0);
+}
+
+TEST(UniformTf, ValidAndInvalid) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  TimeFunction tf = uniform_time_function(q.dependences(), 2);
+  EXPECT_EQ(tf.pi, (IntVec{1, 1}));
+  // Dependence with a negative total: (1,-2) has Π·d = -1 < 0.
+  EXPECT_THROW(uniform_time_function({{1, -2}}, 2), std::invalid_argument);
+}
+
+TEST(Search, SpanNeverBelowCriticalPath) {
+  // The longest dependence chain (in arcs) + 1 lower-bounds any linear
+  // schedule's step count.
+  for (auto nest : {workloads::example_l1(), workloads::sor2d(4, 5)}) {
+    ComputationStructure q = ComputationStructure::from_loop(nest);
+    std::size_t critical = q.to_digraph().dag_longest_path();
+    auto tf = search_time_function(q);
+    ASSERT_TRUE(tf.has_value());
+    EXPECT_GE(static_cast<std::size_t>(profile_schedule(*tf, q.vertices()).span()), critical + 1);
+  }
+}
+
+class ValidityProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ValidityProperty, AllArcsRespectSchedule) {
+  // For every arc (u, v) of the structure, step(v) > step(u) under a valid Π.
+  std::int64_t n = GetParam();
+  ComputationStructure q = ComputationStructure::from_loop(workloads::sor2d(n, n));
+  auto tf = search_time_function(q);
+  ASSERT_TRUE(tf.has_value());
+  q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+    EXPECT_LT(tf->step_of(src), tf->step_of(dst));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ValidityProperty, ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,110 @@
+#include "baselines/independent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(Independent, MatmulSerializes) {
+  // Paper Section I: matrix multiplication "cannot be partitioned into
+  // independent blocks. Therefore, these algorithms will execute
+  // sequentially by their methods."
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication(2));
+  IndependentPartition ip = independent_partition(q);
+  EXPECT_EQ(ip.lattice_rank, 3u);
+  EXPECT_EQ(ip.lattice_class_count, 1);
+  EXPECT_EQ(ip.block_count, 1u);
+  EXPECT_TRUE(ip.is_sequential());
+}
+
+TEST(Independent, MatvecSerializes) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_vector(5));
+  IndependentPartition ip = independent_partition(q);
+  EXPECT_EQ(ip.lattice_class_count, 1);
+  EXPECT_TRUE(ip.is_sequential());
+}
+
+TEST(Independent, ConvolutionSerializes) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::convolution1d(6, 4));
+  IndependentPartition ip = independent_partition(q);
+  EXPECT_TRUE(ip.is_sequential());
+}
+
+TEST(Independent, StridedRecurrenceParallelizes) {
+  // D = {(3,0),(0,3)}: the lattice has 9 residue classes; on a 10x10 domain
+  // all 9 are realized.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::strided_recurrence(9, 3));
+  IndependentPartition ip = independent_partition(q);
+  EXPECT_EQ(ip.lattice_rank, 2u);
+  EXPECT_EQ(ip.lattice_class_count, 9);
+  EXPECT_EQ(ip.block_count, 9u);
+  EXPECT_FALSE(ip.is_sequential());
+}
+
+TEST(Independent, BlocksAreActuallyIndependent) {
+  // No dependence arc may cross block labels.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::strided_recurrence(9, 3));
+  IndependentPartition ip = independent_partition(q);
+  q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+    EXPECT_EQ(ip.labels[q.id_of(src)], ip.labels[q.id_of(dst)]);
+  });
+}
+
+TEST(Independent, RankDeficientLatticeGivesManyBlocks) {
+  // Single dependence (1,0): classes are the columns j = const.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::sor2d(4, 4));
+  // sor2d has D = {(1,0),(0,1)} -> full rank det 1 -> sequential.
+  EXPECT_TRUE(independent_partition(q).is_sequential());
+
+  // Now a genuinely rank-deficient case: only the column recurrence.
+  LoopNest col_only = LoopNestBuilder("columns")
+                          .loop("i", 0, 3)
+                          .loop("j", 0, 5)
+                          .statement("S")
+                          .write("A", {idx(0), idx(1)})
+                          .read("A", {idx(0) - 1, idx(1)})
+                          .build();
+  ComputationStructure qc = ComputationStructure::from_loop(col_only);
+  IndependentPartition ip = independent_partition(qc);
+  EXPECT_EQ(ip.lattice_rank, 1u);
+  EXPECT_EQ(ip.lattice_class_count, 0);  // unbounded by the lattice alone
+  EXPECT_EQ(ip.block_count, 6u);         // one block per column
+}
+
+TEST(Independent, NoDependencesFullyParallel) {
+  ComputationStructure q({{0, 0}, {0, 1}, {1, 0}}, {});
+  IndependentPartition ip = independent_partition(q);
+  EXPECT_EQ(ip.block_count, 3u);
+  EXPECT_EQ(ip.lattice_rank, 0u);
+}
+
+TEST(Independent, ResidueCanonicalization) {
+  // Residues of x and x + lattice vector must coincide.
+  IntMat d = IntMat::from_cols({{2, 0}, {1, 3}});
+  HermiteResult h = hermite_normal_form(d);
+  IntVec x{5, -7};
+  IntVec shifted = add(x, add(scale(d.col(0), 3), scale(d.col(1), -2)));
+  EXPECT_EQ(lattice_residue(x, h), lattice_residue(shifted, h));
+  // And residues of non-equivalent points differ: (0,0) vs (1,0) with
+  // lattice det 6.
+  EXPECT_NE(lattice_residue(IntVec{0, 0}, h), lattice_residue(IntVec{1, 0}, h));
+}
+
+class IndependentClassCountProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(IndependentClassCountProperty, StrideSquaredClasses) {
+  std::int64_t stride = GetParam();
+  // Domain large enough to realize all residue classes.
+  ComputationStructure q = ComputationStructure::from_loop(
+      workloads::strided_recurrence(3 * stride, stride));
+  IndependentPartition ip = independent_partition(q);
+  EXPECT_EQ(ip.lattice_class_count, stride * stride);
+  EXPECT_EQ(ip.block_count, static_cast<std::size_t>(stride * stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, IndependentClassCountProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace hypart

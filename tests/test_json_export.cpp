@@ -1,0 +1,86 @@
+#include "core/json_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", std::string("he said \"hi\"\n"));
+  w.field("count", std::int64_t{42});
+  w.field("ratio", 0.5);
+  w.field("flag", true);
+  w.begin_array("xs");
+  w.value(std::int64_t{1});
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"he said \\\"hi\\\"\\n\",\"count\":42,\"ratio\":0.5,"
+            "\"flag\":true,\"xs\":[1,2]}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("inner").begin_object().field("a", std::int64_t{1}).end_object();
+  w.field("after", false);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"inner\":{\"a\":1},\"after\":false}");
+}
+
+// Very small validating parser: checks balance and quote integrity so the
+// exporter can't silently emit malformed JSON.
+bool roughly_valid_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(PipelineJson, L1Export) {
+  PipelineConfig cfg;
+  cfg.cube_dim = 1;
+  LoopNest l1 = workloads::example_l1();
+  PipelineResult r = run_pipeline(l1, cfg);
+  std::string json = pipeline_result_to_json(l1, r);
+
+  EXPECT_TRUE(roughly_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"loop\":\"L1\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"total_arcs\":33"), std::string::npos);
+  EXPECT_NE(json.find("\"interblock_arcs\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"time_function\":[1,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"theorem2\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"distance\":[0,1]"), std::string::npos);
+}
+
+TEST(PipelineJson, AllWorkloadsValid) {
+  PipelineConfig cfg;
+  cfg.cube_dim = 2;
+  for (const LoopNest& nest : {workloads::matrix_vector(6), workloads::sor2d(4, 5),
+                               workloads::matrix_multiplication(3)}) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    std::string json = pipeline_result_to_json(nest, r);
+    EXPECT_TRUE(roughly_valid_json(json)) << nest.name();
+    EXPECT_NE(json.find("\"validation\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hypart

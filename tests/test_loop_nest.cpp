@@ -1,0 +1,133 @@
+#include "loop/loop_nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(AffineExpr, Evaluate) {
+  AffineExpr e(3, {1, -2});  // 3 + i - 2j
+  EXPECT_EQ(e.evaluate({10, 4}), 5);
+  EXPECT_EQ(e.evaluate({0, 0}), 3);
+  EXPECT_EQ(e.evaluate({0, 0, 99}), 3);  // extra indices ignored
+}
+
+TEST(AffineExpr, EvaluateTooFewIndicesThrows) {
+  AffineExpr e(0, {1, 1, 1});
+  EXPECT_THROW(static_cast<void>(e.evaluate({1, 2})), std::invalid_argument);
+}
+
+TEST(AffineExpr, IndexFactory) {
+  AffineExpr i1 = AffineExpr::index(1);
+  EXPECT_EQ(i1.evaluate({7, 9}), 9);
+  AffineExpr shifted = AffineExpr::index(0, 2, -1);  // 2i - 1
+  EXPECT_EQ(shifted.evaluate({5}), 9);
+}
+
+TEST(AffineExpr, Operators) {
+  AffineExpr e = idx(0) + 3;
+  EXPECT_EQ(e.evaluate({4}), 7);
+  e = idx(0) - idx(1);
+  EXPECT_EQ(e.evaluate({10, 4}), 6);
+  e = 2 * idx(1) + 1;
+  EXPECT_EQ(e.evaluate({0, 5}), 11);
+  e = (idx(0) + idx(1)) - 2;
+  EXPECT_EQ(e.evaluate({3, 4}), 5);
+}
+
+TEST(AffineExpr, Equality) {
+  EXPECT_EQ(idx(0) + 1, AffineExpr::index(0, 1, 1));
+  AffineExpr a(1, {1, 0});
+  AffineExpr b(1, {1});
+  EXPECT_EQ(a, b);  // trailing zero coefficients equal
+  EXPECT_FALSE(idx(0) == idx(1));
+}
+
+TEST(AffineExpr, ToString) {
+  EXPECT_EQ((idx(0) + 1).to_string({"i", "j"}), "i+1");
+  EXPECT_EQ((idx(1) - 2).to_string({"i", "j"}), "j-2");
+  EXPECT_EQ(AffineExpr(5).to_string(), "5");
+  EXPECT_EQ((2 * idx(0)).to_string({"i"}), "2*i");
+  EXPECT_EQ((idx(0) - idx(1)).to_string({"i", "j"}), "i-j");
+}
+
+TEST(AffineExpr, IsConstant) {
+  EXPECT_TRUE(AffineExpr(7).is_constant());
+  EXPECT_FALSE(idx(0).is_constant());
+  AffineExpr zeroed(4, {0, 0});
+  EXPECT_TRUE(zeroed.is_constant());
+}
+
+TEST(ArrayAccess, AccessMatrixAndOffset) {
+  ArrayAccess a{"A", {idx(0) + 1, idx(1) - 2}, AccessKind::Write};
+  IntMat f = a.access_matrix(2);
+  EXPECT_EQ(f, IntMat::from_rows({{1, 0}, {0, 1}}));
+  EXPECT_EQ(a.offset_vector(), (IntVec{1, -2}));
+}
+
+TEST(ArrayAccess, SkewedAccess) {
+  ArrayAccess a{"x", {idx(0) - idx(1)}, AccessKind::Read};
+  EXPECT_EQ(a.access_matrix(2), IntMat::from_rows({{1, -1}}));
+  EXPECT_EQ(a.offset_vector(), (IntVec{0}));
+}
+
+TEST(ArrayAccess, DeeperThanNestThrows) {
+  ArrayAccess a{"A", {idx(3)}, AccessKind::Read};
+  EXPECT_THROW(a.access_matrix(2), std::invalid_argument);
+}
+
+TEST(LoopNestBuilder, BuildsL1) {
+  LoopNest l1 = workloads::example_l1();
+  EXPECT_EQ(l1.depth(), 2u);
+  EXPECT_EQ(l1.statements().size(), 2u);
+  EXPECT_EQ(l1.index_names(), (std::vector<std::string>{"i", "j"}));
+  EXPECT_TRUE(l1.is_rectangular());
+  EXPECT_EQ(l1.body_flops(), 3);
+}
+
+TEST(LoopNestBuilder, AccessBeforeStatementThrows) {
+  LoopNestBuilder b("bad");
+  b.loop("i", 0, 3);
+  EXPECT_THROW(b.read("A", {idx(0)}), std::logic_error);
+}
+
+TEST(LoopNest, EmptyDimsThrows) {
+  EXPECT_THROW(LoopNest("empty", {}, {}), std::invalid_argument);
+}
+
+TEST(LoopNest, TriangularBounds) {
+  // for i = 0..4; for j = 0..i  (lower-triangular domain)
+  LoopNest tri = LoopNestBuilder("tri")
+                     .loop("i", 0, 4)
+                     .loop("j", 0, idx(0))
+                     .statement("S")
+                     .write("A", {idx(0), idx(1)})
+                     .read("A", {idx(0) - 1, idx(1)})
+                     .build();
+  EXPECT_FALSE(tri.is_rectangular());
+}
+
+TEST(LoopNest, BoundReferencingInnerIndexThrows) {
+  EXPECT_THROW(LoopNestBuilder("bad").loop("i", 0, idx(1)).loop("j", 0, 3).statement("S").build(),
+               std::invalid_argument);
+}
+
+TEST(LoopNest, StatementReadsWrites) {
+  LoopNest l1 = workloads::example_l1();
+  const Statement& s1 = l1.statements()[0];
+  EXPECT_EQ(s1.writes().size(), 1u);
+  EXPECT_EQ(s1.reads().size(), 2u);
+  EXPECT_EQ(s1.writes()[0].array, "A");
+}
+
+TEST(LoopNest, ToStringContainsStructure) {
+  std::string s = workloads::example_l1().to_string();
+  EXPECT_NE(s.find("for i = 0 to 3"), std::string::npos);
+  EXPECT_NE(s.find("for j = 0 to 3"), std::string::npos);
+  EXPECT_NE(s.find("A[i+1,j+1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,45 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+TEST(CostTest, ValueWithMachineParams) {
+  MachineParams m{1.0, 50.0, 5.0};
+  Cost c{100, 2, 10};
+  EXPECT_DOUBLE_EQ(c.value(m), 100.0 + 100.0 + 50.0);
+}
+
+TEST(CostTest, Accumulation) {
+  Cost a{1, 2, 3};
+  Cost b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a, (Cost{11, 22, 33}));
+  EXPECT_EQ((Cost{1, 0, 0} + Cost{0, 1, 1}), (Cost{1, 1, 1}));
+}
+
+TEST(CostTest, PaperStyleToString) {
+  // Table I rendering: "786944 t_calc + 2046(t_start+t_comm)".
+  Cost row{786944, 2046, 2046};
+  EXPECT_EQ(row.to_string(), "786944 t_calc + 2046(t_start+t_comm)");
+  Cost seq{2097152, 0, 0};
+  EXPECT_EQ(seq.to_string(), "2097152 t_calc");
+}
+
+TEST(CostTest, ToStringMixedTerms) {
+  EXPECT_EQ((Cost{0, 3, 7}).to_string(), "3 t_start + 7 t_comm");
+  EXPECT_EQ((Cost{5, 0, 7}).to_string(), "5 t_calc + 7 t_comm");
+  EXPECT_EQ((Cost{0, 4, 0}).to_string(), "4 t_start");
+  EXPECT_EQ((Cost{}).to_string(), "0");
+  EXPECT_EQ((Cost{0, 9, 9}).to_string(), "9(t_start+t_comm)");
+}
+
+TEST(CostTest, DefaultMachineReflectsCommOverhead) {
+  // The paper's premise: message overhead dominates computation.
+  MachineParams m;
+  EXPECT_GT(m.t_start, 10.0 * m.t_calc);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,104 @@
+#include "mapping/other_topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mapping/hypercube_map.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(MeshMap, MeshTigMapsIdentityLike) {
+  // A 4x4 mesh TIG onto a 4x4 mesh: all communication is neighbor-to-
+  // neighbor (dilation 1).
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  Mesh2D mesh(4, 4);
+  Mapping m = map_to_mesh(tig, mesh);
+  EXPECT_EQ(m.processor_count, 16u);
+  MappingMetrics met = evaluate_mapping(tig, m, mesh);
+  EXPECT_EQ(met.used_processors, 16u);
+  EXPECT_DOUBLE_EQ(met.avg_hops_weighted, 1.0);
+  EXPECT_EQ(met.max_proc_compute, 1);
+}
+
+TEST(MeshMap, LinearTigSnakesAcrossMesh) {
+  // A path TIG (1-D coordinates) on a mesh: the snake layout keeps
+  // consecutive clusters adjacent.
+  TaskInteractionGraph tig(16);
+  for (std::size_t v = 0; v < 16; ++v)
+    tig.set_coordinates(v, {static_cast<std::int64_t>(v)});
+  for (std::size_t v = 0; v + 1 < 16; ++v) tig.add_comm(v, v + 1, 1);
+  Mesh2D mesh(4, 4);
+  Mapping m = map_to_mesh(tig, mesh);
+  MappingMetrics met = evaluate_mapping(tig, m, mesh);
+  EXPECT_DOUBLE_EQ(met.avg_hops_weighted, 1.0);
+}
+
+TEST(MeshMap, NonPowerOfTwoMeshRejected) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(3, 3);
+  EXPECT_THROW(map_to_mesh(tig, Mesh2D(3, 3)), std::invalid_argument);
+}
+
+TEST(MeshMap, BalancedLoad) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(8, 8);  // 64 blocks
+  Mesh2D mesh(4, 2);
+  Mapping m = map_to_mesh(tig, mesh);
+  std::vector<std::size_t> load(mesh.size(), 0);
+  for (ProcId p : m.block_to_proc) ++load[p];
+  for (std::size_t l : load) EXPECT_EQ(l, 8u);
+}
+
+TEST(RingMap, ConsecutiveClustersAdjacent) {
+  const std::int64_t m = 16;
+  auto q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::matrix_vector(m)));
+  ProjectedStructure ps(*q, TimeFunction{{1, 1}});
+  Grouping g = Grouping::compute(ps);
+  Partition part = Partition::build(*q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, part, g);
+
+  Ring ring(8);
+  Mapping map = map_to_ring(tig, 8);
+  MappingMetrics met = evaluate_mapping(tig, map, ring);
+  // The matvec block chain cut into 8 arcs of the ring: all cut traffic
+  // between consecutive positions.
+  EXPECT_DOUBLE_EQ(met.avg_hops_weighted, 1.0);
+  EXPECT_EQ(met.used_processors, 8u);
+}
+
+TEST(RingMap, PowerOfTwoRequired) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  EXPECT_THROW(map_to_ring(tig, 6), std::invalid_argument);
+}
+
+TEST(RingMap, SingleProcessor) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);
+  Mapping m = map_to_ring(tig, 1);
+  for (ProcId p : m.block_to_proc) EXPECT_EQ(p, 0u);
+}
+
+TEST(TopologyComparison, HypercubeNoWorseThanRingForMeshTig) {
+  // With equal processor counts, the richer topology can only help the
+  // 2-D-structured TIG.
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(8, 8);
+  Hypercube cube(4);
+  Ring ring(16);
+  Mesh2D mesh(4, 4);
+
+  MappingMetrics on_cube = evaluate_mapping(tig, map_to_hypercube(tig, 4).mapping, cube);
+  MappingMetrics on_mesh = evaluate_mapping(tig, map_to_mesh(tig, mesh), mesh);
+  MappingMetrics on_ring = evaluate_mapping(tig, map_to_ring(tig, 16), ring);
+  EXPECT_LE(on_cube.total_comm_cost, on_ring.total_comm_cost);
+  EXPECT_LE(on_mesh.total_comm_cost, on_ring.total_comm_cost);
+}
+
+TEST(MeshMap, EmptyTigThrows) {
+  TaskInteractionGraph tig;
+  EXPECT_THROW(map_to_mesh(tig, Mesh2D(2, 2)), std::invalid_argument);
+  EXPECT_THROW(map_to_ring(tig, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hypart

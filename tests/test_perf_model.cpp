@@ -1,0 +1,91 @@
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+TEST(PerfModel, TableIExactRows) {
+  // Table I, M = 1024: the six published rows, verbatim.
+  EXPECT_EQ(perf::matvec_exec_time(1024, 1), (Cost{2097152, 0, 0}));
+  EXPECT_EQ(perf::matvec_exec_time(1024, 4), (Cost{786944, 2046, 2046}));
+  EXPECT_EQ(perf::matvec_exec_time(1024, 16), (Cost{245888, 2046, 2046}));
+  EXPECT_EQ(perf::matvec_exec_time(1024, 64), (Cost{64544, 2046, 2046}));
+  EXPECT_EQ(perf::matvec_exec_time(1024, 256), (Cost{16328, 2046, 2046}));
+  EXPECT_EQ(perf::matvec_exec_time(1024, 1024), (Cost{4094, 2046, 2046}));
+}
+
+TEST(PerfModel, TableIRendering) {
+  EXPECT_EQ(perf::matvec_exec_time(1024, 1).to_string(), "2097152 t_calc");
+  EXPECT_EQ(perf::matvec_exec_time(1024, 64).to_string(),
+            "64544 t_calc + 2046(t_start+t_comm)");
+}
+
+TEST(PerfModel, BottleneckPointsFormula) {
+  // W = sum_{i=l}^{M} i with l = floor((N-2)/N * M) + 1.
+  EXPECT_EQ(perf::matvec_bottleneck_points(1024, 4), 393472);
+  EXPECT_EQ(perf::matvec_bottleneck_points(1024, 16), 122944);
+  EXPECT_EQ(perf::matvec_bottleneck_points(1024, 2), 1024 * 1025 / 2);
+  EXPECT_EQ(perf::matvec_bottleneck_points(8, 1), 64);
+}
+
+TEST(PerfModel, ComputeTermStrictlyDecreasesWithN) {
+  std::int64_t prev = INT64_MAX;
+  for (std::int64_t n : {1, 4, 16, 64, 256, 1024}) {
+    Cost c = perf::matvec_exec_time(1024, n);
+    EXPECT_LT(c.calc, prev);
+    prev = c.calc;
+  }
+}
+
+TEST(PerfModel, CommTermInvariantInN) {
+  for (std::int64_t n : {4, 16, 64, 256, 1024}) {
+    Cost c = perf::matvec_exec_time(1024, n);
+    EXPECT_EQ(c.start, 2046);
+    EXPECT_EQ(c.comm, 2046);
+  }
+}
+
+TEST(PerfModel, SpeedupIncreasesThenSaturates) {
+  MachineParams m{1.0, 50.0, 5.0};
+  double prev = 0.0;
+  for (std::int64_t n : {1, 4, 16, 64, 256, 1024}) {
+    double s = perf::matvec_speedup(1024, n, m);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  // With heavy comm overhead the speedup stays far below N at N = 1024.
+  EXPECT_LT(prev, 1024.0 / 10.0);
+}
+
+TEST(PerfModel, CommRatioDeclinesWithGrainSize) {
+  // Paper: "the ratio of communication time to computation time declines
+  // rapidly as the grain size grows" — i.e. as M grows for fixed N.
+  MachineParams m{1.0, 50.0, 5.0};
+  double prev = 1e300;
+  for (std::int64_t size : {64, 128, 256, 512, 1024}) {
+    double ratio = perf::matvec_comm_ratio(size, 16, m);
+    EXPECT_LT(ratio, prev);
+    prev = ratio;
+  }
+}
+
+TEST(PerfModel, InvalidInputsThrow) {
+  EXPECT_THROW(perf::matvec_bottleneck_points(0, 4), std::invalid_argument);
+  EXPECT_THROW(perf::matvec_bottleneck_points(8, 0), std::invalid_argument);
+}
+
+class PerfModelWConsistency : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PerfModelWConsistency, WNeverBelowFairShareNorAboveTotal) {
+  std::int64_t n = GetParam();
+  const std::int64_t m = 1024;
+  std::int64_t w = perf::matvec_bottleneck_points(m, n);
+  EXPECT_GE(w, m * m / n);  // bottleneck at least the fair share
+  EXPECT_LE(w, m * m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, PerfModelWConsistency, ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace hypart

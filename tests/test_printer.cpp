@@ -1,0 +1,85 @@
+#include "frontend/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/interpreter.hpp"
+#include "frontend/parser.hpp"
+#include "loop/dependence.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(Printer, EmitsParsableSource) {
+  std::string src = unparse_loop_nest(workloads::example_l1());
+  EXPECT_NE(src.find("loop L1 {"), std::string::npos);
+  EXPECT_NE(src.find("for i = 0 to 3"), std::string::npos);
+  EXPECT_NE(src.find("S1: A[i+1, j+1] ="), std::string::npos);
+  LoopNest back = parse_loop_nest(src);
+  EXPECT_EQ(back.depth(), 2u);
+}
+
+TEST(Printer, NonExecutableRejected) {
+  LoopNest plain = LoopNestBuilder("p")
+                       .loop("i", 0, 3)
+                       .statement("S")
+                       .write("A", {idx(0)})
+                       .build();
+  EXPECT_THROW(unparse_loop_nest(plain), std::invalid_argument);
+}
+
+TEST(Printer, NameSanitization) {
+  std::string src = unparse_loop_nest(workloads::transitive_closure(3));
+  EXPECT_NE(src.find("loop transitive_closure {"), std::string::npos);
+  LoopNest back = parse_loop_nest(src);
+  EXPECT_EQ(back.name(), "transitive_closure");
+}
+
+TEST(Lexer, ScientificNotation) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop sci {
+      for i = 0 to 3
+      A[i] = A[i - 1] * 2.5e-1 + 1e2;
+    }
+  )");
+  ArrayStore out = run_sequential(nest);
+  // A[0] = init(A,-1)*0.25 + 100.
+  double expect = default_init("A", {-1}) * 0.25 + 100.0;
+  EXPECT_NEAR(*out.load("A", {0}), expect, 1e-12);
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripProperty, ParseOfUnparsePreservesSemantics) {
+  LoopNest nest = [&]() -> LoopNest {
+    switch (GetParam()) {
+      case 0: return workloads::example_l1(5);
+      case 1: return workloads::matrix_vector(6);
+      case 2: return workloads::matrix_multiplication(3);
+      case 3: return workloads::sor2d(5, 6);
+      case 4: return workloads::convolution1d(8, 4);
+      case 5: return workloads::wavefront3d(3);
+      case 6: return workloads::transitive_closure(3);
+      case 7: return workloads::strided_recurrence(6, 2);
+      default: return workloads::dft_horner(6);
+    }
+  }();
+  LoopNest back = parse_loop_nest(unparse_loop_nest(nest));
+
+  // Same structure.
+  EXPECT_EQ(back.depth(), nest.depth());
+  EXPECT_EQ(back.statements().size(), nest.statements().size());
+  // Same dependences.
+  EXPECT_EQ(analyze_dependences(back).distance_vectors(),
+            analyze_dependences(nest).distance_vectors());
+  // Same executed values (constants round-trip via shortest representation).
+  ArrayStore expected = run_sequential(nest);
+  ArrayStore actual = run_sequential(back);
+  EquivalenceReport rep = compare_stores(expected, actual, 1e-12);
+  EXPECT_TRUE(rep.equal) << nest.name() << ": " << rep.first_mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, RoundTripProperty, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,176 @@
+#include "partition/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+ComputationStructure l1() { return ComputationStructure::from_loop(workloads::example_l1()); }
+ComputationStructure mm(std::int64_t n = 3) {
+  return ComputationStructure::from_loop(workloads::matrix_multiplication(n));
+}
+
+TEST(ProjectScaled, MatchesDefinition3) {
+  // j^p = j - (j·Π / Π·Π) Π, scaled by s = Π·Π.
+  TimeFunction tf{{1, 1}};
+  // j = (3,0): j·Π = 3, j^p = (3,0) - 3/2(1,1) = (3/2, -3/2); scaled: (3,-3).
+  EXPECT_EQ(project_scaled({3, 0}, tf), (IntVec{3, -3}));
+  // j = (2,2) on the line of the origin: j^p = 0.
+  EXPECT_EQ(project_scaled({2, 2}, tf), (IntVec{0, 0}));
+}
+
+TEST(ProjectScaled, OrthogonalToPi) {
+  TimeFunction tf{{1, 2, 3}};
+  IntVec p = project_scaled({4, -1, 7}, tf);
+  EXPECT_EQ(dot(p, tf.pi), 0);
+}
+
+TEST(ProjectedStructure, L1SevenPoints) {
+  // Paper: "We get seven projected points" for L1 with Π = (1,1).
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  EXPECT_EQ(ps.scale(), 2);
+  EXPECT_EQ(ps.point_count(), 7u);
+
+  // The paper's V^p (x2 scaling): (-3,3), (-2,2), (-1,1), (0,0), (1,-1),
+  // (2,-2), (3,-3).
+  std::set<IntVec> expected = {{-3, 3}, {-2, 2}, {-1, 1}, {0, 0}, {1, -1}, {2, -2}, {3, -3}};
+  std::set<IntVec> actual(ps.points().begin(), ps.points().end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ProjectedStructure, L1RationalCoordinates) {
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  // Point (-3,3) scaled is (-3/2, 3/2) in true coordinates.
+  std::optional<std::size_t> id = ps.find_point({-3, 3});
+  ASSERT_TRUE(id.has_value());
+  RatVec r = ps.point_rational(*id);
+  EXPECT_EQ(r[0], Rational(-3, 2));
+  EXPECT_EQ(r[1], Rational(3, 2));
+}
+
+TEST(ProjectedStructure, L1ProjectedDeps) {
+  // d1=(0,1) -> (-1/2,1/2); d2=(1,1) -> 0; d3=(1,0) -> (1/2,-1/2).
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  const std::vector<IntVec>& deps = q.dependences();
+  ASSERT_EQ(deps.size(), 3u);
+  for (std::size_t k = 0; k < deps.size(); ++k) {
+    const IntVec& d = deps[k];
+    const IntVec& dp = ps.projected_deps_scaled()[k];
+    if (d == IntVec{0, 1}) {
+      EXPECT_EQ(dp, (IntVec{-1, 1}));
+    }
+    if (d == IntVec{1, 1}) {
+      EXPECT_EQ(dp, (IntVec{0, 0}));
+    }
+    if (d == IntVec{1, 0}) {
+      EXPECT_EQ(dp, (IntVec{1, -1}));
+    }
+  }
+}
+
+TEST(ProjectedStructure, L1ReplicationFactors) {
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  for (std::size_t k = 0; k < q.dependences().size(); ++k) {
+    if (is_zero(ps.projected_deps_scaled()[k]))
+      EXPECT_EQ(ps.replication_factor(k), 1);
+    else
+      EXPECT_EQ(ps.replication_factor(k), 2);
+  }
+}
+
+TEST(ProjectedStructure, L1LinePopulations) {
+  // Line populations on the 4x4 domain: 1,2,3,4,3,2,1.
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  std::multiset<std::size_t> pops;
+  for (std::size_t i = 0; i < ps.point_count(); ++i) pops.insert(ps.line_population(i));
+  EXPECT_EQ(pops, (std::multiset<std::size_t>{1, 1, 2, 2, 3, 3, 4}));
+  // Populations sum to |J^n|.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < ps.point_count(); ++i) total += ps.line_population(i);
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(ProjectedStructure, Matmul37Points) {
+  // Paper Fig. 5: "There are 37 projected points".
+  ComputationStructure q = mm();
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  EXPECT_EQ(ps.scale(), 3);
+  EXPECT_EQ(ps.point_count(), 37u);
+}
+
+TEST(ProjectedStructure, MatmulProjectedDeps) {
+  // D^p = {(-1/3,2/3,-1/3), (2/3,-1/3,-1/3), (-1/3,-1/3,2/3)} (Fig. 5).
+  ComputationStructure q = mm();
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  std::set<IntVec> expected = {{-1, 2, -1}, {2, -1, -1}, {-1, -1, 2}};
+  std::set<IntVec> actual(ps.projected_deps_scaled().begin(), ps.projected_deps_scaled().end());
+  EXPECT_EQ(actual, expected);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(ps.replication_factor(k), 3);
+}
+
+TEST(ProjectedStructure, MatmulBeta2) {
+  // rank(mat(D^p)) = 2 (paper's grouping-phase comment).
+  ComputationStructure q = mm();
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  EXPECT_EQ(ps.projected_rank(), 2u);
+}
+
+TEST(ProjectedStructure, PointOfRoundTrips) {
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  for (const IntVec& v : q.vertices()) {
+    std::size_t id = ps.point_of(v);
+    EXPECT_EQ(ps.points()[id], project_scaled(v, TimeFunction{{1, 1}}));
+  }
+}
+
+TEST(ProjectedStructure, InvalidTimeFunctionRejected) {
+  ComputationStructure q = l1();
+  EXPECT_THROW(ProjectedStructure(q, TimeFunction{{1, 0}}), std::invalid_argument);
+  EXPECT_THROW(ProjectedStructure(q, TimeFunction{{1, 1, 1}}), std::invalid_argument);
+}
+
+TEST(ProjectedStructure, DigraphArcsRespectDeps) {
+  ComputationStructure q = l1();
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  Digraph g = ps.to_digraph();
+  EXPECT_EQ(g.vertex_count(), 7u);
+  // The 1-D projected structure is a path: 6 forward + 6 backward relations
+  // from the two nonzero projected deps.
+  EXPECT_EQ(g.edge_count(), 12u);
+}
+
+TEST(ProjectedStructure, MatvecOneDimensional) {
+  // Section IV: 2M-1 projected points for the M x M matvec.
+  const std::int64_t m = 6;
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_vector(m));
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  EXPECT_EQ(ps.point_count(), static_cast<std::size_t>(2 * m - 1));
+}
+
+class ProjectionProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ProjectionProperty, LinePopulationTimesStepsCoversDomain) {
+  std::int64_t n = GetParam();
+  ComputationStructure q = ComputationStructure::from_loop(workloads::sor2d(n, n));
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < ps.point_count(); ++i) total += ps.line_population(i);
+  EXPECT_EQ(total, q.vertices().size());
+  // All scaled points lie on the zero-hyperplane.
+  for (const IntVec& p : ps.points()) EXPECT_EQ(dot(p, IntVec{1, 1}), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProjectionProperty, ::testing::Values(2, 3, 4, 6, 9));
+
+}  // namespace
+}  // namespace hypart

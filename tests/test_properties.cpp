@@ -1,0 +1,148 @@
+// Randomized property suite: generate random uniform-dependence loop nests,
+// run the full Algorithm 1 + Algorithm 2 pipeline, and assert the paper's
+// invariants on every one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "mapping/baseline_map.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+/// Deterministic random computational structure: a rectangular domain with
+/// 1-3 random lexicographically-positive dependence vectors.
+ComputationStructure random_structure(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dim_dist(2, 3);
+  std::uniform_int_distribution<int> extent_dist(2, 5);
+  std::uniform_int_distribution<int> comp_dist(-2, 2);
+  std::uniform_int_distribution<int> ndeps_dist(1, 3);
+
+  const int dim = dim_dist(rng);
+  std::vector<std::pair<std::int64_t, std::int64_t>> bounds;
+  for (int d = 0; d < dim; ++d) bounds.emplace_back(0, extent_dist(rng));
+
+  std::set<IntVec> deps;
+  int want = ndeps_dist(rng);
+  int guard = 0;
+  while (static_cast<int>(deps.size()) < want && guard++ < 100) {
+    IntVec d(static_cast<std::size_t>(dim));
+    for (int k = 0; k < dim; ++k) d[static_cast<std::size_t>(k)] = comp_dist(rng);
+    if (is_zero(d)) continue;
+    if (!lex_positive(d)) d = negate(d);
+    deps.insert(d);
+  }
+
+  std::vector<IntVec> points;
+  IntVec p(static_cast<std::size_t>(dim), 0);
+  std::function<void(int)> rec = [&](int level) {
+    if (level == dim) {
+      points.push_back(p);
+      return;
+    }
+    for (std::int64_t v = bounds[static_cast<std::size_t>(level)].first;
+         v <= bounds[static_cast<std::size_t>(level)].second; ++v) {
+      p[static_cast<std::size_t>(level)] = v;
+      rec(level + 1);
+    }
+  };
+  rec(0);
+  return {points, {deps.begin(), deps.end()}};
+}
+
+class RandomStructureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomStructureProperty, FullPipelineInvariants) {
+  ComputationStructure q = random_structure(GetParam());
+  std::optional<TimeFunction> tf = search_time_function(q);
+  if (!tf) GTEST_SKIP() << "no valid small-integer time function for this dependence set";
+
+  ProjectedStructure ps(q, *tf);
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(q, g);
+
+  // Invariant 1: exact cover.
+  EXPECT_TRUE(check_exact_cover(q, p));
+  // Invariant 2 (Theorem 1): no two block-mates share a hyperplane.
+  EXPECT_TRUE(check_theorem1(q, *tf, p));
+  // Invariant 3 (Theorem 2): out-degree bound.
+  EXPECT_TRUE(check_theorem2(g).holds);
+  // Invariant 4 (Lemmas 2, 3): per-direction fanout bounds.
+  LemmaReport lr = check_lemmas(g);
+  EXPECT_TRUE(lr.lemma2_holds);
+  EXPECT_TRUE(lr.lemma3_holds);
+  // Invariant 5: line populations partition the domain.
+  std::size_t pop = 0;
+  for (std::size_t i = 0; i < ps.point_count(); ++i) pop += ps.line_population(i);
+  EXPECT_EQ(pop, q.vertices().size());
+  // Invariant 6: all scaled projected points lie on the zero-hyperplane.
+  for (const IntVec& pt : ps.points()) EXPECT_EQ(dot(pt, tf->pi), 0);
+  // Invariant 7: partition statistics are conserved.
+  PartitionStats stats = compute_partition_stats(q, p);
+  EXPECT_EQ(stats.total_arcs, q.dependence_arc_count());
+  EXPECT_EQ(stats.interblock_arcs + stats.intrablock_arcs, stats.total_arcs);
+}
+
+TEST_P(RandomStructureProperty, MappingAndSimulationInvariants) {
+  ComputationStructure q = random_structure(GetParam() + 1000);
+  std::optional<TimeFunction> tf = search_time_function(q);
+  if (!tf) GTEST_SKIP();
+  ProjectedStructure ps(q, *tf);
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(q, g);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(q, p, g);
+
+  for (unsigned dim : {0u, 1u, 2u}) {
+    HypercubeMappingResult hm = map_to_hypercube(tig, dim);
+    // Every block assigned to a real processor.
+    for (ProcId proc : hm.mapping.block_to_proc) EXPECT_LT(proc, std::size_t{1} << dim);
+    // Cluster sizes balanced to within dim splits.
+    std::size_t lo = SIZE_MAX, hi = 0, total = 0;
+    for (const Cluster& c : hm.clusters) {
+      lo = std::min(lo, c.vertices.size());
+      hi = std::max(hi, c.vertices.size());
+      total += c.vertices.size();
+    }
+    EXPECT_EQ(total, tig.vertex_count());
+    if (tig.vertex_count() >= (std::size_t{1} << dim)) {
+      EXPECT_LE(hi - lo, std::max<std::size_t>(dim, 1));
+    }
+
+    // Simulation conservation: per-proc iterations sum to |V|.
+    Hypercube cube(dim);
+    SimResult r = simulate_execution(q, *tf, p, hm.mapping, cube, MachineParams{}, SimOptions{});
+    std::int64_t iters = 0;
+    for (std::int64_t c : r.per_proc_iterations) iters += c;
+    EXPECT_EQ(iters, static_cast<std::int64_t>(q.vertices().size()));
+    // Words crossing processors never exceed total arcs.
+    EXPECT_LE(r.words, static_cast<std::int64_t>(q.dependence_arc_count()));
+    // Compute bottleneck at least fair share.
+    std::int64_t fair = static_cast<std::int64_t>(q.vertices().size()) >>
+                        dim;  // |V| / 2^dim, rounded down
+    EXPECT_GE(r.compute_bottleneck.calc, fair);
+  }
+}
+
+TEST_P(RandomStructureProperty, GroupingDeterministic) {
+  ComputationStructure q = random_structure(GetParam() + 2000);
+  std::optional<TimeFunction> tf = search_time_function(q);
+  if (!tf) GTEST_SKIP();
+  ProjectedStructure ps(q, *tf);
+  Grouping a = Grouping::compute(ps);
+  Grouping b = Grouping::compute(ps);
+  ASSERT_EQ(a.group_count(), b.group_count());
+  for (std::size_t i = 0; i < a.group_count(); ++i) {
+    EXPECT_EQ(a.groups()[i].base, b.groups()[i].base);
+    EXPECT_EQ(a.groups()[i].members(), b.groups()[i].members());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStructureProperty, ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace hypart

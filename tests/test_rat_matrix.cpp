@@ -1,0 +1,150 @@
+#include "numeric/rat_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+RatVec rv(std::initializer_list<Rational> xs) { return RatVec(xs); }
+
+TEST(RatVecOps, Basics) {
+  RatVec a = rv({Rational(1, 2), Rational(1, 3)});
+  RatVec b = rv({Rational(1, 2), Rational(2, 3)});
+  EXPECT_EQ(add(a, b), rv({Rational(1), Rational(1)}));
+  EXPECT_EQ(sub(b, a), rv({Rational(0), Rational(1, 3)}));
+  EXPECT_EQ(scale(a, Rational(6)), rv({Rational(3), Rational(2)}));
+  EXPECT_EQ(dot(a, b), Rational(1, 4) + Rational(2, 9));
+  EXPECT_TRUE(is_zero(rv({Rational(0), Rational(0)})));
+}
+
+TEST(RatVecOps, DenominatorLcm) {
+  EXPECT_EQ(denominator_lcm(rv({Rational(1, 3), Rational(2, 3), Rational(-1, 3)})), 3);
+  EXPECT_EQ(denominator_lcm(rv({Rational(1, 2), Rational(1, 3)})), 6);
+  EXPECT_EQ(denominator_lcm(rv({Rational(2), Rational(-5)})), 1);
+  EXPECT_EQ(denominator_lcm(rv({Rational(0)})), 1);
+}
+
+TEST(RatMat, RankBasics) {
+  RatMat id = RatMat::identity(3);
+  EXPECT_EQ(id.rank(), 3u);
+
+  RatMat singular = RatMat::from_rows({rv({Rational(1), Rational(2)}),
+                                       rv({Rational(2), Rational(4)})});
+  EXPECT_EQ(singular.rank(), 1u);
+}
+
+TEST(RatMat, RankOfMatmulProjectedDeps) {
+  // D^p of matrix multiplication under Π = (1,1,1): rank must be 2 (paper).
+  std::vector<RatVec> dp = {
+      rv({Rational(-1, 3), Rational(2, 3), Rational(-1, 3)}),
+      rv({Rational(2, 3), Rational(-1, 3), Rational(-1, 3)}),
+      rv({Rational(-1, 3), Rational(-1, 3), Rational(2, 3)}),
+  };
+  EXPECT_EQ(rank_of(dp), 2u);
+}
+
+TEST(RatMat, Determinant) {
+  RatMat m = RatMat::from_rows({rv({Rational(1, 2), Rational(1)}),
+                                rv({Rational(1), Rational(4)})});
+  EXPECT_EQ(m.det(), Rational(1));  // 1/2*4 - 1*1 = 1
+  EXPECT_EQ(RatMat::identity(5).det(), Rational(1));
+}
+
+TEST(RatMat, SolveUnique) {
+  RatMat a = RatMat::from_rows({rv({Rational(2), Rational(1)}),
+                                rv({Rational(1), Rational(3)})});
+  auto x = a.solve(rv({Rational(5), Rational(10)}));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Rational(1));
+  EXPECT_EQ((*x)[1], Rational(3));
+}
+
+TEST(RatMat, SolveInconsistent) {
+  RatMat a = RatMat::from_rows({rv({Rational(1), Rational(1)}),
+                                rv({Rational(2), Rational(2)})});
+  EXPECT_FALSE(a.solve(rv({Rational(1), Rational(3)})).has_value());
+}
+
+TEST(RatMat, SolveUnderdetermined) {
+  RatMat a = RatMat::from_rows({rv({Rational(1), Rational(1)})});
+  auto x = a.solve(rv({Rational(2)}));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(dot(a.row(0), *x), Rational(2));
+}
+
+TEST(RatMat, Nullspace) {
+  // Access matrix of C[i,j] in a 3-nest: nullspace is span{(0,0,1)}.
+  RatMat f = RatMat::from_rows({rv({Rational(1), Rational(0), Rational(0)}),
+                                rv({Rational(0), Rational(1), Rational(0)})});
+  std::vector<RatVec> ns = f.nullspace();
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_TRUE(is_zero(f.apply(ns[0])));
+  EXPECT_EQ(ns[0][2], Rational(1));
+}
+
+TEST(RatMat, NullspaceFullRankEmpty) {
+  EXPECT_TRUE(RatMat::identity(3).nullspace().empty());
+}
+
+TEST(RatMat, Inverse) {
+  RatMat a = RatMat::from_rows({rv({Rational(2), Rational(1)}),
+                                rv({Rational(1), Rational(1)})});
+  auto inv = a.inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(a.multiplied(*inv), RatMat::identity(2));
+  EXPECT_EQ(inv->multiplied(a), RatMat::identity(2));
+}
+
+TEST(RatMat, InverseSingular) {
+  RatMat a = RatMat::from_rows({rv({Rational(1), Rational(2)}),
+                                rv({Rational(2), Rational(4)})});
+  EXPECT_FALSE(a.inverse().has_value());
+}
+
+TEST(RatMat, InSpan) {
+  std::vector<RatVec> basis = {rv({Rational(1), Rational(0), Rational(1)}),
+                               rv({Rational(0), Rational(1), Rational(1)})};
+  EXPECT_TRUE(in_span(basis, rv({Rational(1), Rational(1), Rational(2)})));
+  EXPECT_FALSE(in_span(basis, rv({Rational(0), Rational(0), Rational(1)})));
+  EXPECT_TRUE(in_span(basis, rv({Rational(0), Rational(0), Rational(0)})));
+  EXPECT_FALSE(in_span({}, rv({Rational(1)})));
+  EXPECT_TRUE(in_span({}, rv({Rational(0)})));
+}
+
+TEST(RatMat, ApplyAndMultiplyAgree) {
+  RatMat a = RatMat::from_rows({rv({Rational(1, 2), Rational(1, 3)}),
+                                rv({Rational(2), Rational(-1)})});
+  RatVec v = rv({Rational(6), Rational(9)});
+  RatVec av = a.apply(v);
+  RatMat vm = RatMat::from_cols({v});
+  RatMat prod = a.multiplied(vm);
+  EXPECT_EQ(prod.at(0, 0), av[0]);
+  EXPECT_EQ(prod.at(1, 0), av[1]);
+}
+
+// Property: solve(A, A*x) recovers a solution whose image matches.
+class RatSolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RatSolveProperty, SolveRecoversImage) {
+  int seed = GetParam();
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 48271u + 3u;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::int64_t>((state >> 40) % 7) - 3;
+  };
+  RatMat a(3, 3);
+  RatVec x(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    x[r] = Rational(next(), 2);
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = Rational(next());
+  }
+  RatVec b = a.apply(x);
+  auto sol = a.solve(b);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(a.apply(*sol), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RatSolveProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,167 @@
+#include "numeric/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hypart {
+namespace {
+
+TEST(Gcd64, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(-12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(1, 1), 1);
+  EXPECT_EQ(gcd64(17, 13), 1);
+}
+
+TEST(Gcd64, LargeValues) {
+  EXPECT_EQ(gcd64(INT64_MAX, INT64_MAX), INT64_MAX);
+  EXPECT_EQ(gcd64(INT64_MAX, 1), 1);
+  EXPECT_EQ(gcd64(INT64_MIN, 2), 2);
+  EXPECT_EQ(gcd64(2, INT64_MIN), 2);
+}
+
+TEST(Lcm64, Basics) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(1, 7), 7);
+  EXPECT_EQ(lcm64(0, 7), 0);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+  EXPECT_EQ(lcm64(3, 3), 3);
+}
+
+TEST(Lcm64, OverflowThrows) {
+  EXPECT_THROW(lcm64(INT64_MAX, INT64_MAX - 1), ArithmeticError);
+}
+
+TEST(Rational, CanonicalForm) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+
+  Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 3);
+
+  Rational zero(0, 5);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+  EXPECT_TRUE(zero.is_zero());
+}
+
+TEST(Rational, ZeroDenominatorThrows) { EXPECT_THROW(Rational(1, 0), ArithmeticError); }
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, MixedIntegerArithmetic) {
+  Rational a(3, 4);
+  EXPECT_EQ(a + Rational(1), Rational(7, 4));
+  EXPECT_EQ(a * Rational(4), Rational(3));
+  EXPECT_TRUE((a * Rational(4)).is_integer());
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(5, 10), Rational(1, 2));
+  EXPECT_LT(Rational(-5), Rational(0));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, ToInteger) {
+  EXPECT_EQ(Rational(8, 4).to_integer(), 2);
+  EXPECT_THROW(static_cast<void>(Rational(1, 2).to_integer()), ArithmeticError);
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(2, 3).reciprocal(), Rational(3, 2));
+  EXPECT_EQ(Rational(-2, 3).reciprocal(), Rational(-3, 2));
+  EXPECT_THROW(static_cast<void>(Rational(0).reciprocal()), ArithmeticError);
+}
+
+TEST(Rational, AbsAndSign) {
+  EXPECT_EQ(Rational(-3, 7).abs(), Rational(3, 7));
+  EXPECT_EQ(Rational(-3, 7).sign(), -1);
+  EXPECT_EQ(Rational(3, 7).sign(), 1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(-1, 3).to_string(), "-1/3");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+}
+
+TEST(Rational, Hashable) {
+  std::unordered_set<Rational> set;
+  set.insert(Rational(1, 2));
+  set.insert(Rational(2, 4));  // same value
+  set.insert(Rational(1, 3));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rational, OverflowDetected) {
+  Rational big(INT64_MAX);
+  EXPECT_THROW(big + Rational(1), ArithmeticError);
+  EXPECT_THROW(big * Rational(2), ArithmeticError);
+}
+
+// Property sweep: (a/b) * (b/a) == 1 and (a/b) + (-a/b) == 0 over a grid.
+class RationalPropertyTest : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(RationalPropertyTest, MulInverseAndAddInverse) {
+  auto [n, d] = GetParam();
+  Rational r(n, d);
+  if (!r.is_zero()) {
+    EXPECT_EQ(r * r.reciprocal(), Rational(1));
+  }
+  EXPECT_TRUE((r + (-r)).is_zero());
+  EXPECT_EQ(r - r, Rational(0));
+}
+
+TEST_P(RationalPropertyTest, OrderingConsistentWithDouble) {
+  auto [n, d] = GetParam();
+  Rational r(n, d);
+  Rational half(1, 2);
+  double rd = r.to_double();
+  if (rd < 0.5) {
+    EXPECT_LT(r, half);
+  }
+  if (rd > 0.5) {
+    EXPECT_GT(r, half);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RationalPropertyTest,
+                         ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 1},
+                                           std::pair<std::int64_t, std::int64_t>{1, 1},
+                                           std::pair<std::int64_t, std::int64_t>{-1, 1},
+                                           std::pair<std::int64_t, std::int64_t>{7, 3},
+                                           std::pair<std::int64_t, std::int64_t>{-7, 3},
+                                           std::pair<std::int64_t, std::int64_t>{100, 6},
+                                           std::pair<std::int64_t, std::int64_t>{-100, 6},
+                                           std::pair<std::int64_t, std::int64_t>{1, 1000000},
+                                           std::pair<std::int64_t, std::int64_t>{999983, 2}));
+
+}  // namespace
+}  // namespace hypart

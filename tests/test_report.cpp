@@ -1,0 +1,151 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mapping/hypercube_map.hpp"
+#include "sim/exec_sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+struct ReportFixture {
+  std::unique_ptr<ComputationStructure> q;
+  std::unique_ptr<ProjectedStructure> ps;
+  Grouping grouping;
+  Partition partition;
+  TaskInteractionGraph tig;
+  TimeFunction tf;
+};
+
+ReportFixture make(const LoopNest& nest, const IntVec& pi) {
+  ReportFixture f;
+  f.q = std::make_unique<ComputationStructure>(ComputationStructure::from_loop(nest));
+  f.tf = TimeFunction{pi};
+  f.ps = std::make_unique<ProjectedStructure>(*f.q, f.tf);
+  f.grouping = Grouping::compute(*f.ps);
+  f.partition = Partition::build(*f.q, f.grouping);
+  f.tig = TaskInteractionGraph::from_partition(*f.q, f.partition, f.grouping);
+  return f;
+}
+
+TEST(Utilization, SingleProcessorFullyBusy) {
+  ReportFixture f = make(workloads::matrix_vector(6), {1, 1});
+  Mapping one;
+  one.processor_count = 1;
+  one.block_to_proc.assign(f.partition.block_count(), 0);
+  UtilizationReport rep = processor_utilization(*f.q, f.tf, f.partition, one);
+  EXPECT_EQ(rep.steps(), 11);  // steps 2..12 for 1-based 6x6 matvec
+  ASSERT_EQ(rep.per_proc_busy.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.per_proc_busy[0], 1.0);
+  EXPECT_DOUBLE_EQ(rep.mean_utilization, 1.0);
+}
+
+TEST(Utilization, PartitionedProcessorsIdleAtWavefrontEdges) {
+  ReportFixture f = make(workloads::matrix_vector(16), {1, 1});
+  Mapping map = map_to_hypercube(f.tig, 2).mapping;
+  UtilizationReport rep = processor_utilization(*f.q, f.tf, f.partition, map);
+  // The wavefront sweeps across processors: none is busy the whole time,
+  // but everyone is busy some of the time.
+  double min_busy = 1.0, max_busy = 0.0;
+  for (double b : rep.per_proc_busy) {
+    min_busy = std::min(min_busy, b);
+    max_busy = std::max(max_busy, b);
+  }
+  EXPECT_GT(min_busy, 0.0);
+  EXPECT_LT(min_busy, 1.0);
+  EXPECT_LT(rep.mean_utilization, 1.0);
+  EXPECT_GT(rep.mean_utilization, 0.25);
+}
+
+TEST(Utilization, GanttShapeAndMarkers) {
+  ReportFixture f = make(workloads::example_l1(), {1, 1});
+  Mapping map = map_to_hypercube(f.tig, 1).mapping;
+  UtilizationReport rep = processor_utilization(*f.q, f.tf, f.partition, map);
+  // One row per processor plus the header line.
+  std::size_t rows = static_cast<std::size_t>(std::count(rep.gantt.begin(), rep.gantt.end(), '\n'));
+  EXPECT_EQ(rows, 1u + map.processor_count);
+  EXPECT_NE(rep.gantt.find("busy"), std::string::npos);
+  // Idle marker appears (boundary steps can't occupy everyone).
+  EXPECT_NE(rep.gantt.find('.'), std::string::npos);
+}
+
+TEST(Utilization, ChartResampling) {
+  ReportFixture f = make(workloads::matrix_vector(48), {1, 1});
+  Mapping map = map_to_hypercube(f.tig, 1).mapping;
+  UtilizationReport rep = processor_utilization(*f.q, f.tf, f.partition, map, 16);
+  EXPECT_NE(rep.gantt.find("(every"), std::string::npos);
+}
+
+TEST(LinkContentionSim, RequiresHypercube) {
+  ReportFixture f = make(workloads::matrix_vector(8), {1, 1});
+  Mapping map = map_to_hypercube(f.tig, 2).mapping;
+  SimOptions opts;
+  opts.accounting = CommAccounting::LinkContention;
+  Ring ring(4);
+  EXPECT_THROW(
+      simulate_execution(*f.q, f.tf, f.partition, map, ring, MachineParams{}, opts),
+      std::invalid_argument);
+}
+
+TEST(LinkContentionSim, NeighborTrafficBoundedBySenderSerialization) {
+  // With Gray mapping all traffic is neighbor-to-neighbor, so every message
+  // occupies exactly one link; a link then carries at most what one sender
+  // would have serialized in the barrier model, hence comm time is bounded
+  // above by the barrier model's.
+  ReportFixture f = make(workloads::matrix_vector(16), {1, 1});
+  Mapping map = map_to_hypercube(f.tig, 2).mapping;
+  Hypercube cube(2);
+  SimOptions barrier;
+  barrier.accounting = CommAccounting::PerStepBarrier;
+  SimOptions contention;
+  contention.accounting = CommAccounting::LinkContention;
+  MachineParams mp{0.0, 1.0, 1.0};  // communication only
+  SimResult rb = simulate_execution(*f.q, f.tf, f.partition, map, cube, mp, barrier);
+  SimResult rc = simulate_execution(*f.q, f.tf, f.partition, map, cube, mp, contention);
+  EXPECT_GT(rc.time, 0.0);
+  EXPECT_LE(rc.time, rb.time);
+  EXPECT_GT(rc.max_link_words, 0);
+}
+
+TEST(LinkContentionSim, ScatteredMappingCongestsLinks) {
+  // Round-robin placement forces multi-hop routes through shared links:
+  // total routed link-words exceed the Gray mapping's (which uses one link
+  // per message), and the busiest link carries more traffic.
+  ReportFixture f = make(workloads::matrix_vector(16), {1, 1});
+  Mapping gray = map_to_hypercube(f.tig, 3).mapping;
+  Mapping rr;
+  rr.processor_count = 8;
+  rr.method = "round-robin";
+  rr.block_to_proc.resize(f.tig.vertex_count());
+  for (std::size_t b = 0; b < f.tig.vertex_count(); ++b) rr.block_to_proc[b] = b % 8;
+  Hypercube cube(3);
+  MachineParams mp{0.0, 1.0, 1.0};
+  SimOptions contention;
+  contention.accounting = CommAccounting::LinkContention;
+  SimResult rg = simulate_execution(*f.q, f.tf, f.partition, gray, cube, mp, contention);
+  SimResult rs = simulate_execution(*f.q, f.tf, f.partition, rr, cube, mp, contention);
+  EXPECT_GE(rs.max_link_words, rg.max_link_words);
+  EXPECT_GT(rs.time, 0.0);
+}
+
+TEST(LinkContentionSim, WordConservation) {
+  ReportFixture f = make(workloads::sor2d(8, 8), {1, 1});
+  Mapping map = map_to_hypercube(f.tig, 2).mapping;
+  Hypercube cube(2);
+  SimOptions opts;
+  opts.accounting = CommAccounting::LinkContention;
+  SimResult r = simulate_execution(*f.q, f.tf, f.partition, map, cube, MachineParams{}, opts);
+  std::int64_t crossing = 0;
+  f.q->for_each_arc([&](const IntVec& a, const IntVec& b, std::size_t) {
+    ProcId pa = map.block_to_proc[f.partition.block_of(f.q->id_of(a))];
+    ProcId pb = map.block_to_proc[f.partition.block_of(f.q->id_of(b))];
+    if (pa != pb) ++crossing;
+  });
+  EXPECT_EQ(r.words, crossing);
+}
+
+}  // namespace
+}  // namespace hypart

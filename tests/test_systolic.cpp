@@ -1,0 +1,69 @@
+#include "systolic/systolic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(Systolic, MatvecLinearArray) {
+  // The 1-D systolic array for M x M matvec has 2M-1 PEs and two link
+  // directions (the classic linear array of the paper's ref [11]).
+  const std::int64_t m = 8;
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_vector(m));
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  SystolicArray a = derive_systolic_array(q, ps);
+  EXPECT_EQ(a.pe_count, static_cast<std::size_t>(2 * m - 1));
+  EXPECT_EQ(a.dimensionality, 1u);
+  EXPECT_EQ(a.link_directions.size(), 2u);
+  EXPECT_EQ(a.schedule_span, 2 * m - 1);
+  EXPECT_EQ(a.busiest_pe_steps, static_cast<std::size_t>(m));
+}
+
+TEST(Systolic, MatmulHexArray) {
+  // Fig. 5's geometry: 37 PEs, three link directions, span 10.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication());
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  SystolicArray a = derive_systolic_array(q, ps);
+  EXPECT_EQ(a.pe_count, 37u);
+  EXPECT_EQ(a.dimensionality, 2u);
+  EXPECT_EQ(a.link_directions.size(), 3u);
+  EXPECT_EQ(a.schedule_span, 10);
+}
+
+TEST(Systolic, UtilizationBetweenZeroAndOne) {
+  for (const LoopNest& nest : {workloads::matrix_vector(12), workloads::sor2d(6, 9),
+                               workloads::convolution1d(10, 4)}) {
+    ComputationStructure q = ComputationStructure::from_loop(nest);
+    auto tf = search_time_function(q);
+    ASSERT_TRUE(tf.has_value());
+    ProjectedStructure ps(q, *tf);
+    SystolicArray a = derive_systolic_array(q, ps);
+    EXPECT_GT(a.mean_pe_utilization, 0.0) << nest.name();
+    EXPECT_LE(a.mean_pe_utilization, 1.0) << nest.name();
+  }
+}
+
+TEST(Systolic, PeCountGrowsWithProblemButBlocksClusterable) {
+  // The Section II argument: systolic PEs scale with the problem.
+  std::size_t prev = 0;
+  for (std::int64_t m : {4, 8, 16, 32}) {
+    ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_vector(m));
+    ProjectedStructure ps(q, TimeFunction{{1, 1}});
+    SystolicArray a = derive_systolic_array(q, ps);
+    EXPECT_GT(a.pe_count, prev);
+    prev = a.pe_count;
+  }
+}
+
+TEST(Systolic, SummaryMentionsKeyNumbers) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_vector(8));
+  ProjectedStructure ps(q, TimeFunction{{1, 1}});
+  std::string s = derive_systolic_array(q, ps).summary();
+  EXPECT_NE(s.find("15 PEs"), std::string::npos);
+  EXPECT_NE(s.find("utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,51 @@
+#include "perf/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+TEST(TextTableTest, BasicLayout) {
+  TextTable t({"N", "T_exec"});
+  t.add_row({"1", "2097152 t_calc"});
+  t.add_row({"4", "786944 t_calc + 2046(t_start+t_comm)"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| N "), std::string::npos);
+  EXPECT_NE(s.find("786944"), std::string::npos);
+  // Header separator lines present (3 separators).
+  std::size_t seps = 0;
+  for (std::size_t pos = s.find("+--"); pos != std::string::npos; pos = s.find("+--", pos + 1))
+    ++seps;
+  EXPECT_GE(seps, 3u);
+}
+
+TEST(TextTableTest, HeterogeneousRowHelper) {
+  TextTable t({"name", "int", "float"});
+  t.row("alpha", 42, 3.14159);
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.142"), std::string::npos);  // 3 decimals
+}
+
+TEST(TextTableTest, ColumnCountMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, WidthsAdaptToLongCells) {
+  TextTable t({"x"});
+  t.add_row({"a-very-long-cell-value"});
+  std::string s = t.to_string();
+  // Header row must be padded to the cell width.
+  EXPECT_NE(s.find("| x                      |"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable t({"col"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypart

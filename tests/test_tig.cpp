@@ -1,0 +1,122 @@
+#include "mapping/tig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(TigTest, MeshFactory) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(4, 4);
+  EXPECT_EQ(tig.vertex_count(), 16u);
+  // 4x4 mesh: 2*4*3 = 24 undirected edges.
+  EXPECT_EQ(tig.edges().size(), 24u);
+  EXPECT_EQ(tig.total_comm(), 24);
+  EXPECT_EQ(tig.comm_weight(0, 1), 1);
+  EXPECT_EQ(tig.comm_weight(0, 4), 1);
+  EXPECT_EQ(tig.comm_weight(0, 5), 0);  // diagonal: no edge
+  EXPECT_TRUE(tig.has_coordinates());
+  EXPECT_EQ(tig.coordinate_dimensions(), 2u);
+  EXPECT_EQ(*tig.coordinates(5), (IntVec{1, 1}));
+}
+
+TEST(TigTest, CommAccumulatesAndIsSymmetric) {
+  TaskInteractionGraph tig(3);
+  tig.add_comm(0, 1, 2);
+  tig.add_comm(1, 0, 3);  // same undirected edge
+  EXPECT_EQ(tig.comm_weight(0, 1), 5);
+  EXPECT_EQ(tig.comm_weight(1, 0), 5);
+  EXPECT_EQ(tig.edges().size(), 1u);
+  tig.add_comm(2, 2, 7);  // self-communication ignored
+  EXPECT_EQ(tig.edges().size(), 1u);
+}
+
+TEST(TigTest, ComputeWeights) {
+  TaskInteractionGraph tig(3);
+  EXPECT_EQ(tig.total_compute(), 3);  // default weight 1
+  tig.set_compute_weight(0, 10);
+  tig.set_compute_weight(2, 5);
+  EXPECT_EQ(tig.total_compute(), 16);
+  EXPECT_EQ(tig.compute_weight(1), 1);
+}
+
+TEST(TigTest, FromPartitionMatchesStats) {
+  auto q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::example_l1()));
+  ProjectedStructure ps(*q, TimeFunction{{1, 1}});
+  Grouping g = Grouping::compute(ps);
+  Partition p = Partition::build(*q, g);
+  PartitionStats stats = compute_partition_stats(*q, p);
+
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, p, g);
+  EXPECT_EQ(tig.vertex_count(), p.block_count());
+  EXPECT_EQ(tig.total_comm(), static_cast<std::int64_t>(stats.interblock_arcs));
+  EXPECT_EQ(tig.total_compute(), 16);
+  EXPECT_TRUE(tig.has_coordinates());
+}
+
+TEST(TigTest, BlocksPerProc) {
+  Mapping m;
+  m.processor_count = 2;
+  m.block_to_proc = {0, 1, 0, 1, 1};
+  auto per = m.blocks_per_proc();
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_EQ(per[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(per[1], (std::vector<std::size_t>{1, 3, 4}));
+}
+
+TEST(TigTest, EvaluateMappingMetrics) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);  // square, 4 edges
+  Hypercube cube(2);
+
+  Mapping identity;
+  identity.processor_count = 4;
+  identity.block_to_proc = {0, 1, 2, 3};
+  MappingMetrics m = evaluate_mapping(tig, identity, cube);
+  // Edges: (0,1) procs 0-1 hop 1; (0,2) procs 0-2 hop 1; (1,3) 1-3 hop 1;
+  // (2,3) 2-3 hop 1. Total cost 4, all cut.
+  EXPECT_EQ(m.total_comm_cost, 4);
+  EXPECT_EQ(m.cut_comm_volume, 4);
+  EXPECT_DOUBLE_EQ(m.avg_hops_weighted, 1.0);
+  EXPECT_EQ(m.used_processors, 4u);
+  EXPECT_EQ(m.max_proc_compute, 1);
+  EXPECT_DOUBLE_EQ(m.compute_imbalance, 1.0);
+}
+
+TEST(TigTest, EvaluateMappingAllOnOneProc) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);
+  Hypercube cube(2);
+  Mapping all;
+  all.processor_count = 4;
+  all.block_to_proc = {0, 0, 0, 0};
+  MappingMetrics m = evaluate_mapping(tig, all, cube);
+  EXPECT_EQ(m.total_comm_cost, 0);
+  EXPECT_EQ(m.cut_comm_volume, 0);
+  EXPECT_EQ(m.used_processors, 1u);
+  EXPECT_EQ(m.max_proc_compute, 4);
+  EXPECT_DOUBLE_EQ(m.compute_imbalance, 4.0);
+}
+
+TEST(TigTest, EvaluateMappingValidation) {
+  TaskInteractionGraph tig = TaskInteractionGraph::mesh(2, 2);
+  Hypercube small(1);
+  Mapping m;
+  m.processor_count = 4;
+  m.block_to_proc = {0, 1, 2, 3};
+  EXPECT_THROW(evaluate_mapping(tig, m, small), std::invalid_argument);
+  Mapping wrong_size;
+  wrong_size.processor_count = 4;
+  wrong_size.block_to_proc = {0, 1};
+  EXPECT_THROW(evaluate_mapping(tig, wrong_size, Hypercube(2)), std::invalid_argument);
+}
+
+TEST(TigTest, AddCommValidation) {
+  TaskInteractionGraph tig(2);
+  EXPECT_THROW(tig.add_comm(0, 5, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,125 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapping/gray.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(HypercubeTopo, Basics) {
+  Hypercube cube(3);
+  EXPECT_EQ(cube.size(), 8u);
+  EXPECT_EQ(cube.dimension(), 3u);
+  EXPECT_EQ(cube.distance(0b000, 0b111), 3u);
+  EXPECT_EQ(cube.distance(0b101, 0b101), 0u);
+  EXPECT_EQ(cube.distance(0b001, 0b011), 1u);
+  EXPECT_EQ(cube.diameter(), 3u);
+  EXPECT_NE(cube.name().find("hypercube"), std::string::npos);
+}
+
+TEST(HypercubeTopo, Neighbors) {
+  Hypercube cube(3);
+  std::vector<ProcId> n = cube.neighbors(0b000);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<ProcId>{1, 2, 4}));
+  for (ProcId p : cube.neighbors(0b101)) EXPECT_EQ(cube.distance(0b101, p), 1u);
+  EXPECT_TRUE(cube.are_neighbors(0, 4));
+  EXPECT_FALSE(cube.are_neighbors(0, 3));
+}
+
+TEST(HypercubeTopo, EcubeRoute) {
+  Hypercube cube(4);
+  std::vector<ProcId> path = cube.ecube_route(0b0000, 0b1011);
+  // e-cube fixes bits lowest-first: 0000 -> 0001 -> 0011 -> 1011.
+  EXPECT_EQ(path, (std::vector<ProcId>{0b0001, 0b0011, 0b1011}));
+  EXPECT_EQ(path.size(), cube.distance(0b0000, 0b1011));
+  EXPECT_TRUE(cube.ecube_route(5, 5).empty());
+  // Every hop is a single-bit change.
+  ProcId prev = 0b0000;
+  for (ProcId hop : path) {
+    EXPECT_EQ(popcount64(prev ^ hop), 1u);
+    prev = hop;
+  }
+}
+
+TEST(HypercubeTopo, OutOfRange) {
+  Hypercube cube(2);
+  EXPECT_THROW(static_cast<void>(cube.distance(0, 4)), std::out_of_range);
+  EXPECT_THROW(cube.neighbors(4), std::out_of_range);
+  EXPECT_THROW(Hypercube(64), std::invalid_argument);
+}
+
+TEST(MeshTopo, Distances) {
+  Mesh2D mesh(4, 3);
+  EXPECT_EQ(mesh.size(), 12u);
+  EXPECT_EQ(mesh.distance(0, 3), 3u);   // same row
+  EXPECT_EQ(mesh.distance(0, 8), 2u);   // two rows down
+  EXPECT_EQ(mesh.distance(0, 11), 5u);  // opposite corner
+  EXPECT_EQ(mesh.diameter(), 5u);
+}
+
+TEST(MeshTopo, Neighbors) {
+  Mesh2D mesh(3, 3);
+  std::vector<ProcId> corner = mesh.neighbors(0);
+  std::sort(corner.begin(), corner.end());
+  EXPECT_EQ(corner, (std::vector<ProcId>{1, 3}));
+  std::vector<ProcId> center = mesh.neighbors(4);
+  EXPECT_EQ(center.size(), 4u);
+  EXPECT_THROW(Mesh2D(0, 3), std::invalid_argument);
+}
+
+TEST(RingTopo, Distances) {
+  Ring ring(6);
+  EXPECT_EQ(ring.distance(0, 3), 3u);
+  EXPECT_EQ(ring.distance(0, 5), 1u);  // wraps
+  EXPECT_EQ(ring.distance(2, 2), 0u);
+  EXPECT_EQ(ring.diameter(), 3u);
+}
+
+TEST(RingTopo, Neighbors) {
+  Ring ring(5);
+  std::vector<ProcId> n = ring.neighbors(0);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<ProcId>{1, 4}));
+  EXPECT_EQ(Ring(1).neighbors(0).size(), 0u);
+  EXPECT_EQ(Ring(2).neighbors(0), (std::vector<ProcId>{1}));
+  EXPECT_THROW(Ring(0), std::invalid_argument);
+}
+
+TEST(FullyConnectedTopo, Distances) {
+  FullyConnected fc(5);
+  EXPECT_EQ(fc.distance(0, 4), 1u);
+  EXPECT_EQ(fc.distance(2, 2), 0u);
+  EXPECT_EQ(fc.neighbors(0).size(), 4u);
+  EXPECT_EQ(fc.diameter(), 1u);
+}
+
+TEST(Topo, AverageDistanceOrdering) {
+  // For 8 processors: fully-connected < hypercube < mesh(4x2)-ish < ring.
+  FullyConnected fc(8);
+  Hypercube cube(3);
+  Ring ring(8);
+  EXPECT_LT(fc.average_distance(), cube.average_distance());
+  EXPECT_LT(cube.average_distance(), ring.average_distance());
+}
+
+TEST(Topo, HypercubeAverageDistanceClosedForm) {
+  // Mean Hamming distance over an n-cube is n/2 * N/(N-1).
+  for (unsigned n : {1u, 2u, 3u, 4u}) {
+    Hypercube cube(n);
+    double nn = static_cast<double>(cube.size());
+    EXPECT_NEAR(cube.average_distance(), (n / 2.0) * nn / (nn - 1.0), 1e-12);
+  }
+}
+
+TEST(Topo, SingleProcessorDegenerate) {
+  FullyConnected fc(1);
+  EXPECT_EQ(fc.average_distance(), 0.0);
+  EXPECT_EQ(fc.diameter(), 0u);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,51 @@
+// Compile-and-link check of the umbrella header plus the cross-module
+// conveniences that only it exercises together.
+#include "hypart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypart {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  LoopNest nest = parse_loop_nest(R"(
+    loop tiny {
+      for i = 1 to 6
+      for j = 1 to 6
+      A[i, j] = (A[i-1, j] + A[i, j-1]) * 0.5;
+    }
+  )");
+  PipelineConfig cfg;
+  cfg.cube_dim = 1;
+  cfg.mapping.weighted = true;  // weighted bisection via the pipeline config
+  PipelineResult r = run_pipeline(nest, cfg);
+  EXPECT_TRUE(r.exact_cover);
+  EXPECT_TRUE(r.theorem1);
+  EXPECT_EQ(r.mapping.mapping.processor_count, 2u);
+
+  // Cross-module round trip: unparse -> parse -> execute == original.
+  LoopNest back = parse_loop_nest(unparse_loop_nest(nest));
+  EXPECT_TRUE(compare_stores(run_sequential(nest), run_sequential(back)).equal);
+
+  // JSON export of the weighted run is well-formed enough to contain the
+  // validation block.
+  std::string json = pipeline_result_to_json(nest, r);
+  EXPECT_NE(json.find("\"theorem1\":true"), std::string::npos);
+}
+
+TEST(Umbrella, PipelineWeightedOptionReachesMapper) {
+  // With wildly uneven block sizes the weighted option must not worsen the
+  // bottleneck load relative to count-splitting.
+  LoopNest mv = workloads::matrix_vector(24);
+  PipelineConfig plain;
+  plain.cube_dim = 2;
+  plain.time_function = IntVec{1, 1};
+  PipelineConfig weighted = plain;
+  weighted.mapping.weighted = true;
+  PipelineResult rp = run_pipeline(mv, plain);
+  PipelineResult rw = run_pipeline(mv, weighted);
+  EXPECT_LE(rw.sim.compute_bottleneck.calc, rp.sim.compute_bottleneck.calc);
+}
+
+}  // namespace
+}  // namespace hypart

@@ -1,0 +1,103 @@
+#include "transform/wavefront.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+TEST(Wavefront, CompletionIsUnimodularWithPiFirstRow) {
+  for (const IntVec& pi : {IntVec{1, 1}, IntVec{1, 2}, IntVec{2, 3}, IntVec{1, 1, 1},
+                           IntVec{1, 2, 3}, IntVec{3, 1, 2}, IntVec{1, -1, 2}}) {
+    WavefrontTransform wt = make_wavefront_transform(TimeFunction{pi});
+    EXPECT_EQ(wt.u.row(0), pi) << to_string(pi);
+    EXPECT_EQ(std::abs(int_det(wt.u)), 1) << to_string(pi);
+    // U * U^{-1} == I.
+    EXPECT_EQ(wt.u.multiplied(wt.u_inverse), IntMat::identity(pi.size())) << to_string(pi);
+  }
+}
+
+TEST(Wavefront, NonPrimitivePiRejected) {
+  EXPECT_THROW(make_wavefront_transform(TimeFunction{{2, 2}}), std::invalid_argument);
+  EXPECT_THROW(make_wavefront_transform(TimeFunction{{3, 6, 9}}), std::invalid_argument);
+  EXPECT_THROW(make_wavefront_transform(TimeFunction{{}}), std::invalid_argument);
+}
+
+TEST(Wavefront, ApplyInvertRoundTrip) {
+  WavefrontTransform wt = make_wavefront_transform(TimeFunction{{1, 2, 3}});
+  for (const IntVec& p : {IntVec{0, 0, 0}, IntVec{1, -2, 5}, IntVec{7, 7, 7}}) {
+    EXPECT_EQ(wt.invert(wt.apply(p)), p);
+    // First transformed coordinate is the hyperplane step.
+    EXPECT_EQ(wt.apply(p)[0], dot(IntVec{1, 2, 3}, p));
+  }
+}
+
+TEST(Wavefront, TransformedDependencesAdvanceInTime) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  WavefrontTransform wt = make_wavefront_transform(TimeFunction{{1, 1}});
+  for (const IntVec& td : wt.transform_dependences(q.dependences()))
+    EXPECT_GT(td[0], 0);  // time strictly advances (validity of Π)
+}
+
+TEST(Wavefront, SlicesMatchScheduleProfile) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  TimeFunction tf{{1, 1}};
+  WavefrontTransform wt = make_wavefront_transform(tf);
+  auto slices = wavefront_slices(wt, q);
+  ScheduleProfile profile = profile_schedule(tf, q.vertices());
+  EXPECT_EQ(slices.size(), profile.step_count);
+  for (const auto& [step, pts] : slices)
+    EXPECT_EQ(pts.size(), profile.points_per_step.at(step));
+  // Total across slices covers the domain.
+  std::size_t total = 0;
+  for (const auto& [step, pts] : slices) total += pts.size();
+  EXPECT_EQ(total, q.vertices().size());
+}
+
+TEST(Wavefront, SlicesPointsDistinct) {
+  // Spatial coordinates within a step must be unique (U is a bijection).
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication(2));
+  WavefrontTransform wt = make_wavefront_transform(TimeFunction{{1, 1, 1}});
+  for (const auto& [step, pts] : wavefront_slices(wt, q))
+    for (std::size_t i = 1; i < pts.size(); ++i) EXPECT_LT(pts[i - 1], pts[i]);
+}
+
+TEST(Wavefront, LoopToStringStructure) {
+  ComputationStructure q = ComputationStructure::from_loop(workloads::example_l1());
+  WavefrontTransform wt = make_wavefront_transform(TimeFunction{{1, 1}});
+  std::string s = wavefront_loop_to_string(wt, q, {"i", "j"});
+  EXPECT_NE(s.find("for t = 0 to 6"), std::string::npos);
+  EXPECT_NE(s.find("t = 3: forall 4 iterations"), std::string::npos);
+  EXPECT_NE(s.find("(0,0)"), std::string::npos);
+  // Truncation marker for wide steps.
+  ComputationStructure big = ComputationStructure::from_loop(workloads::matrix_vector(12));
+  WavefrontTransform wt2 = make_wavefront_transform(TimeFunction{{1, 1}});
+  EXPECT_NE(wavefront_loop_to_string(wt2, big).find("..."), std::string::npos);
+}
+
+class WavefrontProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WavefrontProperty, RandomPiCompletions) {
+  std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17u;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::int64_t>((state >> 33) % 9) - 4;
+  };
+  for (std::size_t n : {2u, 3u, 4u}) {
+    IntVec pi(n);
+    do {
+      for (std::size_t k = 0; k < n; ++k) pi[k] = next();
+    } while (content(pi) != 1);
+    WavefrontTransform wt = make_wavefront_transform(TimeFunction{pi});
+    EXPECT_EQ(wt.u.row(0), pi);
+    EXPECT_EQ(std::abs(int_det(wt.u)), 1);
+    EXPECT_EQ(wt.u.multiplied(wt.u_inverse), IntMat::identity(n));
+    EXPECT_EQ(wt.u_inverse.multiplied(wt.u), IntMat::identity(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WavefrontProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hypart

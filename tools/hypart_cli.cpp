@@ -1,0 +1,223 @@
+// hypart — command-line driver.
+//
+//   hypart <command> <file.loop | -> [options]
+//
+// commands:
+//   analyze    dependence vectors, structure counts, time-function search
+//   partition  Algorithm 1: projection, grouping, blocks, theorem checks
+//   map        Algorithm 2: blocks -> hypercube, mapping metrics
+//   simulate   cost simulation (three accounting conventions)
+//   run        execute sequentially AND distributed; verify equivalence
+//   codegen    emit the SPMD node program
+//   wavefront  print the time-outer transformed loop
+//   json       machine-readable dump of the whole pipeline
+//
+// options:
+//   --dim N          hypercube dimension (default 3)
+//   --pi a,b,..      explicit time function (default: search)
+//   --weighted       weighted cluster bisection
+//   --accounting M   paper | barrier | contention (default paper)
+//   --tcalc/--tstart/--tcomm X   machine constants (default 1/50/5)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "codegen/spmd.hpp"
+#include "core/json_export.hpp"
+#include "core/pipeline.hpp"
+#include "exec/interpreter.hpp"
+#include "exec/parallel_runtime.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "perf/table.hpp"
+#include "sim/report.hpp"
+#include "transform/wavefront.hpp"
+
+namespace {
+
+using namespace hypart;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "hypart: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json>\n"
+               "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
+               "              [--accounting paper|barrier|contention]\n"
+               "              [--tcalc X] [--tstart X] [--tcomm X]\n");
+  std::exit(64);
+}
+
+std::string read_source(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hypart: cannot open '%s'\n", path.c_str());
+    std::exit(66);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+IntVec parse_pi(const std::string& arg) {
+  IntVec pi;
+  std::stringstream ss(arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) pi.push_back(std::stoll(tok));
+  if (pi.empty()) usage("--pi needs a comma-separated integer vector");
+  return pi;
+}
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  PipelineConfig config;
+};
+
+CliOptions parse_args(int argc, char** argv) {
+  if (argc < 3) usage();
+  CliOptions o;
+  o.command = argv[1];
+  o.file = argv[2];
+  o.config.cube_dim = 3;
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--dim") o.config.cube_dim = static_cast<unsigned>(std::stoul(next()));
+    else if (a == "--pi") o.config.time_function = parse_pi(next());
+    else if (a == "--weighted") o.config.mapping.weighted = true;
+    else if (a == "--accounting") {
+      std::string m = next();
+      if (m == "paper") o.config.sim.accounting = CommAccounting::PaperMaxChannel;
+      else if (m == "barrier") o.config.sim.accounting = CommAccounting::PerStepBarrier;
+      else if (m == "contention") o.config.sim.accounting = CommAccounting::LinkContention;
+      else usage("unknown accounting mode");
+    } else if (a == "--tcalc") o.config.machine.t_calc = std::stod(next());
+    else if (a == "--tstart") o.config.machine.t_start = std::stod(next());
+    else if (a == "--tcomm") o.config.machine.t_comm = std::stod(next());
+    else usage(("unknown option " + a).c_str());
+  }
+  return o;
+}
+
+int cmd_analyze(const LoopNest& nest, const PipelineResult& r) {
+  std::printf("%s", nest.to_string().c_str());
+  std::printf("\ndependences:\n");
+  for (const Dependence& d : r.dependence.dependences)
+    std::printf("  %s\n", d.to_string().c_str());
+  for (const std::string& w : r.dependence.warnings)
+    std::printf("  warning: %s\n", w.c_str());
+  std::printf("iterations: %zu, Pi = %s, schedule steps: %lld\n",
+              r.structure->vertices().size(), r.time_function.to_string().c_str(),
+              static_cast<long long>(r.sim.steps));
+  return 0;
+}
+
+int cmd_partition(const PipelineResult& r) {
+  std::printf("projected points: %zu, r = %lld, beta = %zu, blocks: %zu\n",
+              r.projected->point_count(), static_cast<long long>(r.grouping.group_size_r()),
+              r.grouping.beta(), r.partition.block_count());
+  std::printf("interblock arcs: %zu / %zu (%.1f%%)\n", r.stats.interblock_arcs,
+              r.stats.total_arcs, 100.0 * r.stats.interblock_fraction());
+  std::printf("cover=%s theorem1=%s %s lemma2=%s lemma3=%s\n", r.exact_cover ? "ok" : "FAIL",
+              r.theorem1 ? "ok" : "FAIL", r.theorem2.to_string().c_str(),
+              r.lemmas.lemma2_holds ? "ok" : "FAIL", r.lemmas.lemma3_holds ? "ok" : "FAIL");
+  TextTable t({"block", "iterations", "group lattice"});
+  for (std::size_t b = 0; b < r.partition.block_count(); ++b)
+    t.row(b, r.partition.blocks()[b].iterations.size(),
+          to_string(r.grouping.groups()[b].lattice));
+  std::printf("%s", t.to_string().c_str());
+  return r.exact_cover && r.theorem1 && r.theorem2.holds ? 0 : 2;
+}
+
+int cmd_map(const PipelineResult& r, unsigned dim) {
+  Hypercube cube(dim);
+  MappingMetrics m = evaluate_mapping(r.tig, r.mapping.mapping, cube);
+  std::printf("blocks: %zu -> %s, %s\n", r.partition.block_count(), cube.name().c_str(),
+              m.to_string().c_str());
+  TextTable t({"block", "processor"});
+  for (std::size_t b = 0; b < r.mapping.mapping.block_to_proc.size(); ++b)
+    t.row(b, static_cast<std::uint64_t>(r.mapping.mapping.block_to_proc[b]));
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_simulate(const PipelineResult& r) {
+  std::printf("T_exec = %s  (= %.3f time units)\n", r.sim.total.to_string().c_str(), r.sim.time);
+  std::printf("steps: %lld, messages: %lld, words: %lld\n",
+              static_cast<long long>(r.sim.steps), static_cast<long long>(r.sim.messages),
+              static_cast<long long>(r.sim.words));
+  UtilizationReport util = processor_utilization(*r.structure, r.time_function, r.partition,
+                                                 r.mapping.mapping);
+  std::printf("%smean utilization %.0f%%\n", util.gantt.c_str(), util.mean_utilization * 100.0);
+  return 0;
+}
+
+int cmd_run(const LoopNest& nest, const PipelineResult& r) {
+  ArrayStore seq = run_sequential(nest);
+  DistributedResult dist = run_distributed(nest, *r.structure, r.time_function, r.partition,
+                                           r.mapping.mapping, r.dependence);
+  EquivalenceReport e1 = compare_stores(seq, dist.written);
+  ParallelRunResult par = run_parallel(nest, *r.structure, r.time_function, r.partition,
+                                       r.mapping.mapping, r.dependence);
+  EquivalenceReport e2 = compare_stores(seq, par.written);
+  std::printf("written elements: %zu\n", e1.compared);
+  std::printf("distributed interpreter == sequential: %s%s\n", e1.equal ? "YES" : "NO — ",
+              e1.equal ? "" : e1.first_mismatch.c_str());
+  std::printf("threaded runtime == sequential: %s%s  (%zu threads, %lld messages)\n",
+              e2.equal ? "YES" : "NO — ", e2.equal ? "" : e2.first_mismatch.c_str(),
+              par.stats.threads, static_cast<long long>(par.stats.messages_sent));
+  return e1.equal && e2.equal ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o = parse_args(argc, argv);
+  LoopNest nest = [&] {
+    try {
+      return parse_loop_nest(read_source(o.file));
+    } catch (const ParseError& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      std::exit(65);
+    }
+  }();
+  PipelineResult r = [&] {
+    try {
+      return run_pipeline(nest, o.config);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      std::exit(70);
+    }
+  }();
+
+  if (o.command == "analyze") return cmd_analyze(nest, r);
+  if (o.command == "partition") return cmd_partition(r);
+  if (o.command == "map") return cmd_map(r, o.config.cube_dim);
+  if (o.command == "simulate") return cmd_simulate(r);
+  if (o.command == "run") return cmd_run(nest, r);
+  if (o.command == "codegen") {
+    std::printf("%s", generate_spmd_program(nest, *r.structure, r.time_function, r.partition,
+                                            r.mapping.mapping, r.dependence)
+                          .c_str());
+    return 0;
+  }
+  if (o.command == "wavefront") {
+    WavefrontTransform wt = make_wavefront_transform(r.time_function);
+    std::printf("%s", wavefront_loop_to_string(wt, *r.structure, nest.index_names()).c_str());
+    return 0;
+  }
+  if (o.command == "json") {
+    std::printf("%s\n", pipeline_result_to_json(nest, r).c_str());
+    return 0;
+  }
+  usage(("unknown command " + o.command).c_str());
+}
