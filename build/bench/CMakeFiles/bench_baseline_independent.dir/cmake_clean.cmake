@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_independent.dir/bench_baseline_independent.cpp.o"
+  "CMakeFiles/bench_baseline_independent.dir/bench_baseline_independent.cpp.o.d"
+  "bench_baseline_independent"
+  "bench_baseline_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

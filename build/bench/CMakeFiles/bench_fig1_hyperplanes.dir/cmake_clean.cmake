@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hyperplanes.dir/bench_fig1_hyperplanes.cpp.o"
+  "CMakeFiles/bench_fig1_hyperplanes.dir/bench_fig1_hyperplanes.cpp.o.d"
+  "bench_fig1_hyperplanes"
+  "bench_fig1_hyperplanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hyperplanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_partition_l1.dir/bench_fig3_partition_l1.cpp.o"
+  "CMakeFiles/bench_fig3_partition_l1.dir/bench_fig3_partition_l1.cpp.o.d"
+  "bench_fig3_partition_l1"
+  "bench_fig3_partition_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_partition_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

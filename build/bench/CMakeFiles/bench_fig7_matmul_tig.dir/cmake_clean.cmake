@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_matmul_tig.dir/bench_fig7_matmul_tig.cpp.o"
+  "CMakeFiles/bench_fig7_matmul_tig.dir/bench_fig7_matmul_tig.cpp.o.d"
+  "bench_fig7_matmul_tig"
+  "bench_fig7_matmul_tig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_matmul_tig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedule_search.dir/bench_schedule_search.cpp.o"
+  "CMakeFiles/bench_schedule_search.dir/bench_schedule_search.cpp.o.d"
+  "bench_schedule_search"
+  "bench_schedule_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

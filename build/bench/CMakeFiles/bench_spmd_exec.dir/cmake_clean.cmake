@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmd_exec.dir/bench_spmd_exec.cpp.o"
+  "CMakeFiles/bench_spmd_exec.dir/bench_spmd_exec.cpp.o.d"
+  "bench_spmd_exec"
+  "bench_spmd_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmd_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

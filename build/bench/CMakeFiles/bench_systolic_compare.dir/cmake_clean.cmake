@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_systolic_compare.dir/bench_systolic_compare.cpp.o"
+  "CMakeFiles/bench_systolic_compare.dir/bench_systolic_compare.cpp.o.d"
+  "bench_systolic_compare"
+  "bench_systolic_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_systolic_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

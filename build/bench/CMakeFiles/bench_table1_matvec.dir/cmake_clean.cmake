@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_matvec.dir/bench_table1_matvec.cpp.o"
+  "CMakeFiles/bench_table1_matvec.dir/bench_table1_matvec.cpp.o.d"
+  "bench_table1_matvec"
+  "bench_table1_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_mappings.dir/compare_mappings.cpp.o"
+  "CMakeFiles/example_compare_mappings.dir/compare_mappings.cpp.o.d"
+  "example_compare_mappings"
+  "example_compare_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loopc.dir/loopc.cpp.o"
+  "CMakeFiles/example_loopc.dir/loopc.cpp.o.d"
+  "example_loopc"
+  "example_loopc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loopc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul_on_hypercube.dir/matmul_on_hypercube.cpp.o"
+  "CMakeFiles/example_matmul_on_hypercube.dir/matmul_on_hypercube.cpp.o.d"
+  "example_matmul_on_hypercube"
+  "example_matmul_on_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul_on_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_matmul_on_hypercube.
+# This may be replaced when dependencies are built.

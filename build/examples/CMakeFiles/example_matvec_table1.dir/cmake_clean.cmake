@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matvec_table1.dir/matvec_table1.cpp.o"
+  "CMakeFiles/example_matvec_table1.dir/matvec_table1.cpp.o.d"
+  "example_matvec_table1"
+  "example_matvec_table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matvec_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stencil_partition.dir/stencil_partition.cpp.o"
+  "CMakeFiles/example_stencil_partition.dir/stencil_partition.cpp.o.d"
+  "example_stencil_partition"
+  "example_stencil_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stencil_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

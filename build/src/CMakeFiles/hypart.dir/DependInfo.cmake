@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/independent.cpp" "src/CMakeFiles/hypart.dir/baselines/independent.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/baselines/independent.cpp.o.d"
+  "/root/repo/src/codegen/spmd.cpp" "src/CMakeFiles/hypart.dir/codegen/spmd.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/codegen/spmd.cpp.o.d"
+  "/root/repo/src/core/json_export.cpp" "src/CMakeFiles/hypart.dir/core/json_export.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/core/json_export.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/hypart.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/exec/interpreter.cpp" "src/CMakeFiles/hypart.dir/exec/interpreter.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/exec/interpreter.cpp.o.d"
+  "/root/repo/src/exec/parallel_runtime.cpp" "src/CMakeFiles/hypart.dir/exec/parallel_runtime.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/exec/parallel_runtime.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/hypart.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/hypart.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/printer.cpp" "src/CMakeFiles/hypart.dir/frontend/printer.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/frontend/printer.cpp.o.d"
+  "/root/repo/src/graph/comp_structure.cpp" "src/CMakeFiles/hypart.dir/graph/comp_structure.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/graph/comp_structure.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/hypart.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/loop/dependence.cpp" "src/CMakeFiles/hypart.dir/loop/dependence.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/loop/dependence.cpp.o.d"
+  "/root/repo/src/loop/expr.cpp" "src/CMakeFiles/hypart.dir/loop/expr.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/loop/expr.cpp.o.d"
+  "/root/repo/src/loop/index_set.cpp" "src/CMakeFiles/hypart.dir/loop/index_set.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/loop/index_set.cpp.o.d"
+  "/root/repo/src/loop/loop_nest.cpp" "src/CMakeFiles/hypart.dir/loop/loop_nest.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/loop/loop_nest.cpp.o.d"
+  "/root/repo/src/mapping/baseline_map.cpp" "src/CMakeFiles/hypart.dir/mapping/baseline_map.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/mapping/baseline_map.cpp.o.d"
+  "/root/repo/src/mapping/gray.cpp" "src/CMakeFiles/hypart.dir/mapping/gray.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/mapping/gray.cpp.o.d"
+  "/root/repo/src/mapping/hypercube_map.cpp" "src/CMakeFiles/hypart.dir/mapping/hypercube_map.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/mapping/hypercube_map.cpp.o.d"
+  "/root/repo/src/mapping/other_topologies.cpp" "src/CMakeFiles/hypart.dir/mapping/other_topologies.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/mapping/other_topologies.cpp.o.d"
+  "/root/repo/src/mapping/tig.cpp" "src/CMakeFiles/hypart.dir/mapping/tig.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/mapping/tig.cpp.o.d"
+  "/root/repo/src/numeric/int_linalg.cpp" "src/CMakeFiles/hypart.dir/numeric/int_linalg.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/numeric/int_linalg.cpp.o.d"
+  "/root/repo/src/numeric/rat_matrix.cpp" "src/CMakeFiles/hypart.dir/numeric/rat_matrix.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/numeric/rat_matrix.cpp.o.d"
+  "/root/repo/src/numeric/rational.cpp" "src/CMakeFiles/hypart.dir/numeric/rational.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/numeric/rational.cpp.o.d"
+  "/root/repo/src/partition/blocks.cpp" "src/CMakeFiles/hypart.dir/partition/blocks.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/partition/blocks.cpp.o.d"
+  "/root/repo/src/partition/checkers.cpp" "src/CMakeFiles/hypart.dir/partition/checkers.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/partition/checkers.cpp.o.d"
+  "/root/repo/src/partition/grouping.cpp" "src/CMakeFiles/hypart.dir/partition/grouping.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/partition/grouping.cpp.o.d"
+  "/root/repo/src/partition/projection.cpp" "src/CMakeFiles/hypart.dir/partition/projection.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/partition/projection.cpp.o.d"
+  "/root/repo/src/perf/perf_model.cpp" "src/CMakeFiles/hypart.dir/perf/perf_model.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/perf/perf_model.cpp.o.d"
+  "/root/repo/src/perf/table.cpp" "src/CMakeFiles/hypart.dir/perf/table.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/perf/table.cpp.o.d"
+  "/root/repo/src/schedule/hyperplane.cpp" "src/CMakeFiles/hypart.dir/schedule/hyperplane.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/schedule/hyperplane.cpp.o.d"
+  "/root/repo/src/sim/exec_sim.cpp" "src/CMakeFiles/hypart.dir/sim/exec_sim.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/sim/exec_sim.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/hypart.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/hypart.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/sim/report.cpp.o.d"
+  "/root/repo/src/systolic/systolic.cpp" "src/CMakeFiles/hypart.dir/systolic/systolic.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/systolic/systolic.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/hypart.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/transform/wavefront.cpp" "src/CMakeFiles/hypart.dir/transform/wavefront.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/transform/wavefront.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/hypart.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/hypart.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_map.dir/test_baseline_map.cpp.o"
+  "CMakeFiles/test_baseline_map.dir/test_baseline_map.cpp.o.d"
+  "test_baseline_map"
+  "test_baseline_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkers.dir/test_checkers.cpp.o"
+  "CMakeFiles/test_checkers.dir/test_checkers.cpp.o.d"
+  "test_checkers"
+  "test_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

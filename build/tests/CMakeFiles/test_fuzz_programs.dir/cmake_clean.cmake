@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_programs.dir/test_fuzz_programs.cpp.o"
+  "CMakeFiles/test_fuzz_programs.dir/test_fuzz_programs.cpp.o.d"
+  "test_fuzz_programs"
+  "test_fuzz_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gray.dir/test_gray.cpp.o"
+  "CMakeFiles/test_gray.dir/test_gray.cpp.o.d"
+  "test_gray"
+  "test_gray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypercube_map.dir/test_hypercube_map.cpp.o"
+  "CMakeFiles/test_hypercube_map.dir/test_hypercube_map.cpp.o.d"
+  "test_hypercube_map"
+  "test_hypercube_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypercube_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

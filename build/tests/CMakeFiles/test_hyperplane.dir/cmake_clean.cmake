@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyperplane.dir/test_hyperplane.cpp.o"
+  "CMakeFiles/test_hyperplane.dir/test_hyperplane.cpp.o.d"
+  "test_hyperplane"
+  "test_hyperplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyperplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

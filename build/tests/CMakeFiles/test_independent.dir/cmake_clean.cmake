@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_independent.dir/test_independent.cpp.o"
+  "CMakeFiles/test_independent.dir/test_independent.cpp.o.d"
+  "test_independent"
+  "test_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

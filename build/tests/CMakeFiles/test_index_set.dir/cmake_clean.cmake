@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_set.dir/test_index_set.cpp.o"
+  "CMakeFiles/test_index_set.dir/test_index_set.cpp.o.d"
+  "test_index_set"
+  "test_index_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

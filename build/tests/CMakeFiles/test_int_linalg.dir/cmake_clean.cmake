@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int_linalg.dir/test_int_linalg.cpp.o"
+  "CMakeFiles/test_int_linalg.dir/test_int_linalg.cpp.o.d"
+  "test_int_linalg"
+  "test_int_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_nest.dir/test_loop_nest.cpp.o"
+  "CMakeFiles/test_loop_nest.dir/test_loop_nest.cpp.o.d"
+  "test_loop_nest"
+  "test_loop_nest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_nest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

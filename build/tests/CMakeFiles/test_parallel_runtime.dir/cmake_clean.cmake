@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_runtime.dir/test_parallel_runtime.cpp.o"
+  "CMakeFiles/test_parallel_runtime.dir/test_parallel_runtime.cpp.o.d"
+  "test_parallel_runtime"
+  "test_parallel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rat_matrix.dir/test_rat_matrix.cpp.o"
+  "CMakeFiles/test_rat_matrix.dir/test_rat_matrix.cpp.o.d"
+  "test_rat_matrix"
+  "test_rat_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rat_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tig.dir/test_tig.cpp.o"
+  "CMakeFiles/test_tig.dir/test_tig.cpp.o.d"
+  "test_tig"
+  "test_tig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypart_cli.dir/hypart_cli.cpp.o"
+  "CMakeFiles/hypart_cli.dir/hypart_cli.cpp.o.d"
+  "hypart"
+  "hypart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_analyze "/root/repo/build/tools/hypart" "analyze" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_partition "/root/repo/build/tools/hypart" "partition" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map "/root/repo/build/tools/hypart" "map" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/hypart" "simulate" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/hypart" "run" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_codegen "/root/repo/build/tools/hypart" "codegen" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_wavefront "/root/repo/build/tools/hypart" "wavefront" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_wavefront PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_json "/root/repo/build/tools/hypart" "json" "/root/repo/examples/programs/sor.loop" "--dim" "2")
+set_tests_properties(cli_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_weighted "/root/repo/build/tools/hypart" "run" "/root/repo/examples/programs/wave.loop" "--dim" "3" "--weighted" "--accounting" "barrier")
+set_tests_properties(cli_weighted PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
