@@ -3,12 +3,26 @@
 // Each binary prints its table/figure reproduction up front (so the output
 // can be diffed against the paper) and then registers google-benchmark
 // timings for the underlying algorithms.
+//
+// Observability: every bench shares one process-wide MetricsRegistry; report
+// code routes pipeline/simulator runs through `obs_context()` so the
+// BENCH_*.json trajectories gain per-phase breakdowns (iteration counts,
+// message histograms, busiest-link series) instead of single totals.  When
+// the environment variable HYPART_BENCH_METRICS names a file, the registry
+// snapshot is written there as `{"bench": <name>, "metrics": {...}}` after
+// the benchmarks finish; the snapshot holds deterministic quantities only,
+// so reruns produce byte-identical JSON.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+
+#include "core/json_writer.hpp"
+#include "obs/obs.hpp"
 
 namespace hypart::bench {
 
@@ -17,9 +31,39 @@ inline void banner(const std::string& title) {
   std::printf("\n%s\n=== %s ===\n%s\n", rule.c_str(), title.c_str(), rule.c_str());
 }
 
+/// Process-wide metrics registry shared by a bench binary's report code.
+inline obs::MetricsRegistry& metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+/// ObsContext wired to the shared registry (no trace sink: benches measure
+/// time themselves; wall-clock spans would perturb the timings they report).
+inline obs::ObsContext obs_context() { return obs::ObsContext{nullptr, &metrics()}; }
+
+/// Write the shared registry snapshot to $HYPART_BENCH_METRICS, if set.
+/// Returns false on I/O failure (missing env var is not a failure).
+inline bool write_metrics_json(const std::string& bench_name) {
+  const char* path = std::getenv("HYPART_BENCH_METRICS");
+  if (path == nullptr || *path == '\0') return true;
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", bench_name);
+  w.key("metrics").raw_value(metrics().snapshot().to_json());
+  w.end_object();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write metrics to '%s'\n", path);
+    return false;
+  }
+  out << w.str() << "\n";
+  return static_cast<bool>(out);
+}
+
 }  // namespace hypart::bench
 
-/// Standard main: print the reproduction report, then run the benchmarks.
+/// Standard main: print the reproduction report, run the benchmarks, then
+/// dump the per-bench metrics snapshot (when HYPART_BENCH_METRICS is set).
 #define HYPART_BENCH_MAIN(report_fn)                                  \
   int main(int argc, char** argv) {                                   \
     report_fn();                                                      \
@@ -27,5 +71,6 @@ inline void banner(const std::string& title) {
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                            \
     ::benchmark::Shutdown();                                          \
+    if (!::hypart::bench::write_metrics_json(argv[0])) return 1;      \
     return 0;                                                         \
   }

@@ -51,6 +51,7 @@ void contention_table(const char* title, Pieces& p, unsigned dim, std::int64_t f
     barrier.accounting = CommAccounting::PerStepBarrier;
     cont.accounting = CommAccounting::LinkContention;
     paper.flops_per_iteration = barrier.flops_per_iteration = cont.flops_per_iteration = flops;
+    cont.obs = bench::obs_context();
     SimResult rp = simulate_execution(*p.q, p.tf, p.partition, m, cube, machine, paper);
     SimResult rb = simulate_execution(*p.q, p.tf, p.partition, m, cube, machine, barrier);
     SimResult rc = simulate_execution(*p.q, p.tf, p.partition, m, cube, machine, cont);

@@ -39,6 +39,7 @@ void simulated_table(std::int64_t m, std::initializer_list<unsigned> dims) {
   PipelineConfig cfg;
   cfg.time_function = IntVec{1, 1};
   cfg.machine = machine;
+  cfg.obs = bench::obs_context();
   double seq = static_cast<double>(2 * m * m) * machine.t_calc;
   for (unsigned dim : dims) {
     cfg.cube_dim = dim;
@@ -65,6 +66,7 @@ void full_scale_table() {
   TaskInteractionGraph tig = TaskInteractionGraph::from_partition(*q, part, g);
   SimOptions opts;
   opts.flops_per_iteration = 2;
+  opts.obs = bench::obs_context();
 
   TextTable t({"N", "simulated T_exec", "Table I row", "match"});
   for (unsigned dim : {0u, 2u, 4u, 6u, 8u, 10u}) {

@@ -4,104 +4,6 @@
 
 namespace hypart {
 
-void JsonWriter::comma() {
-  if (need_comma_) out_ += ',';
-  need_comma_ = false;
-}
-
-std::string JsonWriter::escape(const std::string& s) {
-  std::string r = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': r += "\\\""; break;
-      case '\\': r += "\\\\"; break;
-      case '\n': r += "\\n"; break;
-      case '\t': r += "\\t"; break;
-      case '\r': r += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          r += buf;
-        } else {
-          r += c;
-        }
-    }
-  }
-  return r + "\"";
-}
-
-JsonWriter& JsonWriter::begin_object() {
-  comma();
-  out_ += '{';
-  need_comma_ = false;
-  return *this;
-}
-JsonWriter& JsonWriter::end_object() {
-  out_ += '}';
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::begin_array(const std::string& k) {
-  if (!k.empty()) key(k);
-  comma();
-  out_ += '[';
-  need_comma_ = false;
-  return *this;
-}
-JsonWriter& JsonWriter::end_array() {
-  out_ += ']';
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::key(const std::string& k) {
-  comma();
-  out_ += escape(k);
-  out_ += ':';
-  need_comma_ = false;
-  return *this;
-}
-JsonWriter& JsonWriter::value(const std::string& v) {
-  comma();
-  out_ += escape(v);
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
-JsonWriter& JsonWriter::value(double v) {
-  comma();
-  char buf[32];
-  auto res = std::to_chars(buf, buf + sizeof buf, v);
-  out_.append(buf, res.ptr);
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::value(std::int64_t v) {
-  comma();
-  out_ += std::to_string(v);
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::value(std::uint64_t v) {
-  comma();
-  out_ += std::to_string(v);
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::value(bool v) {
-  comma();
-  out_ += v ? "true" : "false";
-  need_comma_ = true;
-  return *this;
-}
-JsonWriter& JsonWriter::field(const std::string& k, const std::string& v) {
-  return key(k).value(v);
-}
-JsonWriter& JsonWriter::field(const std::string& k, double v) { return key(k).value(v); }
-JsonWriter& JsonWriter::field(const std::string& k, std::int64_t v) { return key(k).value(v); }
-JsonWriter& JsonWriter::field(const std::string& k, std::uint64_t v) { return key(k).value(v); }
-JsonWriter& JsonWriter::field(const std::string& k, bool v) { return key(k).value(v); }
-
 namespace {
 
 void write_intvec(JsonWriter& w, const IntVec& v) {
@@ -169,6 +71,8 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
   w.field("lemma2", r.lemmas.lemma2_holds);
   w.field("lemma3", r.lemmas.lemma3_holds);
   w.end_object();
+
+  if (r.metrics) w.key("metrics").raw_value(r.metrics->to_json());
 
   w.end_object();
   return w.str();

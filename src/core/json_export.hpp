@@ -7,39 +7,10 @@
 
 #include <string>
 
+#include "core/json_writer.hpp"
 #include "core/pipeline.hpp"
 
 namespace hypart {
-
-/// A minimal JSON string builder with correct escaping/formatting.
-class JsonWriter {
- public:
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array(const std::string& key = "");
-  JsonWriter& end_array();
-  JsonWriter& key(const std::string& k);
-  JsonWriter& value(const std::string& v);
-  JsonWriter& value(const char* v);
-  JsonWriter& value(double v);
-  JsonWriter& value(std::int64_t v);
-  JsonWriter& value(std::uint64_t v);
-  JsonWriter& value(bool v);
-  JsonWriter& field(const std::string& k, const std::string& v);
-  JsonWriter& field(const std::string& k, double v);
-  JsonWriter& field(const std::string& k, std::int64_t v);
-  JsonWriter& field(const std::string& k, std::uint64_t v);
-  JsonWriter& field(const std::string& k, bool v);
-
-  [[nodiscard]] std::string str() const { return out_; }
-
- private:
-  void comma();
-  static std::string escape(const std::string& s);
-
-  std::string out_;
-  bool need_comma_ = false;
-};
 
 /// Serialize a pipeline run: loop metadata, dependences, schedule,
 /// partition statistics, mapping, simulation costs, validation flags.

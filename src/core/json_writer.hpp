@@ -1,0 +1,47 @@
+// hypart — minimal JSON string builder with correct escaping/formatting.
+//
+// Shared by the pipeline exporter (core/json_export.hpp) and the
+// observability layer (obs/); self-contained, no external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hypart {
+
+/// A minimal JSON string builder with correct escaping/formatting.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = "");
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& field(const std::string& k, const std::string& v);
+  JsonWriter& field(const std::string& k, double v);
+  JsonWriter& field(const std::string& k, std::int64_t v);
+  JsonWriter& field(const std::string& k, std::uint64_t v);
+  JsonWriter& field(const std::string& k, bool v);
+  /// Splice an already-serialized JSON value verbatim (caller guarantees
+  /// validity); used to embed sub-documents like a metrics snapshot.
+  JsonWriter& raw_value(const std::string& json);
+
+  [[nodiscard]] std::string str() const { return out_; }
+
+  /// Escape `s` as a JSON string literal (including the surrounding quotes).
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace hypart

@@ -7,44 +7,90 @@ namespace hypart {
 
 PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) {
   PipelineResult r;
+  obs::TraceSink* sink = config.obs.trace;
+  obs::MetricsRegistry* reg = config.obs.metrics;
+  if (sink != nullptr) {
+    obs::emit_process_name(sink, obs::kPipelinePid, "hypart pipeline (wall clock)");
+    obs::emit_thread_name(sink, obs::kPipelinePid, obs::kPipelineTid, "pipeline stages");
+  }
+  obs::ScopedSpan total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
+                             obs::kPipelineTid, {{"loop", nest.name()}});
 
-  r.dependence = analyze_dependences(nest, config.dependence);
-  IndexSet is(nest);
-  r.structure =
-      std::make_unique<ComputationStructure>(is.points(), r.dependence.distance_vectors());
-
-  if (config.time_function) {
-    r.time_function = TimeFunction{*config.time_function};
-    if (!is_valid_time_function(r.time_function, r.structure->dependences()))
-      throw std::invalid_argument("run_pipeline: supplied time function is invalid");
-  } else {
-    std::optional<TimeFunction> tf = search_time_function(*r.structure, config.tf_search);
-    if (!tf)
-      throw std::runtime_error(
-          "run_pipeline: no valid time function found in the search box; widen "
-          "tf_search.max_coefficient");
-    r.time_function = *tf;
+  {
+    obs::ScopedSpan span(sink, "dependence_analysis", "pipeline");
+    r.dependence = analyze_dependences(nest, config.dependence);
+    IndexSet is(nest);
+    r.structure =
+        std::make_unique<ComputationStructure>(is.points(), r.dependence.distance_vectors());
+    span.arg("iterations", static_cast<std::int64_t>(r.structure->vertices().size()));
+    span.arg("dependences", static_cast<std::int64_t>(r.dependence.dependences.size()));
+  }
+  if (reg != nullptr) {
+    reg->add("pipeline.iterations", static_cast<std::int64_t>(r.structure->vertices().size()));
+    reg->add("pipeline.dependences", static_cast<std::int64_t>(r.dependence.dependences.size()));
   }
 
-  r.projected = std::make_unique<ProjectedStructure>(*r.structure, r.time_function);
-  r.grouping = Grouping::compute(*r.projected, config.grouping);
-  r.partition = Partition::build(*r.structure, r.grouping);
-  r.stats = compute_partition_stats(*r.structure, r.partition);
-  r.tig = TaskInteractionGraph::from_partition(*r.structure, r.partition, r.grouping);
-  r.mapping = map_to_hypercube(r.tig, config.cube_dim, config.mapping);
+  {
+    obs::ScopedSpan span(sink, "time_function", "pipeline");
+    if (config.time_function) {
+      r.time_function = TimeFunction{*config.time_function};
+      if (!is_valid_time_function(r.time_function, r.structure->dependences()))
+        throw std::invalid_argument("run_pipeline: supplied time function is invalid");
+    } else {
+      std::optional<TimeFunction> tf = search_time_function(*r.structure, config.tf_search);
+      if (!tf)
+        throw std::runtime_error(
+            "run_pipeline: no valid time function found in the search box; widen "
+            "tf_search.max_coefficient");
+      r.time_function = *tf;
+    }
+    span.arg("pi", r.time_function.to_string());
+  }
+
+  {
+    obs::ScopedSpan span(sink, "partition", "pipeline");
+    r.projected = std::make_unique<ProjectedStructure>(*r.structure, r.time_function);
+    r.grouping = Grouping::compute(*r.projected, config.grouping);
+    r.partition = Partition::build(*r.structure, r.grouping);
+    r.stats = compute_partition_stats(*r.structure, r.partition);
+    span.arg("blocks", static_cast<std::int64_t>(r.partition.block_count()));
+    span.arg("interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
+  }
+  if (reg != nullptr) {
+    reg->add("pipeline.projected_points", static_cast<std::int64_t>(r.projected->point_count()));
+    reg->add("pipeline.blocks", static_cast<std::int64_t>(r.partition.block_count()));
+    reg->add("pipeline.interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
+    reg->add("pipeline.total_arcs", static_cast<std::int64_t>(r.stats.total_arcs));
+  }
+
+  {
+    obs::ScopedSpan span(sink, "mapping", "pipeline");
+    r.tig = TaskInteractionGraph::from_partition(*r.structure, r.partition, r.grouping);
+    HypercubeMapOptions map_opts = config.mapping;
+    map_opts.obs = config.obs;
+    r.mapping = map_to_hypercube(r.tig, config.cube_dim, map_opts);
+    span.arg("processors", static_cast<std::int64_t>(r.mapping.mapping.processor_count));
+  }
 
   Hypercube cube(config.cube_dim);
   SimOptions sim_opts = config.sim;
   sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
-  r.sim = simulate_execution(*r.structure, r.time_function, r.partition, r.mapping.mapping, cube,
-                             config.machine, sim_opts);
+  sim_opts.obs = config.obs;
+  {
+    obs::ScopedSpan span(sink, "simulate", "pipeline");
+    r.sim = simulate_execution(*r.structure, r.time_function, r.partition, r.mapping.mapping,
+                               cube, config.machine, sim_opts);
+  }
 
   if (config.validate) {
+    obs::ScopedSpan span(sink, "validate", "pipeline");
     r.exact_cover = check_exact_cover(*r.structure, r.partition);
     r.theorem1 = check_theorem1(*r.structure, r.time_function, r.partition);
     r.theorem2 = check_theorem2(r.grouping);
     r.lemmas = check_lemmas(r.grouping);
   }
+
+  if (reg != nullptr) r.metrics = reg->snapshot();
   return r;
 }
 

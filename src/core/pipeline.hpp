@@ -34,6 +34,10 @@ struct PipelineConfig {
   std::optional<std::int64_t> flops_override;
   /// Run the theorem/lemma checkers and record their reports.
   bool validate = true;
+  /// Optional tracing/metrics hooks, propagated to every stage (stage spans
+  /// on the wall clock, simulator events on the simulated clock).  Both
+  /// pointers null (the default) disables all instrumentation.
+  obs::ObsContext obs{};
 };
 
 /// All stage outputs.  Heap-held where later stages keep references.
@@ -54,6 +58,9 @@ struct PipelineResult {
   bool theorem1 = false;
   Theorem2Report theorem2;
   LemmaReport lemmas;
+
+  /// Final metrics snapshot; set only when config.obs carried a registry.
+  std::optional<obs::MetricsSnapshot> metrics;
 
   /// One-paragraph human-readable summary.
   [[nodiscard]] std::string summary() const;

@@ -51,7 +51,7 @@ IntVec eval_subscripts(const std::vector<AffineExpr>& subs, const IntVec& iterat
 ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure& q,
                                const TimeFunction& tf, const Partition& part,
                                const Mapping& mapping, const DependenceInfo& deps,
-                               const InitFn& init) {
+                               const InitFn& init, const obs::ObsContext& obs) {
   for (const Statement& s : nest.statements())
     if (!s.is_executable())
       throw std::invalid_argument("run_parallel: statement '" + s.label +
@@ -95,7 +95,16 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
   std::atomic<std::int64_t> messages_sent{0};
   std::atomic<std::int64_t> halo_loads{0};
 
+  // Per-worker observability slots: each is touched by exactly one thread
+  // and read only after join, so no synchronization (and no sink calls from
+  // worker threads) is needed.
+  std::vector<std::int64_t> proc_messages(nprocs, 0);
+  std::vector<std::int64_t> proc_halo(nprocs, 0);
+  std::vector<double> span_begin(nprocs, 0.0), span_end(nprocs, 0.0);
+  const bool timing = obs.trace != nullptr;
+
   auto worker = [&](ProcId me) {
+    if (timing) span_begin[me] = obs::wall_clock_us();
     ArrayStore local;
     std::unordered_map<std::size_t, std::uint32_t> received;
     auto drain_locked = [&](std::deque<Message>& pending) {
@@ -131,6 +140,7 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
         double h = init(array, element);
         local.store(array, element, h);
         halo_loads.fetch_add(1, std::memory_order_relaxed);
+        ++proc_halo[me];
         return h;
       };
       for (const Statement& s : nest.statements()) {
@@ -153,11 +163,14 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
         if (!value) {
           value = init(d.array, element);
           halo_loads.fetch_add(1, std::memory_order_relaxed);
+          ++proc_halo[me];
         }
         mailbox[target].post({it->second, d.array, std::move(element), *value});
         messages_sent.fetch_add(1, std::memory_order_relaxed);
+        ++proc_messages[me];
       }
     }
+    if (timing) span_end[me] = obs::wall_clock_us();
   };
 
   std::vector<std::thread> threads;
@@ -183,6 +196,26 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
   result.stats.messages_sent = messages_sent.load();
   result.stats.halo_loads = halo_loads.load();
   result.stats.threads = nprocs;
+  result.stats.per_proc_messages = proc_messages;
+
+  if (obs.trace != nullptr) {
+    for (ProcId p = 0; p < nprocs; ++p) {
+      obs::emit_thread_name(obs.trace, obs::kPipelinePid, obs::kRuntimeTidBase + p,
+                            "runtime worker " + std::to_string(p));
+      obs::emit_complete(obs.trace, "worker", "runtime", span_begin[p],
+                         span_end[p] - span_begin[p], obs::kPipelinePid,
+                         obs::kRuntimeTidBase + p,
+                         {{"messages_sent", proc_messages[p]}, {"halo_loads", proc_halo[p]}});
+    }
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->add("runtime.messages_sent", result.stats.messages_sent);
+    obs.metrics->add("runtime.halo_loads", result.stats.halo_loads);
+    obs.metrics->add("runtime.threads", static_cast<std::int64_t>(nprocs));
+    for (ProcId p = 0; p < nprocs; ++p)
+      obs.metrics->add("runtime.proc." + std::to_string(p) + ".messages_sent",
+                       proc_messages[p]);
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "exec/interpreter.hpp"
+#include "obs/obs.hpp"
 
 namespace hypart {
 
@@ -22,6 +23,7 @@ struct ParallelRunStats {
   std::int64_t messages_sent = 0;
   std::int64_t halo_loads = 0;
   std::size_t threads = 0;
+  std::vector<std::int64_t> per_proc_messages;  ///< sends per worker thread
 };
 
 struct ParallelRunResult {
@@ -32,9 +34,14 @@ struct ParallelRunResult {
 /// Execute the partitioned, mapped nest on one OS thread per processor.
 /// Blocking message passing between threads; throws on non-executable
 /// statements or mapping mismatch.  Deterministic result (not timing).
+/// When `obs` carries a trace sink, each worker gets a wall-clock span
+/// (pid kPipelinePid, tid kRuntimeTidBase + proc); counters and per-proc
+/// send totals land in the registry.  Workers never touch the sink
+/// concurrently — timestamps are collected locally and emitted after join.
 ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure& q,
                                const TimeFunction& tf, const Partition& part,
                                const Mapping& mapping, const DependenceInfo& deps,
-                               const InitFn& init = default_init);
+                               const InitFn& init = default_init,
+                               const obs::ObsContext& obs = {});
 
 }  // namespace hypart

@@ -22,6 +22,14 @@ HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigne
     return dir < c->size() ? (*c)[dir] : 0;
   };
 
+  obs::TraceSink* sink = options.obs.trace;
+  if (sink != nullptr)
+    obs::emit_thread_name(sink, obs::kPipelinePid, obs::kMappingTid, "mapping search");
+  obs::ScopedSpan map_span(sink, "map_to_hypercube", "mapping", obs::kPipelinePid,
+                           obs::kMappingTid,
+                           {{"blocks", static_cast<std::int64_t>(nverts)},
+                            {"cube_dim", static_cast<std::int64_t>(cube_dim)}});
+
   // ---- Phase I: cluster formation -----------------------------------------
   std::vector<Cluster> clusters(1);
   clusters[0].vertices.resize(nverts);
@@ -32,6 +40,11 @@ HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigne
   for (unsigned j = 0; j < cube_dim; ++j) {
     const std::size_t dir = j % beta;
     ++bits[dir];
+    obs::ScopedSpan level_span(sink, "bisect_level", "mapping", obs::kPipelinePid,
+                               obs::kMappingTid,
+                               {{"level", static_cast<std::int64_t>(j)},
+                                {"direction", static_cast<std::int64_t>(dir)},
+                                {"clusters_in", static_cast<std::int64_t>(clusters.size())}});
     std::vector<Cluster> next;
     next.reserve(clusters.size() * 2);
     for (Cluster& c : clusters) {
@@ -94,6 +107,12 @@ HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigne
     for (std::size_t v : c.vertices) result.mapping.block_to_proc[v] = c.processor;
   }
   result.clusters = std::move(clusters);
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->add("map.clusters", static_cast<std::int64_t>(result.clusters.size()));
+    options.obs.metrics->add("map.bisection_levels", static_cast<std::int64_t>(cube_dim));
+    options.obs.metrics->add("map.directions_used",
+                             static_cast<std::int64_t>(result.directions_used));
+  }
   return result;
 }
 

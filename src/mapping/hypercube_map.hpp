@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mapping/tig.hpp"
+#include "obs/obs.hpp"
 #include "topology/topology.hpp"
 
 namespace hypart {
@@ -36,6 +37,9 @@ struct HypercubeMapOptions {
   /// diagonal block — so weighted splitting trades count balance for load
   /// balance).  Extension beyond the paper; defaults off to reproduce it.
   bool weighted = false;
+  /// Optional tracing/metrics hooks: per-bisection-level spans on the wall
+  /// clock (pid kPipelinePid, tid kMappingTid) and cluster/direction counters.
+  obs::ObsContext obs{};
 };
 
 /// Run Algorithm 2 for an n-dimensional hypercube.  The TIG's vertex

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/json_writer.hpp"
+
+namespace hypart::obs {
+
+void HistogramData::observe(std::int64_t v) {
+  if (counts.size() != upper_bounds.size() + 1) counts.assign(upper_bounds.size() + 1, 0);
+  std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), v) - upper_bounds.begin());
+  ++counts[b];
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+std::int64_t MetricsSnapshot::counter_sum(const std::string& prefix) const {
+  std::int64_t total = 0;
+  for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters) w.field(k, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : gauges) w.field(k, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [k, h] : histograms) {
+    w.key(k).begin_object();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    if (h.count > 0) {
+      w.field("min", h.min);
+      w.field("max", h.max);
+      w.field("mean", h.mean());
+    }
+    w.begin_array("upper_bounds");
+    for (std::int64_t b : h.upper_bounds) w.value(b);
+    w.end_array();
+    w.begin_array("counts");
+    for (std::int64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("series").begin_object();
+  for (const auto& [k, pts] : series) {
+    w.begin_array(k);
+    for (const SeriesPoint& p : pts) {
+      w.begin_object();
+      w.field("x", p.x);
+      w.field("y", p.y);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsSnapshot::summary() const {
+  std::ostringstream os;
+  os << "metrics: " << counters.size() << " counters, " << gauges.size() << " gauges, "
+     << histograms.size() << " histograms, " << series.size() << " series\n";
+  for (const auto& [k, v] : counters)
+    if (k.find(".proc.") == std::string::npos)  // per-proc detail stays in the JSON
+      os << "  " << k << " = " << v << "\n";
+  for (const auto& [k, v] : gauges) os << "  " << k << " = " << v << "\n";
+  for (const auto& [k, h] : histograms) {
+    os << "  " << k << ": n=" << h.count;
+    if (h.count > 0) os << " min=" << h.min << " mean=" << h.mean() << " max=" << h.max;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.counters[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.gauges[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, std::int64_t v,
+                              const std::vector<std::int64_t>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = data_.histograms.find(name);
+  if (it == data_.histograms.end()) {
+    HistogramData h;
+    h.upper_bounds = upper_bounds;
+    h.counts.assign(upper_bounds.size() + 1, 0);
+    it = data_.histograms.emplace(name, std::move(h)).first;
+  }
+  it->second.observe(v);
+}
+
+void MetricsRegistry::append(const std::string& name, std::int64_t x, double y) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.series[name].push_back({x, y});
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = MetricsSnapshot{};
+}
+
+}  // namespace hypart::obs

@@ -1,0 +1,80 @@
+// hypart::obs — metrics registry: counters, gauges, fixed-bucket histograms
+// and step-indexed series.
+//
+// The registry collects *deterministic* quantities only — iteration counts,
+// message/word/hop distributions, busiest-link series — never wall-clock
+// time (wall-clock durations belong to the trace, see obs/trace.hpp).  Two
+// runs over identical inputs therefore serialize to byte-identical JSON,
+// which makes metrics output diffable and regressable.  All maps are
+// ordered by metric name, so serialization order is stable too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hypart::obs {
+
+/// Fixed-bucket histogram: counts_[i] holds observations v <= upper_bounds[i]
+/// (first matching bound); the final bucket is the +inf overflow.
+struct HistogramData {
+  std::vector<std::int64_t> upper_bounds;  ///< ascending bucket upper bounds
+  std::vector<std::int64_t> counts;        ///< size upper_bounds.size() + 1
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< valid when count > 0
+  std::int64_t max = 0;  ///< valid when count > 0
+
+  void observe(std::int64_t v);
+  [[nodiscard]] double mean() const { return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+};
+
+struct SeriesPoint {
+  std::int64_t x = 0;
+  double y = 0.0;
+};
+
+/// A point-in-time copy of the registry, serializable via JsonWriter.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, std::vector<SeriesPoint>> series;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() && series.empty();
+  }
+  /// Sum of all counters whose name starts with `prefix`.
+  [[nodiscard]] std::int64_t counter_sum(const std::string& prefix) const;
+  /// Deterministic JSON rendering (object with counters/gauges/histograms/series).
+  [[nodiscard]] std::string to_json() const;
+  /// Short human-readable summary for CLI output.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Thread-safe named-metric registry.  Instrumentation sites hold a
+/// `MetricsRegistry*` that may be null and must test it before recording.
+class MetricsRegistry {
+ public:
+  /// Increment counter `name` by `delta` (creates it at zero).
+  void add(const std::string& name, std::int64_t delta = 1);
+  /// Set gauge `name` to `value` (last write wins).
+  void set_gauge(const std::string& name, double value);
+  /// Record `v` in histogram `name`; `upper_bounds` is used (and must be
+  /// ascending) only when the histogram does not exist yet.
+  void observe(const std::string& name, std::int64_t v,
+               const std::vector<std::int64_t>& upper_bounds);
+  /// Append (x, y) to series `name`.
+  void append(const std::string& name, std::int64_t x, double y);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+}  // namespace hypart::obs

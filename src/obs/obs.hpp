@@ -1,0 +1,21 @@
+// hypart::obs — umbrella header and the ObsContext handle threaded through
+// the pipeline, simulator, mapper and runtime.
+//
+// An ObsContext is a pair of optional borrowed pointers; the default
+// (both null) disables all instrumentation at the cost of a pointer test.
+// Callers own the sink and registry; hypart never allocates or frees them.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hypart::obs {
+
+struct ObsContext {
+  TraceSink* trace = nullptr;        ///< span/event consumer (nullable)
+  MetricsRegistry* metrics = nullptr;  ///< counter/histogram store (nullable)
+
+  [[nodiscard]] bool enabled() const { return trace != nullptr || metrics != nullptr; }
+};
+
+}  // namespace hypart::obs

@@ -15,9 +15,11 @@ double SimResult::speedup(const MachineParams& m, std::int64_t total_iterations,
   return time > 0 ? seq / time : 0.0;
 }
 
-SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,
-                             const Partition& part, const Mapping& mapping, const Topology& topo,
-                             const MachineParams& machine, const SimOptions& opts) {
+namespace {
+
+SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
+                        const Partition& part, const Mapping& mapping, const Topology& topo,
+                        const MachineParams& machine, const SimOptions& opts) {
   if (mapping.block_to_proc.size() != part.block_count())
     throw std::invalid_argument("simulate_execution: mapping/partition size mismatch");
   const std::size_t nprocs = mapping.processor_count;
@@ -195,6 +197,180 @@ SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& 
   }
   res.total = total;
   res.time = total.value(machine);
+  return res;
+}
+
+// ---- observability -------------------------------------------------------
+// Reconstructs the per-step schedule (iterations per processor, aggregated
+// messages per channel, per-link occupancy under e-cube routing) and emits
+// it as metrics and Chrome-trace events on the simulated clock (pid
+// obs::kSimPid: one tid per processor, one per physical link).  Runs only
+// when a sink or registry is installed, so the disabled path stays free.
+void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
+                        const Partition& part, const Mapping& mapping, const Topology& topo,
+                        const MachineParams& machine, const SimOptions& opts, SimResult& res) {
+  obs::TraceSink* sink = opts.obs.trace;
+  obs::MetricsRegistry* reg = opts.obs.metrics;
+  const std::size_t nprocs = mapping.processor_count;
+  const auto* cube = dynamic_cast<const Hypercube*>(&topo);
+
+  // Rebuild the schedule: processor per vertex, iterations per (step, proc),
+  // words per (step, src, dst) aggregated channel message.
+  std::vector<ProcId> vproc(q.vertices().size());
+  std::map<std::int64_t, std::map<ProcId, std::int64_t>> step_iters;
+  for (std::size_t vid = 0; vid < q.vertices().size(); ++vid) {
+    vproc[vid] = mapping.block_to_proc[part.block_of(vid)];
+    ++step_iters[tf.step_of(q.vertices()[vid])][vproc[vid]];
+  }
+  std::map<std::tuple<std::int64_t, ProcId, ProcId>, std::int64_t> channel_words;
+  q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
+    ProcId ps = vproc[q.id_of(src)];
+    ProcId pd = vproc[q.id_of(dst)];
+    if (ps == pd) return;
+    ++channel_words[{tf.step_of(src), ps, pd}];
+  });
+
+  // A message src->dst occupies these directed physical links (e-cube route
+  // on a hypercube; the logical channel itself on other topologies).
+  auto links_of = [&](ProcId src, ProcId dst) {
+    std::vector<std::pair<ProcId, ProcId>> links;
+    if (cube != nullptr) {
+      ProcId at = src;
+      for (ProcId hop : cube->ecube_route(src, dst)) {
+        links.emplace_back(at, hop);
+        at = hop;
+      }
+    } else {
+      links.emplace_back(src, dst);
+    }
+    return links;
+  };
+
+  // ---- metrics -----------------------------------------------------------
+  if (reg != nullptr) {
+    reg->add("sim.steps", res.steps);
+    reg->add("sim.messages", res.messages);
+    reg->add("sim.words", res.words);
+    reg->set_gauge("sim.time", res.time);
+    std::vector<std::int64_t> busy(nprocs, 0);
+    for (const auto& [step, procs] : step_iters)
+      for (const auto& [p, n] : procs) ++busy[p];
+    for (std::size_t p = 0; p < nprocs; ++p) {
+      const std::string base = "sim.proc." + std::to_string(p);
+      reg->add(base + ".iterations", res.per_proc_iterations[p]);
+      reg->add(base + ".busy_steps", busy[p]);
+      reg->add(base + ".idle_steps", res.steps - busy[p]);
+    }
+    static const std::vector<std::int64_t> kWordBounds{1, 2, 4, 8, 16, 32, 64, 128, 256};
+    static const std::vector<std::int64_t> kHopBounds{0, 1, 2, 3, 4, 6, 8};
+    for (const auto& [key, words] : channel_words) {
+      auto [step, src, dst] = key;
+      reg->observe("sim.msg_words", words, kWordBounds);
+      reg->observe("sim.msg_hops", static_cast<std::int64_t>(topo.distance(src, dst)),
+                   kHopBounds);
+    }
+  }
+
+  // ---- trace timeline + busiest-link series ------------------------------
+  // Enumerate links deterministically so tid assignment and track names are
+  // stable across runs.
+  std::map<std::pair<ProcId, ProcId>, std::uint64_t> link_tid;
+  for (const auto& [key, words] : channel_words) {
+    auto [step, src, dst] = key;
+    for (const auto& link : links_of(src, dst)) link_tid.emplace(link, 0);
+  }
+  {
+    std::uint64_t next = obs::kLinkTidBase;
+    for (auto& [link, tid] : link_tid) tid = next++;
+  }
+
+  if (sink != nullptr) {
+    obs::emit_process_name(sink, obs::kSimPid, "hypart simulator (simulated time)");
+    for (std::size_t p = 0; p < nprocs; ++p)
+      obs::emit_thread_name(sink, obs::kSimPid, p, "proc " + std::to_string(p));
+    for (const auto& [link, tid] : link_tid)
+      obs::emit_thread_name(sink, obs::kSimPid, tid,
+                            "link " + std::to_string(link.first) + "->" +
+                                std::to_string(link.second));
+  }
+
+  struct LinkLoad {
+    std::int64_t msgs = 0;
+    std::int64_t words = 0;
+  };
+  std::map<std::pair<ProcId, ProcId>, std::int64_t> total_link_words;
+  double t = 0.0;  // simulated clock
+  for (const auto& [step, procs] : step_iters) {
+    double max_compute = 0.0;
+    for (const auto& [p, iters] : procs) {
+      double c = static_cast<double>(iters * opts.flops_per_iteration) * machine.t_calc;
+      max_compute = std::max(max_compute, c);
+      obs::emit_complete(sink, "compute", "sim", t, c, obs::kSimPid, p,
+                         {{"step", step}, {"iterations", iters}});
+    }
+
+    // Messages sent this step, serialized per link after the compute phase.
+    std::map<std::pair<ProcId, ProcId>, LinkLoad> links;
+    auto lo = channel_words.lower_bound({step, 0, 0});
+    auto hi = channel_words.lower_bound({step + 1, 0, 0});
+    for (auto it = lo; it != hi; ++it) {
+      auto [s, src, dst] = it->first;
+      std::int64_t words = it->second;
+      if (sink != nullptr) {
+        auto iter_it = procs.find(src);
+        double c_src =
+            iter_it == procs.end()
+                ? 0.0
+                : static_cast<double>(iter_it->second * opts.flops_per_iteration) * machine.t_calc;
+        obs::emit_instant(sink, "msg", "sim", t + c_src, obs::kSimPid, src,
+                          {{"src", static_cast<std::int64_t>(src)},
+                           {"dst", static_cast<std::int64_t>(dst)},
+                           {"words", words},
+                           {"hops", static_cast<std::int64_t>(topo.distance(src, dst))},
+                           {"step", s}});
+      }
+      for (const auto& link : links_of(src, dst)) {
+        LinkLoad& l = links[link];
+        ++l.msgs;
+        l.words += words;
+        total_link_words[link] += words;
+      }
+    }
+
+    double comm_dur = 0.0;
+    std::int64_t busiest_words = 0;
+    for (const auto& [link, load] : links) {
+      double occupancy = static_cast<double>(load.msgs) * machine.t_start +
+                         static_cast<double>(load.words) * machine.t_comm;
+      obs::emit_complete(sink, "xfer", "sim", t + max_compute, occupancy, obs::kSimPid,
+                         link_tid.at(link), {{"step", step}, {"msgs", load.msgs},
+                                             {"words", load.words}});
+      comm_dur = std::max(comm_dur, occupancy);
+      busiest_words = std::max(busiest_words, load.words);
+    }
+    if (!links.empty()) {
+      if (reg != nullptr) reg->append("sim.link.busiest_words", step, static_cast<double>(busiest_words));
+      obs::emit_counter(sink, "busiest_link_words", t + max_compute, obs::kSimPid,
+                        static_cast<double>(busiest_words));
+    }
+    t += max_compute + comm_dur;
+  }
+
+  if (reg != nullptr) {
+    std::int64_t max_words = 0;
+    for (const auto& [link, words] : total_link_words) max_words = std::max(max_words, words);
+    reg->set_gauge("sim.max_link_words", static_cast<double>(max_words));
+    res.metrics = reg->snapshot();
+  }
+}
+
+}  // namespace
+
+SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,
+                             const Partition& part, const Mapping& mapping, const Topology& topo,
+                             const MachineParams& machine, const SimOptions& opts) {
+  SimResult res = simulate_core(q, tf, part, mapping, topo, machine, opts);
+  if (opts.obs.enabled()) emit_observability(q, tf, part, mapping, topo, machine, opts, res);
   return res;
 }
 

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "mapping/tig.hpp"
+#include "obs/obs.hpp"
 #include "partition/blocks.hpp"
 #include "sim/machine.hpp"
 #include "topology/topology.hpp"
@@ -42,6 +44,10 @@ struct SimOptions {
   CommAccounting accounting = CommAccounting::PaperMaxChannel;
   bool charge_hops = false;            ///< multiply message cost by hop distance
   std::int64_t flops_per_iteration = 1;
+  /// Optional tracing/metrics hooks (see obs/obs.hpp).  When both pointers
+  /// are null (the default), the simulator does no extra work at all; the
+  /// instrumented reconstruction runs only when a sink or registry is set.
+  obs::ObsContext obs{};
 };
 
 struct SimResult {
@@ -60,6 +66,10 @@ struct SimResult {
 
   /// Busiest-link word count over the whole run (LinkContention only).
   std::int64_t max_link_words = 0;
+
+  /// Metrics captured during this run; set only when SimOptions::obs carried
+  /// a MetricsRegistry (snapshot taken as the simulation returns).
+  std::optional<obs::MetricsSnapshot> metrics;
 };
 
 SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,

@@ -1,0 +1,183 @@
+// hypart::obs metrics tests: histogram bucket assignment, counter
+// determinism across identical simulator runs, snapshot JSON shape, and the
+// invariant that instrumentation leaves simulation results unchanged.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+using namespace hypart::obs;
+
+TEST(HistogramTest, BucketAssignmentAndStats) {
+  HistogramData h;
+  h.upper_bounds = {1, 2, 4};
+  h.counts.assign(4, 0);
+  for (std::int64_t v : {1, 2, 3, 4, 5, 100}) h.observe(v);
+  // v <= 1 -> bucket 0; v <= 2 -> bucket 1; v <= 4 -> bucket 2; else overflow.
+  EXPECT_EQ(h.counts[0], 1);  // {1}
+  EXPECT_EQ(h.counts[1], 1);  // {2}
+  EXPECT_EQ(h.counts[2], 2);  // {3, 4}
+  EXPECT_EQ(h.counts[3], 2);  // {5, 100}
+  EXPECT_EQ(h.count, 6);
+  EXPECT_EQ(h.sum, 115);
+  EXPECT_EQ(h.min, 1);
+  EXPECT_EQ(h.max, 100);
+  EXPECT_NEAR(h.mean(), 115.0 / 6.0, 1e-12);
+}
+
+TEST(RegistryTest, CountersGaugesSeries) {
+  MetricsRegistry reg;
+  reg.add("a.x");
+  reg.add("a.x", 4);
+  reg.add("a.y", 2);
+  reg.set_gauge("g", 1.5);
+  reg.set_gauge("g", 2.5);  // last write wins
+  reg.append("s", 0, 1.0);
+  reg.append("s", 1, 2.0);
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a.x"), 5);
+  EXPECT_EQ(snap.counters.at("a.y"), 2);
+  EXPECT_EQ(snap.counter_sum("a."), 7);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.5);
+  ASSERT_EQ(snap.series.at("s").size(), 2u);
+  EXPECT_EQ(snap.series.at("s")[1].x, 1);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+TEST(RegistryTest, SnapshotJsonHasAllSections) {
+  MetricsRegistry reg;
+  reg.add("c", 3);
+  reg.set_gauge("g", 0.5);
+  reg.observe("h", 7, {1, 10});
+  reg.append("s", 2, 4.0);
+  std::string json = reg.snapshot().to_json();
+  for (const char* key : {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"series\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  EXPECT_NE(json.find("\"c\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bounds\":[1,10]"), std::string::npos);
+}
+
+struct SimPieces {
+  std::unique_ptr<ComputationStructure> q;
+  TimeFunction tf{{1, 1}};
+  std::unique_ptr<ProjectedStructure> ps;
+  Grouping grouping;
+  Partition partition;
+  TaskInteractionGraph tig;
+  Mapping mapping;
+};
+
+SimPieces make_pieces(std::int64_t m, unsigned dim) {
+  SimPieces p;
+  p.q = std::make_unique<ComputationStructure>(
+      ComputationStructure::from_loop(workloads::matrix_vector(m)));
+  p.ps = std::make_unique<ProjectedStructure>(*p.q, p.tf);
+  p.grouping = Grouping::compute(*p.ps);
+  p.partition = Partition::build(*p.q, p.grouping);
+  p.tig = TaskInteractionGraph::from_partition(*p.q, p.partition, p.grouping);
+  p.mapping = map_to_hypercube(p.tig, dim).mapping;
+  return p;
+}
+
+TEST(SimulatorMetricsTest, DeterministicAcrossIdenticalRuns) {
+  SimPieces p = make_pieces(24, 2);
+  Hypercube cube(2);
+  auto run_once = [&] {
+    MetricsRegistry reg;
+    SimOptions opts;
+    opts.accounting = CommAccounting::LinkContention;
+    opts.flops_per_iteration = 2;
+    opts.obs.metrics = &reg;
+    SimResult r = simulate_execution(*p.q, p.tf, p.partition, p.mapping, cube,
+                                     MachineParams{}, opts);
+    EXPECT_TRUE(r.metrics.has_value());
+    return reg.snapshot().to_json();
+  };
+  std::string a = run_once();
+  std::string b = run_once();
+  EXPECT_EQ(a, b);  // byte-identical metrics output
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(SimulatorMetricsTest, PerProcIterationCountersMatchSimResult) {
+  SimPieces p = make_pieces(24, 2);
+  Hypercube cube(2);
+  MetricsRegistry reg;
+  SimOptions opts;
+  opts.flops_per_iteration = 2;
+  opts.obs.metrics = &reg;
+  SimResult r = simulate_execution(*p.q, p.tf, p.partition, p.mapping, cube, MachineParams{},
+                                   opts);
+  ASSERT_TRUE(r.metrics.has_value());
+  std::int64_t total_from_result =
+      std::accumulate(r.per_proc_iterations.begin(), r.per_proc_iterations.end(),
+                      std::int64_t{0});
+  std::int64_t busy_sum = 0;
+  for (std::size_t proc = 0; proc < r.per_proc_iterations.size(); ++proc) {
+    std::int64_t c =
+        r.metrics->counters.at("sim.proc." + std::to_string(proc) + ".iterations");
+    EXPECT_EQ(c, r.per_proc_iterations[proc]) << "proc " << proc;
+    busy_sum += c;
+  }
+  EXPECT_EQ(busy_sum, total_from_result);
+  EXPECT_EQ(r.metrics->counters.at("sim.messages"), r.messages);
+  EXPECT_EQ(r.metrics->counters.at("sim.words"), r.words);
+}
+
+TEST(SimulatorMetricsTest, DisabledObsLeavesResultUnchanged) {
+  SimPieces p = make_pieces(24, 2);
+  Hypercube cube(2);
+  SimOptions plain;
+  plain.flops_per_iteration = 2;
+  SimResult r0 = simulate_execution(*p.q, p.tf, p.partition, p.mapping, cube, MachineParams{},
+                                    plain);
+  MetricsRegistry reg;
+  SimOptions instrumented = plain;
+  instrumented.obs.metrics = &reg;
+  SimResult r1 = simulate_execution(*p.q, p.tf, p.partition, p.mapping, cube, MachineParams{},
+                                    instrumented);
+  EXPECT_EQ(r0.total, r1.total);
+  EXPECT_EQ(r0.time, r1.time);
+  EXPECT_EQ(r0.messages, r1.messages);
+  EXPECT_EQ(r0.words, r1.words);
+  EXPECT_EQ(r0.per_proc_iterations, r1.per_proc_iterations);
+  EXPECT_FALSE(r0.metrics.has_value());
+  EXPECT_TRUE(r1.metrics.has_value());
+}
+
+TEST(PipelineMetricsTest, SnapshotAttachedAndConsistent) {
+  MetricsRegistry reg;
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.cube_dim = 2;
+  cfg.obs.metrics = &reg;
+  PipelineResult r = run_pipeline(workloads::matrix_vector(16), cfg);
+  ASSERT_TRUE(r.metrics.has_value());
+  EXPECT_EQ(r.metrics->counters.at("pipeline.iterations"),
+            static_cast<std::int64_t>(r.structure->vertices().size()));
+  EXPECT_EQ(r.metrics->counters.at("pipeline.blocks"),
+            static_cast<std::int64_t>(r.partition.block_count()));
+  EXPECT_EQ(r.metrics->counters.at("map.clusters"),
+            static_cast<std::int64_t>(r.mapping.clusters.size()));
+  // The sim section is present too (same registry threaded through).
+  EXPECT_GT(r.metrics->counter_sum("sim.proc."), 0);
+}
+
+TEST(RegistryTest, ClearEmptiesEverything) {
+  MetricsRegistry reg;
+  reg.add("c");
+  reg.observe("h", 1, {1});
+  reg.clear();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+}  // namespace

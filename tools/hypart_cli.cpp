@@ -11,6 +11,7 @@
 //   codegen    emit the SPMD node program
 //   wavefront  print the time-outer transformed loop
 //   json       machine-readable dump of the whole pipeline
+//   trace      Chrome/Perfetto trace of the pipeline + simulated execution
 //
 // options:
 //   --dim N          hypercube dimension (default 3)
@@ -18,6 +19,8 @@
 //   --weighted       weighted cluster bisection
 //   --accounting M   paper | barrier | contention (default paper)
 //   --tcalc/--tstart/--tcomm X   machine constants (default 1/50/5)
+//   --trace FILE     write a Chrome trace-event JSON (any command)
+//   --metrics FILE   write a metrics snapshot JSON (any command)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +33,7 @@
 #include "exec/parallel_runtime.hpp"
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
+#include "obs/obs.hpp"
 #include "perf/table.hpp"
 #include "sim/report.hpp"
 #include "transform/wavefront.hpp"
@@ -38,14 +42,30 @@ namespace {
 
 using namespace hypart;
 
+const char kUsage[] =
+    "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json|trace>\n"
+    "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
+    "              [--accounting paper|barrier|contention]\n"
+    "              [--tcalc X] [--tstart X] [--tcomm X]\n"
+    "              [--trace FILE] [--metrics FILE]\n"
+    "\n"
+    "observability:\n"
+    "  --trace FILE   Chrome trace-event JSON of the run; open in\n"
+    "                 https://ui.perfetto.dev (one track per processor and\n"
+    "                 per physical link, plus wall-clock pipeline stages)\n"
+    "  --metrics FILE deterministic metrics snapshot (counters, histograms,\n"
+    "                 busiest-link series); byte-identical across reruns\n"
+    "  trace          like simulate, but prints the Chrome trace to stdout\n";
+
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "hypart: %s\n", msg);
-  std::fprintf(stderr,
-               "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json>\n"
-               "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
-               "              [--accounting paper|barrier|contention]\n"
-               "              [--tcalc X] [--tstart X] [--tcomm X]\n");
+  std::fprintf(stderr, "%s", kUsage);
   std::exit(64);
+}
+
+[[noreturn]] void help() {
+  std::printf("%s", kUsage);
+  std::exit(0);
 }
 
 std::string read_source(const std::string& path) {
@@ -77,9 +97,13 @@ struct CliOptions {
   std::string command;
   std::string file;
   PipelineConfig config;
+  std::string trace_path;    ///< --trace FILE (Chrome trace JSON)
+  std::string metrics_path;  ///< --metrics FILE (metrics snapshot JSON)
 };
 
 CliOptions parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) help();
   if (argc < 3) usage();
   CliOptions o;
   o.command = argv[1];
@@ -103,6 +127,8 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (a == "--tcalc") o.config.machine.t_calc = std::stod(next());
     else if (a == "--tstart") o.config.machine.t_start = std::stod(next());
     else if (a == "--tcomm") o.config.machine.t_comm = std::stod(next());
+    else if (a == "--trace") o.trace_path = next();
+    else if (a == "--metrics") o.metrics_path = next();
     else usage(("unknown option " + a).c_str());
   }
   return o;
@@ -161,13 +187,13 @@ int cmd_simulate(const PipelineResult& r) {
   return 0;
 }
 
-int cmd_run(const LoopNest& nest, const PipelineResult& r) {
+int cmd_run(const LoopNest& nest, const PipelineResult& r, const obs::ObsContext& obs) {
   ArrayStore seq = run_sequential(nest);
   DistributedResult dist = run_distributed(nest, *r.structure, r.time_function, r.partition,
                                            r.mapping.mapping, r.dependence);
   EquivalenceReport e1 = compare_stores(seq, dist.written);
   ParallelRunResult par = run_parallel(nest, *r.structure, r.time_function, r.partition,
-                                       r.mapping.mapping, r.dependence);
+                                       r.mapping.mapping, r.dependence, default_init, obs);
   EquivalenceReport e2 = compare_stores(seq, par.written);
   std::printf("written elements: %zu\n", e1.compared);
   std::printf("distributed interpreter == sequential: %s%s\n", e1.equal ? "YES" : "NO — ",
@@ -182,6 +208,17 @@ int cmd_run(const LoopNest& nest, const PipelineResult& r) {
 
 int main(int argc, char** argv) {
   CliOptions o = parse_args(argc, argv);
+
+  // Observability wiring: the CLI owns the sink/registry; the pipeline and
+  // runtime only borrow pointers.  The `trace` command implies a sink even
+  // without --trace (it prints the trace to stdout).
+  obs::ChromeTraceSink trace_sink;
+  obs::MetricsRegistry metrics;
+  const bool want_trace = !o.trace_path.empty() || o.command == "trace";
+  const bool want_metrics = !o.metrics_path.empty();
+  if (want_trace) o.config.obs.trace = &trace_sink;
+  if (want_metrics) o.config.obs.metrics = &metrics;
+
   LoopNest nest = [&] {
     try {
       return parse_loop_nest(read_source(o.file));
@@ -199,25 +236,41 @@ int main(int argc, char** argv) {
     }
   }();
 
-  if (o.command == "analyze") return cmd_analyze(nest, r);
-  if (o.command == "partition") return cmd_partition(r);
-  if (o.command == "map") return cmd_map(r, o.config.cube_dim);
-  if (o.command == "simulate") return cmd_simulate(r);
-  if (o.command == "run") return cmd_run(nest, r);
-  if (o.command == "codegen") {
+  int rc = 0;
+  if (o.command == "analyze") rc = cmd_analyze(nest, r);
+  else if (o.command == "partition") rc = cmd_partition(r);
+  else if (o.command == "map") rc = cmd_map(r, o.config.cube_dim);
+  else if (o.command == "simulate") rc = cmd_simulate(r);
+  else if (o.command == "run") rc = cmd_run(nest, r, o.config.obs);
+  else if (o.command == "codegen") {
     std::printf("%s", generate_spmd_program(nest, *r.structure, r.time_function, r.partition,
                                             r.mapping.mapping, r.dependence)
                           .c_str());
-    return 0;
-  }
-  if (o.command == "wavefront") {
+  } else if (o.command == "wavefront") {
     WavefrontTransform wt = make_wavefront_transform(r.time_function);
     std::printf("%s", wavefront_loop_to_string(wt, *r.structure, nest.index_names()).c_str());
-    return 0;
-  }
-  if (o.command == "json") {
+  } else if (o.command == "json") {
     std::printf("%s\n", pipeline_result_to_json(nest, r).c_str());
-    return 0;
+  } else if (o.command == "trace") {
+    if (o.trace_path.empty()) std::printf("%s", trace_sink.str().c_str());
+  } else {
+    usage(("unknown command " + o.command).c_str());
   }
-  usage(("unknown command " + o.command).c_str());
+
+  if (!o.trace_path.empty() && !trace_sink.write_file(o.trace_path)) {
+    std::fprintf(stderr, "hypart: cannot write trace to '%s'\n", o.trace_path.c_str());
+    return 74;
+  }
+  if (want_metrics) {
+    obs::MetricsSnapshot snap = metrics.snapshot();
+    std::ofstream out(o.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "hypart: cannot write metrics to '%s'\n", o.metrics_path.c_str());
+      return 74;
+    }
+    out << snap.to_json() << "\n";
+    if (o.command == "simulate" || o.command == "run")
+      std::printf("%s", snap.summary().c_str());
+  }
+  return rc;
 }
