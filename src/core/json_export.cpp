@@ -60,6 +60,14 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
   w.field("time", r.sim.time);
   w.field("messages", r.sim.messages);
   w.field("words", r.sim.words);
+  w.key("faults").begin_object();
+  w.field("failed_nodes", r.sim.failed_nodes);
+  w.field("failed_links", r.sim.failed_links);
+  w.field("rerouted_messages", r.sim.rerouted_messages);
+  w.field("migrated_blocks", r.sim.migrated_blocks);
+  w.field("migration_t_start_units", r.sim.migration_cost.start);
+  w.field("migration_t_comm_units", r.sim.migration_cost.comm);
+  w.end_object();
   w.end_object();
 
   w.key("validation").begin_object();

@@ -1,7 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <sstream>
-#include <stdexcept>
+
+#include "core/error.hpp"
 
 namespace hypart {
 
@@ -35,13 +36,13 @@ PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) 
     if (config.time_function) {
       r.time_function = TimeFunction{*config.time_function};
       if (!is_valid_time_function(r.time_function, r.structure->dependences()))
-        throw std::invalid_argument("run_pipeline: supplied time function is invalid");
+        throw Error(ErrorKind::Config, "run_pipeline: supplied time function is invalid");
     } else {
       std::optional<TimeFunction> tf = search_time_function(*r.structure, config.tf_search);
       if (!tf)
-        throw std::runtime_error(
-            "run_pipeline: no valid time function found in the search box; widen "
-            "tf_search.max_coefficient");
+        throw Error(ErrorKind::Unsatisfiable,
+                    "run_pipeline: no valid time function found in the search box; widen "
+                    "tf_search.max_coefficient");
       r.time_function = *tf;
     }
     span.arg("pi", r.time_function.to_string());

@@ -8,12 +8,16 @@
 // its own local store and its mailbox, exactly like a node of the paper's
 // message-passing machine.  Every value a remote iteration needs is sent as
 // a typed message and *waited for*, so a partitioning or mapping bug that
-// breaks the schedule shows up as a stall or a wrong result, not silently.
+// breaks the schedule shows up as a wrong result or — via the stall
+// watchdog — as a typed StallError with a per-worker diagnostic dump,
+// never as a silent hang.  Injected worker death (a mailbox closed before
+// the run) is surfaced as WorkerDeathError after capped delivery retries.
 //
 // Results must equal sequential execution; the tests assert this under
 // thread-schedule nondeterminism.
 #pragma once
 
+#include "core/error.hpp"
 #include "exec/interpreter.hpp"
 #include "obs/obs.hpp"
 
@@ -24,6 +28,11 @@ struct ParallelRunStats {
   std::int64_t halo_loads = 0;
   std::size_t threads = 0;
   std::vector<std::int64_t> per_proc_messages;  ///< sends per worker thread
+  /// Deepest any mailbox ever got (received-but-undrained messages); a
+  /// climbing depth on a proc that never drains is the signature of a
+  /// brewing stall — exposed as metric `runtime.max_mailbox_depth` so runs
+  /// are diagnosable before the watchdog fires.
+  std::int64_t max_mailbox_depth = 0;
 };
 
 struct ParallelRunResult {
@@ -31,13 +40,38 @@ struct ParallelRunResult {
   ParallelRunStats stats;
 };
 
+struct ParallelRunOptions {
+  InitFn init = default_init;
+  obs::ObsContext obs{};
+  /// Stall watchdog: a worker blocked on a receive for longer than this
+  /// without any message arriving aborts the whole run with StallError
+  /// (diagnostics: per-worker blocked-on vertex, outstanding message count,
+  /// mailbox depth).  0 disables the watchdog (pre-fault behavior: a broken
+  /// schedule hangs forever).
+  std::int64_t recv_timeout_ms = 30000;
+  /// Fault injection: these workers die at startup — their mailbox closes
+  /// and they execute nothing.  Message delivery to a closed mailbox is
+  /// retried with capped backoff, then the run aborts with WorkerDeathError.
+  std::vector<ProcId> dead_workers;
+  /// Delivery attempts to a closed mailbox before giving up (>= 1).
+  int delivery_attempts = 4;
+};
+
 /// Execute the partitioned, mapped nest on one OS thread per processor.
 /// Blocking message passing between threads; throws on non-executable
-/// statements or mapping mismatch.  Deterministic result (not timing).
-/// When `obs` carries a trace sink, each worker gets a wall-clock span
-/// (pid kPipelinePid, tid kRuntimeTidBase + proc); counters and per-proc
-/// send totals land in the registry.  Workers never touch the sink
-/// concurrently — timestamps are collected locally and emitted after join.
+/// statements or mapping mismatch, StallError when the watchdog fires, and
+/// WorkerDeathError when delivery to a dead worker's mailbox gives up.
+/// Deterministic result (not timing).  When `obs` carries a trace sink,
+/// each worker gets a wall-clock span (pid kPipelinePid, tid
+/// kRuntimeTidBase + proc); counters and per-proc send totals land in the
+/// registry.  Workers never touch the sink concurrently — timestamps are
+/// collected locally and emitted after join.
+ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure& q,
+                               const TimeFunction& tf, const Partition& part,
+                               const Mapping& mapping, const DependenceInfo& deps,
+                               const ParallelRunOptions& options);
+
+/// Back-compatible overload with default watchdog settings.
 ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure& q,
                                const TimeFunction& tf, const Partition& part,
                                const Mapping& mapping, const DependenceInfo& deps,

@@ -1,0 +1,78 @@
+#include "fault/degraded_route.hpp"
+
+#include <deque>
+
+#include "core/error.hpp"
+
+namespace hypart::fault {
+
+namespace {
+
+/// A hop a->b is usable when the link itself is live and each endpoint is
+/// live or exempt (the route's own src/dst — the caller owns what sending
+/// from or to a failed node means).
+bool hop_usable(const FaultSet& faults, ProcId a, ProcId b, ProcId src, ProcId dst,
+                std::int64_t step) {
+  if (faults.link_cut_at(a, b, step)) return false;
+  if (a != src && a != dst && faults.node_failed_at(a, step)) return false;
+  if (b != src && b != dst && faults.node_failed_at(b, step)) return false;
+  return true;
+}
+
+}  // namespace
+
+Route route_with_faults(const Hypercube& cube, ProcId src, ProcId dst, const FaultSet& faults,
+                        std::int64_t step) {
+  Route r;
+  if (src == dst) return r;
+
+  // Fast path: the plain e-cube route, if every hop survives.
+  std::vector<ProcId> plain = cube.ecube_route(src, dst);
+  bool intact = true;
+  ProcId at = src;
+  for (ProcId hop : plain) {
+    if (!hop_usable(faults, at, hop, src, dst, step)) {
+      intact = false;
+      break;
+    }
+    at = hop;
+  }
+  if (intact) {
+    r.hops = std::move(plain);
+    return r;
+  }
+
+  // Deterministic fallback: BFS over the live subgraph.  Neighbor order is
+  // dimension 0..n-1 (exactly e-cube's correction order) and the first
+  // discovered parent is kept, so the detour is unique and stable.
+  const std::size_t n = cube.size();
+  std::vector<ProcId> parent(n, static_cast<ProcId>(n));  // n = unvisited
+  std::deque<ProcId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty() && parent[dst] == n) {
+    ProcId u = frontier.front();
+    frontier.pop_front();
+    for (unsigned k = 0; k < cube.dimension(); ++k) {
+      ProcId v = u ^ (ProcId{1} << k);
+      if (parent[v] != n) continue;
+      if (!hop_usable(faults, u, v, src, dst, step)) continue;
+      parent[v] = u;
+      frontier.push_back(v);
+    }
+  }
+  if (parent[dst] == n)
+    throw FaultError("degraded hypercube disconnects " + std::to_string(src) + " -> " +
+                     std::to_string(dst) + " at step " + std::to_string(step));
+  std::vector<ProcId> rev;
+  for (ProcId v = dst; v != src; v = parent[v]) rev.push_back(v);
+  r.hops.assign(rev.rbegin(), rev.rend());
+  r.rerouted = true;
+  return r;
+}
+
+std::int64_t degraded_distance(const Hypercube& cube, ProcId src, ProcId dst,
+                               const FaultSet& faults, std::int64_t step) {
+  return static_cast<std::int64_t>(route_with_faults(cube, src, dst, faults, step).hops.size());
+}
+
+}  // namespace hypart::fault

@@ -1,0 +1,39 @@
+// hypart::fault — routing on a degraded hypercube.
+//
+// E-cube routing corrects differing address bits lowest-dimension-first;
+// on a damaged cube some of those links (or intermediate nodes) are gone.
+// route_with_faults keeps the e-cube path whenever it survives and
+// otherwise falls back to a deterministic dimension-ordered breadth-first
+// search over the live subgraph (neighbors enumerated dimension 0..n-1,
+// first-found parent wins), so the detour and its re-charged hop count are
+// identical on every run.  Endpoints are exempt from the node-liveness
+// test: the caller decides what sending from / to a failed node means
+// (the simulator remaps such traffic away before routing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "topology/topology.hpp"
+
+namespace hypart::fault {
+
+struct Route {
+  std::vector<ProcId> hops;  ///< intermediate + final nodes, as ecube_route
+  bool rerouted = false;     ///< true when the plain e-cube path was unusable
+};
+
+/// Route a message src -> dst at simulated step `step` around the failures
+/// in `faults`.  Returns the surviving e-cube path unchanged when intact.
+/// Throws FaultError when no live path exists (the cube is disconnected
+/// for this pair at this step).
+Route route_with_faults(const Hypercube& cube, ProcId src, ProcId dst, const FaultSet& faults,
+                        std::int64_t step);
+
+/// Hop distance of the degraded route (equals cube.distance(src, dst) when
+/// the e-cube path survives).
+std::int64_t degraded_distance(const Hypercube& cube, ProcId src, ProcId dst,
+                               const FaultSet& faults, std::int64_t step);
+
+}  // namespace hypart::fault

@@ -1,0 +1,235 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <random>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace hypart::fault {
+
+namespace {
+
+/// Split `s` on `sep`, keeping empty pieces (they are diagnosed later).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::int64_t parse_int(const std::string& s, const std::string& what) {
+  if (s.empty()) throw FaultError("fault spec: missing " + what);
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(s, &pos);
+  } catch (const std::exception&) {
+    throw FaultError("fault spec: bad " + what + " '" + s + "'");
+  }
+  if (pos != s.size()) throw FaultError("fault spec: bad " + what + " '" + s + "'");
+  return v;
+}
+
+/// Parse `<body>[@<step>]`, returning the body and the fail step.
+std::pair<std::string, std::int64_t> split_at_step(const std::string& term) {
+  std::size_t at = term.find('@');
+  if (at == std::string::npos) return {term, kFromStart};
+  return {term.substr(0, at), parse_int(term.substr(at + 1), "fail step")};
+}
+
+/// Parse the sampler counts `<k>n`, `<k>l` or `<k>n<m>l`.
+FaultSampler parse_sampler_counts(std::uint64_t seed, const std::string& counts) {
+  FaultSampler s;
+  s.seed = seed;
+  std::size_t i = 0;
+  while (i < counts.size()) {
+    std::size_t start = i;
+    while (i < counts.size() && std::isdigit(static_cast<unsigned char>(counts[i]))) ++i;
+    if (start == i || i == counts.size())
+      throw FaultError("fault spec: bad sampler counts '" + counts + "' (want e.g. 2n1l)");
+    std::size_t k = static_cast<std::size_t>(parse_int(counts.substr(start, i - start), "count"));
+    char unit = counts[i++];
+    if (unit == 'n') s.nodes += k;
+    else if (unit == 'l') s.links += k;
+    else throw FaultError(std::string("fault spec: unknown sampler unit '") + unit + "'");
+  }
+  if (s.nodes == 0 && s.links == 0)
+    throw FaultError("fault spec: sampler requests no faults: '" + counts + "'");
+  return s;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& term : split(spec, ',')) {
+    if (term.empty()) throw FaultError("fault spec: empty term in '" + spec + "'");
+    std::size_t colon = term.find(':');
+    if (colon == std::string::npos)
+      throw FaultError("fault spec: term '" + term + "' has no kind prefix");
+    std::string kind = term.substr(0, colon);
+    std::string rest = term.substr(colon + 1);
+    if (kind == "node") {
+      auto [body, step] = split_at_step(rest);
+      std::int64_t id = parse_int(body, "node id");
+      if (id < 0) throw FaultError("fault spec: negative node id in '" + term + "'");
+      plan.node_faults.push_back({static_cast<ProcId>(id), step});
+    } else if (kind == "link") {
+      auto [body, step] = split_at_step(rest);
+      std::size_t dash = body.find('-');
+      if (dash == std::string::npos)
+        throw FaultError("fault spec: link term '" + term + "' wants <a>-<b>");
+      std::int64_t a = parse_int(body.substr(0, dash), "link endpoint");
+      std::int64_t b = parse_int(body.substr(dash + 1), "link endpoint");
+      if (a < 0 || b < 0 || a == b)
+        throw FaultError("fault spec: bad link endpoints in '" + term + "'");
+      LinkFault lf;
+      lf.a = static_cast<ProcId>(std::min(a, b));
+      lf.b = static_cast<ProcId>(std::max(a, b));
+      lf.at_step = step;
+      plan.link_faults.push_back(lf);
+    } else if (kind == "rand") {
+      if (plan.sampler) throw FaultError("fault spec: more than one rand: term");
+      std::size_t colon2 = rest.find(':');
+      if (colon2 == std::string::npos)
+        throw FaultError("fault spec: rand term wants rand:<seed>:<counts>");
+      std::int64_t seed = parse_int(rest.substr(0, colon2), "seed");
+      if (seed < 0) throw FaultError("fault spec: negative seed in '" + term + "'");
+      plan.sampler =
+          parse_sampler_counts(static_cast<std::uint64_t>(seed), rest.substr(colon2 + 1));
+    } else {
+      throw FaultError("fault spec: unknown kind '" + kind + "' (want node|link|rand)");
+    }
+  }
+  return plan;
+}
+
+FaultSet FaultPlan::resolve(const Hypercube& cube) const {
+  const std::size_t n = cube.size();
+  FaultSet fs;
+  auto add_node = [&](ProcId p, std::int64_t step) {
+    if (p >= n)
+      throw FaultError("fault plan: node " + std::to_string(p) + " out of range for " +
+                       cube.name());
+    auto [it, inserted] = fs.node_fail_.emplace(p, step);
+    if (!inserted) it->second = std::min(it->second, step);  // earliest failure wins
+  };
+  auto add_link = [&](ProcId a, ProcId b, std::int64_t step) {
+    if (a >= n || b >= n)
+      throw FaultError("fault plan: link " + std::to_string(a) + "-" + std::to_string(b) +
+                       " out of range for " + cube.name());
+    if (cube.distance(a, b) != 1)
+      throw FaultError("fault plan: " + std::to_string(a) + "-" + std::to_string(b) +
+                       " is not a " + cube.name() + " edge");
+    auto key = std::minmax(a, b);
+    auto [it, inserted] = fs.link_fail_.emplace(std::make_pair(key.first, key.second), step);
+    if (!inserted) it->second = std::min(it->second, step);
+  };
+
+  for (const NodeFault& f : node_faults) add_node(f.node, f.at_step);
+  for (const LinkFault& f : link_faults) add_link(f.a, f.b, f.at_step);
+
+  if (sampler) {
+    std::mt19937_64 rng(sampler->seed);
+    // Rejection-sample distinct ids not already failed; the loop is bounded
+    // because we refuse to fail the whole machine below anyway.
+    std::uniform_int_distribution<ProcId> node_dist(0, static_cast<ProcId>(n - 1));
+    if (sampler->nodes >= n)
+      throw FaultError("fault plan: sampler would fail every node of " + cube.name());
+    std::size_t drawn = 0;
+    while (drawn < sampler->nodes && fs.node_fail_.size() < n - 1) {
+      ProcId p = node_dist(rng);
+      if (fs.node_fail_.contains(p)) continue;
+      fs.node_fail_.emplace(p, kFromStart);
+      ++drawn;
+    }
+    std::uniform_int_distribution<unsigned> dim_dist(0, cube.dimension() - 1);
+    drawn = 0;
+    const std::size_t total_links = n / 2 * cube.dimension();
+    if (sampler->links > total_links)
+      throw FaultError("fault plan: sampler wants more links than the cube has");
+    while (drawn < sampler->links && fs.link_fail_.size() < total_links) {
+      ProcId a = node_dist(rng);
+      ProcId b = a ^ (ProcId{1} << dim_dist(rng));
+      auto key = std::minmax(a, b);
+      if (fs.link_fail_.contains({key.first, key.second})) continue;
+      fs.link_fail_.emplace(std::make_pair(key.first, key.second), kFromStart);
+      ++drawn;
+    }
+  }
+
+  if (fs.node_fail_.size() >= n)
+    throw FaultError("fault plan: every node of " + cube.name() + " is failed");
+  return fs;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const NodeFault& f : node_faults) {
+    sep();
+    os << "node:" << f.node;
+    if (f.at_step != kFromStart) os << "@" << f.at_step;
+  }
+  for (const LinkFault& f : link_faults) {
+    sep();
+    os << "link:" << f.a << "-" << f.b;
+    if (f.at_step != kFromStart) os << "@" << f.at_step;
+  }
+  if (sampler) {
+    sep();
+    os << "rand:" << sampler->seed << ":";
+    if (sampler->nodes > 0) os << sampler->nodes << "n";
+    if (sampler->links > 0) os << sampler->links << "l";
+  }
+  return os.str();
+}
+
+bool FaultSet::node_failed_at(ProcId p, std::int64_t step) const {
+  auto it = node_fail_.find(p);
+  return it != node_fail_.end() && it->second <= step;
+}
+
+std::optional<std::int64_t> FaultSet::node_fail_step(ProcId p) const {
+  auto it = node_fail_.find(p);
+  if (it == node_fail_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FaultSet::link_failed_at(ProcId a, ProcId b, std::int64_t step) const {
+  if (node_failed_at(a, step) || node_failed_at(b, step)) return true;
+  return link_cut_at(a, b, step);
+}
+
+bool FaultSet::link_cut_at(ProcId a, ProcId b, std::int64_t step) const {
+  auto key = std::minmax(a, b);
+  auto it = link_fail_.find({key.first, key.second});
+  return it != link_fail_.end() && it->second <= step;
+}
+
+std::vector<NodeFault> FaultSet::node_failures_in_order() const {
+  std::vector<NodeFault> out;
+  out.reserve(node_fail_.size());
+  for (const auto& [p, step] : node_fail_) out.push_back({p, step});
+  std::sort(out.begin(), out.end(), [](const NodeFault& x, const NodeFault& y) {
+    if (x.at_step != y.at_step) return x.at_step < y.at_step;
+    return x.node < y.node;
+  });
+  return out;
+}
+
+}  // namespace hypart::fault

@@ -1,0 +1,119 @@
+// hypart::fault — deterministic fault injection for the simulated machine.
+//
+// The paper's evaluation assumes a perfect hypercube; a FaultPlan breaks
+// that assumption on purpose.  A plan marks nodes and links as failed,
+// either from the start or beginning at a given simulated hyperplane step,
+// and may additionally carry a *seeded* sampler that draws extra node/link
+// failures from a fixed PRNG — never from wall-clock or global randomness,
+// so every run of the same plan degrades the machine identically.
+//
+// A plan is machine-independent (a sampler cannot know the cube size at
+// parse time); resolve() materializes it against a concrete Hypercube into
+// a FaultSet, the step-aware query object the simulator, router and
+// remapper consume.
+//
+// Spec grammar (CLI `--faults`, comma-separated terms):
+//   node:<id>             node <id> failed from the start
+//   node:<id>@<step>      node <id> fails at hyperplane step <step>
+//   link:<a>-<b>          link {a,b} failed from the start
+//   link:<a>-<b>@<step>   link {a,b} fails at step <step>
+//   rand:<seed>:<k>n      sample <k> distinct extra node failures
+//   rand:<seed>:<k>l      sample <k> distinct extra link failures
+//   rand:<seed>:<k>n<m>l  both, from one PRNG stream
+// e.g.  --faults node:5,link:2-6@4,rand:42:2n1l
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace hypart::fault {
+
+/// Fail step meaning "failed before the schedule starts".
+inline constexpr std::int64_t kFromStart = std::numeric_limits<std::int64_t>::min();
+
+struct NodeFault {
+  ProcId node = 0;
+  std::int64_t at_step = kFromStart;
+};
+
+struct LinkFault {
+  ProcId a = 0;  ///< endpoints, stored with a < b
+  ProcId b = 0;
+  std::int64_t at_step = kFromStart;
+};
+
+/// Seeded sampler request: draw `nodes` node failures and `links` link
+/// failures from mt19937_64(seed) once the machine size is known.
+struct FaultSampler {
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+};
+
+class FaultSet;
+
+/// A machine-independent fault specification.
+struct FaultPlan {
+  std::vector<NodeFault> node_faults;
+  std::vector<LinkFault> link_faults;
+  std::optional<FaultSampler> sampler;
+
+  [[nodiscard]] bool empty() const {
+    return node_faults.empty() && link_faults.empty() && !sampler.has_value();
+  }
+
+  /// Parse the `--faults` spec grammar above.  Throws FaultError on
+  /// malformed specs (never a bare std::exception).
+  static FaultPlan parse(const std::string& spec);
+
+  /// Materialize against a concrete cube: runs the sampler (skipping
+  /// duplicates of explicit faults deterministically) and validates ids.
+  /// Throws FaultError if an id is out of range, a link is not a cube
+  /// edge, or the plan kills every node.
+  [[nodiscard]] FaultSet resolve(const Hypercube& cube) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The resolved, step-aware fault state of one machine.
+class FaultSet {
+ public:
+  /// True when nothing ever fails.
+  [[nodiscard]] bool empty() const { return node_fail_.empty() && link_fail_.empty(); }
+
+  [[nodiscard]] bool node_failed_at(ProcId p, std::int64_t step) const;
+  [[nodiscard]] bool node_ever_fails(ProcId p) const { return node_fail_.contains(p); }
+  /// Fail step of `p`; nullopt when the node never fails.
+  [[nodiscard]] std::optional<std::int64_t> node_fail_step(ProcId p) const;
+
+  /// Link queries take endpoints in either order.  A link is also
+  /// considered failed whenever either endpoint node is failed.
+  [[nodiscard]] bool link_failed_at(ProcId a, ProcId b, std::int64_t step) const;
+  /// Explicit link failure only — ignores the state of the endpoint nodes.
+  /// The router uses this so a route's own (exempt) endpoints don't take
+  /// every incident link down with them.
+  [[nodiscard]] bool link_cut_at(ProcId a, ProcId b, std::int64_t step) const;
+
+  /// Failed nodes in ascending (fail step, id) order — the deterministic
+  /// order the remapper processes failure events in.
+  [[nodiscard]] std::vector<NodeFault> node_failures_in_order() const;
+  [[nodiscard]] const std::map<std::pair<ProcId, ProcId>, std::int64_t>& link_failures() const {
+    return link_fail_;
+  }
+
+  [[nodiscard]] std::size_t failed_node_count() const { return node_fail_.size(); }
+  [[nodiscard]] std::size_t failed_link_count() const { return link_fail_.size(); }
+
+ private:
+  friend struct FaultPlan;
+  std::map<ProcId, std::int64_t> node_fail_;                    ///< node -> fail step
+  std::map<std::pair<ProcId, ProcId>, std::int64_t> link_fail_;  ///< (a<b) -> fail step
+};
+
+}  // namespace hypart::fault

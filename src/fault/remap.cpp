@@ -1,0 +1,81 @@
+#include "fault/remap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace hypart::fault {
+
+ProcId RemapResult::proc_at(std::size_t block, std::int64_t step) const {
+  const auto& tl = timeline_.at(block);
+  ProcId owner = tl.front().second;
+  for (const auto& [from_step, proc] : tl) {
+    if (from_step > step) break;
+    owner = proc;
+  }
+  return owner;
+}
+
+RemapResult remap_for_faults(const Partition& part, const Mapping& mapping,
+                             const Hypercube& cube, const FaultSet& faults) {
+  if (mapping.block_to_proc.size() != part.block_count())
+    throw Error(ErrorKind::Config, "remap_for_faults: mapping/partition size mismatch");
+  if (mapping.processor_count > cube.size())
+    throw Error(ErrorKind::Config, "remap_for_faults: mapping larger than the cube");
+
+  RemapResult r;
+  r.mapping = mapping;
+  r.timeline_.resize(part.block_count());
+  for (std::size_t b = 0; b < part.block_count(); ++b)
+    r.timeline_[b].emplace_back(std::numeric_limits<std::int64_t>::min(),
+                                mapping.block_to_proc[b]);
+  if (faults.failed_node_count() == 0) return r;
+
+  // Live per-processor load (iterations) and current block ownership.
+  std::vector<std::int64_t> load(cube.size(), 0);
+  std::vector<std::vector<std::size_t>> owned(cube.size());
+  std::vector<std::int64_t> block_words(part.block_count(), 0);
+  for (std::size_t b = 0; b < part.block_count(); ++b) {
+    block_words[b] = static_cast<std::int64_t>(part.blocks()[b].iterations.size());
+    ProcId p = mapping.block_to_proc[b];
+    load[p] += block_words[b];
+    owned[p].push_back(b);
+  }
+
+  for (const NodeFault& event : faults.node_failures_in_order()) {
+    std::vector<std::size_t> evicted = std::move(owned[event.node]);
+    owned[event.node].clear();
+    load[event.node] = 0;
+    if (evicted.empty()) continue;
+
+    std::vector<ProcId> spares;
+    for (ProcId nb : cube.neighbors(event.node))
+      if (!faults.node_failed_at(nb, event.at_step)) spares.push_back(nb);
+    if (spares.empty())
+      throw FaultError("remap_for_faults: node " + std::to_string(event.node) +
+                       " failed with no live neighbor to migrate to");
+
+    // Largest block first; each goes to the currently least-loaded spare.
+    std::sort(evicted.begin(), evicted.end(), [&](std::size_t x, std::size_t y) {
+      if (block_words[x] != block_words[y]) return block_words[x] > block_words[y];
+      return x < y;
+    });
+    for (std::size_t b : evicted) {
+      ProcId best = spares.front();
+      for (ProcId s : spares)
+        if (load[s] < load[best] || (load[s] == load[best] && s < best)) best = s;
+      load[best] += block_words[b];
+      owned[best].push_back(b);
+      r.mapping.block_to_proc[b] = best;
+      r.timeline_[b].emplace_back(event.at_step, best);
+      r.migrations.push_back({b, event.node, best, event.at_step, block_words[b]});
+      r.migration_words += block_words[b];
+    }
+  }
+
+  r.migration_cost = Cost{0, r.migration_words, r.migration_words};
+  return r;
+}
+
+}  // namespace hypart::fault

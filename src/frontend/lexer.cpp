@@ -108,7 +108,11 @@ std::vector<Token> tokenize(const std::string& source) {
       t.text = text;
       if (is_float) {
         t.kind = TokenKind::Float;
-        t.float_value = std::stod(text);
+        try {
+          t.float_value = std::stod(text);
+        } catch (const std::out_of_range&) {
+          throw ParseError("float literal out of range: " + text, t.line, t.column);
+        }
       } else {
         try {
           t.int_value = std::stoll(text);

@@ -13,18 +13,20 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/error.hpp"
+
 namespace hypart {
 
-/// Parse failure with 1-based source position.
-class ParseError : public std::runtime_error {
+/// Parse failure with 1-based source position.  Part of the typed error
+/// hierarchy (ErrorKind::Parse, CLI exit code 65).
+class ParseError : public Error {
  public:
   ParseError(const std::string& message, std::size_t line, std::size_t column)
-      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
-                           std::to_string(column) + ": " + message),
+      : Error(ErrorKind::Parse, "parse error at " + std::to_string(line) + ":" +
+                                    std::to_string(column) + ": " + message),
         line_(line),
         column_(column) {}
 

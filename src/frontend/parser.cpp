@@ -149,7 +149,24 @@ class Parser {
   }
 
   // ---- value expressions ----------------------------------------------------
+  // Expression recursion is depth-limited so adversarial inputs (thousands
+  // of nested parens / unary minuses) yield a ParseError instead of
+  // exhausting the call stack.
+  static constexpr std::size_t kMaxExprDepth = 200;
+
+  struct DepthGuard {
+    Parser& p;
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.expr_depth_ > kMaxExprDepth)
+        throw ParseError("expression nested deeper than " + std::to_string(kMaxExprDepth) +
+                             " levels",
+                         p.cur().line, p.cur().column);
+    }
+    ~DepthGuard() { --p.expr_depth_; }
+  };
+
   ExprPtr parse_expr() {
+    DepthGuard guard(*this);
     ExprPtr e = parse_term();
     while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
       bool minus = advance().kind == TokenKind::Minus;
@@ -170,6 +187,7 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    DepthGuard guard(*this);
     if (at(TokenKind::Minus)) {
       advance();
       return -parse_unary();
@@ -214,6 +232,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::size_t expr_depth_ = 0;
   std::unordered_map<std::string, std::size_t> index_of_;
 };
 

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <tuple>
 #include <unordered_map>
+
+#include "core/error.hpp"
+#include "fault/degraded_route.hpp"
+#include "fault/remap.hpp"
 
 namespace hypart {
 
@@ -17,29 +22,71 @@ double SimResult::speedup(const MachineParams& m, std::int64_t total_iterations,
 
 namespace {
 
+/// Resolved fault state for one simulation: the concrete failure set plus
+/// the degraded remapping.  Inactive (remap unset) when the plan is empty.
+struct FaultState {
+  const Hypercube* cube = nullptr;
+  fault::FaultSet set;
+  std::optional<fault::RemapResult> remap;
+
+  [[nodiscard]] bool active() const { return remap.has_value(); }
+};
+
+FaultState resolve_faults(const SimOptions& opts, const Partition& part, const Mapping& mapping,
+                          const Topology& topo) {
+  FaultState fs;
+  fs.cube = dynamic_cast<const Hypercube*>(&topo);
+  if (opts.faults.empty()) return fs;
+  if (fs.cube == nullptr)
+    throw FaultError("simulate_execution: fault injection requires a Hypercube topology");
+  fs.set = opts.faults.resolve(*fs.cube);
+  fs.remap = fault::remap_for_faults(part, mapping, *fs.cube, fs.set);
+  return fs;
+}
+
 SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
                         const Partition& part, const Mapping& mapping, const Topology& topo,
-                        const MachineParams& machine, const SimOptions& opts) {
+                        const MachineParams& machine, const SimOptions& opts,
+                        const FaultState& fstate) {
   if (mapping.block_to_proc.size() != part.block_count())
     throw std::invalid_argument("simulate_execution: mapping/partition size mismatch");
   const std::size_t nprocs = mapping.processor_count;
   if (topo.size() < nprocs)
     throw std::invalid_argument("simulate_execution: topology smaller than processor count");
+  // Spare nodes may sit outside the mapping's processor range but inside
+  // the cube, so degraded runs account over the whole topology.
+  const std::size_t nslots = fstate.active() ? std::max(nprocs, topo.size()) : nprocs;
 
   SimResult res;
-  res.per_proc_iterations.assign(nprocs, 0);
+  res.per_proc_iterations.assign(nslots, 0);
+  if (fstate.active()) {
+    res.failed_nodes = static_cast<std::int64_t>(fstate.set.failed_node_count());
+    res.failed_links = static_cast<std::int64_t>(fstate.set.failed_link_count());
+    res.migrated_blocks = static_cast<std::int64_t>(fstate.remap->migrations.size());
+    res.migration_cost = fstate.remap->migration_cost;
+  }
 
-  // Processor of every vertex and the schedule extent.
+  // Processor of every vertex (failure-timeline aware) and the schedule
+  // extent.
   std::vector<ProcId> vproc(q.vertices().size());
   std::int64_t lo = INT64_MAX, hi = INT64_MIN;
   for (std::size_t vid = 0; vid < q.vertices().size(); ++vid) {
-    vproc[vid] = mapping.block_to_proc[part.block_of(vid)];
-    ++res.per_proc_iterations[vproc[vid]];
     std::int64_t s = tf.step_of(q.vertices()[vid]);
+    vproc[vid] = fstate.active() ? fstate.remap->proc_at(part.block_of(vid), s)
+                                 : mapping.block_to_proc[part.block_of(vid)];
+    ++res.per_proc_iterations[vproc[vid]];
     lo = std::min(lo, s);
     hi = std::max(hi, s);
   }
   res.steps = hi - lo + 1;
+
+  // Degraded hop distance of one message; counts the reroute side effect.
+  auto routed_hops = [&](ProcId src, ProcId dst, std::int64_t step) -> std::int64_t {
+    if (!fstate.active()) return static_cast<std::int64_t>(topo.distance(src, dst));
+    fault::Route r = fault::route_with_faults(*fstate.cube, src, dst, fstate.set, step);
+    if (r.rerouted) ++res.rerouted_messages;
+    return static_cast<std::int64_t>(r.hops.size());
+  };
 
   // Bottleneck compute: the most loaded processor.
   std::int64_t max_iters = 0;
@@ -48,37 +95,41 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
 
   if (opts.accounting == CommAccounting::PaperMaxChannel) {
     // Channel volume per unordered processor pair (each crossing arc is a
-    // one-word message).
+    // one-word message); with faults the per-message hop charge detours
+    // around failures, so volumes are accumulated in cost units directly.
     std::map<std::pair<ProcId, ProcId>, std::int64_t> channel;
     q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
       ProcId ps = vproc[q.id_of(src)];
       ProcId pd = vproc[q.id_of(dst)];
       if (ps == pd) return;
+      std::int64_t units = 1;
+      if (fstate.active()) {
+        std::int64_t hops = routed_hops(ps, pd, tf.step_of(src));
+        if (opts.charge_hops) units = hops;
+      } else if (opts.charge_hops) {
+        units = static_cast<std::int64_t>(topo.distance(ps, pd));
+      }
       auto key = std::minmax(ps, pd);
-      ++channel[{key.first, key.second}];
+      channel[{key.first, key.second}] += units;
       ++res.messages;
       ++res.words;
     });
     std::int64_t worst = 0;
-    for (const auto& [pair, vol] : channel) {
-      std::int64_t cost_units = vol;
-      if (opts.charge_hops)
-        cost_units *= static_cast<std::int64_t>(topo.distance(pair.first, pair.second));
-      worst = std::max(worst, cost_units);
-    }
+    for (const auto& [pair, units] : channel) worst = std::max(worst, units);
     res.comm_bottleneck = Cost{0, worst, worst};
-    res.total = res.compute_bottleneck + res.comm_bottleneck;
+    res.total = res.compute_bottleneck + res.comm_bottleneck + res.migration_cost;
     res.time = res.total.value(machine);
     return res;
   }
 
   if (opts.accounting == CommAccounting::LinkContention) {
-    const auto* cube = dynamic_cast<const Hypercube*>(&topo);
+    const auto* cube = fstate.cube;
     if (cube == nullptr)
       throw std::invalid_argument(
           "simulate_execution: LinkContention accounting requires a Hypercube topology");
 
-    // Words per (step, src, dst) channel, then routed over e-cube links.
+    // Words per (step, src, dst) channel, then routed over e-cube links
+    // (detouring around failures when a fault plan is active).
     std::map<std::tuple<std::int64_t, ProcId, ProcId>, std::int64_t> channel_words;
     q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
       ProcId ps = vproc[q.id_of(src)];
@@ -107,8 +158,16 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
     std::map<std::pair<ProcId, ProcId>, std::int64_t> total_link_words;
     for (const auto& [key, words] : channel_words) {
       auto [step, src, dst] = key;
+      std::vector<ProcId> hops;
+      if (fstate.active()) {
+        fault::Route route = fault::route_with_faults(*cube, src, dst, fstate.set, step);
+        if (route.rerouted) ++res.rerouted_messages;
+        hops = std::move(route.hops);
+      } else {
+        hops = cube->ecube_route(src, dst);
+      }
       ProcId at = src;
-      for (ProcId hop : cube->ecube_route(src, dst)) {
+      for (ProcId hop : hops) {
         LinkLoad& l = per_step_links[step][{at, hop}];
         ++l.msgs;
         l.words += words;
@@ -139,6 +198,7 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
       }
       total += step_cost;
     }
+    total += res.migration_cost;
     res.total = total;
     res.time = total.value(machine);
     return res;
@@ -176,8 +236,13 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
     per_step_proc[key.first][key.second] +=
         Cost{count * opts.flops_per_iteration, 0, 0};
   for (const auto& [key, wordcount] : msg_words) {
-    std::int64_t mult =
-        opts.charge_hops ? static_cast<std::int64_t>(topo.distance(key.src, key.dst)) : 1;
+    std::int64_t mult = 1;
+    if (fstate.active()) {
+      std::int64_t hops = routed_hops(key.src, key.dst, key.step);
+      if (opts.charge_hops) mult = hops;
+    } else if (opts.charge_hops) {
+      mult = static_cast<std::int64_t>(topo.distance(key.src, key.dst));
+    }
     per_step_proc[key.step][key.src] += Cost{0, mult, mult * wordcount};
   }
 
@@ -195,6 +260,7 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
     total += worst;
     res.comm_bottleneck += Cost{0, worst.start, worst.comm};
   }
+  total += res.migration_cost;
   res.total = total;
   res.time = total.value(machine);
   return res;
@@ -206,21 +272,26 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
 // it as metrics and Chrome-trace events on the simulated clock (pid
 // obs::kSimPid: one tid per processor, one per physical link).  Runs only
 // when a sink or registry is installed, so the disabled path stays free.
+// Under fault injection the reconstruction uses the degraded mapping and
+// detoured routes, so the trace shows the machine that was actually priced.
 void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
                         const Partition& part, const Mapping& mapping, const Topology& topo,
-                        const MachineParams& machine, const SimOptions& opts, SimResult& res) {
+                        const MachineParams& machine, const SimOptions& opts,
+                        const FaultState& fstate, SimResult& res) {
   obs::TraceSink* sink = opts.obs.trace;
   obs::MetricsRegistry* reg = opts.obs.metrics;
-  const std::size_t nprocs = mapping.processor_count;
-  const auto* cube = dynamic_cast<const Hypercube*>(&topo);
+  const std::size_t nprocs = res.per_proc_iterations.size();
+  const auto* cube = fstate.cube;
 
   // Rebuild the schedule: processor per vertex, iterations per (step, proc),
   // words per (step, src, dst) aggregated channel message.
   std::vector<ProcId> vproc(q.vertices().size());
   std::map<std::int64_t, std::map<ProcId, std::int64_t>> step_iters;
   for (std::size_t vid = 0; vid < q.vertices().size(); ++vid) {
-    vproc[vid] = mapping.block_to_proc[part.block_of(vid)];
-    ++step_iters[tf.step_of(q.vertices()[vid])][vproc[vid]];
+    std::int64_t s = tf.step_of(q.vertices()[vid]);
+    vproc[vid] = fstate.active() ? fstate.remap->proc_at(part.block_of(vid), s)
+                                 : mapping.block_to_proc[part.block_of(vid)];
+    ++step_iters[s][vproc[vid]];
   }
   std::map<std::tuple<std::int64_t, ProcId, ProcId>, std::int64_t> channel_words;
   q.for_each_arc([&](const IntVec& src, const IntVec& dst, std::size_t) {
@@ -231,12 +302,16 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
   });
 
   // A message src->dst occupies these directed physical links (e-cube route
-  // on a hypercube; the logical channel itself on other topologies).
-  auto links_of = [&](ProcId src, ProcId dst) {
+  // on a hypercube, detoured around failures when active; the logical
+  // channel itself on other topologies).
+  auto links_of = [&](ProcId src, ProcId dst, std::int64_t step) {
     std::vector<std::pair<ProcId, ProcId>> links;
     if (cube != nullptr) {
+      std::vector<ProcId> hops =
+          fstate.active() ? fault::route_with_faults(*cube, src, dst, fstate.set, step).hops
+                          : cube->ecube_route(src, dst);
       ProcId at = src;
-      for (ProcId hop : cube->ecube_route(src, dst)) {
+      for (ProcId hop : hops) {
         links.emplace_back(at, hop);
         at = hop;
       }
@@ -245,6 +320,11 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
     }
     return links;
   };
+  auto hop_count = [&](ProcId src, ProcId dst, std::int64_t step) -> std::int64_t {
+    if (fstate.active())
+      return fault::degraded_distance(*cube, src, dst, fstate.set, step);
+    return static_cast<std::int64_t>(topo.distance(src, dst));
+  };
 
   // ---- metrics -----------------------------------------------------------
   if (reg != nullptr) {
@@ -252,6 +332,13 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
     reg->add("sim.messages", res.messages);
     reg->add("sim.words", res.words);
     reg->set_gauge("sim.time", res.time);
+    if (fstate.active()) {
+      reg->add("fault.reroutes", res.rerouted_messages);
+      reg->add("fault.migrations", res.migrated_blocks);
+      reg->add("fault.migration_words", fstate.remap->migration_words);
+      reg->set_gauge("fault.failed_nodes", static_cast<double>(res.failed_nodes));
+      reg->set_gauge("fault.failed_links", static_cast<double>(res.failed_links));
+    }
     std::vector<std::int64_t> busy(nprocs, 0);
     for (const auto& [step, procs] : step_iters)
       for (const auto& [p, n] : procs) ++busy[p];
@@ -266,8 +353,7 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
     for (const auto& [key, words] : channel_words) {
       auto [step, src, dst] = key;
       reg->observe("sim.msg_words", words, kWordBounds);
-      reg->observe("sim.msg_hops", static_cast<std::int64_t>(topo.distance(src, dst)),
-                   kHopBounds);
+      reg->observe("sim.msg_hops", hop_count(src, dst, step), kHopBounds);
     }
   }
 
@@ -277,7 +363,7 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
   std::map<std::pair<ProcId, ProcId>, std::uint64_t> link_tid;
   for (const auto& [key, words] : channel_words) {
     auto [step, src, dst] = key;
-    for (const auto& link : links_of(src, dst)) link_tid.emplace(link, 0);
+    for (const auto& link : links_of(src, dst, step)) link_tid.emplace(link, 0);
   }
   {
     std::uint64_t next = obs::kLinkTidBase;
@@ -326,10 +412,10 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
                           {{"src", static_cast<std::int64_t>(src)},
                            {"dst", static_cast<std::int64_t>(dst)},
                            {"words", words},
-                           {"hops", static_cast<std::int64_t>(topo.distance(src, dst))},
+                           {"hops", hop_count(src, dst, s)},
                            {"step", s}});
       }
-      for (const auto& link : links_of(src, dst)) {
+      for (const auto& link : links_of(src, dst, s)) {
         LinkLoad& l = links[link];
         ++l.msgs;
         l.words += words;
@@ -369,8 +455,10 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
 SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,
                              const Partition& part, const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts) {
-  SimResult res = simulate_core(q, tf, part, mapping, topo, machine, opts);
-  if (opts.obs.enabled()) emit_observability(q, tf, part, mapping, topo, machine, opts, res);
+  FaultState fstate = resolve_faults(opts, part, mapping, topo);
+  SimResult res = simulate_core(q, tf, part, mapping, topo, machine, opts, fstate);
+  if (opts.obs.enabled())
+    emit_observability(q, tf, part, mapping, topo, machine, opts, fstate, res);
   return res;
 }
 

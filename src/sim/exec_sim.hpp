@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "mapping/tig.hpp"
 #include "obs/obs.hpp"
 #include "partition/blocks.hpp"
@@ -44,6 +45,11 @@ struct SimOptions {
   CommAccounting accounting = CommAccounting::PaperMaxChannel;
   bool charge_hops = false;            ///< multiply message cost by hop distance
   std::int64_t flops_per_iteration = 1;
+  /// Deterministic fault injection (see fault/fault_plan.hpp).  When
+  /// non-empty the topology must be a Hypercube: failed nodes' blocks are
+  /// remapped to live Gray-code neighbors (migration charged), messages
+  /// detour around failed links, and SimResult reports the degraded totals.
+  fault::FaultPlan faults;
   /// Optional tracing/metrics hooks (see obs/obs.hpp).  When both pointers
   /// are null (the default), the simulator does no extra work at all; the
   /// instrumented reconstruction runs only when a sink or registry is set.
@@ -66,6 +72,13 @@ struct SimResult {
 
   /// Busiest-link word count over the whole run (LinkContention only).
   std::int64_t max_link_words = 0;
+
+  // ---- degraded-machine accounting (all zero without fault injection) ----
+  std::int64_t failed_nodes = 0;        ///< nodes the fault plan ever fails
+  std::int64_t failed_links = 0;        ///< links the plan fails directly
+  std::int64_t rerouted_messages = 0;   ///< messages detoured off their e-cube path
+  std::int64_t migrated_blocks = 0;     ///< blocks moved off failed nodes
+  Cost migration_cost;                  ///< words x (t_start + t_comm), in `total`
 
   /// Metrics captured during this run; set only when SimOptions::obs carried
   /// a MetricsRegistry (snapshot taken as the simulation returns).

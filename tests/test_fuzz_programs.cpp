@@ -2,13 +2,20 @@
 // parse them, and run the full pipeline + execution equivalence on each.
 // Complements the token-soup robustness test in test_frontend.cpp: these
 // programs must all succeed end to end.
+//
+// The adversarial half of the suite feeds the parser malformed, truncated
+// and pathologically nested sources; every one must fail with a *typed*
+// ParseError (ErrorKind::Parse, exit code 65) — never another exception
+// type and never a crash or stack overflow.
 #include <gtest/gtest.h>
 
 #include <random>
 #include <sstream>
 
+#include "core/error.hpp"
 #include "core/pipeline.hpp"
 #include "exec/interpreter.hpp"
+#include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
 
 namespace hypart {
@@ -85,6 +92,102 @@ TEST_P(FuzzProgramProperty, ParseRunValidate) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProgramProperty, ::testing::Range<std::uint64_t>(0, 40));
+
+// ---------------------------------------------------------------------------
+// Adversarial corpus: every source below is broken in a different way and
+// must be rejected with ParseError specifically.
+
+void expect_typed_parse_error(const std::string& src) {
+  try {
+    parse_loop_nest(src);
+    FAIL() << "should not parse:\n" << src;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Parse) << src;
+    EXPECT_EQ(e.exit_code(), 65) << src;
+    EXPECT_FALSE(std::string(e.what()).empty());
+  }
+  // Anything else (std::bad_alloc, segfault, stack overflow) fails the test
+  // or kills the binary — which is the point.
+}
+
+TEST(FuzzMalformed, MalformedCorpusThrowsTypedErrors) {
+  const char* corpus[] = {
+      "",                                    // empty input
+      "loop",                                // nothing after keyword
+      "loop x",                              // missing body
+      "loop x { }",                          // no loops or statements
+      "loop x { for i = 0 to 3 }",           // loop with no statement
+      "loop x { for i = 0 to 3 A[i] = ; }",  // missing rhs
+      "loop x { for i = 0 to 3 A[i] = B[i]", // unclosed brace
+      "loop x { for i = 0 to 3 A[i = B[i]; }",    // unclosed subscript
+      "loop x { for i = 0 to 3 A[i] = B[i]; } }", // extra brace
+      "loop x { for i = to 3 A[i] = B[i]; }",     // missing bound
+      "loop x { for 3 = 0 to 3 A[i] = B[i]; }",   // number as index name
+      "loop x { for i = 0 to 3 A[i] @ B[i]; }",   // illegal character
+      "loop x { for i = 0 to 3 A[i] = B[i] * * 2; }",  // operator soup
+      "for i = 0 to 3 A[i] = B[i];",         // missing loop header
+      "loop x { for i = 0 to 3 A[i] = 1..2; }",        // malformed number
+  };
+  for (const char* src : corpus) expect_typed_parse_error(src);
+}
+
+TEST(FuzzMalformed, HugeLiteralsAreRejectedNotUB) {
+  expect_typed_parse_error("loop x { for i = 0 to 3 A[i] = 99999999999999999999999; }");
+  expect_typed_parse_error("loop x { for i = 0 to 3 A[i] = 1e999999999; }");
+}
+
+TEST(FuzzMalformed, TruncatedProgramsNeverCrash) {
+  // Every prefix of a valid program either parses or raises ParseError.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    std::string src = random_program(seed);
+    for (std::size_t len = 0; len < src.size(); ++len) {
+      std::string prefix = src.substr(0, len);
+      try {
+        parse_loop_nest(prefix);
+      } catch (const ParseError&) {
+        // expected for most prefixes
+      }
+    }
+  }
+}
+
+TEST(FuzzMalformed, TokenSoupNeverCrashes) {
+  std::mt19937_64 rng(1234);
+  const char alphabet[] = "loopfrt=;{}[]()+-*/0123456789ij ,.\n";
+  std::uniform_int_distribution<std::size_t> pick(0, sizeof(alphabet) - 2);
+  std::uniform_int_distribution<std::size_t> len_dist(1, 200);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    std::size_t len = len_dist(rng);
+    for (std::size_t c = 0; c < len; ++c) soup += alphabet[pick(rng)];
+    try {
+      parse_loop_nest(soup);
+    } catch (const ParseError&) {
+      // fine: typed rejection
+    }
+    // Any other exception escapes and fails the test binary.
+  }
+}
+
+TEST(FuzzMalformed, DeeplyNestedExpressionHitsDepthGuardNotTheStack) {
+  // 10k nested parens would overflow the recursive-descent parser's stack
+  // without the depth guard; with it, a ParseError mentioning the limit.
+  std::string deep = "loop x { for i = 0 to 3 A[i] = ";
+  for (int n = 0; n < 10000; ++n) deep += "(";
+  deep += "B[i]";
+  for (int n = 0; n < 10000; ++n) deep += ")";
+  deep += "; }";
+  try {
+    parse_loop_nest(deep);
+    FAIL() << "depth guard should have fired";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nested deeper"), std::string::npos);
+  }
+  // Unbalanced deep nesting must behave identically (truncated input).
+  std::string unbalanced = "loop x { for i = 0 to 3 A[i] = ";
+  for (int n = 0; n < 10000; ++n) unbalanced += "(";
+  EXPECT_THROW(parse_loop_nest(unbalanced), ParseError);
+}
 
 }  // namespace
 }  // namespace hypart

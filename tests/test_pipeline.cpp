@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "codegen/spmd.hpp"
+#include "core/error.hpp"
 #include "exec/interpreter.hpp"
 #include "frontend/parser.hpp"
 #include "transform/wavefront.hpp"
@@ -41,13 +42,25 @@ TEST(Pipeline, ExplicitTimeFunction) {
 TEST(Pipeline, InvalidExplicitTimeFunctionThrows) {
   PipelineConfig cfg;
   cfg.time_function = IntVec{1, 0};  // Π·(0,1) = 0
-  EXPECT_THROW(run_pipeline(workloads::example_l1(), cfg), std::invalid_argument);
+  try {
+    run_pipeline(workloads::example_l1(), cfg);
+    FAIL() << "expected hypart::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Config);
+    EXPECT_EQ(e.exit_code(), 78);
+  }
 }
 
 TEST(Pipeline, SearchBoxTooSmallThrows) {
   PipelineConfig cfg;
   cfg.tf_search.max_coefficient = 0;
-  EXPECT_THROW(run_pipeline(workloads::example_l1(), cfg), std::runtime_error);
+  try {
+    run_pipeline(workloads::example_l1(), cfg);
+    FAIL() << "expected hypart::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Unsatisfiable);
+    EXPECT_EQ(e.exit_code(), 69);
+  }
 }
 
 TEST(Pipeline, MatvecFlopsDefaultFromBody) {

@@ -19,18 +19,27 @@
 //   --weighted       weighted cluster bisection
 //   --accounting M   paper | barrier | contention (default paper)
 //   --tcalc/--tstart/--tcomm X   machine constants (default 1/50/5)
+//   --faults SPEC    deterministic fault injection (node:5,link:2-6@4,rand:7:2n)
+//   --recv-timeout-ms N   stall watchdog for `run` (default 30000, 0 = off)
 //   --trace FILE     write a Chrome trace-event JSON (any command)
 //   --metrics FILE   write a metrics snapshot JSON (any command)
+//
+// exit codes (see docs/robustness.md): 0 ok, 2 check/verify failure,
+// 64 usage, 65 parse, 66 cannot open input, 69 unsatisfiable, 70 internal,
+// 74 io, 75 stall, 76 worker death, 77 fault plan, 78 config.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "codegen/spmd.hpp"
+#include "core/error.hpp"
 #include "core/json_export.hpp"
 #include "core/pipeline.hpp"
 #include "exec/interpreter.hpp"
 #include "exec/parallel_runtime.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/remap.hpp"
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
 #include "obs/obs.hpp"
@@ -47,7 +56,17 @@ const char kUsage[] =
     "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
     "              [--accounting paper|barrier|contention]\n"
     "              [--tcalc X] [--tstart X] [--tcomm X]\n"
+    "              [--faults SPEC] [--recv-timeout-ms N]\n"
     "              [--trace FILE] [--metrics FILE]\n"
+    "\n"
+    "fault injection (see docs/robustness.md):\n"
+    "  --faults SPEC  deterministic fault plan, comma-separated terms:\n"
+    "                 node:<id>[@<step>]      fail a node (from start or at step)\n"
+    "                 link:<a>-<b>[@<step>]   fail a cube edge\n"
+    "                 rand:<seed>:<K>n[<M>l]  sample K nodes / M links (seeded)\n"
+    "                 simulate reroutes and remaps; run executes on the\n"
+    "                 degraded (remapped) hypercube and re-verifies results\n"
+    "  --recv-timeout-ms N  stall watchdog for run (default 30000, 0 = off)\n"
     "\n"
     "observability:\n"
     "  --trace FILE   Chrome trace-event JSON of the run; open in\n"
@@ -97,8 +116,9 @@ struct CliOptions {
   std::string command;
   std::string file;
   PipelineConfig config;
-  std::string trace_path;    ///< --trace FILE (Chrome trace JSON)
-  std::string metrics_path;  ///< --metrics FILE (metrics snapshot JSON)
+  std::string trace_path;          ///< --trace FILE (Chrome trace JSON)
+  std::string metrics_path;        ///< --metrics FILE (metrics snapshot JSON)
+  std::int64_t recv_timeout_ms = 30000;  ///< --recv-timeout-ms (0 disables)
 };
 
 CliOptions parse_args(int argc, char** argv) {
@@ -127,6 +147,14 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (a == "--tcalc") o.config.machine.t_calc = std::stod(next());
     else if (a == "--tstart") o.config.machine.t_start = std::stod(next());
     else if (a == "--tcomm") o.config.machine.t_comm = std::stod(next());
+    else if (a == "--faults") {
+      try {
+        o.config.sim.faults = fault::FaultPlan::parse(next());
+      } catch (const Error& e) {
+        std::fprintf(stderr, "hypart: %s\n", e.what());
+        std::exit(e.exit_code());
+      }
+    } else if (a == "--recv-timeout-ms") o.recv_timeout_ms = std::stoll(next());
     else if (a == "--trace") o.trace_path = next();
     else if (a == "--metrics") o.metrics_path = next();
     else usage(("unknown option " + a).c_str());
@@ -181,26 +209,52 @@ int cmd_simulate(const PipelineResult& r) {
   std::printf("steps: %lld, messages: %lld, words: %lld\n",
               static_cast<long long>(r.sim.steps), static_cast<long long>(r.sim.messages),
               static_cast<long long>(r.sim.words));
+  if (r.sim.failed_nodes > 0 || r.sim.failed_links > 0) {
+    std::printf("faults: failed_nodes=%lld failed_links=%lld rerouted_messages=%lld "
+                "migrated_blocks=%lld migration_cost=%s\n",
+                static_cast<long long>(r.sim.failed_nodes),
+                static_cast<long long>(r.sim.failed_links),
+                static_cast<long long>(r.sim.rerouted_messages),
+                static_cast<long long>(r.sim.migrated_blocks),
+                r.sim.migration_cost.to_string().c_str());
+  }
   UtilizationReport util = processor_utilization(*r.structure, r.time_function, r.partition,
                                                  r.mapping.mapping);
   std::printf("%smean utilization %.0f%%\n", util.gantt.c_str(), util.mean_utilization * 100.0);
   return 0;
 }
 
-int cmd_run(const LoopNest& nest, const PipelineResult& r, const obs::ObsContext& obs) {
+int cmd_run(const LoopNest& nest, const PipelineResult& r, const CliOptions& o) {
+  // With --faults, execute on the degraded hypercube: remap blocks off the
+  // failed nodes first, then run and re-verify against the sequential result.
+  Mapping mapping = r.mapping.mapping;
+  if (!o.config.sim.faults.empty()) {
+    Hypercube cube(o.config.cube_dim);
+    fault::FaultSet fset = o.config.sim.faults.resolve(cube);
+    fault::RemapResult remap = fault::remap_for_faults(r.partition, mapping, cube, fset);
+    mapping = remap.mapping;
+    std::printf("faults: failed_nodes=%lld migrated_blocks=%zu migration_words=%lld\n",
+                static_cast<long long>(fset.failed_node_count()), remap.migrations.size(),
+                static_cast<long long>(remap.migration_words));
+  }
   ArrayStore seq = run_sequential(nest);
   DistributedResult dist = run_distributed(nest, *r.structure, r.time_function, r.partition,
-                                           r.mapping.mapping, r.dependence);
+                                           mapping, r.dependence);
   EquivalenceReport e1 = compare_stores(seq, dist.written);
+  ParallelRunOptions popts;
+  popts.obs = o.config.obs;
+  popts.recv_timeout_ms = o.recv_timeout_ms;
   ParallelRunResult par = run_parallel(nest, *r.structure, r.time_function, r.partition,
-                                       r.mapping.mapping, r.dependence, default_init, obs);
+                                       mapping, r.dependence, popts);
   EquivalenceReport e2 = compare_stores(seq, par.written);
   std::printf("written elements: %zu\n", e1.compared);
   std::printf("distributed interpreter == sequential: %s%s\n", e1.equal ? "YES" : "NO — ",
               e1.equal ? "" : e1.first_mismatch.c_str());
-  std::printf("threaded runtime == sequential: %s%s  (%zu threads, %lld messages)\n",
+  std::printf("threaded runtime == sequential: %s%s  (%zu threads, %lld messages, "
+              "max mailbox depth %lld)\n",
               e2.equal ? "YES" : "NO — ", e2.equal ? "" : e2.first_mismatch.c_str(),
-              par.stats.threads, static_cast<long long>(par.stats.messages_sent));
+              par.stats.threads, static_cast<long long>(par.stats.messages_sent),
+              static_cast<long long>(par.stats.max_mailbox_depth));
   return e1.equal && e2.equal ? 0 : 2;
 }
 
@@ -230,6 +284,9 @@ int main(int argc, char** argv) {
   PipelineResult r = [&] {
     try {
       return run_pipeline(nest, o.config);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      std::exit(e.exit_code());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hypart: %s\n", e.what());
       std::exit(70);
@@ -241,8 +298,16 @@ int main(int argc, char** argv) {
   else if (o.command == "partition") rc = cmd_partition(r);
   else if (o.command == "map") rc = cmd_map(r, o.config.cube_dim);
   else if (o.command == "simulate") rc = cmd_simulate(r);
-  else if (o.command == "run") rc = cmd_run(nest, r, o.config.obs);
-  else if (o.command == "codegen") {
+  else if (o.command == "run") {
+    try {
+      rc = cmd_run(nest, r, o);
+    } catch (const Error& e) {
+      // StallError / WorkerDeathError / FaultError carry their own exit codes
+      // (75 / 76 / 77); diagnostics ride along in what().
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      return e.exit_code();
+    }
+  } else if (o.command == "codegen") {
     std::printf("%s", generate_spmd_program(nest, *r.structure, r.time_function, r.partition,
                                             r.mapping.mapping, r.dependence)
                           .c_str());
