@@ -1,0 +1,92 @@
+// Symbolic-vs-dense scaling — the point of the IterSpace refactor.
+//
+// Part 1 runs the full pipeline in verify mode (symbolic and dense paths
+// both executed; run_pipeline throws on any disagreement) at sizes the
+// dense path can still materialize.  Part 2 sweeps the symbolic path far
+// past the dense ceiling: sor2d at N = 65536 is ~4.3e9 iterations — about
+// 100x beyond the largest practical dense run — yet partitions in time
+// proportional to the 2N-1 projected lines.
+//
+// Only the symbolic sweep routes metrics into the shared registry, so the
+// HYPART_BENCH_METRICS dump must report pipeline.points_materialized = 0;
+// CI fails the build if it does not (see .github/workflows/ci.yml).
+#include "bench_common.hpp"
+
+#include "core/pipeline.hpp"
+#include "perf/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+
+PipelineConfig base_config() {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.cube_dim = 3;
+  return cfg;
+}
+
+void verify_agreement() {
+  std::printf("\nVerify mode (dense and symbolic both run; any disagreement throws):\n");
+  TextTable t({"N", "iterations", "blocks", "interblock", "steps", "T_exec"});
+  for (std::int64_t n : {16, 32, 64, 128}) {
+    PipelineConfig cfg = base_config();
+    cfg.space_mode = SpaceMode::Verify;
+    PipelineResult r = run_pipeline(workloads::sor2d(n, n), cfg);
+    t.row(n, r.iteration_count(), r.block_sizes.size(), r.stats.interblock_arcs,
+          static_cast<std::uint64_t>(r.sim.steps), r.sim.time);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("all sizes agree (verify mode raises on any symbolic/dense mismatch)\n");
+}
+
+void symbolic_sweep() {
+  std::printf("\nSymbolic-only sweep (sor2d NxN; dense ceiling is roughly N=512):\n");
+  TextTable t({"N", "iterations", "lines", "blocks", "steps", "T_exec", "messages"});
+  for (std::int64_t n : {256, 1024, 4096, 16384, 65536}) {
+    PipelineConfig cfg = base_config();
+    cfg.space_mode = SpaceMode::Symbolic;
+    cfg.obs = bench::obs_context();
+    PipelineResult r = run_pipeline(workloads::sor2d(n, n), cfg);
+    t.row(n, r.iteration_count(), r.projected->point_count(), r.block_sizes.size(),
+          static_cast<std::uint64_t>(r.sim.steps), r.sim.time,
+          static_cast<std::uint64_t>(r.sim.messages));
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void report() {
+  bench::banner("Symbolic IterSpace scaling (dense parity, then past the ceiling)");
+  verify_agreement();
+  symbolic_sweep();
+}
+
+void bm_dense_pipeline(benchmark::State& state) {
+  PipelineConfig cfg = base_config();
+  LoopNest nest = workloads::sor2d(state.range(0), state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_dense_pipeline)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity()->Unit(benchmark::kMillisecond);
+
+void bm_symbolic_pipeline(benchmark::State& state) {
+  PipelineConfig cfg = base_config();
+  cfg.space_mode = SpaceMode::Symbolic;
+  LoopNest nest = workloads::sor2d(state.range(0), state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_symbolic_pipeline)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Complexity()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

@@ -19,7 +19,8 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
   w.begin_object();
   w.field("loop", nest.name());
   w.field("depth", static_cast<std::uint64_t>(nest.depth()));
-  w.field("iterations", static_cast<std::uint64_t>(r.structure->vertices().size()));
+  w.field("space_mode", to_string(r.space_mode));
+  w.field("iterations", r.iteration_count());
 
   w.begin_array("dependences");
   for (const Dependence& d : r.dependence.dependences) {
@@ -40,7 +41,7 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
   w.field("projected_points", static_cast<std::uint64_t>(r.projected->point_count()));
   w.field("group_size_r", r.grouping.group_size_r());
   w.field("beta", static_cast<std::uint64_t>(r.grouping.beta()));
-  w.field("blocks", static_cast<std::uint64_t>(r.partition.block_count()));
+  w.field("blocks", static_cast<std::uint64_t>(r.block_sizes.size()));
   w.field("total_arcs", static_cast<std::uint64_t>(r.stats.total_arcs));
   w.field("interblock_arcs", static_cast<std::uint64_t>(r.stats.interblock_arcs));
   w.end_object();

@@ -3,17 +3,57 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "partition/symbolic.hpp"
 
 namespace hypart {
 
-PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) {
+const char* to_string(SpaceMode mode) {
+  switch (mode) {
+    case SpaceMode::Dense: return "dense";
+    case SpaceMode::Symbolic: return "symbolic";
+    case SpaceMode::Verify: return "verify";
+  }
+  return "unknown";
+}
+
+namespace {
+
+IterSpace build_iter_space(const LoopNest& nest, const DependenceInfo& dep, SpaceMode mode) {
+  if (!nest.is_rectangular())
+    throw Error(ErrorKind::Config,
+                std::string("run_pipeline: space_mode=") + to_string(mode) +
+                    " requires rectangular loop bounds; use space_mode=dense");
+  return IterSpace(IndexSet(nest).rectangular_bounds(), dep.distance_vectors());
+}
+
+void emit_pipeline_names(obs::TraceSink* sink) {
+  if (sink == nullptr) return;
+  obs::emit_process_name(sink, obs::kPipelinePid, "hypart pipeline (wall clock)");
+  obs::emit_thread_name(sink, obs::kPipelinePid, obs::kPipelineTid, "pipeline stages");
+}
+
+TimeFunction choose_time_function(const PipelineConfig& config,
+                                  const std::vector<IntVec>& dependences,
+                                  const std::optional<TimeFunction>& searched) {
+  if (config.time_function) {
+    TimeFunction tf{*config.time_function};
+    if (!is_valid_time_function(tf, dependences))
+      throw Error(ErrorKind::Config, "run_pipeline: supplied time function is invalid");
+    return tf;
+  }
+  if (!searched)
+    throw Error(ErrorKind::Unsatisfiable,
+                "run_pipeline: no valid time function found in the search box; widen "
+                "tf_search.max_coefficient");
+  return *searched;
+}
+
+PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   PipelineResult r;
+  r.space_mode = SpaceMode::Dense;
   obs::TraceSink* sink = config.obs.trace;
   obs::MetricsRegistry* reg = config.obs.metrics;
-  if (sink != nullptr) {
-    obs::emit_process_name(sink, obs::kPipelinePid, "hypart pipeline (wall clock)");
-    obs::emit_thread_name(sink, obs::kPipelinePid, obs::kPipelineTid, "pipeline stages");
-  }
+  emit_pipeline_names(sink);
   obs::ScopedSpan total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
                              obs::kPipelineTid, {{"loop", nest.name()}});
 
@@ -29,22 +69,15 @@ PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) 
   if (reg != nullptr) {
     reg->add("pipeline.iterations", static_cast<std::int64_t>(r.structure->vertices().size()));
     reg->add("pipeline.dependences", static_cast<std::int64_t>(r.dependence.dependences.size()));
+    reg->add("pipeline.points_materialized",
+             static_cast<std::int64_t>(r.structure->vertices().size()));
   }
 
   {
     obs::ScopedSpan span(sink, "time_function", "pipeline");
-    if (config.time_function) {
-      r.time_function = TimeFunction{*config.time_function};
-      if (!is_valid_time_function(r.time_function, r.structure->dependences()))
-        throw Error(ErrorKind::Config, "run_pipeline: supplied time function is invalid");
-    } else {
-      std::optional<TimeFunction> tf = search_time_function(*r.structure, config.tf_search);
-      if (!tf)
-        throw Error(ErrorKind::Unsatisfiable,
-                    "run_pipeline: no valid time function found in the search box; widen "
-                    "tf_search.max_coefficient");
-      r.time_function = *tf;
-    }
+    std::optional<TimeFunction> searched;
+    if (!config.time_function) searched = search_time_function(*r.structure, config.tf_search);
+    r.time_function = choose_time_function(config, r.structure->dependences(), searched);
     span.arg("pi", r.time_function.to_string());
   }
 
@@ -54,6 +87,9 @@ PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) 
     r.grouping = Grouping::compute(*r.projected, config.grouping);
     r.partition = Partition::build(*r.structure, r.grouping);
     r.stats = compute_partition_stats(*r.structure, r.partition);
+    r.block_sizes.reserve(r.partition.block_count());
+    for (const PartitionBlock& b : r.partition.blocks())
+      r.block_sizes.push_back(static_cast<std::int64_t>(b.iterations.size()));
     span.arg("blocks", static_cast<std::int64_t>(r.partition.block_count()));
     span.arg("interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
   }
@@ -90,19 +126,198 @@ PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) 
     r.theorem2 = check_theorem2(r.grouping);
     r.lemmas = check_lemmas(r.grouping);
   }
+  return r;
+}
+
+PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) {
+  PipelineResult r;
+  r.space_mode = SpaceMode::Symbolic;
+  obs::TraceSink* sink = config.obs.trace;
+  obs::MetricsRegistry* reg = config.obs.metrics;
+  emit_pipeline_names(sink);
+  obs::ScopedSpan total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
+                             obs::kPipelineTid, {{"loop", nest.name()}});
+
+  {
+    obs::ScopedSpan span(sink, "dependence_analysis", "pipeline");
+    r.dependence = analyze_dependences(nest, config.dependence);
+    r.space = std::make_unique<IterSpace>(
+        build_iter_space(nest, r.dependence, SpaceMode::Symbolic));
+    span.arg("iterations", static_cast<std::int64_t>(r.space->size()));
+    span.arg("dependences", static_cast<std::int64_t>(r.dependence.dependences.size()));
+  }
+  if (reg != nullptr) {
+    reg->add("pipeline.iterations", static_cast<std::int64_t>(r.space->size()));
+    reg->add("pipeline.dependences", static_cast<std::int64_t>(r.dependence.dependences.size()));
+    reg->add("pipeline.points_materialized", 0);
+  }
+
+  {
+    obs::ScopedSpan span(sink, "time_function", "pipeline");
+    std::optional<TimeFunction> searched;
+    if (!config.time_function) searched = search_time_function(*r.space, config.tf_search);
+    r.time_function = choose_time_function(config, r.space->dependences(), searched);
+    span.arg("pi", r.time_function.to_string());
+  }
+
+  {
+    obs::ScopedSpan span(sink, "partition", "pipeline");
+    r.projected = std::make_unique<ProjectedStructure>(*r.space, r.time_function);
+    r.grouping = Grouping::compute(*r.projected, config.grouping);
+    r.block_sizes = symbolic_block_sizes(r.grouping);
+    r.stats = compute_partition_stats(*r.space, r.grouping);
+    span.arg("blocks", static_cast<std::int64_t>(r.block_sizes.size()));
+    span.arg("interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
+  }
+  if (reg != nullptr) {
+    reg->add("pipeline.projected_points", static_cast<std::int64_t>(r.projected->point_count()));
+    reg->add("pipeline.blocks", static_cast<std::int64_t>(r.block_sizes.size()));
+    reg->add("pipeline.interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
+    reg->add("pipeline.total_arcs", static_cast<std::int64_t>(r.stats.total_arcs));
+  }
+
+  {
+    obs::ScopedSpan span(sink, "mapping", "pipeline");
+    r.tig = TaskInteractionGraph::from_symbolic(*r.space, r.grouping);
+    HypercubeMapOptions map_opts = config.mapping;
+    map_opts.obs = config.obs;
+    r.mapping = map_to_hypercube(r.tig, config.cube_dim, map_opts);
+    span.arg("processors", static_cast<std::int64_t>(r.mapping.mapping.processor_count));
+  }
+
+  Hypercube cube(config.cube_dim);
+  SimOptions sim_opts = config.sim;
+  sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
+  sim_opts.obs = config.obs;
+  {
+    obs::ScopedSpan span(sink, "simulate", "pipeline");
+    r.sim = simulate_execution(*r.space, r.grouping, r.mapping.mapping, cube, config.machine,
+                               sim_opts);
+  }
+
+  if (config.validate) {
+    obs::ScopedSpan span(sink, "validate", "pipeline");
+    r.exact_cover = check_exact_cover(*r.space, r.grouping);
+    r.theorem1 = check_theorem1(*r.space, r.grouping);
+    r.theorem2 = check_theorem2(r.grouping);
+    r.lemmas = check_lemmas(r.grouping);
+  }
+  return r;
+}
+
+bool digraph_weights_equal(const Digraph& a, const Digraph& b) {
+  if (a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count()) return false;
+  for (std::size_t u = 0; u < a.vertex_count(); ++u) {
+    if (a.out_degree(u) != b.out_degree(u)) return false;
+    for (const Digraph::Edge& e : a.out_edges(u))
+      if (b.edge_weight(u, e.to) != e.weight) return false;
+  }
+  return true;
+}
+
+/// Re-derive every stage of a dense run symbolically and compare; throws
+/// Error(ErrorKind::Internal) naming the first stage that disagrees.
+void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
+                             PipelineResult& r) {
+  obs::ScopedSpan span(config.obs.trace, "verify_symbolic", "pipeline");
+  r.space = std::make_unique<IterSpace>(build_iter_space(nest, r.dependence, SpaceMode::Verify));
+  auto fail = [](const std::string& what) {
+    throw Error(ErrorKind::Internal,
+                "run_pipeline: space_mode=verify: symbolic/dense disagreement on " + what);
+  };
+
+  ProjectedStructure sym_ps(*r.space, r.time_function);
+  if (sym_ps.points() != r.projected->points()) fail("projected points");
+  for (std::size_t id = 0; id < sym_ps.point_count(); ++id) {
+    if (sym_ps.line_population(id) != r.projected->line_population(id))
+      fail("line populations");
+    if (sym_ps.line_representative(id) != r.projected->line_representative(id))
+      fail("line representatives");
+  }
+
+  if (symbolic_block_sizes(r.grouping) != r.block_sizes) fail("block sizes");
+
+  PartitionStats sym_stats = compute_partition_stats(*r.space, r.grouping);
+  if (sym_stats.total_arcs != r.stats.total_arcs ||
+      sym_stats.interblock_arcs != r.stats.interblock_arcs ||
+      sym_stats.intrablock_arcs != r.stats.intrablock_arcs)
+    fail("partition stats");
+  if (!digraph_weights_equal(sym_stats.block_comm, r.stats.block_comm))
+    fail("block communication graph");
+
+  TaskInteractionGraph sym_tig = TaskInteractionGraph::from_symbolic(*r.space, r.grouping);
+  if (sym_tig.vertex_count() != r.tig.vertex_count() || sym_tig.edges() != r.tig.edges())
+    fail("task interaction graph");
+  for (std::size_t v = 0; v < sym_tig.vertex_count(); ++v) {
+    if (sym_tig.compute_weight(v) != r.tig.compute_weight(v)) fail("TIG vertex weights");
+    if (sym_tig.coordinates(v) != r.tig.coordinates(v)) fail("TIG coordinates");
+  }
+
+  // Fault plans perturb the schedule in point-level ways the closed forms
+  // deliberately do not model, so the cross-check covers fault-free sims.
+  if (config.sim.faults.empty()) {
+    Hypercube cube(config.cube_dim);
+    SimOptions sim_opts = config.sim;
+    sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
+    sim_opts.obs = {};  // the dense run already recorded this pipeline's telemetry
+    SimResult sym = simulate_execution(*r.space, r.grouping, r.mapping.mapping, cube,
+                                       config.machine, sim_opts);
+    if (!(sym.total == r.sim.total) || sym.steps != r.sim.steps ||
+        sym.messages != r.sim.messages || sym.words != r.sim.words ||
+        !(sym.compute_bottleneck == r.sim.compute_bottleneck) ||
+        !(sym.comm_bottleneck == r.sim.comm_bottleneck) ||
+        sym.max_link_words != r.sim.max_link_words ||
+        sym.per_proc_iterations != r.sim.per_proc_iterations)
+      fail("simulation results");
+  }
+
+  if (config.validate) {
+    if (check_exact_cover(*r.space, r.grouping) != r.exact_cover) fail("exact-cover check");
+    if (check_theorem1(*r.space, r.grouping) != r.theorem1) fail("Theorem 1 check");
+  }
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const LoopNest& nest, const PipelineConfig& config) {
+  obs::MetricsRegistry* reg = config.obs.metrics;
+  if (reg != nullptr)
+    reg->add(std::string("pipeline.space_mode.") + to_string(config.space_mode));
+
+  PipelineResult r;
+  switch (config.space_mode) {
+    case SpaceMode::Dense:
+      r = run_dense(nest, config);
+      break;
+    case SpaceMode::Symbolic:
+      r = run_symbolic(nest, config);
+      break;
+    case SpaceMode::Verify:
+      r = run_dense(nest, config);
+      r.space_mode = SpaceMode::Verify;
+      verify_against_symbolic(nest, config, r);
+      break;
+  }
 
   if (reg != nullptr) r.metrics = reg->snapshot();
   return r;
 }
 
+std::uint64_t PipelineResult::iteration_count() const {
+  if (structure) return static_cast<std::uint64_t>(structure->vertices().size());
+  if (space) return space->size();
+  return 0;
+}
+
 std::string PipelineResult::summary() const {
+  const std::size_t deps = structure ? structure->dependences().size()
+                                     : (space ? space->dependences().size() : 0);
   std::ostringstream os;
-  os << "iterations=" << structure->vertices().size()
-     << " deps=" << structure->dependences().size() << " Pi=" << time_function.to_string()
-     << " projected_points=" << projected->point_count() << " r=" << grouping.group_size_r()
-     << " groups=" << grouping.group_count() << " interblock=" << stats.interblock_arcs << "/"
-     << stats.total_arcs << " procs=" << mapping.mapping.processor_count
-     << " T=" << sim.total.to_string();
+  os << "iterations=" << iteration_count() << " deps=" << deps
+     << " Pi=" << time_function.to_string() << " projected_points=" << projected->point_count()
+     << " r=" << grouping.group_size_r() << " groups=" << grouping.group_count()
+     << " interblock=" << stats.interblock_arcs << "/" << stats.total_arcs
+     << " procs=" << mapping.mapping.processor_count << " T=" << sim.total.to_string();
   return os.str();
 }
 

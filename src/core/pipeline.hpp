@@ -12,12 +12,22 @@
 #include <optional>
 
 #include "loop/dependence.hpp"
+#include "loop/iter_space.hpp"
 #include "loop/loop_nest.hpp"
 #include "mapping/hypercube_map.hpp"
 #include "partition/checkers.hpp"
 #include "sim/exec_sim.hpp"
 
 namespace hypart {
+
+/// Which iteration-space backend the pipeline runs on.
+enum class SpaceMode {
+  Dense,     ///< materialize J^n (required for faults, codegen, interpreters)
+  Symbolic,  ///< closed-form IterSpace path, O(lines + deps); rectangular nests only
+  Verify     ///< run dense, then re-derive every stage symbolically and assert equality
+};
+
+[[nodiscard]] const char* to_string(SpaceMode mode);
 
 struct PipelineConfig {
   DependenceOptions dependence;
@@ -32,6 +42,10 @@ struct PipelineConfig {
   SimOptions sim;
   /// Flops per iteration; defaults to the nest's statement flop total.
   std::optional<std::int64_t> flops_override;
+  /// Iteration-space backend.  Symbolic/Verify require rectangular bounds
+  /// (Error(ErrorKind::Config) otherwise); Verify throws
+  /// Error(ErrorKind::Internal) on any dense/symbolic disagreement.
+  SpaceMode space_mode = SpaceMode::Dense;
   /// Run the theorem/lemma checkers and record their reports.
   bool validate = true;
   /// Optional tracing/metrics hooks, propagated to every stage (stage spans
@@ -42,16 +56,27 @@ struct PipelineConfig {
 
 /// All stage outputs.  Heap-held where later stages keep references.
 struct PipelineResult {
+  /// The mode this result was produced under.
+  SpaceMode space_mode = SpaceMode::Dense;
   DependenceInfo dependence;
+  /// Materialized structure; null in symbolic mode (use `space` instead).
   std::unique_ptr<ComputationStructure> structure;
+  /// Closed-form space; set in symbolic and verify modes, null in dense.
+  std::unique_ptr<IterSpace> space;
   TimeFunction time_function;
   std::unique_ptr<ProjectedStructure> projected;
   Grouping grouping;
+  /// Per-vertex block assignment; empty in symbolic mode.
   Partition partition;
+  /// Per-block iteration counts, filled in every mode.
+  std::vector<std::int64_t> block_sizes;
   PartitionStats stats;
   TaskInteractionGraph tig;
   HypercubeMappingResult mapping;
   SimResult sim;
+
+  /// Iteration count regardless of backend.
+  [[nodiscard]] std::uint64_t iteration_count() const;
 
   // Validation reports (populated when config.validate).
   bool exact_cover = false;

@@ -17,13 +17,22 @@
 
 namespace hypart {
 
-/// Hash for integer index points so structures can key on them.
+/// Hash for integer index points so structures can key on them.  Each
+/// coordinate is passed through a full splitmix64 finalizer before mixing:
+/// the previous xor-shift combiner left small-stride grid points clustered
+/// in a few buckets (identical low bits), degrading the dense point maps to
+/// linked-list scans.
 struct IntVecHash {
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
   std::size_t operator()(const IntVec& v) const noexcept {
-    std::size_t h = v.size();
-    for (std::int64_t x : v)
-      h ^= std::hash<std::int64_t>{}(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    return h;
+    std::uint64_t h = mix(static_cast<std::uint64_t>(v.size()));
+    for (std::int64_t x : v) h = mix(h ^ static_cast<std::uint64_t>(x));
+    return static_cast<std::size_t>(h);
   }
 };
 

@@ -61,6 +61,16 @@ void IndexSet::for_each(const std::function<void(const IntVec&)>& visit) const {
 
 std::vector<IntVec> IndexSet::points() const {
   std::vector<IntVec> pts;
+  // Reserve the exact point count when the bounds are rectangular (size()
+  // is a closed-form product there; for triangular nests it would walk the
+  // set once just to count, doubling the work, so skip it).
+  bool rect = true;
+  for (const LoopDim& d : dims_)
+    if (!d.lower.is_constant() || !d.upper.is_constant()) {
+      rect = false;
+      break;
+    }
+  if (rect) pts.reserve(static_cast<std::size_t>(size()));
   for_each([&](const IntVec& p) { pts.push_back(p); });
   return pts;
 }

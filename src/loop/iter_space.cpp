@@ -1,0 +1,163 @@
+#include "loop/iter_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "loop/index_set.hpp"
+
+namespace hypart {
+
+IterSpace::IterSpace(std::vector<DimBounds> bounds, std::vector<IntVec> dependences)
+    : bounds_(std::move(bounds)), deps_(std::move(dependences)) {
+  if (bounds_.empty()) throw std::invalid_argument("IterSpace: empty bounds");
+  for (const IntVec& d : deps_) {
+    if (d.size() != bounds_.size())
+      throw std::invalid_argument("IterSpace: dependence dimension mismatch");
+    if (is_zero(d)) throw std::invalid_argument("IterSpace: zero dependence vector");
+  }
+}
+
+IterSpace IterSpace::from_nest(const LoopNest& nest, const DependenceOptions& opts) {
+  if (!nest.is_rectangular())
+    throw std::invalid_argument("IterSpace::from_nest: nest is not rectangular");
+  DependenceInfo info = analyze_dependences(nest, opts);
+  return IterSpace(IndexSet(nest).rectangular_bounds(), info.distance_vectors());
+}
+
+std::uint64_t IterSpace::size() const {
+  std::uint64_t n = 1;
+  for (const auto& [lo, hi] : bounds_) {
+    if (hi < lo) return 0;
+    n *= static_cast<std::uint64_t>(hi - lo + 1);
+  }
+  return n;
+}
+
+std::int64_t IterSpace::extent(std::size_t i) const {
+  const auto& [lo, hi] = bounds_.at(i);
+  return hi < lo ? 0 : hi - lo + 1;
+}
+
+bool IterSpace::contains(const IntVec& p) const {
+  if (p.size() != bounds_.size()) return false;
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    if (p[i] < bounds_[i].first || p[i] > bounds_[i].second) return false;
+  return true;
+}
+
+std::uint64_t IterSpace::arc_count(const IntVec& d) const {
+  if (d.size() != bounds_.size())
+    throw std::invalid_argument("IterSpace::arc_count: dimension mismatch");
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    std::int64_t span = extent(i) - (d[i] < 0 ? -d[i] : d[i]);
+    if (span <= 0) return 0;
+    n *= static_cast<std::uint64_t>(span);
+  }
+  return n;
+}
+
+std::uint64_t IterSpace::total_arc_count() const {
+  std::uint64_t n = 0;
+  for (const IntVec& d : deps_) n += arc_count(d);
+  return n;
+}
+
+std::int64_t IterSpace::min_step(const IntVec& pi) const {
+  if (pi.size() != bounds_.size())
+    throw std::invalid_argument("IterSpace::min_step: dimension mismatch");
+  if (empty()) throw std::logic_error("IterSpace::min_step: empty space");
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    s += pi[i] * (pi[i] >= 0 ? bounds_[i].first : bounds_[i].second);
+  return s;
+}
+
+std::int64_t IterSpace::max_step(const IntVec& pi) const {
+  if (pi.size() != bounds_.size())
+    throw std::invalid_argument("IterSpace::max_step: dimension mismatch");
+  if (empty()) throw std::logic_error("IterSpace::max_step: empty space");
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    s += pi[i] * (pi[i] >= 0 ? bounds_[i].second : bounds_[i].first);
+  return s;
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>> IterSpace::line_range(
+    const IntVec& p, const IntVec& u) const {
+  if (p.size() != bounds_.size() || u.size() != bounds_.size())
+    throw std::invalid_argument("IterSpace::line_range: dimension mismatch");
+  if (is_zero(u)) throw std::invalid_argument("IterSpace::line_range: zero direction");
+  std::int64_t k_lo = INT64_MIN, k_hi = INT64_MAX;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const auto& [lo, hi] = bounds_[i];
+    if (hi < lo) return std::nullopt;
+    if (u[i] == 0) {
+      if (p[i] < lo || p[i] > hi) return std::nullopt;
+      continue;
+    }
+    // lo <= p_i + k*u_i <= hi, solved per sign of u_i with exact rounding.
+    std::int64_t a = u[i] > 0 ? ceil_div(lo - p[i], u[i]) : ceil_div(hi - p[i], u[i]);
+    std::int64_t b = u[i] > 0 ? floor_div(hi - p[i], u[i]) : floor_div(lo - p[i], u[i]);
+    k_lo = std::max(k_lo, a);
+    k_hi = std::min(k_hi, b);
+    if (k_lo > k_hi) return std::nullopt;
+  }
+  return std::make_pair(k_lo, k_hi);
+}
+
+void IterSpace::for_each_line(
+    const IntVec& u, const std::function<void(const IntVec&, std::int64_t)>& visit) const {
+  const std::size_t n = bounds_.size();
+  if (u.size() != n) throw std::invalid_argument("IterSpace::for_each_line: dimension mismatch");
+  if (is_zero(u)) throw std::invalid_argument("IterSpace::for_each_line: zero direction");
+  if (empty()) return;
+
+  // The entry points {p in Box : p - u not in Box} decompose into at most n
+  // disjoint boundary slabs: slab i takes the entry face of dimension i
+  // (p_i within |u_i| of the boundary u points away from) and, for every
+  // earlier dimension j with u_j != 0, the contiguous complement of j's
+  // entry face — so no point is visited twice.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (u[i] == 0) continue;
+    std::vector<DimBounds> region = bounds_;
+    if (u[i] > 0)
+      region[i] = {bounds_[i].first, std::min(bounds_[i].second, bounds_[i].first + u[i] - 1)};
+    else
+      region[i] = {std::max(bounds_[i].first, bounds_[i].second + u[i] + 1), bounds_[i].second};
+    bool degenerate = region[i].first > region[i].second;
+    for (std::size_t j = 0; j < i && !degenerate; ++j) {
+      if (u[j] == 0) continue;
+      if (u[j] > 0)
+        region[j] = {bounds_[j].first + u[j], bounds_[j].second};
+      else
+        region[j] = {bounds_[j].first, bounds_[j].second + u[j]};
+      degenerate = region[j].first > region[j].second;
+    }
+    if (degenerate) continue;
+
+    // Odometer walk of the slab; the line population is 1 + the largest k
+    // with p + k*u still inside (a min over the nonzero direction dims).
+    IntVec p(n);
+    for (std::size_t d = 0; d < n; ++d) p[d] = region[d].first;
+    while (true) {
+      std::int64_t kmax = INT64_MAX;
+      for (std::size_t d = 0; d < n; ++d) {
+        if (u[d] == 0) continue;
+        std::int64_t room = u[d] > 0 ? (bounds_[d].second - p[d]) / u[d]
+                                     : (p[d] - bounds_[d].first) / (-u[d]);
+        kmax = std::min(kmax, room);
+      }
+      visit(p, kmax + 1);
+      std::size_t d = n;
+      while (d > 0 && p[d - 1] == region[d - 1].second) {
+        p[d - 1] = region[d - 1].first;
+        --d;
+      }
+      if (d == 0) break;
+      ++p[d - 1];
+    }
+  }
+}
+
+}  // namespace hypart

@@ -1,0 +1,96 @@
+// hypart — closed-form rectangular iteration space (the symbolic spine).
+//
+// IterSpace represents the index set J^n of a *rectangular* loop nest as
+// per-dimension inclusive bounds plus constant dependence vectors — never as
+// a point list.  On a box every quantity the partitioning pipeline needs has
+// a closed form: the point count is a product of extents, the arc count of a
+// dependence d is prod_i max(0, extent_i - |d_i|), the schedule span of a
+// time function is attained at box corners, and a projection line meets the
+// box in one contiguous run of its minimal integer step.  Stages that accept
+// an IterSpace therefore run in O(lines + deps) instead of O(points); see
+// docs/iterspace.md for the derivations and the dense-fallback rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "loop/dependence.hpp"
+#include "loop/loop_nest.hpp"
+#include "numeric/int_linalg.hpp"
+
+namespace hypart {
+
+/// Floor/ceil integer division for arbitrary signs (b != 0); C++ `/`
+/// truncates toward zero, which is wrong for the negative line-range bounds.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  return (a % b != 0 && ((a < 0) == (b < 0))) ? q + 1 : q;
+}
+
+/// Inclusive per-dimension bounds [lower, upper].
+using DimBounds = std::pair<std::int64_t, std::int64_t>;
+
+class IterSpace {
+ public:
+  /// Build from explicit bounds and constant dependence vectors (the same
+  /// validation rules as ComputationStructure: nonzero, dimension-matched).
+  IterSpace(std::vector<DimBounds> bounds, std::vector<IntVec> dependences);
+
+  /// Build from a rectangular nest, analyzing dependences automatically;
+  /// throws std::invalid_argument if the nest is not rectangular.
+  static IterSpace from_nest(const LoopNest& nest, const DependenceOptions& opts = {});
+
+  [[nodiscard]] std::size_t dimension() const { return bounds_.size(); }
+  [[nodiscard]] const std::vector<DimBounds>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<IntVec>& dependences() const { return deps_; }
+
+  /// Number of index points (product of extents), without enumeration.
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Points along dimension `i` (0 when the range is empty).
+  [[nodiscard]] std::int64_t extent(std::size_t i) const;
+
+  [[nodiscard]] bool contains(const IntVec& p) const;
+
+  /// #{ j : j in J and j + d in J } — the arc count of one dependence:
+  /// prod_i max(0, extent_i - |d_i|).
+  [[nodiscard]] std::uint64_t arc_count(const IntVec& d) const;
+
+  /// Total dependence arcs over all dependence vectors (the dense
+  /// ComputationStructure::dependence_arc_count, without the points).
+  [[nodiscard]] std::uint64_t total_arc_count() const;
+
+  /// Extremes of Π·x over the box (attained at corners); throw
+  /// std::logic_error when the space is empty.
+  [[nodiscard]] std::int64_t min_step(const IntVec& pi) const;
+  [[nodiscard]] std::int64_t max_step(const IntVec& pi) const;
+
+  /// The k-interval {k : p + k*u in J} of the line through p with direction
+  /// u (u != 0; p itself need not be inside); nullopt when the line misses
+  /// the box.  The intersection of a line with a box is always contiguous.
+  [[nodiscard]] std::optional<std::pair<std::int64_t, std::int64_t>> line_range(
+      const IntVec& p, const IntVec& u) const;
+
+  /// Enumerate every line of direction u meeting the box exactly once,
+  /// visiting (entry point, population).  The entry point is the unique line
+  /// point with entry - u outside the box (the smallest point along +u); the
+  /// population is the closed-form run length.  Cost O(N^{d-1}) — the entry
+  /// points form at most `dimension()` disjoint boundary slabs — versus the
+  /// O(N^d) dense projection.
+  void for_each_line(const IntVec& u,
+                     const std::function<void(const IntVec&, std::int64_t)>& visit) const;
+
+ private:
+  std::vector<DimBounds> bounds_;
+  std::vector<IntVec> deps_;
+};
+
+}  // namespace hypart

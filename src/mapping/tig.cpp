@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "partition/symbolic.hpp"
+
 namespace hypart {
 
 TaskInteractionGraph TaskInteractionGraph::from_partition(const ComputationStructure& q,
@@ -18,6 +20,22 @@ TaskInteractionGraph TaskInteractionGraph::from_partition(const ComputationStruc
     std::size_t bs = p.block_of(q.id_of(src));
     std::size_t bd = p.block_of(q.id_of(dst));
     if (bs != bd) tig.add_comm(bs, bd, 1);
+  });
+  return tig;
+}
+
+TaskInteractionGraph TaskInteractionGraph::from_symbolic(const IterSpace& space,
+                                                         const Grouping& grouping) {
+  TaskInteractionGraph tig(grouping.group_count());
+  std::vector<std::int64_t> sizes = symbolic_block_sizes(grouping);
+  for (std::size_t b = 0; b < grouping.group_count(); ++b) {
+    tig.set_compute_weight(b, sizes[b]);
+    tig.set_coordinates(b, grouping.groups()[b].lattice);
+  }
+  for_each_line_dep(space, grouping.projected(), [&](const LineDepArcs& bundle) {
+    std::size_t bs = grouping.group_of_point(bundle.point);
+    std::size_t bd = grouping.group_of_point(bundle.target);
+    if (bs != bd) tig.add_comm(bs, bd, bundle.count);
   });
   return tig;
 }

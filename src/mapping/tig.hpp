@@ -27,6 +27,11 @@ class TaskInteractionGraph {
   static TaskInteractionGraph from_partition(const ComputationStructure& q, const Partition& p,
                                              const Grouping& grouping);
 
+  /// Build the same TIG in closed form from a rectangular iteration space:
+  /// vertex weights are summed line populations, edge weights are
+  /// line-bundle arc counts (partition/symbolic.hpp) — no points touched.
+  static TaskInteractionGraph from_symbolic(const IterSpace& space, const Grouping& grouping);
+
   /// A w x h mesh-like TIG with unit edge weights (the paper's Fig. 8(a));
   /// vertex (x, y) has coordinates {x, y}.
   static TaskInteractionGraph mesh(std::size_t width, std::size_t height,

@@ -32,6 +32,44 @@ bool check_theorem1(const ComputationStructure& q, const TimeFunction& tf, const
   return true;
 }
 
+bool check_exact_cover(const IterSpace& space, const Grouping& grouping) {
+  const ProjectedStructure& ps = grouping.projected();
+  std::vector<bool> seen(ps.point_count(), false);
+  std::uint64_t covered = 0;
+  for (const Group& g : grouping.groups()) {
+    for (std::size_t pid : g.members()) {
+      if (pid >= seen.size() || seen[pid]) return false;
+      seen[pid] = true;
+      covered += static_cast<std::uint64_t>(ps.line_population(pid));
+    }
+  }
+  return covered == space.size();
+}
+
+bool check_theorem1(const IterSpace& /*space*/, const Grouping& grouping) {
+  // Line `pid` executes at steps t0(pid) + k*sigma for 0 <= k < pop(pid);
+  // the box geometry is already folded into the populations.
+  const ProjectedStructure& ps = grouping.projected();
+  const std::int64_t sigma = ps.step_stride();
+  const TimeFunction& tf = ps.time_function();
+  for (const Group& g : grouping.groups()) {
+    std::vector<std::size_t> members = g.members();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      std::int64_t ti = tf.step_of(ps.line_representative(members[i]));
+      std::int64_t pi = static_cast<std::int64_t>(ps.line_population(members[i]));
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        std::int64_t tj = tf.step_of(ps.line_representative(members[j]));
+        std::int64_t pj = static_cast<std::int64_t>(ps.line_population(members[j]));
+        std::int64_t diff = tj - ti;
+        if (diff % sigma != 0) continue;  // distinct residues never collide
+        std::int64_t m = diff / sigma;    // collide iff k = m + k' is feasible
+        if (m >= -(pj - 1) && m <= pi - 1) return false;
+      }
+    }
+  }
+  return true;
+}
+
 std::string Theorem2Report::to_string() const {
   std::ostringstream os;
   os << "Theorem 2: m=" << m << " beta=" << beta << " bound=2m-beta=" << bound

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "loop/iter_space.hpp"
 #include "partition/blocks.hpp"
 
 namespace hypart {
@@ -22,9 +23,18 @@ namespace hypart {
 /// Every vertex of Q appears in exactly one block.
 bool check_exact_cover(const ComputationStructure& q, const Partition& p);
 
+/// Symbolic exact cover: every projected point belongs to exactly one group
+/// and the groups' line populations sum to |J^n| — no points materialized.
+bool check_exact_cover(const IterSpace& space, const Grouping& grouping);
+
 /// Theorem 1: within each block, all iterations have pairwise-distinct
 /// execution steps under Π (so a block never delays the hyperplane schedule).
 bool check_theorem1(const ComputationStructure& q, const TimeFunction& tf, const Partition& p);
+
+/// Symbolic Theorem 1: a block's lines occupy strided step runs
+/// {t0 + k·σ, 0 <= k < pop}, so two iterations collide iff two member runs
+/// are congruent mod σ with overlapping ranges — O(r²) per group.
+bool check_theorem1(const IterSpace& space, const Grouping& grouping);
 
 struct Theorem2Report {
   std::size_t m = 0;               ///< number of dependence vectors

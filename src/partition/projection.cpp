@@ -13,6 +13,19 @@ IntVec project_scaled(const IntVec& j, const TimeFunction& tf) {
   return p;
 }
 
+namespace {
+
+/// Minimal integer step of the projection lines: Π / content(Π), preserving
+/// Π's sign so the line runs toward increasing steps.
+IntVec minimal_line_direction(const TimeFunction& tf) {
+  std::int64_t g = content(tf.pi);
+  IntVec u(tf.pi.size());
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = tf.pi[i] / g;
+  return u;
+}
+
+}  // namespace
+
 ProjectedStructure::ProjectedStructure(const ComputationStructure& q, const TimeFunction& tf)
     : tf_(tf), dim_(q.dimension()), deps_(q.dependences()) {
   if (tf.dimension() != q.dimension())
@@ -20,17 +33,68 @@ ProjectedStructure::ProjectedStructure(const ComputationStructure& q, const Time
   if (!is_valid_time_function(tf, q.dependences()))
     throw std::invalid_argument("ProjectedStructure: invalid time function for dependences");
   scale_ = tf.norm2();
+  line_dir_ = minimal_line_direction(tf);
+  stride_ = scale_ / content(tf.pi);
 
-  // Project every vertex and count line populations; dedup via ordered map
-  // so points() comes out lexicographically sorted and deterministic.
-  std::map<IntVec, std::size_t> population;
-  for (const IntVec& v : q.vertices()) ++population[project_scaled(v, tf)];
+  // Project every vertex, count line populations and keep the earliest
+  // (smallest-step) vertex of each line as its representative; dedup via
+  // ordered map so points() comes out lexicographically sorted and
+  // deterministic.
+  struct LineAccum {
+    std::size_t count = 0;
+    IntVec rep;
+  };
+  std::map<IntVec, LineAccum> population;
+  for (const IntVec& v : q.vertices()) {
+    LineAccum& acc = population[project_scaled(v, tf)];
+    if (acc.count == 0 || tf.step_of(v) < tf.step_of(acc.rep)) acc.rep = v;
+    ++acc.count;
+  }
   points_.reserve(population.size());
   line_pop_.reserve(population.size());
-  for (const auto& [pt, count] : population) {
+  line_reps_.reserve(population.size());
+  for (auto& [pt, acc] : population) {
     index_.emplace(pt, points_.size());
     points_.push_back(pt);
-    line_pop_.push_back(count);
+    line_pop_.push_back(acc.count);
+    line_reps_.push_back(std::move(acc.rep));
+  }
+
+  proj_deps_.reserve(deps_.size());
+  for (const IntVec& d : deps_) proj_deps_.push_back(project_scaled(d, tf));
+}
+
+ProjectedStructure::ProjectedStructure(const IterSpace& space, const TimeFunction& tf)
+    : tf_(tf), dim_(space.dimension()), deps_(space.dependences()) {
+  if (tf.dimension() != space.dimension())
+    throw std::invalid_argument("ProjectedStructure: time function dimension mismatch");
+  if (!is_valid_time_function(tf, space.dependences()))
+    throw std::invalid_argument("ProjectedStructure: invalid time function for dependences");
+  if (space.empty()) throw std::invalid_argument("ProjectedStructure: empty iteration space");
+  scale_ = tf.norm2();
+  line_dir_ = minimal_line_direction(tf);
+  stride_ = scale_ / content(tf.pi);
+
+  // One visit per projection line: the entry point is exactly the
+  // smallest-step point of the line (the dense representative) and the
+  // population comes in closed form.  The ordered map reproduces the dense
+  // constructor's lexicographic point order.
+  struct LineAccum {
+    IntVec rep;
+    std::int64_t count = 0;
+  };
+  std::map<IntVec, LineAccum> lines;
+  space.for_each_line(line_dir_, [&](const IntVec& rep, std::int64_t pop) {
+    lines.emplace(project_scaled(rep, tf), LineAccum{rep, pop});
+  });
+  points_.reserve(lines.size());
+  line_pop_.reserve(lines.size());
+  line_reps_.reserve(lines.size());
+  for (auto& [pt, acc] : lines) {
+    index_.emplace(pt, points_.size());
+    points_.push_back(pt);
+    line_pop_.push_back(static_cast<std::size_t>(acc.count));
+    line_reps_.push_back(std::move(acc.rep));
   }
 
   proj_deps_.reserve(deps_.size());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/comp_structure.hpp"
+#include "loop/iter_space.hpp"
 #include "numeric/rat_matrix.hpp"
 #include "schedule/hyperplane.hpp"
 
@@ -26,6 +27,13 @@ IntVec project_scaled(const IntVec& j, const TimeFunction& tf);
 class ProjectedStructure {
  public:
   ProjectedStructure(const ComputationStructure& q, const TimeFunction& tf);
+
+  /// Build Q^p directly from a rectangular iteration space without ever
+  /// materializing J^n: lines are enumerated by their entry points
+  /// (IterSpace::for_each_line) and populations come out in closed form.
+  /// Produces bit-identical points()/line_population()/line_representative()
+  /// to the dense constructor, in O(lines) instead of O(points).
+  ProjectedStructure(const IterSpace& space, const TimeFunction& tf);
 
   [[nodiscard]] const TimeFunction& time_function() const { return tf_; }
   /// The scaling constant s = Π·Π.
@@ -65,6 +73,21 @@ class ProjectedStructure {
   /// Number of original index points on the projection line of point `id`.
   [[nodiscard]] std::size_t line_population(std::size_t id) const { return line_pop_[id]; }
 
+  /// Original-space coordinates of the first point (smallest step Π·j) on
+  /// the projection line of point `id`.  With the stride, this pins the
+  /// whole line: the members are rep + k*line_direction(), 0 <= k < pop.
+  [[nodiscard]] const IntVec& line_representative(std::size_t id) const {
+    return line_reps_.at(id);
+  }
+
+  /// Minimal integer direction of the projection lines: Π / content(Π),
+  /// keeping Π's sign so that Π·line_direction() > 0.
+  [[nodiscard]] const IntVec& line_direction() const { return line_dir_; }
+
+  /// Step increment between consecutive line points:
+  /// Π·line_direction() = Π·Π / content(Π) > 0.
+  [[nodiscard]] std::int64_t step_stride() const { return stride_; }
+
   /// Projected-structure arcs: (from point id, to point id, dep index) for
   /// every pair v_j^p = v_i^p + d_k^p with both ends in V^p and d_k^p != 0.
   [[nodiscard]] Digraph to_digraph() const;
@@ -75,6 +98,9 @@ class ProjectedStructure {
   std::size_t dim_ = 0;
   std::vector<IntVec> points_;
   std::vector<std::size_t> line_pop_;
+  std::vector<IntVec> line_reps_;
+  IntVec line_dir_;
+  std::int64_t stride_ = 1;
   std::vector<IntVec> proj_deps_;
   std::vector<IntVec> deps_;
   PointIndexMap index_;

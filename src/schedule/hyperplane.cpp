@@ -74,6 +74,29 @@ std::optional<TimeFunction> search_time_function(const ComputationStructure& q,
   return best;
 }
 
+std::optional<TimeFunction> search_time_function(const IterSpace& space,
+                                                 const TimeFunctionSearchOptions& opts) {
+  if (space.empty()) return std::nullopt;
+  std::optional<TimeFunction> best;
+  std::int64_t best_span = 0;
+  std::int64_t best_norm = 0;
+
+  for_each_candidate(space.dimension(), opts.max_coefficient, opts.nonnegative_only,
+                     [&](const IntVec& cand) {
+    TimeFunction tf{cand};
+    if (!is_valid_time_function(tf, space.dependences())) return;
+    std::int64_t span = space.max_step(cand) - space.min_step(cand) + 1;
+    std::int64_t norm = tf.norm2();
+    if (!best || span < best_span || (span == best_span && norm < best_norm) ||
+        (span == best_span && norm == best_norm && cand < best->pi)) {
+      best = tf;
+      best_span = span;
+      best_norm = norm;
+    }
+  });
+  return best;
+}
+
 TimeFunction uniform_time_function(const std::vector<IntVec>& dependences, std::size_t dim) {
   TimeFunction tf{IntVec(dim, 1)};
   if (!is_valid_time_function(tf, dependences))

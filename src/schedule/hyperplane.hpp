@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/comp_structure.hpp"
+#include "loop/iter_space.hpp"
 #include "numeric/int_linalg.hpp"
 
 namespace hypart {
@@ -56,6 +57,13 @@ struct TimeFunctionSearchOptions {
 /// span over the given vertex set (ties: smaller Π·Π, then lexicographic).
 /// Returns nullopt if no valid Π exists in the box.
 std::optional<TimeFunction> search_time_function(const ComputationStructure& q,
+                                                 const TimeFunctionSearchOptions& opts = {});
+
+/// Symbolic variant: identical candidate order and tie-breaks, but the span
+/// is evaluated at box corners (a linear functional's extremes on a box), so
+/// the search is O(candidates · dim) — it returns exactly the Π the dense
+/// search finds for the same space.
+std::optional<TimeFunction> search_time_function(const IterSpace& space,
                                                  const TimeFunctionSearchOptions& opts = {});
 
 /// The all-ones time function (the paper uses Π = (1,..,1) throughout);

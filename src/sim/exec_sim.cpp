@@ -10,6 +10,7 @@
 #include "core/error.hpp"
 #include "fault/degraded_route.hpp"
 #include "fault/remap.hpp"
+#include "partition/symbolic.hpp"
 
 namespace hypart {
 
@@ -459,6 +460,224 @@ SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& 
   SimResult res = simulate_core(q, tf, part, mapping, topo, machine, opts, fstate);
   if (opts.obs.enabled())
     emit_observability(q, tf, part, mapping, topo, machine, opts, fstate, res);
+  return res;
+}
+
+namespace {
+
+// Reduced observability for the symbolic path: aggregate counters only (the
+// per-message histograms and the trace timeline need the materialized
+// schedule, which is exactly what this path avoids building).
+void emit_symbolic_metrics(const SimOptions& opts, SimResult& res) {
+  obs::MetricsRegistry* reg = opts.obs.metrics;
+  if (reg == nullptr) return;
+  reg->add("sim.steps", res.steps);
+  reg->add("sim.messages", res.messages);
+  reg->add("sim.words", res.words);
+  reg->set_gauge("sim.time", res.time);
+  for (std::size_t p = 0; p < res.per_proc_iterations.size(); ++p)
+    reg->add("sim.proc." + std::to_string(p) + ".iterations", res.per_proc_iterations[p]);
+  res.metrics = reg->snapshot();
+}
+
+}  // namespace
+
+SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
+                             const Mapping& mapping, const Topology& topo,
+                             const MachineParams& machine, const SimOptions& opts) {
+  if (!opts.faults.empty())
+    throw Error(ErrorKind::Config,
+                "simulate_execution: fault injection requires the dense space mode");
+  const ProjectedStructure& ps = grouping.projected();
+  const TimeFunction& tf = ps.time_function();
+  if (mapping.block_to_proc.size() != grouping.group_count())
+    throw std::invalid_argument("simulate_execution: mapping/partition size mismatch");
+  const std::size_t nprocs = mapping.processor_count;
+  if (topo.size() < nprocs)
+    throw std::invalid_argument("simulate_execution: topology smaller than processor count");
+
+  SimResult res;
+  res.per_proc_iterations.assign(nprocs, 0);
+
+  // Processor of every projection line; a line's points all live in one
+  // block, so per-processor loads are sums of line populations.
+  std::vector<ProcId> pproc(ps.point_count());
+  for (std::size_t pid = 0; pid < ps.point_count(); ++pid) {
+    pproc[pid] = mapping.block_to_proc[grouping.group_of_point(pid)];
+    res.per_proc_iterations[pproc[pid]] += static_cast<std::int64_t>(ps.line_population(pid));
+  }
+  const std::int64_t lo = space.min_step(tf.pi);
+  res.steps = space.max_step(tf.pi) - lo + 1;
+
+  std::int64_t max_iters = 0;
+  for (std::int64_t c : res.per_proc_iterations) max_iters = std::max(max_iters, c);
+  res.compute_bottleneck = Cost{max_iters * opts.flops_per_iteration, 0, 0};
+
+  const std::int64_t sigma = ps.step_stride();
+
+  if (opts.accounting == CommAccounting::PaperMaxChannel) {
+    // Channel volumes need no step resolution at all: one bundle contributes
+    // its whole arc count to the unordered processor pair.
+    std::map<std::pair<ProcId, ProcId>, std::int64_t> channel;
+    for_each_line_dep(space, ps, [&](const LineDepArcs& b) {
+      ProcId src = pproc[b.point];
+      ProcId dst = pproc[b.target];
+      if (src == dst) return;
+      std::int64_t units =
+          opts.charge_hops ? static_cast<std::int64_t>(topo.distance(src, dst)) : 1;
+      auto key = std::minmax(src, dst);
+      channel[{key.first, key.second}] += units * b.count;
+      res.messages += b.count;
+      res.words += b.count;
+    });
+    std::int64_t worst = 0;
+    for (const auto& [pair, units] : channel) worst = std::max(worst, units);
+    res.comm_bottleneck = Cost{0, worst, worst};
+    res.total = res.compute_bottleneck + res.comm_bottleneck;
+    res.time = res.total.value(machine);
+    emit_symbolic_metrics(opts, res);
+    return res;
+  }
+
+  // Per-step accountings.  Every line (and every arc bundle) occupies steps
+  // t0, t0+sigma, ..., so per-step tables are strided difference arrays: +1
+  // at the run's first step, -1 one stride past its last, then a strided
+  // prefix sum recovers exact per-step counts in O(steps) per row.
+  const std::int64_t nsteps = res.steps;
+  auto strided_prefix = [&](std::vector<std::int64_t>& v) {
+    for (std::int64_t t = sigma; t < nsteps; ++t) v[t] += v[t - sigma];
+  };
+
+  std::vector<std::vector<std::int64_t>> iters(nprocs, std::vector<std::int64_t>(nsteps, 0));
+  for (std::size_t pid = 0; pid < ps.point_count(); ++pid) {
+    std::int64_t t0 = tf.step_of(ps.line_representative(pid)) - lo;
+    std::int64_t end = t0 + static_cast<std::int64_t>(ps.line_population(pid)) * sigma;
+    iters[pproc[pid]][t0] += 1;
+    if (end < nsteps) iters[pproc[pid]][end] -= 1;
+  }
+  for (auto& v : iters) strided_prefix(v);
+
+  struct Channel {
+    ProcId src = 0;
+    ProcId dst = 0;
+    std::vector<std::int64_t> words;
+    std::int64_t total_words = 0;
+  };
+  std::map<std::pair<ProcId, ProcId>, std::size_t> channel_index;
+  std::vector<Channel> channels;
+  for_each_line_dep(space, ps, [&](const LineDepArcs& b) {
+    ProcId src = pproc[b.point];
+    ProcId dst = pproc[b.target];
+    if (src == dst) return;
+    res.words += b.count;
+    auto [it, inserted] = channel_index.try_emplace({src, dst}, channels.size());
+    if (inserted) channels.push_back({src, dst, std::vector<std::int64_t>(nsteps, 0), 0});
+    Channel& ch = channels[it->second];
+    std::int64_t t0 = b.first_step - lo;
+    std::int64_t end = t0 + b.count * sigma;
+    ch.words[t0] += 1;
+    if (end < nsteps) ch.words[end] -= 1;
+    ch.total_words += b.count;
+  });
+  for (Channel& ch : channels) strided_prefix(ch.words);
+
+  if (opts.accounting == CommAccounting::LinkContention) {
+    const auto* cube = dynamic_cast<const Hypercube*>(&topo);
+    if (cube == nullptr)
+      throw std::invalid_argument(
+          "simulate_execution: LinkContention accounting requires a Hypercube topology");
+    std::vector<std::vector<ProcId>> routes(channels.size());
+    std::map<std::pair<ProcId, ProcId>, std::int64_t> total_link_words;
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      routes[c] = cube->ecube_route(channels[c].src, channels[c].dst);
+      ProcId at = channels[c].src;
+      for (ProcId hop : routes[c]) {
+        total_link_words[{at, hop}] += channels[c].total_words;
+        at = hop;
+      }
+    }
+    for (const auto& [link, words] : total_link_words)
+      res.max_link_words = std::max(res.max_link_words, words);
+
+    struct LinkLoad {
+      std::int64_t msgs = 0;
+      std::int64_t words = 0;
+    };
+    Cost total;
+    for (std::int64_t t = 0; t < nsteps; ++t) {
+      std::int64_t step_iters = 0;
+      for (std::size_t p = 0; p < nprocs; ++p) step_iters = std::max(step_iters, iters[p][t]);
+      if (step_iters == 0) continue;  // messages only originate from computing procs
+      Cost step_cost{step_iters * opts.flops_per_iteration, 0, 0};
+      std::map<std::pair<ProcId, ProcId>, LinkLoad> links;
+      for (std::size_t c = 0; c < channels.size(); ++c) {
+        std::int64_t w = channels[c].words[t];
+        if (w == 0) continue;
+        ++res.messages;
+        ProcId at = channels[c].src;
+        for (ProcId hop : routes[c]) {
+          LinkLoad& l = links[{at, hop}];
+          ++l.msgs;
+          l.words += w;
+          at = hop;
+        }
+      }
+      if (!links.empty()) {
+        std::int64_t worst_msgs = 0, worst_words = 0;
+        double worst_val = -1.0;
+        for (const auto& [link, load] : links) {
+          double v = Cost{0, load.msgs, load.words}.value(machine);
+          if (v > worst_val) {
+            worst_val = v;
+            worst_msgs = load.msgs;
+            worst_words = load.words;
+          }
+        }
+        step_cost += Cost{0, worst_msgs, worst_words};
+        res.comm_bottleneck += Cost{0, worst_msgs, worst_words};
+      }
+      total += step_cost;
+    }
+    res.total = total;
+    res.time = total.value(machine);
+    emit_symbolic_metrics(opts, res);
+    return res;
+  }
+
+  // ---- PerStepBarrier (symbolic) ------------------------------------------
+  Cost total;
+  std::vector<Cost> proc_cost(nprocs);
+  for (std::int64_t t = 0; t < nsteps; ++t) {
+    bool any = false;
+    for (std::size_t p = 0; p < nprocs; ++p) {
+      proc_cost[p] = Cost{iters[p][t] * opts.flops_per_iteration, 0, 0};
+      any = any || iters[p][t] > 0;
+    }
+    if (!any) continue;
+    for (const Channel& ch : channels) {
+      std::int64_t w = ch.words[t];
+      if (w == 0) continue;
+      ++res.messages;
+      std::int64_t mult =
+          opts.charge_hops ? static_cast<std::int64_t>(topo.distance(ch.src, ch.dst)) : 1;
+      proc_cost[ch.src] += Cost{0, mult, mult * w};
+    }
+    double worst_val = -1.0;
+    Cost worst;
+    for (std::size_t p = 0; p < nprocs; ++p) {
+      if (iters[p][t] == 0) continue;  // senders always compute; idle procs cost nothing
+      double v = proc_cost[p].value(machine);
+      if (v > worst_val) {
+        worst_val = v;
+        worst = proc_cost[p];
+      }
+    }
+    total += worst;
+    res.comm_bottleneck += Cost{0, worst.start, worst.comm};
+  }
+  res.total = total;
+  res.time = total.value(machine);
+  emit_symbolic_metrics(opts, res);
   return res;
 }
 

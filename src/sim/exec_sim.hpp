@@ -89,4 +89,15 @@ SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& 
                              const Partition& part, const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts = {});
 
+/// Symbolic variant: identical SimResult (totals, steps, messages, words,
+/// per-processor loads, bottlenecks) computed from line-bundle closed forms
+/// — O(lines·deps) plus, for the per-step accountings, O(steps·channels)
+/// strided difference arrays — without materializing any index point.
+/// Restrictions: fault injection requires the dense path (throws
+/// Error(ErrorKind::Config)), and observability is reduced to aggregate
+/// metrics (no per-message histograms or trace timeline).
+SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
+                             const Mapping& mapping, const Topology& topo,
+                             const MachineParams& machine, const SimOptions& opts = {});
+
 }  // namespace hypart

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "workloads/workloads.hpp"
 
 namespace hypart {
@@ -84,6 +86,34 @@ TEST_P(ArcCountProperty, Sor2dArcFormula) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ArcCountProperty, ::testing::Values(2, 3, 4, 7, 10));
+
+TEST(IntVecHashTest, SmallStrideGridSpreadsAcrossBuckets) {
+  // Regression for the pre-splitmix64 xor-mix combiner: on a small-stride
+  // 3-d grid it produced hashes identical in their low bits, collapsing a
+  // power-of-two bucket table to a handful of chains.  Require every grid
+  // point to get a distinct hash AND the low 6 bits (a 64-bucket table) to
+  // be reasonably occupied.
+  IntVecHash h;
+  std::set<std::size_t> hashes;
+  std::set<std::size_t> low_bits;
+  for (std::int64_t i = 0; i < 16; ++i)
+    for (std::int64_t j = 0; j < 16; ++j)
+      for (std::int64_t k = 0; k < 4; ++k) {
+        std::size_t v = h(IntVec{i, j, k});
+        hashes.insert(v);
+        low_bits.insert(v & 63u);
+      }
+  EXPECT_EQ(hashes.size(), 16u * 16u * 4u);
+  EXPECT_GE(low_bits.size(), 48u);
+}
+
+TEST(IntVecHashTest, LengthAndSignDisambiguate) {
+  IntVecHash h;
+  EXPECT_NE(h(IntVec{1, 2}), h(IntVec{1, 2, 0}));
+  EXPECT_NE(h(IntVec{1}), h(IntVec{-1}));
+  EXPECT_NE(h(IntVec{0, 1}), h(IntVec{1, 0}));
+  EXPECT_NE(h(IntVec{}), h(IntVec{0}));
+}
 
 }  // namespace
 }  // namespace hypart

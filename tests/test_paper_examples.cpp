@@ -261,5 +261,76 @@ TEST(PaperSectionIV, MGroupsOfTwoLines) {
   EXPECT_EQ(p.max_block_size(), static_cast<std::size_t>(2 * m - 1));
 }
 
+// ---- Symbolic IterSpace, verify mode ---------------------------------------
+// space_mode = Verify runs the dense pipeline, re-derives every stage from
+// the closed-form IterSpace, and throws Error(ErrorKind::Internal) on any
+// disagreement — so each paper number below is checked on both backends.
+
+TEST(SymbolicVerify, L1PaperCounts) {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.space_mode = SpaceMode::Verify;
+  PipelineResult r = run_pipeline(workloads::example_l1(), cfg);
+  EXPECT_EQ(r.space_mode, SpaceMode::Verify);
+  ASSERT_NE(r.space, nullptr);
+  EXPECT_EQ(r.iteration_count(), 16u);
+  EXPECT_EQ(r.projected->point_count(), 7u);
+  EXPECT_EQ(r.block_sizes.size(), 4u);
+  EXPECT_EQ(r.stats.total_arcs, 33u);
+  EXPECT_EQ(r.stats.interblock_arcs, 12u);
+  EXPECT_TRUE(r.exact_cover);
+  EXPECT_TRUE(r.theorem1);
+}
+
+TEST(SymbolicVerify, MatmulPaperGrouping) {
+  // The Fig. 6 grouping (17 groups, β = 2, r = 3) under the paper's pinned
+  // grouping vector and seed, cross-checked dense vs symbolic.
+  ComputationStructure q = ComputationStructure::from_loop(workloads::matrix_multiplication());
+  ProjectedStructure ps(q, TimeFunction{{1, 1, 1}});
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1, 1};
+  cfg.grouping = paper_matmul_options(ps);
+  cfg.space_mode = SpaceMode::Verify;
+  PipelineResult r = run_pipeline(workloads::matrix_multiplication(), cfg);
+  EXPECT_EQ(r.projected->point_count(), 37u);
+  EXPECT_EQ(r.grouping.beta(), 2u);
+  EXPECT_EQ(r.grouping.group_size_r(), 3);
+  EXPECT_EQ(r.block_sizes.size(), 17u);
+  std::int64_t covered = 0;
+  for (std::int64_t b : r.block_sizes) covered += b;
+  EXPECT_EQ(covered, 64);
+  EXPECT_TRUE(r.theorem2.holds);
+}
+
+TEST(SymbolicVerify, MatvecTableITotalsAllCubeSizes) {
+  // Table I at M = 64: the symbolic simulator must reproduce the dense run
+  // (verify mode asserts it) and both must equal the closed-form model.
+  const std::int64_t m = 64;
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.space_mode = SpaceMode::Verify;
+  for (unsigned dim : {0u, 2u, 4u}) {
+    cfg.cube_dim = dim;
+    PipelineResult r = run_pipeline(workloads::matrix_vector(m), cfg);
+    Cost expected = perf::matvec_exec_time(m, std::int64_t{1} << dim);
+    EXPECT_EQ(r.sim.total, expected) << "N = " << (1 << dim);
+  }
+}
+
+TEST(SymbolicVerify, AllAccountingsAgree) {
+  // Verify mode re-runs the simulator symbolically under the configured
+  // accounting; a mismatch in any SimResult field throws.
+  for (CommAccounting acc : {CommAccounting::PaperMaxChannel, CommAccounting::PerStepBarrier,
+                             CommAccounting::LinkContention}) {
+    PipelineConfig cfg;
+    cfg.time_function = IntVec{1, 1};
+    cfg.space_mode = SpaceMode::Verify;
+    cfg.sim.accounting = acc;
+    PipelineResult r = run_pipeline(workloads::example_l1(), cfg);
+    EXPECT_GT(r.sim.time, 0.0);
+    EXPECT_EQ(r.sim.steps, 7);
+  }
+}
+
 }  // namespace
 }  // namespace hypart

@@ -15,6 +15,9 @@
 //
 // options:
 //   --dim N          hypercube dimension (default 3)
+//   --space M        dense | symbolic | verify (default dense); symbolic
+//                    partitions via IterSpace closed forms without ever
+//                    materializing the index set (docs/iterspace.md)
 //   --pi a,b,..      explicit time function (default: search)
 //   --weighted       weighted cluster bisection
 //   --accounting M   paper | barrier | contention (default paper)
@@ -54,6 +57,7 @@ using namespace hypart;
 const char kUsage[] =
     "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json|trace>\n"
     "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
+    "              [--space dense|symbolic|verify]\n"
     "              [--accounting paper|barrier|contention]\n"
     "              [--tcalc X] [--tstart X] [--tcomm X]\n"
     "              [--faults SPEC] [--recv-timeout-ms N]\n"
@@ -136,6 +140,13 @@ CliOptions parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--dim") o.config.cube_dim = static_cast<unsigned>(std::stoul(next()));
+    else if (a == "--space") {
+      std::string m = next();
+      if (m == "dense") o.config.space_mode = SpaceMode::Dense;
+      else if (m == "symbolic") o.config.space_mode = SpaceMode::Symbolic;
+      else if (m == "verify") o.config.space_mode = SpaceMode::Verify;
+      else usage("unknown space mode (want dense|symbolic|verify)");
+    }
     else if (a == "--pi") o.config.time_function = parse_pi(next());
     else if (a == "--weighted") o.config.mapping.weighted = true;
     else if (a == "--accounting") {
@@ -169,24 +180,24 @@ int cmd_analyze(const LoopNest& nest, const PipelineResult& r) {
     std::printf("  %s\n", d.to_string().c_str());
   for (const std::string& w : r.dependence.warnings)
     std::printf("  warning: %s\n", w.c_str());
-  std::printf("iterations: %zu, Pi = %s, schedule steps: %lld\n",
-              r.structure->vertices().size(), r.time_function.to_string().c_str(),
-              static_cast<long long>(r.sim.steps));
+  std::printf("iterations: %llu, Pi = %s, schedule steps: %lld\n",
+              static_cast<unsigned long long>(r.iteration_count()),
+              r.time_function.to_string().c_str(), static_cast<long long>(r.sim.steps));
   return 0;
 }
 
 int cmd_partition(const PipelineResult& r) {
   std::printf("projected points: %zu, r = %lld, beta = %zu, blocks: %zu\n",
               r.projected->point_count(), static_cast<long long>(r.grouping.group_size_r()),
-              r.grouping.beta(), r.partition.block_count());
+              r.grouping.beta(), r.block_sizes.size());
   std::printf("interblock arcs: %zu / %zu (%.1f%%)\n", r.stats.interblock_arcs,
               r.stats.total_arcs, 100.0 * r.stats.interblock_fraction());
   std::printf("cover=%s theorem1=%s %s lemma2=%s lemma3=%s\n", r.exact_cover ? "ok" : "FAIL",
               r.theorem1 ? "ok" : "FAIL", r.theorem2.to_string().c_str(),
               r.lemmas.lemma2_holds ? "ok" : "FAIL", r.lemmas.lemma3_holds ? "ok" : "FAIL");
   TextTable t({"block", "iterations", "group lattice"});
-  for (std::size_t b = 0; b < r.partition.block_count(); ++b)
-    t.row(b, r.partition.blocks()[b].iterations.size(),
+  for (std::size_t b = 0; b < r.block_sizes.size(); ++b)
+    t.row(b, static_cast<std::uint64_t>(r.block_sizes[b]),
           to_string(r.grouping.groups()[b].lattice));
   std::printf("%s", t.to_string().c_str());
   return r.exact_cover && r.theorem1 && r.theorem2.holds ? 0 : 2;
@@ -195,7 +206,7 @@ int cmd_partition(const PipelineResult& r) {
 int cmd_map(const PipelineResult& r, unsigned dim) {
   Hypercube cube(dim);
   MappingMetrics m = evaluate_mapping(r.tig, r.mapping.mapping, cube);
-  std::printf("blocks: %zu -> %s, %s\n", r.partition.block_count(), cube.name().c_str(),
+  std::printf("blocks: %zu -> %s, %s\n", r.block_sizes.size(), cube.name().c_str(),
               m.to_string().c_str());
   TextTable t({"block", "processor"});
   for (std::size_t b = 0; b < r.mapping.mapping.block_to_proc.size(); ++b)
@@ -218,9 +229,13 @@ int cmd_simulate(const PipelineResult& r) {
                 static_cast<long long>(r.sim.migrated_blocks),
                 r.sim.migration_cost.to_string().c_str());
   }
-  UtilizationReport util = processor_utilization(*r.structure, r.time_function, r.partition,
-                                                 r.mapping.mapping);
-  std::printf("%smean utilization %.0f%%\n", util.gantt.c_str(), util.mean_utilization * 100.0);
+  if (r.structure != nullptr) {
+    // The Gantt chart needs the materialized schedule; symbolic runs print
+    // the totals above and skip it.
+    UtilizationReport util = processor_utilization(*r.structure, r.time_function, r.partition,
+                                                   r.mapping.mapping);
+    std::printf("%smean utilization %.0f%%\n", util.gantt.c_str(), util.mean_utilization * 100.0);
+  }
   return 0;
 }
 
@@ -292,6 +307,16 @@ int main(int argc, char** argv) {
       std::exit(70);
     }
   }();
+
+  // run / codegen / wavefront execute or print the materialized iteration
+  // set; they are dense-only by construction.
+  if (r.structure == nullptr &&
+      (o.command == "run" || o.command == "codegen" || o.command == "wavefront")) {
+    std::fprintf(stderr, "hypart: %s requires --space dense (the %s command materializes "
+                         "the index set)\n",
+                o.command.c_str(), o.command.c_str());
+    return 78;
+  }
 
   int rc = 0;
   if (o.command == "analyze") rc = cmd_analyze(nest, r);
