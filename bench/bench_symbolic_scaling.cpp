@@ -2,14 +2,17 @@
 //
 // Part 1 runs the full pipeline in verify mode (symbolic and dense paths
 // both executed; run_pipeline throws on any disagreement) at sizes the
-// dense path can still materialize.  Part 2 sweeps the symbolic path far
-// past the dense ceiling: sor2d at N = 65536 is ~4.3e9 iterations — about
-// 100x beyond the largest practical dense run — yet partitions in time
-// proportional to the 2N-1 projected lines.
+// dense path can still materialize — on the rectangular sor2d AND on the
+// affine (slab-decomposed) triangular_matvec.  Part 2 sweeps the symbolic
+// path far past the dense ceiling: sor2d at N = 65536 is ~4.3e9 iterations
+// — about 100x beyond the largest practical dense run — yet partitions in
+// time proportional to the 2N-1 projected lines; triangular_matvec at the
+// same N is ~2.1e9 iterations over 65535 slabs.
 //
-// Only the symbolic sweep routes metrics into the shared registry, so the
-// HYPART_BENCH_METRICS dump must report pipeline.points_materialized = 0;
-// CI fails the build if it does not (see .github/workflows/ci.yml).
+// Only the symbolic sweeps route metrics into the shared registry, so the
+// HYPART_BENCH_METRICS dump must report pipeline.points_materialized = 0
+// and a nonzero pipeline.slabs; CI fails the build if not (see
+// .github/workflows/ci.yml).
 #include "bench_common.hpp"
 
 #include "core/pipeline.hpp"
@@ -56,10 +59,41 @@ void symbolic_sweep() {
   std::printf("%s", t.to_string().c_str());
 }
 
+void triangular_verify() {
+  std::printf("\nAffine domain, verify mode (triangular_matvec, j < i):\n");
+  TextTable t({"N", "iterations", "slabs", "blocks", "steps", "T_exec"});
+  for (std::int64_t n : {16, 32, 64, 128}) {
+    PipelineConfig cfg = base_config();
+    cfg.space_mode = SpaceMode::Verify;
+    PipelineResult r = run_pipeline(workloads::triangular_matvec(n), cfg);
+    t.row(n, r.iteration_count(), static_cast<std::uint64_t>(r.space->slab_count()),
+          r.block_sizes.size(), static_cast<std::uint64_t>(r.sim.steps), r.sim.time);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("all sizes agree (verify mode raises on any symbolic/dense mismatch)\n");
+}
+
+void triangular_sweep() {
+  std::printf("\nAffine symbolic-only sweep (triangular_matvec, ~N^2/2 points):\n");
+  TextTable t({"N", "iterations", "slabs", "lines", "blocks", "steps", "T_exec"});
+  for (std::int64_t n : {256, 1024, 4096, 16384, 65536}) {
+    PipelineConfig cfg = base_config();
+    cfg.space_mode = SpaceMode::Symbolic;
+    cfg.obs = bench::obs_context();
+    PipelineResult r = run_pipeline(workloads::triangular_matvec(n), cfg);
+    t.row(n, r.iteration_count(), static_cast<std::uint64_t>(r.space->slab_count()),
+          r.projected->point_count(), r.block_sizes.size(),
+          static_cast<std::uint64_t>(r.sim.steps), r.sim.time);
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
 void report() {
   bench::banner("Symbolic IterSpace scaling (dense parity, then past the ceiling)");
   verify_agreement();
   symbolic_sweep();
+  triangular_verify();
+  triangular_sweep();
 }
 
 void bm_dense_pipeline(benchmark::State& state) {
@@ -85,6 +119,19 @@ void bm_symbolic_pipeline(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(bm_symbolic_pipeline)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Complexity()->Unit(benchmark::kMillisecond);
+
+void bm_symbolic_triangular(benchmark::State& state) {
+  PipelineConfig cfg = base_config();
+  cfg.space_mode = SpaceMode::Symbolic;
+  LoopNest nest = workloads::triangular_matvec(state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_symbolic_triangular)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536)
     ->Complexity()->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -19,11 +19,15 @@ const char* to_string(SpaceMode mode) {
 namespace {
 
 IterSpace build_iter_space(const LoopNest& nest, const DependenceInfo& dep, SpaceMode mode) {
-  if (!nest.is_rectangular())
-    throw Error(ErrorKind::Config,
-                std::string("run_pipeline: space_mode=") + to_string(mode) +
-                    " requires rectangular loop bounds; use space_mode=dense");
-  return IterSpace(IndexSet(nest).rectangular_bounds(), dep.distance_vectors());
+  // Any affine-bounded nest decomposes into slabs; only a decomposition too
+  // large to beat dense enumeration is refused (IterSpace throws
+  // std::length_error), which we surface as a config error.
+  try {
+    return IterSpace(nest, dep.distance_vectors());
+  } catch (const std::length_error& e) {
+    throw Error(ErrorKind::Config, std::string("run_pipeline: space_mode=") + to_string(mode) +
+                                       ": " + e.what() + "; use space_mode=dense");
+  }
 }
 
 void emit_pipeline_names(obs::TraceSink* sink) {
@@ -150,6 +154,7 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
     reg->add("pipeline.iterations", static_cast<std::int64_t>(r.space->size()));
     reg->add("pipeline.dependences", static_cast<std::int64_t>(r.dependence.dependences.size()));
     reg->add("pipeline.points_materialized", 0);
+    reg->add("pipeline.slabs", static_cast<std::int64_t>(r.space->slab_count()));
   }
 
   {

@@ -23,7 +23,7 @@ namespace hypart {
 /// Which iteration-space backend the pipeline runs on.
 enum class SpaceMode {
   Dense,     ///< materialize J^n (required for faults, codegen, interpreters)
-  Symbolic,  ///< closed-form IterSpace path, O(lines + deps); rectangular nests only
+  Symbolic,  ///< closed-form IterSpace path, O(lines + slabs + deps); affine bounds
   Verify     ///< run dense, then re-derive every stage symbolically and assert equality
 };
 
@@ -42,9 +42,11 @@ struct PipelineConfig {
   SimOptions sim;
   /// Flops per iteration; defaults to the nest's statement flop total.
   std::optional<std::int64_t> flops_override;
-  /// Iteration-space backend.  Symbolic/Verify require rectangular bounds
-  /// (Error(ErrorKind::Config) otherwise); Verify throws
-  /// Error(ErrorKind::Internal) on any dense/symbolic disagreement.
+  /// Iteration-space backend.  Symbolic/Verify accept any affine-bounded
+  /// nest (docs/affine-spaces.md); only a slab decomposition too large to
+  /// beat dense enumeration is refused with Error(ErrorKind::Config).
+  /// Verify throws Error(ErrorKind::Internal) on any dense/symbolic
+  /// disagreement.
   SpaceMode space_mode = SpaceMode::Dense;
   /// Run the theorem/lemma checkers and record their reports.
   bool validate = true;

@@ -1,18 +1,40 @@
-// hypart — closed-form rectangular iteration space (the symbolic spine).
+// hypart — closed-form affine iteration space (the symbolic spine).
 //
-// IterSpace represents the index set J^n of a *rectangular* loop nest as
-// per-dimension inclusive bounds plus constant dependence vectors — never as
-// a point list.  On a box every quantity the partitioning pipeline needs has
-// a closed form: the point count is a product of extents, the arc count of a
-// dependence d is prod_i max(0, extent_i - |d_i|), the schedule span of a
-// time function is attained at box corners, and a projection line meets the
-// box in one contiguous run of its minimal integer step.  Stages that accept
-// an IterSpace therefore run in O(lines + deps) instead of O(points); see
-// docs/iterspace.md for the derivations and the dense-fallback rules.
+// IterSpace represents the index set J^n of a loop nest whose bounds are
+// affine in the outer indices — never as a point list.  Because every
+// dimension contributes one affine lower and one affine upper bound, J is
+// the integer hull of a convex polyhedron, so a line meets J in one
+// contiguous run and every quantity the partitioning pipeline needs has a
+// closed form over a *slab decomposition*:
+//
+//   Let S be the set of dimensions referenced by some other dimension's
+//   bound (the "sliced" dimensions; for a rectangular nest S is empty).
+//   Fixing the S-coordinates to concrete values v makes every remaining
+//   bound constant, so J splits into disjoint rectangular slabs
+//   J = ⨆_v B_v, one box per feasible v, keyed by v.  Innermost dimensions
+//   are never sliced (nothing can reference them), so the number of slabs
+//   is O(N^{n-1}) — the same order as the number of projection lines, not
+//   the number of points.
+//
+// Per-slab closed forms, summed over slabs (docs/affine-spaces.md derives
+// each one and works the triangular-matvec example):
+//   * point count        — product of extents of B_v;
+//   * arc count of dep d — overlap volume of B_v with B_{v+d_S} shifted by
+//                          -d, where v+d_S is the *unique* slab that can
+//                          receive arcs from B_v (slab keys translate with
+//                          the dependence);
+//   * schedule span      — Π·x extremes are attained at slab corners;
+//   * line enumeration   — the entry points of direction u inside B_v are
+//                          exactly B_v \ (B_{v-u_S} + u), a set difference
+//                          of boxes that splits into ≤ 2n disjoint boxes.
+// Stages that accept an IterSpace therefore run in O(lines + slabs·n + deps)
+// instead of O(points); see docs/iterspace.md for the box-level derivations
+// and the dense-fallback rules.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -37,60 +59,117 @@ namespace hypart {
 /// Inclusive per-dimension bounds [lower, upper].
 using DimBounds = std::pair<std::int64_t, std::int64_t>;
 
+/// One dimension `for I_j = lower to upper` with bounds affine in the outer
+/// indices I_1..I_{j-1} (the paper's loop model, Section II).
+struct AffineDim {
+  AffineExpr lower;
+  AffineExpr upper;
+};
+
 class IterSpace {
  public:
-  /// Build from explicit bounds and constant dependence vectors (the same
-  /// validation rules as ComputationStructure: nonzero, dimension-matched).
+  /// Build a rectangular space from explicit bounds and constant dependence
+  /// vectors (the same validation rules as ComputationStructure: nonzero,
+  /// dimension-matched).
   IterSpace(std::vector<DimBounds> bounds, std::vector<IntVec> dependences);
 
-  /// Build from a rectangular nest, analyzing dependences automatically;
-  /// throws std::invalid_argument if the nest is not rectangular.
+  /// Build an affine space: each dimension's bounds may reference earlier
+  /// dimensions (coefficients on later indices must be zero).  Throws
+  /// std::invalid_argument on malformed bounds/dependences and
+  /// std::length_error when the slab decomposition would exceed the
+  /// internal cap (callers fall back to the dense path).  A named factory
+  /// because braced dimension lists would be ambiguous with the DimBounds
+  /// constructor.
+  static IterSpace from_affine(std::vector<AffineDim> dims, std::vector<IntVec> dependences);
+
+  /// Build from any nest with affine bounds plus externally analyzed
+  /// dependence vectors (what run_pipeline uses).
+  IterSpace(const LoopNest& nest, std::vector<IntVec> dependences);
+
+  /// Build from a nest, analyzing dependences automatically.
   static IterSpace from_nest(const LoopNest& nest, const DependenceOptions& opts = {});
 
-  [[nodiscard]] std::size_t dimension() const { return bounds_.size(); }
-  [[nodiscard]] const std::vector<DimBounds>& bounds() const { return bounds_; }
+  [[nodiscard]] std::size_t dimension() const { return dims_.size(); }
+  [[nodiscard]] const std::vector<AffineDim>& affine_dims() const { return dims_; }
   [[nodiscard]] const std::vector<IntVec>& dependences() const { return deps_; }
 
-  /// Number of index points (product of extents), without enumeration.
-  [[nodiscard]] std::uint64_t size() const;
-  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// True when no dimension's bounds reference another (single-box space).
+  [[nodiscard]] bool is_rectangular() const { return sliced_.empty(); }
+  /// Dimensions some bound references, ascending (empty iff rectangular).
+  [[nodiscard]] const std::vector<std::size_t>& sliced_dims() const { return sliced_; }
+  /// Number of non-empty boxes in the slab decomposition (1 for a non-empty
+  /// rectangular space).
+  [[nodiscard]] std::size_t slab_count() const { return slabs_.size(); }
 
-  /// Points along dimension `i` (0 when the range is empty).
+  /// Constant per-dimension bounds; throws std::logic_error unless
+  /// is_rectangular().
+  [[nodiscard]] const std::vector<DimBounds>& bounds() const;
+
+  /// Number of index points (sum of per-slab extent products), without
+  /// enumeration.
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Points along dimension `i` (0 when the range is empty); rectangular
+  /// spaces only — affine dimensions have no single extent.
   [[nodiscard]] std::int64_t extent(std::size_t i) const;
 
+  /// Membership is direct polyhedron evaluation: p is inside iff every
+  /// dimension's bounds, evaluated at p's own outer coordinates, admit it.
   [[nodiscard]] bool contains(const IntVec& p) const;
 
-  /// #{ j : j in J and j + d in J } — the arc count of one dependence:
-  /// prod_i max(0, extent_i - |d_i|).
+  /// #{ j : j in J and j + d in J } — the arc count of one dependence.
+  /// Arcs leaving slab v land in the unique slab keyed v + d_S; the count
+  /// is the overlap volume of B_v with B_{v+d_S} translated by -d (on a box
+  /// this reduces to prod_i max(0, extent_i - |d_i|)).
   [[nodiscard]] std::uint64_t arc_count(const IntVec& d) const;
 
   /// Total dependence arcs over all dependence vectors (the dense
   /// ComputationStructure::dependence_arc_count, without the points).
   [[nodiscard]] std::uint64_t total_arc_count() const;
 
-  /// Extremes of Π·x over the box (attained at corners); throw
+  /// Extremes of Π·x over J, attained at slab corners; throw
   /// std::logic_error when the space is empty.
   [[nodiscard]] std::int64_t min_step(const IntVec& pi) const;
   [[nodiscard]] std::int64_t max_step(const IntVec& pi) const;
 
   /// The k-interval {k : p + k*u in J} of the line through p with direction
   /// u (u != 0; p itself need not be inside); nullopt when the line misses
-  /// the box.  The intersection of a line with a box is always contiguous.
+  /// J.  Each affine bound `lower_j(x) <= x_j <= upper_j(x)` is linear along
+  /// the line, so it contributes one half-line of feasible k; J convex
+  /// keeps the intersection contiguous.
   [[nodiscard]] std::optional<std::pair<std::int64_t, std::int64_t>> line_range(
       const IntVec& p, const IntVec& u) const;
 
-  /// Enumerate every line of direction u meeting the box exactly once,
-  /// visiting (entry point, population).  The entry point is the unique line
-  /// point with entry - u outside the box (the smallest point along +u); the
-  /// population is the closed-form run length.  Cost O(N^{d-1}) — the entry
-  /// points form at most `dimension()` disjoint boundary slabs — versus the
-  /// O(N^d) dense projection.
+  /// Enumerate every line of direction u meeting J exactly once, visiting
+  /// (entry point, population).  The entry point is the unique line point
+  /// with entry - u outside J (the smallest point along +u); the population
+  /// is the closed-form run length.  Entries inside slab v are
+  /// B_v \ (B_{v-u_S} + u), decomposed into <= 2n disjoint boxes per slab;
+  /// cost O(lines + slabs * n) versus the O(points) dense projection.
   void for_each_line(const IntVec& u,
                      const std::function<void(const IntVec&, std::int64_t)>& visit) const;
 
  private:
-  std::vector<DimBounds> bounds_;
+  IterSpace() = default;  // for the named factories
+
+  /// One box of the decomposition: the S-coordinates pinned to `key` (in
+  /// sliced_dims() order) and the per-dimension constant bounds.
+  struct Slab {
+    IntVec key;
+    std::vector<DimBounds> box;
+  };
+
+  void init();
+  [[nodiscard]] const Slab* slab_at(const IntVec& key) const;
+
+  std::vector<AffineDim> dims_;
   std::vector<IntVec> deps_;
+  std::vector<std::size_t> sliced_;
+  std::vector<Slab> slabs_;                ///< non-empty boxes only
+  std::map<IntVec, std::size_t> slab_index_;  ///< key -> index into slabs_
+  std::vector<DimBounds> rect_bounds_;     ///< populated iff is_rectangular()
+  std::uint64_t size_ = 0;
 };
 
 }  // namespace hypart

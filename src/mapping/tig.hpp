@@ -27,7 +27,8 @@ class TaskInteractionGraph {
   static TaskInteractionGraph from_partition(const ComputationStructure& q, const Partition& p,
                                              const Grouping& grouping);
 
-  /// Build the same TIG in closed form from a rectangular iteration space:
+  /// Build the same TIG in closed form from a symbolic iteration space
+  /// (rectangular or affine/slab-decomposed, docs/affine-spaces.md):
   /// vertex weights are summed line populations, edge weights are
   /// line-bundle arc counts (partition/symbolic.hpp) — no points touched.
   static TaskInteractionGraph from_symbolic(const IterSpace& space, const Grouping& grouping);

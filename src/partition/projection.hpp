@@ -28,9 +28,10 @@ class ProjectedStructure {
  public:
   ProjectedStructure(const ComputationStructure& q, const TimeFunction& tf);
 
-  /// Build Q^p directly from a rectangular iteration space without ever
-  /// materializing J^n: lines are enumerated by their entry points
-  /// (IterSpace::for_each_line) and populations come out in closed form.
+  /// Build Q^p directly from a symbolic iteration space (rectangular or
+  /// affine/slab-decomposed) without ever materializing J^n: lines are
+  /// enumerated by their entry points (IterSpace::for_each_line) and
+  /// populations come out in closed form.
   /// Produces bit-identical points()/line_population()/line_representative()
   /// to the dense constructor, in O(lines) instead of O(points).
   ProjectedStructure(const IterSpace& space, const TimeFunction& tf);

@@ -19,7 +19,8 @@ void for_each_line_dep(const IterSpace& space, const ProjectedStructure& ps,
     const std::int64_t rep_step = tf.step_of(rep);
     for (std::size_t k = 0; k < deps.size(); ++k) {
       // Sources are j = rep + a*u, 0 <= a < pop; the arc (j, j+d) exists iff
-      // rep + d + a*u is also in the box — a contiguous sub-interval of a.
+      // rep + d + a*u is also in the space — a contiguous sub-interval of a
+      // (the domain is convex, even when affine slabs are involved).
       std::optional<std::pair<std::int64_t, std::int64_t>> range =
           space.line_range(add(rep, deps[k]), u);
       if (!range) continue;
@@ -36,7 +37,7 @@ void for_each_line_dep(const IterSpace& space, const ProjectedStructure& ps,
       std::optional<std::size_t> target = ps.find_point(add(ps.points()[pid], pdeps[k]));
       if (!target)
         throw std::logic_error(
-            "for_each_line_dep: in-box dependence target projects outside V^p");
+            "for_each_line_dep: in-space dependence target projects outside V^p");
       bundle.target = *target;
       visit(bundle);
     }

@@ -4,8 +4,10 @@
 // is reproduced here by walking O(lines · deps) arc *bundles*: all arcs that
 // share a source projection line and a dependence vector land on one target
 // line, occupy consecutive Π-steps with the line stride, and their count is
-// a line/box intersection — so partition stats, TIG weights and per-step
-// message volumes all follow without materializing a single index point.
+// a line/domain intersection (contiguous even on affine slab-decomposed
+// spaces, since the domain is convex) — so partition stats, TIG weights and
+// per-step message volumes all follow without materializing a single index
+// point.
 #pragma once
 
 #include <cstdint>

@@ -232,7 +232,9 @@ SimResult simulate_core(const ComputationStructure& q, const TimeFunction& tf,
 
   // Per step: each processor's time = compute + its aggregated sends; the
   // step ends when the slowest processor finishes (barrier semantics).
-  std::map<std::int64_t, std::unordered_map<ProcId, Cost>> per_step_proc;
+  // Ordered by proc id so exact ties report the lowest processor's Cost
+  // composition — the same tie-break as the symbolic path's ascending scan.
+  std::map<std::int64_t, std::map<ProcId, Cost>> per_step_proc;
   for (const auto& [key, count] : iters_at)
     per_step_proc[key.first][key.second] +=
         Cost{count * opts.flops_per_iteration, 0, 0};

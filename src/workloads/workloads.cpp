@@ -108,6 +108,19 @@ LoopNest wavefront3d(std::int64_t n) {
       .build();
 }
 
+LoopNest skewed_wavefront3d(std::int64_t n) {
+  return LoopNestBuilder("skewed-wavefront3d")
+      .loop("i", 1, n)
+      .loop("t", idx(0) + 1, idx(0) + n)
+      .loop("k", 1, n)
+      .assign("S", "A", {idx(0), idx(1) - idx(0), idx(2)},
+              (ref("A", {idx(0) - 1, idx(1) - idx(0), idx(2)}) +
+               ref("A", {idx(0), idx(1) - idx(0) - 1, idx(2)}) +
+               ref("A", {idx(0), idx(1) - idx(0), idx(2) - 1})) *
+                  constant(1.0 / 3.0))
+      .build();
+}
+
 LoopNest strided_recurrence(std::int64_t size, std::int64_t stride) {
   return LoopNestBuilder("strided-recurrence")
       .loop("i", 0, size)

@@ -56,6 +56,13 @@ LoopNest sor2d(std::int64_t rows, std::int64_t cols);
 /// D = {(1,0,0), (0,1,0), (0,0,1)}.
 LoopNest wavefront3d(std::int64_t n);
 
+/// wavefront3d after skewing the middle loop by the outer one (the
+/// unimodular map (i,j,k) -> (i, i+j, k)): t runs from i+1 to i+n, so the
+/// iteration domain is a sheared prism whose t-bounds are affine in i —
+/// the symbolic path must slab-decompose it.  Same body, dependences
+/// transformed to D = {(1,1,0), (0,1,0), (0,0,1)}.
+LoopNest skewed_wavefront3d(std::int64_t n);
+
 /// A 2-nest with D = {(stride,0), (0,stride)}: the dependence lattice has
 /// stride^2 residue classes, so the independent-partitioning baseline
 /// genuinely parallelizes it — the regime where the paper concedes those

@@ -32,6 +32,46 @@ PartitionFixture make(const LoopNest& nest, const IntVec& pi) {
   return s;
 }
 
+TEST(ExecSim, PerStepBarrierWorstProcTieBreaksToLowestPid) {
+  // Constructed exact tie at step 0 with t_calc=1, t_start=3, t_comm=4:
+  // proc 0 computes 8 iterations (Cost{8,0,0}, value 8) while proc 1
+  // computes 1 iteration and sends one 1-word message (Cost{1,1,1}, value
+  // 1 + 3 + 4 = 8).  The reported worst-proc Cost composition must be the
+  // lowest processor id's — the dense path iterates an ordered per-step
+  // map, matching the symbolic path's ascending scan.
+  std::vector<IntVec> pts;
+  for (std::int64_t j = 0; j <= 8; ++j) pts.push_back({0, j});
+  pts.push_back({1, 8});  // target of the only cross-processor arc
+  ComputationStructure q(pts, {{1, 0}});
+  std::vector<std::size_t> labels(pts.size(), 0);
+  labels[8] = 1;   // (0,8): the comm-heavy processor's single iteration
+  labels[9] = 2;   // (1,8): step-1 vertex, back on proc 0
+  Partition part = Partition::from_labels(q, labels);
+  Mapping m;
+  m.processor_count = 2;
+  m.block_to_proc = {0, 1, 0};
+  const MachineParams machine{1.0, 3.0, 4.0};
+  SimOptions opts;
+  opts.accounting = CommAccounting::PerStepBarrier;
+  opts.flops_per_iteration = 1;
+  SimResult r =
+      simulate_execution(q, TimeFunction{{1, 0}}, part, m, Hypercube(1), machine, opts);
+  EXPECT_EQ(r.messages, 1);
+  EXPECT_EQ(r.words, 1);
+  // Step 0 worst = proc 0's {8,0,0} (not proc 1's {1,1,1}); step 1 adds
+  // {1,0,0}.  A wrong tie-break would report total {2,1,1} instead.
+  EXPECT_EQ(r.total, (Cost{9, 0, 0}));
+  EXPECT_EQ(r.comm_bottleneck, (Cost{0, 0, 0}));
+
+  // Swapped processor assignment: now the comm-heavy composition sits on
+  // proc 0 and must win the same tie.
+  m.block_to_proc = {1, 0, 1};
+  SimResult rs =
+      simulate_execution(q, TimeFunction{{1, 0}}, part, m, Hypercube(1), machine, opts);
+  EXPECT_EQ(rs.total, (Cost{2, 1, 1}));
+  EXPECT_EQ(rs.comm_bottleneck, (Cost{0, 1, 1}));
+}
+
 TEST(ExecSim, SingleProcessorIsAllCompute) {
   PartitionFixture s = make(workloads::matrix_vector(8), {1, 1});
   Mapping one;

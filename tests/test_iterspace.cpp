@@ -1,8 +1,9 @@
 // IterSpace unit tests plus randomized symbolic == dense properties: on
-// random rectangular spaces (d <= 4) every closed-form quantity — arc
-// counts, schedule spans, projections, groupings, partition stats, TIGs,
-// checker verdicts, and all three simulator accountings — must equal the
-// value computed from the materialized point set exactly.
+// random rectangular spaces (d <= 4) AND random affine-bounded spaces
+// (d <= 3, slab-decomposed) every closed-form quantity — arc counts,
+// schedule spans, projections, groupings, partition stats, TIGs, checker
+// verdicts, and all three simulator accountings — must equal the value
+// computed from the materialized point set exactly.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,6 +20,7 @@
 #include "schedule/hyperplane.hpp"
 #include "sim/exec_sim.hpp"
 #include "topology/topology.hpp"
+#include "workloads/workloads.hpp"
 
 namespace hypart {
 namespace {
@@ -113,6 +115,66 @@ TEST(IterSpace, ForEachLineCoversBoxOnce) {
   EXPECT_EQ(covered, 16);
 }
 
+TEST(IterSpace, TriangularMatvecDomain) {
+  // Strictly lower-triangular domain j in [1, i-1], i in [1, 5]: ten points
+  // in four slabs (the i = 1 slab is empty).
+  std::vector<AffineDim> dims(2);
+  dims[0] = {AffineExpr(1), AffineExpr(5)};
+  dims[1] = {AffineExpr(1), AffineExpr::index(0, 1, -1)};
+  IterSpace s = IterSpace::from_affine(dims, {{1, 0}, {0, 1}});
+  EXPECT_FALSE(s.is_rectangular());
+  EXPECT_EQ(s.sliced_dims(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(s.slab_count(), 4u);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(s.contains({5, 4}));
+  EXPECT_TRUE(s.contains({2, 1}));
+  EXPECT_FALSE(s.contains({3, 3}));   // on the diagonal, outside
+  EXPECT_FALSE(s.contains({1, 1}));   // row with an empty j-range
+  EXPECT_THROW(s.bounds(), std::logic_error);
+  EXPECT_THROW(s.extent(0), std::logic_error);
+  // Hand counts: (0,1) arcs need j+1 <= i-1 (rows 3..5: 1+2+3); (1,0) arcs
+  // need i+1 <= 5 and carry j <= i-1 into a longer row (rows 2..4: 1+2+3).
+  EXPECT_EQ(s.arc_count({0, 1}), 6u);
+  EXPECT_EQ(s.arc_count({1, 0}), 6u);
+  EXPECT_EQ(s.total_arc_count(), 12u);
+  // Π = (1,1) extremes: (2,1) -> 3 and (5,4) -> 9, at slab corners.
+  EXPECT_EQ(s.min_step({1, 1}), 3);
+  EXPECT_EQ(s.max_step({1, 1}), 9);
+  // The diagonal line through (2,1): (2,1),(3,2),(4,3),(5,4).
+  auto r = s.line_range({2, 1}, {1, 1});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, std::make_pair(std::int64_t{0}, std::int64_t{3}));
+  // Line enumeration covers the triangle exactly once.
+  std::int64_t covered = 0;
+  std::size_t lines = 0;
+  s.for_each_line({1, 1}, [&](const IntVec& rep, std::int64_t pop) {
+    EXPECT_TRUE(s.contains(rep));
+    EXPECT_FALSE(s.contains({rep[0] - 1, rep[1] - 1}));
+    covered += pop;
+    ++lines;
+  });
+  EXPECT_EQ(covered, 10);
+  EXPECT_EQ(lines, 4u);  // diagonals entering at (2,1),(3,1),(4,1),(5,1)
+}
+
+TEST(IterSpace, FromNestAcceptsAffineBounds) {
+  IterSpace tri = IterSpace::from_nest(workloads::triangular_matvec(6));
+  EXPECT_FALSE(tri.is_rectangular());
+  EXPECT_EQ(tri.size(), 15u);  // 0+1+2+3+4+5
+  EXPECT_EQ(tri.dependences().size(), 2u);
+
+  // The skewed prism has the same 27 points as the 3^3 cube it came from,
+  // sliced along i.
+  IterSpace w = IterSpace::from_nest(workloads::skewed_wavefront3d(3));
+  EXPECT_FALSE(w.is_rectangular());
+  EXPECT_EQ(w.sliced_dims(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(w.slab_count(), 3u);
+  EXPECT_EQ(w.size(), 27u);
+  std::vector<IntVec> deps = w.dependences();
+  std::sort(deps.begin(), deps.end());
+  EXPECT_EQ(deps, (std::vector<IntVec>{{0, 0, 1}, {0, 1, 0}, {1, 1, 0}}));
+}
+
 // ---- randomized properties: symbolic == dense ------------------------------
 
 std::vector<IntVec> enumerate_box(const std::vector<DimBounds>& bounds) {
@@ -170,33 +232,30 @@ RandomCase random_case(std::mt19937& rng) {
   return c;
 }
 
-TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
-  std::mt19937 rng(12345);
+/// Every stage on both backends, for any space/point-set pair (rectangular
+/// or affine).  Returns false when no valid Π exists (nothing to compare).
+bool check_all_stages(const IterSpace& space, const std::vector<IntVec>& pts,
+                      const std::vector<IntVec>& cdeps, bool alt_hops) {
   const MachineParams machine{1.0, 50.0, 5.0};
-  int checked = 0;
-  for (int attempt = 0; attempt < 60 && checked < 30; ++attempt) {
-    RandomCase c = random_case(rng);
-    IterSpace space(c.bounds, c.deps);
-    ComputationStructure q(enumerate_box(c.bounds), c.deps);
-    SCOPED_TRACE("attempt " + std::to_string(attempt));
+  ComputationStructure q(pts, cdeps);
 
-    ASSERT_EQ(space.size(), q.vertices().size());
-    EXPECT_EQ(space.total_arc_count(), q.dependence_arc_count());
-    for (const IntVec& d : c.deps) {
-      std::size_t dense_arcs = 0;
-      for (const IntVec& v : q.vertices()) {
-        IntVec t = v;
-        for (std::size_t i = 0; i < t.size(); ++i) t[i] += d[i];
-        if (q.contains(t)) ++dense_arcs;
-      }
-      EXPECT_EQ(space.arc_count(d), dense_arcs) << to_string(d);
+  EXPECT_EQ(space.size(), q.vertices().size());
+  EXPECT_EQ(space.total_arc_count(), q.dependence_arc_count());
+  for (const IntVec& d : cdeps) {
+    std::size_t dense_arcs = 0;
+    for (const IntVec& v : q.vertices()) {
+      IntVec t = v;
+      for (std::size_t i = 0; i < t.size(); ++i) t[i] += d[i];
+      if (q.contains(t)) ++dense_arcs;
     }
+    EXPECT_EQ(space.arc_count(d), dense_arcs) << to_string(d);
+  }
 
-    // Identical Π from both search paths (same candidate order, same spans).
+  // Identical Π from both search paths (same candidate order, same spans).
     std::optional<TimeFunction> tf_sym = search_time_function(space);
     std::optional<TimeFunction> tf_dense = search_time_function(q);
-    ASSERT_EQ(tf_sym.has_value(), tf_dense.has_value());
-    if (!tf_sym) continue;  // no valid Π in the search box; nothing to compare
+    EXPECT_EQ(tf_sym.has_value(), tf_dense.has_value());
+    if (!tf_sym || !tf_dense) return false;  // no valid Π in the search box
     EXPECT_EQ(tf_sym->pi, tf_dense->pi);
     const TimeFunction tf = *tf_sym;
     ScheduleProfile prof = profile_schedule(tf, q.vertices());
@@ -206,7 +265,8 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
     // Projection: bit-identical points, populations, and representatives.
     ProjectedStructure pd(q, tf);
     ProjectedStructure psym(space, tf);
-    ASSERT_EQ(pd.points(), psym.points());
+    EXPECT_EQ(pd.points(), psym.points());
+    if (pd.points() != psym.points()) return true;  // failure already recorded
     EXPECT_EQ(pd.line_direction(), psym.line_direction());
     EXPECT_EQ(pd.step_stride(), psym.step_stride());
     for (std::size_t i = 0; i < pd.point_count(); ++i) {
@@ -217,7 +277,8 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
     // Grouping is a deterministic function of the projected structure.
     Grouping gd = Grouping::compute(pd);
     Grouping gs = Grouping::compute(psym);
-    ASSERT_EQ(gd.group_count(), gs.group_count());
+    EXPECT_EQ(gd.group_count(), gs.group_count());
+    if (gd.group_count() != gs.group_count()) return true;
     for (std::size_t g = 0; g < gd.group_count(); ++g) {
       EXPECT_EQ(gd.groups()[g].members(), gs.groups()[g].members());
       EXPECT_EQ(gd.groups()[g].lattice, gs.groups()[g].lattice);
@@ -232,7 +293,8 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
     EXPECT_EQ(sd.intrablock_arcs, ss.intrablock_arcs);
     EXPECT_EQ(digraph_edges(sd.block_comm), digraph_edges(ss.block_comm));
     std::vector<std::int64_t> bsizes = symbolic_block_sizes(gs);
-    ASSERT_EQ(bsizes.size(), part.block_count());
+    EXPECT_EQ(bsizes.size(), part.block_count());
+    if (bsizes.size() != part.block_count()) return true;
     for (std::size_t b = 0; b < bsizes.size(); ++b)
       EXPECT_EQ(static_cast<std::size_t>(bsizes[b]), part.blocks()[b].iterations.size());
     EXPECT_EQ(check_exact_cover(space, gs), check_exact_cover(q, part));
@@ -241,7 +303,8 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
     // TIG: same vertices, weights, and edge map.
     TaskInteractionGraph td = TaskInteractionGraph::from_partition(q, part, gd);
     TaskInteractionGraph ts = TaskInteractionGraph::from_symbolic(space, gs);
-    ASSERT_EQ(td.vertex_count(), ts.vertex_count());
+    EXPECT_EQ(td.vertex_count(), ts.vertex_count());
+    if (td.vertex_count() != ts.vertex_count()) return true;
     for (std::size_t v = 0; v < td.vertex_count(); ++v) {
       EXPECT_EQ(td.compute_weight(v), ts.compute_weight(v));
       EXPECT_EQ(td.coordinates(v), ts.coordinates(v));
@@ -259,7 +322,7 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
                                CommAccounting::LinkContention}) {
       SimOptions opts;
       opts.accounting = acc;
-      opts.charge_hops = (attempt % 2 == 1);
+      opts.charge_hops = alt_hops;
       SimResult rd = simulate_execution(q, tf, part, m, cube, machine, opts);
       SimResult rs = simulate_execution(space, gs, m, cube, machine, opts);
       SCOPED_TRACE("accounting " + std::to_string(static_cast<int>(acc)));
@@ -273,11 +336,101 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
       EXPECT_EQ(rd.max_link_words, rs.max_link_words);
       EXPECT_EQ(rd.per_proc_iterations, rs.per_proc_iterations);
     }
-    ++checked;
+  return true;
+}
+
+TEST(IterSpaceProperty, SymbolicEqualsDenseEverywhere) {
+  std::mt19937 rng(12345);
+  int checked = 0;
+  for (int attempt = 0; attempt < 60 && checked < 30; ++attempt) {
+    RandomCase c = random_case(rng);
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+    IterSpace space(c.bounds, c.deps);
+    if (check_all_stages(space, enumerate_box(c.bounds), c.deps, attempt % 2 == 1)) ++checked;
   }
   // The search box finds a Π for the overwhelming majority of lex-positive
   // dependence sets; make sure the property actually exercised many cases.
   EXPECT_GE(checked, 20);
+}
+
+// ---- affine (slab-decomposed) domains --------------------------------------
+
+std::vector<IntVec> enumerate_affine(const std::vector<AffineDim>& dims) {
+  std::vector<IntVec> pts;
+  IntVec p(dims.size(), 0);
+  std::function<void(std::size_t)> rec = [&](std::size_t j) {
+    if (j == dims.size()) {
+      pts.push_back(p);
+      return;
+    }
+    const std::int64_t lo = dims[j].lower.evaluate(p);
+    const std::int64_t hi = dims[j].upper.evaluate(p);
+    for (std::int64_t x = lo; x <= hi; ++x) {
+      p[j] = x;
+      rec(j + 1);
+    }
+    p[j] = 0;
+  };
+  rec(0);
+  return pts;
+}
+
+struct AffineCase {
+  std::vector<AffineDim> dims;
+  std::vector<IntVec> deps;
+};
+
+/// Random affine-bounded domain, d <= 3: dimension 0 is constant; each later
+/// dimension's lower/upper bound references one random earlier dimension
+/// with slope in {-1, 0, 1} (independent per bound, so slab extents vary and
+/// some slabs come out empty).
+AffineCase random_affine_case(std::mt19937& rng) {
+  std::uniform_int_distribution<std::size_t> dim_dist(2, 3);
+  std::uniform_int_distribution<std::int64_t> lo_dist(-3, 3), extent_dist(1, 5),
+      coef_dist(-2, 2), slope_dist(-1, 1), ndep_dist(1, 3);
+  AffineCase c;
+  const std::size_t dim = dim_dist(rng);
+  for (std::size_t j = 0; j < dim; ++j) {
+    AffineExpr lower(lo_dist(rng));
+    AffineExpr upper(lower.constant + extent_dist(rng) - 1);
+    if (j > 0) {
+      std::uniform_int_distribution<std::size_t> which(0, j - 1);
+      lower.coeffs.assign(j, 0);
+      lower.coeffs[which(rng)] = slope_dist(rng);
+      upper.coeffs.assign(j, 0);
+      upper.coeffs[which(rng)] = slope_dist(rng);
+    }
+    c.dims.push_back({std::move(lower), std::move(upper)});
+  }
+  const std::size_t ndeps = static_cast<std::size_t>(ndep_dist(rng));
+  while (c.deps.size() < ndeps) {
+    IntVec d(dim);
+    for (std::size_t i = 0; i < dim; ++i) d[i] = coef_dist(rng);
+    auto nz = std::find_if(d.begin(), d.end(), [](std::int64_t x) { return x != 0; });
+    if (nz == d.end()) continue;
+    if (*nz < 0)
+      for (std::int64_t& x : d) x = -x;
+    if (std::find(c.deps.begin(), c.deps.end(), d) == c.deps.end()) c.deps.push_back(d);
+  }
+  return c;
+}
+
+TEST(IterSpaceProperty, SymbolicEqualsDenseOnAffineDomains) {
+  std::mt19937 rng(98765);
+  int checked = 0, sliced = 0;
+  for (int attempt = 0; attempt < 120 && checked < 30; ++attempt) {
+    AffineCase c = random_affine_case(rng);
+    std::vector<IntVec> pts = enumerate_affine(c.dims);
+    if (pts.empty()) continue;  // ComputationStructure rejects empty spaces
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+    IterSpace space = IterSpace::from_affine(c.dims, c.deps);
+    ASSERT_EQ(space.size(), pts.size());
+    if (!space.is_rectangular()) ++sliced;
+    if (check_all_stages(space, pts, c.deps, attempt % 2 == 1)) ++checked;
+  }
+  EXPECT_GE(checked, 20);
+  // The generator must actually produce slab-decomposed (non-box) domains.
+  EXPECT_GE(sliced, 10);
 }
 
 }  // namespace

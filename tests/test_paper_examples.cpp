@@ -317,6 +317,44 @@ TEST(SymbolicVerify, MatvecTableITotalsAllCubeSizes) {
   }
 }
 
+TEST(SymbolicVerify, TriangularMatvecAffineDomain) {
+  // The strictly lower-triangular domain (j < i) slab-decomposes along i;
+  // verify mode asserts the symbolic pipeline — partition stats, mapping,
+  // and the simulator — reproduces the dense run under every accounting.
+  for (CommAccounting acc : {CommAccounting::PaperMaxChannel, CommAccounting::PerStepBarrier,
+                             CommAccounting::LinkContention}) {
+    PipelineConfig cfg;
+    cfg.time_function = IntVec{1, 1};
+    cfg.space_mode = SpaceMode::Verify;
+    cfg.sim.accounting = acc;
+    PipelineResult r = run_pipeline(workloads::triangular_matvec(8), cfg);
+    ASSERT_NE(r.space, nullptr);
+    EXPECT_FALSE(r.space->is_rectangular());
+    EXPECT_EQ(r.space->slab_count(), 7u);  // rows i = 2..8 (i = 1 is empty)
+    EXPECT_EQ(r.iteration_count(), 28u);   // 0 + 1 + ... + 7
+    EXPECT_TRUE(r.exact_cover);
+    EXPECT_TRUE(r.theorem1);
+    EXPECT_GT(r.sim.time, 0.0);
+  }
+}
+
+TEST(SymbolicVerify, SkewedWavefrontAffineDomain) {
+  // wavefront3d under the unimodular skew (i,j,k) -> (i,i+j,k): a sheared
+  // prism with t in [i+1, i+n].  Π comes from the search on both backends.
+  PipelineConfig cfg;
+  cfg.space_mode = SpaceMode::Verify;
+  PipelineResult r = run_pipeline(workloads::skewed_wavefront3d(4), cfg);
+  ASSERT_NE(r.space, nullptr);
+  EXPECT_FALSE(r.space->is_rectangular());
+  EXPECT_EQ(r.space->slab_count(), 4u);
+  EXPECT_EQ(r.iteration_count(), 64u);  // the skew is volume-preserving
+  std::vector<IntVec> deps = r.space->dependences();
+  std::sort(deps.begin(), deps.end());
+  EXPECT_EQ(deps, (std::vector<IntVec>{{0, 0, 1}, {0, 1, 0}, {1, 1, 0}}));
+  EXPECT_TRUE(r.exact_cover);
+  EXPECT_TRUE(r.theorem1);
+}
+
 TEST(SymbolicVerify, AllAccountingsAgree) {
   // Verify mode re-runs the simulator symbolically under the configured
   // accounting; a mismatch in any SimResult field throws.
