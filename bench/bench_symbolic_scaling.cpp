@@ -4,19 +4,28 @@
 // both executed; run_pipeline throws on any disagreement) at sizes the
 // dense path can still materialize — on the rectangular sor2d AND on the
 // affine (slab-decomposed) triangular_matvec.  Part 2 sweeps the symbolic
-// path far past the dense ceiling: sor2d at N = 65536 is ~4.3e9 iterations
-// — about 100x beyond the largest practical dense run — yet partitions in
-// time proportional to the 2N-1 projected lines; triangular_matvec at the
-// same N is ~2.1e9 iterations over 65535 slabs.
+// path far past the dense ceiling: with the group lattice (PR 5) the
+// full pipeline — grouping, mapping, theorem checks, and the simulated
+// execution — runs sor2d past 1e7 projection lines at flat peak RSS, and
+// the grouping+mapping stages alone (O(slabs + deps) closed forms, no
+// per-line work) reach 1e8 lines in microseconds.
 //
 // Only the symbolic sweeps route metrics into the shared registry, so the
 // HYPART_BENCH_METRICS dump must report pipeline.points_materialized = 0
-// and a nonzero pipeline.slabs; CI fails the build if not (see
+// AND pipeline.groups_materialized = 0; CI fails the build if not (see
 // .github/workflows/ci.yml).
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
+#include <chrono>
+
 #include "core/pipeline.hpp"
+#include "loop/iter_space.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "partition/group_lattice.hpp"
 #include "perf/table.hpp"
+#include "schedule/hyperplane.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -28,6 +37,26 @@ PipelineConfig base_config() {
   cfg.time_function = IntVec{1, 1};
   cfg.cube_dim = 3;
   return cfg;
+}
+
+/// Peak RSS of the process so far, in MiB (ru_maxrss is KiB on Linux).
+/// A high-water mark: if it stays flat while N grows 64x, the symbolic
+/// path's memory is independent of N.
+double peak_rss_mib() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// Projected-line count regardless of grouping backend (the lattice path
+/// leaves `projected` null).
+std::uint64_t lines_of(const PipelineResult& r) {
+  return r.lattice ? r.lattice->line_count() : r.projected->point_count();
+}
+
+std::uint64_t blocks_of(const PipelineResult& r) {
+  return r.lattice ? r.lattice->group_count()
+                   : static_cast<std::uint64_t>(r.block_sizes.size());
 }
 
 void verify_agreement() {
@@ -45,18 +74,21 @@ void verify_agreement() {
 }
 
 void symbolic_sweep() {
-  std::printf("\nSymbolic-only sweep (sor2d NxN; dense ceiling is roughly N=512):\n");
-  TextTable t({"N", "iterations", "lines", "blocks", "steps", "T_exec", "messages"});
-  for (std::int64_t n : {256, 1024, 4096, 16384, 65536}) {
+  std::printf("\nSymbolic-only sweep, full pipeline incl. simulation (sor2d NxN; "
+              "dense ceiling is roughly N=512):\n");
+  TextTable t({"N", "iterations", "lines", "blocks", "steps", "T_exec", "messages", "peakRSS_MiB"});
+  for (std::int64_t n : {256, 4096, 65536, 1048576, 8388608}) {
     PipelineConfig cfg = base_config();
     cfg.space_mode = SpaceMode::Symbolic;
     cfg.obs = bench::obs_context();
     PipelineResult r = run_pipeline(workloads::sor2d(n, n), cfg);
-    t.row(n, r.iteration_count(), r.projected->point_count(), r.block_sizes.size(),
+    t.row(n, r.iteration_count(), lines_of(r), blocks_of(r),
           static_cast<std::uint64_t>(r.sim.steps), r.sim.time,
-          static_cast<std::uint64_t>(r.sim.messages));
+          static_cast<std::uint64_t>(r.sim.messages), peak_rss_mib());
   }
   std::printf("%s", t.to_string().c_str());
+  std::printf("N=8388608 is ~7.0e13 iterations over 1.7e7 projection lines; the flat\n"
+              "peakRSS column is the group lattice at work (no points, no groups).\n");
 }
 
 void triangular_verify() {
@@ -75,17 +107,41 @@ void triangular_verify() {
 
 void triangular_sweep() {
   std::printf("\nAffine symbolic-only sweep (triangular_matvec, ~N^2/2 points):\n");
-  TextTable t({"N", "iterations", "slabs", "lines", "blocks", "steps", "T_exec"});
-  for (std::int64_t n : {256, 1024, 4096, 16384, 65536}) {
+  TextTable t({"N", "iterations", "slabs", "lines", "blocks", "steps", "T_exec", "peakRSS_MiB"});
+  for (std::int64_t n : {256, 4096, 65536, 1048576}) {
     PipelineConfig cfg = base_config();
     cfg.space_mode = SpaceMode::Symbolic;
     cfg.obs = bench::obs_context();
     PipelineResult r = run_pipeline(workloads::triangular_matvec(n), cfg);
     t.row(n, r.iteration_count(), static_cast<std::uint64_t>(r.space->slab_count()),
-          r.projected->point_count(), r.block_sizes.size(),
-          static_cast<std::uint64_t>(r.sim.steps), r.sim.time);
+          lines_of(r), blocks_of(r), static_cast<std::uint64_t>(r.sim.steps), r.sim.time,
+          peak_rss_mib());
   }
   std::printf("%s", t.to_string().c_str());
+}
+
+void grouping_mapping_sweep() {
+  std::printf("\nGrouping + mapping only (closed forms; no per-line pass, no simulation):\n");
+  TextTable t({"N", "lines", "groups", "r", "procs", "build+map_us", "peakRSS_MiB"});
+  for (std::int64_t n : {1'000'000, 10'000'000, 50'000'000}) {
+    IterSpace space = IterSpace::from_nest(workloads::sor2d(n, n));
+    TimeFunction tf;
+    tf.pi = IntVec{1, 1};
+    auto t0 = std::chrono::steady_clock::now();
+    std::optional<GroupLattice> gl = GroupLattice::build(space, tf);
+    if (!gl) {
+      std::printf("  N=%lld: lattice gate refused (unexpected)\n", static_cast<long long>(n));
+      continue;
+    }
+    LatticeHypercubeMapping lm = map_to_hypercube(*gl, 3);
+    auto t1 = std::chrono::steady_clock::now();
+    double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    t.row(n, gl->line_count(), gl->group_count(), gl->group_size_r(), lm.processor_count, us,
+          peak_rss_mib());
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("N=50000000 is ~1e8 projection lines; grouping and Algorithm 2 are\n"
+              "O(slabs + deps) — time and memory do not grow with N.\n");
 }
 
 void report() {
@@ -94,6 +150,7 @@ void report() {
   symbolic_sweep();
   triangular_verify();
   triangular_sweep();
+  grouping_mapping_sweep();
 }
 
 void bm_dense_pipeline(benchmark::State& state) {
@@ -133,6 +190,23 @@ void bm_symbolic_triangular(benchmark::State& state) {
 }
 BENCHMARK(bm_symbolic_triangular)->Arg(32)->Arg(256)->Arg(4096)->Arg(65536)
     ->Complexity()->Unit(benchmark::kMillisecond);
+
+// Grouping + mapping alone: the stages the group lattice turns into
+// closed forms.  Dense-comparable sizes and far beyond — complexity is
+// O(slabs + deps), so the timings should be flat in N.
+void bm_lattice_group_map(benchmark::State& state) {
+  IterSpace space = IterSpace::from_nest(workloads::sor2d(state.range(0), state.range(0)));
+  TimeFunction tf;
+  tf.pi = IntVec{1, 1};
+  for (auto _ : state) {
+    std::optional<GroupLattice> gl = GroupLattice::build(space, tf);
+    LatticeHypercubeMapping lm = map_to_hypercube(*gl, 3);
+    benchmark::DoNotOptimize(lm);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_lattice_group_map)->Arg(256)->Arg(65536)->Arg(1 << 24)->Arg(50'000'000)
+    ->Complexity()->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -38,20 +38,42 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
   w.field("steps", r.sim.steps);
 
   w.key("partition").begin_object();
-  w.field("projected_points", static_cast<std::uint64_t>(r.projected->point_count()));
-  w.field("group_size_r", r.grouping.group_size_r());
-  w.field("beta", static_cast<std::uint64_t>(r.grouping.beta()));
-  w.field("blocks", static_cast<std::uint64_t>(r.block_sizes.size()));
+  if (r.lattice) {
+    w.field("projected_points", r.lattice->line_count());
+    w.field("group_size_r", r.lattice->group_size_r());
+    w.field("beta", static_cast<std::uint64_t>(r.lattice->beta()));
+    w.field("blocks", r.lattice->group_count());
+    w.field("grouping_backend", "lattice");
+    if (r.lattice_stats) {
+      w.field("min_block", r.lattice_stats->min_block);
+      w.field("max_block", r.lattice_stats->max_block);
+    }
+  } else {
+    w.field("projected_points", static_cast<std::uint64_t>(r.projected->point_count()));
+    w.field("group_size_r", r.grouping.group_size_r());
+    w.field("beta", static_cast<std::uint64_t>(r.grouping.beta()));
+    w.field("blocks", static_cast<std::uint64_t>(r.block_sizes.size()));
+  }
   w.field("total_arcs", static_cast<std::uint64_t>(r.stats.total_arcs));
   w.field("interblock_arcs", static_cast<std::uint64_t>(r.stats.interblock_arcs));
   w.end_object();
 
   w.key("mapping").begin_object();
-  w.field("processors", static_cast<std::uint64_t>(r.mapping.mapping.processor_count));
-  w.field("method", r.mapping.mapping.method);
-  w.begin_array("block_to_proc");
-  for (ProcId p : r.mapping.mapping.block_to_proc) w.value(static_cast<std::uint64_t>(p));
-  w.end_array();
+  if (r.lattice_mapping) {
+    w.field("processors", static_cast<std::uint64_t>(r.lattice_mapping->processor_count));
+    w.field("method", r.lattice_mapping->method);
+    // The per-block processor array is intentionally not emitted: the
+    // lattice path never materializes it (cluster boundaries stand in).
+    w.begin_array("cluster_boundaries");
+    for (std::uint64_t b : r.lattice_mapping->boundaries) w.value(b);
+    w.end_array();
+  } else {
+    w.field("processors", static_cast<std::uint64_t>(r.mapping.mapping.processor_count));
+    w.field("method", r.mapping.mapping.method);
+    w.begin_array("block_to_proc");
+    for (ProcId p : r.mapping.mapping.block_to_proc) w.value(static_cast<std::uint64_t>(p));
+    w.end_array();
+  }
   w.end_object();
 
   w.key("simulation").begin_object();

@@ -104,6 +104,7 @@ JsonWriter& JsonWriter::raw_value(const std::string& json) {
 JsonWriter& JsonWriter::field(const std::string& k, const std::string& v) {
   return key(k).value(v);
 }
+JsonWriter& JsonWriter::field(const std::string& k, const char* v) { return key(k).value(v); }
 JsonWriter& JsonWriter::field(const std::string& k, double v) { return key(k).value(v); }
 JsonWriter& JsonWriter::field(const std::string& k, std::int64_t v) { return key(k).value(v); }
 JsonWriter& JsonWriter::field(const std::string& k, std::uint64_t v) { return key(k).value(v); }

@@ -24,6 +24,9 @@ class JsonWriter {
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(bool v);
   JsonWriter& field(const std::string& k, const std::string& v);
+  /// Without this overload a string literal would silently pick the bool
+  /// overload (pointer-to-bool beats pointer-to-std::string).
+  JsonWriter& field(const std::string& k, const char* v);
   JsonWriter& field(const std::string& k, double v);
   JsonWriter& field(const std::string& k, std::int64_t v);
   JsonWriter& field(const std::string& k, std::uint64_t v);

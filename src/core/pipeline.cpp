@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "core/error.hpp"
@@ -100,6 +102,8 @@ PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   if (reg != nullptr) {
     reg->add("pipeline.projected_points", static_cast<std::int64_t>(r.projected->point_count()));
     reg->add("pipeline.blocks", static_cast<std::int64_t>(r.partition.block_count()));
+    reg->add("pipeline.groups_materialized",
+             static_cast<std::int64_t>(r.partition.block_count()));
     reg->add("pipeline.interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
     reg->add("pipeline.total_arcs", static_cast<std::int64_t>(r.stats.total_arcs));
   }
@@ -165,6 +169,55 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
     span.arg("pi", r.time_function.to_string());
   }
 
+  Hypercube cube(config.cube_dim);
+  SimOptions sim_opts = config.sim;
+  sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
+  sim_opts.obs = config.obs;
+
+  // Pure lattice path: when the closed forms apply, grouping, mapping,
+  // statistics, simulation, and the theorem checks all run off the
+  // GroupLattice — no ProjectedStructure, no Group objects, no per-group
+  // vectors (pipeline.groups_materialized = 0).
+  if (auto built = GroupLattice::build(*r.space, r.time_function, config.grouping)) {
+    r.lattice = std::make_unique<GroupLattice>(std::move(*built));
+    LatticeSweepResult sweep;
+    {
+      obs::ScopedSpan span(sink, "partition", "pipeline");
+      sweep = r.lattice->sweep(config.validate);
+      r.stats = sweep.partition;
+      r.lattice_stats = sweep.stats;
+      span.arg("blocks", static_cast<std::int64_t>(sweep.stats.group_count));
+      span.arg("interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
+    }
+    if (reg != nullptr) {
+      reg->add("pipeline.projected_points", static_cast<std::int64_t>(r.lattice->line_count()));
+      reg->add("pipeline.blocks", static_cast<std::int64_t>(sweep.stats.group_count));
+      reg->add("pipeline.groups_materialized", 0);
+      reg->add("pipeline.interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
+      reg->add("pipeline.total_arcs", static_cast<std::int64_t>(r.stats.total_arcs));
+    }
+    {
+      obs::ScopedSpan span(sink, "mapping", "pipeline");
+      HypercubeMapOptions map_opts = config.mapping;
+      map_opts.obs = config.obs;
+      r.lattice_mapping = map_to_hypercube(*r.lattice, config.cube_dim, map_opts);
+      span.arg("processors", static_cast<std::int64_t>(r.lattice_mapping->processor_count));
+    }
+    {
+      obs::ScopedSpan span(sink, "simulate", "pipeline");
+      r.sim = simulate_execution(*r.lattice, *r.lattice_mapping, cube, config.machine, sim_opts);
+    }
+    if (config.validate) {
+      r.exact_cover = sweep.exact_cover;
+      r.theorem1 = sweep.theorem1;
+      r.theorem2 = sweep.theorem2;
+      r.lemmas = sweep.lemmas;
+    }
+    return r;
+  }
+
+  // Fallback: the line-based symbolic path (still point-free, but one Group
+  // per group is materialized — the metric records how many).
   {
     obs::ScopedSpan span(sink, "partition", "pipeline");
     r.projected = std::make_unique<ProjectedStructure>(*r.space, r.time_function);
@@ -177,6 +230,7 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   if (reg != nullptr) {
     reg->add("pipeline.projected_points", static_cast<std::int64_t>(r.projected->point_count()));
     reg->add("pipeline.blocks", static_cast<std::int64_t>(r.block_sizes.size()));
+    reg->add("pipeline.groups_materialized", static_cast<std::int64_t>(r.grouping.group_count()));
     reg->add("pipeline.interblock_arcs", static_cast<std::int64_t>(r.stats.interblock_arcs));
     reg->add("pipeline.total_arcs", static_cast<std::int64_t>(r.stats.total_arcs));
   }
@@ -190,10 +244,6 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
     span.arg("processors", static_cast<std::int64_t>(r.mapping.mapping.processor_count));
   }
 
-  Hypercube cube(config.cube_dim);
-  SimOptions sim_opts = config.sim;
-  sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
-  sim_opts.obs = config.obs;
   {
     obs::ScopedSpan span(sink, "simulate", "pipeline");
     r.sim = simulate_execution(*r.space, r.grouping, r.mapping.mapping, cube, config.machine,
@@ -280,6 +330,90 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
     if (check_exact_cover(*r.space, r.grouping) != r.exact_cover) fail("exact-cover check");
     if (check_theorem1(*r.space, r.grouping) != r.theorem1) fail("Theorem 1 check");
   }
+
+  // Closed-form group-lattice cross-checks: when the lattice gate admits
+  // this nest, every lattice-derived quantity (grouping, statistics, TIG
+  // arc classes, cube assignment, simulation, theorem verdicts) must match
+  // the dense stages exactly.
+  if (auto lat = GroupLattice::build(*r.space, r.time_function, config.grouping)) {
+    if (lat->line_count() != r.projected->point_count()) fail("lattice line count");
+    if (lat->group_count() != r.grouping.group_count()) fail("lattice group count");
+    if (lat->group_size_r() != r.grouping.group_size_r()) fail("lattice group size r");
+    if (lat->beta() != r.grouping.beta()) fail("lattice beta");
+    const bool degen = lat->degenerate();
+    auto coord_of = [&](std::size_t gid) {
+      return degen ? lat->group_at_sorted_index(gid) : r.grouping.groups()[gid].lattice.at(0);
+    };
+    for (std::size_t gid = 0; gid < r.grouping.group_count(); ++gid) {
+      std::int64_t a = coord_of(gid);
+      if (lat->group_lattice_coord(a) != r.grouping.groups()[gid].lattice)
+        fail("lattice group coordinates");
+      if (lat->group_population(a) != r.block_sizes[gid]) fail("lattice group populations");
+    }
+
+    LatticeSweepResult sweep = lat->sweep(config.validate);
+    if (sweep.stats.group_count != r.grouping.group_count() ||
+        sweep.stats.total_iterations != r.space->size() ||
+        sweep.stats.min_block !=
+            *std::min_element(r.block_sizes.begin(), r.block_sizes.end()) ||
+        sweep.stats.max_block != *std::max_element(r.block_sizes.begin(), r.block_sizes.end()))
+      fail("lattice block statistics");
+    if (sweep.partition.total_arcs != r.stats.total_arcs ||
+        sweep.partition.interblock_arcs != r.stats.interblock_arcs ||
+        sweep.partition.intrablock_arcs != r.stats.intrablock_arcs)
+      fail("lattice partition stats");
+
+    // Per-(dependence, group-offset) arc weights: re-aggregate the dense
+    // line bundles by lattice offset and compare maps.
+    std::map<std::pair<std::size_t, std::int64_t>, std::int64_t> dense_offsets;
+    for_each_line_dep(*r.space, sym_ps, [&](const LineDepArcs& b) {
+      std::size_t gs = r.grouping.group_of_point(b.point);
+      std::size_t gt = r.grouping.group_of_point(b.target);
+      std::int64_t off = coord_of(gt) - coord_of(gs);
+      dense_offsets[{b.dep, off}] += b.count;
+    });
+    if (dense_offsets != sweep.offset_weights) fail("lattice offset weights");
+
+    HypercubeMapOptions map_opts = config.mapping;
+    map_opts.obs = {};
+    LatticeHypercubeMapping lmap = map_to_hypercube(*lat, config.cube_dim, map_opts);
+    if (lmap.processor_count != r.mapping.mapping.processor_count)
+      fail("lattice processor count");
+    for (std::size_t gid = 0; gid < r.grouping.group_count(); ++gid)
+      if (lmap.proc_of_sorted_index(lat->sorted_index_of_group(coord_of(gid))) !=
+          r.mapping.mapping.block_to_proc[gid])
+        fail("lattice processor assignment");
+
+    if (config.sim.faults.empty()) {
+      Hypercube cube(config.cube_dim);
+      SimOptions sim_opts = config.sim;
+      sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
+      sim_opts.obs = {};
+      SimResult ls = simulate_execution(*lat, lmap, cube, config.machine, sim_opts);
+      if (!(ls.total == r.sim.total) || ls.steps != r.sim.steps ||
+          ls.messages != r.sim.messages || ls.words != r.sim.words ||
+          !(ls.compute_bottleneck == r.sim.compute_bottleneck) ||
+          !(ls.comm_bottleneck == r.sim.comm_bottleneck) ||
+          ls.max_link_words != r.sim.max_link_words ||
+          ls.per_proc_iterations != r.sim.per_proc_iterations)
+        fail("lattice simulation results");
+    }
+
+    if (config.validate) {
+      if (sweep.exact_cover != r.exact_cover) fail("lattice exact-cover check");
+      if (sweep.theorem1 != r.theorem1) fail("lattice Theorem 1 check");
+      if (sweep.theorem2.m != r.theorem2.m || sweep.theorem2.beta != r.theorem2.beta ||
+          sweep.theorem2.bound != r.theorem2.bound ||
+          sweep.theorem2.max_out_degree != r.theorem2.max_out_degree ||
+          sweep.theorem2.holds != r.theorem2.holds)
+        fail("lattice Theorem 2 report");
+      if (sweep.lemmas.lemma2_holds != r.lemmas.lemma2_holds ||
+          sweep.lemmas.lemma3_holds != r.lemmas.lemma3_holds ||
+          sweep.lemmas.worst_lemma2_fanout != r.lemmas.worst_lemma2_fanout ||
+          sweep.lemmas.worst_lemma3_fanout != r.lemmas.worst_lemma3_fanout)
+        fail("lattice lemma report");
+    }
+  }
 }
 
 }  // namespace
@@ -319,10 +453,18 @@ std::string PipelineResult::summary() const {
                                      : (space ? space->dependences().size() : 0);
   std::ostringstream os;
   os << "iterations=" << iteration_count() << " deps=" << deps
-     << " Pi=" << time_function.to_string() << " projected_points=" << projected->point_count()
-     << " r=" << grouping.group_size_r() << " groups=" << grouping.group_count()
-     << " interblock=" << stats.interblock_arcs << "/" << stats.total_arcs
-     << " procs=" << mapping.mapping.processor_count << " T=" << sim.total.to_string();
+     << " Pi=" << time_function.to_string();
+  if (lattice) {
+    os << " projected_points=" << lattice->line_count() << " r=" << lattice->group_size_r()
+       << " groups=" << lattice->group_count();
+  } else {
+    os << " projected_points=" << projected->point_count() << " r=" << grouping.group_size_r()
+       << " groups=" << grouping.group_count();
+  }
+  os << " interblock=" << stats.interblock_arcs << "/" << stats.total_arcs
+     << " procs="
+     << (lattice_mapping ? lattice_mapping->processor_count : mapping.mapping.processor_count)
+     << " T=" << sim.total.to_string();
   return os.str();
 }
 

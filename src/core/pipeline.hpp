@@ -70,12 +70,26 @@ struct PipelineResult {
   Grouping grouping;
   /// Per-vertex block assignment; empty in symbolic mode.
   Partition partition;
-  /// Per-block iteration counts, filled in every mode.
+  /// Per-block iteration counts.  Filled in dense/verify and in the
+  /// line-based symbolic fallback; EMPTY on the pure lattice path (use
+  /// `lattice`/`lattice_stats` — materializing one entry per group is
+  /// exactly what that path avoids).
   std::vector<std::int64_t> block_sizes;
   PartitionStats stats;
   TaskInteractionGraph tig;
   HypercubeMappingResult mapping;
   SimResult sim;
+
+  /// Closed-form grouping; set when the symbolic path ran on the group
+  /// lattice (partition/group_lattice.hpp).  When set, `projected`,
+  /// `grouping`, `block_sizes`, `tig` and `mapping` are empty/default —
+  /// the lattice fields below replace them.
+  std::unique_ptr<GroupLattice> lattice;
+  /// Closed-form Algorithm 2 result for the lattice path.
+  std::optional<LatticeHypercubeMapping> lattice_mapping;
+  /// Aggregate block statistics for the lattice path (stand-in for
+  /// `block_sizes`).
+  std::optional<LatticeBlockStats> lattice_stats;
 
   /// Iteration count regardless of backend.
   [[nodiscard]] std::uint64_t iteration_count() const;

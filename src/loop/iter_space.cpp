@@ -158,6 +158,11 @@ const IterSpace::Slab* IterSpace::slab_at(const IntVec& key) const {
   return it == slab_index_.end() ? nullptr : &slabs_[it->second];
 }
 
+void IterSpace::for_each_slab_box(
+    const std::function<void(const std::vector<DimBounds>&)>& visit) const {
+  for (const Slab& s : slabs_) visit(s.box);
+}
+
 const std::vector<DimBounds>& IterSpace::bounds() const {
   if (!is_rectangular())
     throw std::logic_error("IterSpace::bounds: affine space has no single box");

@@ -141,6 +141,13 @@ class IterSpace {
   [[nodiscard]] std::optional<std::pair<std::int64_t, std::int64_t>> line_range(
       const IntVec& p, const IntVec& u) const;
 
+  /// Visit the constant box of every slab (per-dimension inclusive bounds;
+  /// exactly one box for a non-empty rectangular space).  The boxes
+  /// partition J, so per-slab closed forms summed over this visitation
+  /// cover the whole space — partition/group_lattice.cpp derives each
+  /// slab's line-index interval this way.
+  void for_each_slab_box(const std::function<void(const std::vector<DimBounds>&)>& visit) const;
+
   /// Enumerate every line of direction u meeting J exactly once, visiting
   /// (entry point, population).  The entry point is the unique line point
   /// with entry - u outside J (the smallest point along +u); the population

@@ -8,8 +8,16 @@ namespace hypart {
 std::uint64_t gray_encode(std::uint64_t i) { return i ^ (i >> 1); }
 
 std::uint64_t gray_decode(std::uint64_t g) {
+  // Parallel-prefix XOR: bit k of the decode is the XOR of bits k..63 of g.
+  // Six fixed XOR-shift folds cover all 64 bits — branch- and loop-free,
+  // constant instruction count regardless of operand width.
   std::uint64_t i = g;
-  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  i ^= i >> 1;
+  i ^= i >> 2;
+  i ^= i >> 4;
+  i ^= i >> 8;
+  i ^= i >> 16;
+  i ^= i >> 32;
   return i;
 }
 

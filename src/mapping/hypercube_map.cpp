@@ -116,4 +116,87 @@ HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigne
   return result;
 }
 
+ProcId LatticeHypercubeMapping::proc_of_sorted_index(std::uint64_t k) const {
+  // boundaries is ascending with duplicates at empty clusters; the owning
+  // cluster is the last one whose start is <= k.
+  auto it = std::upper_bound(boundaries.begin(), boundaries.end(), k);
+  std::size_t rank = static_cast<std::size_t>(it - boundaries.begin()) - 1;
+  return cluster_processor[std::min(rank, cluster_processor.size() - 1)];
+}
+
+LatticeHypercubeMapping map_to_hypercube(const GroupLattice& lattice, unsigned cube_dim,
+                                         const HypercubeMapOptions& options) {
+  const std::uint64_t ngroups = lattice.group_count();
+
+  obs::TraceSink* sink = options.obs.trace;
+  if (sink != nullptr)
+    obs::emit_thread_name(sink, obs::kPipelinePid, obs::kMappingTid, "mapping search");
+  obs::ScopedSpan map_span(sink, "map_to_hypercube", "mapping", obs::kPipelinePid,
+                           obs::kMappingTid,
+                           {{"blocks", static_cast<std::int64_t>(ngroups)},
+                            {"cube_dim", static_cast<std::int64_t>(cube_dim)}});
+
+  // Weighted splitting needs per-group populations; one O(groups) prefix-sum
+  // array is the only N-dependent allocation, and only in this opt-in mode.
+  std::vector<std::int64_t> prefix;
+  if (options.weighted) {
+    prefix.assign(static_cast<std::size_t>(ngroups) + 1, 0);
+    for (std::uint64_t k = 0; k < ngroups; ++k)
+      prefix[static_cast<std::size_t>(k) + 1] =
+          prefix[static_cast<std::size_t>(k)] +
+          lattice.group_population(lattice.group_at_sorted_index(k));
+  }
+
+  // Phase I: the dense mapper's recursive ceil-halving, on interval lengths.
+  // Rank bits accumulate low-half-first, so final clusters in rank order
+  // cover ascending sorted-index intervals.
+  std::vector<std::uint64_t> starts{0};
+  std::vector<std::uint64_t> sizes{ngroups};
+  for (unsigned j = 0; j < cube_dim; ++j) {
+    std::vector<std::uint64_t> next_starts, next_sizes;
+    next_starts.reserve(sizes.size() * 2);
+    next_sizes.reserve(sizes.size() * 2);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::uint64_t size = sizes[i];
+      std::uint64_t half = size / 2 + size % 2;
+      if (options.weighted && size >= 2) {
+        std::size_t b = static_cast<std::size_t>(starts[i]);
+        std::int64_t total = prefix[b + static_cast<std::size_t>(size)] - prefix[b];
+        std::uint64_t cut = 0;
+        while (cut < size && 2 * (prefix[b + static_cast<std::size_t>(cut)] - prefix[b]) < total)
+          ++cut;
+        half = std::clamp<std::uint64_t>(cut, 1, size - 1);
+      }
+      next_starts.push_back(starts[i]);
+      next_sizes.push_back(half);
+      next_starts.push_back(starts[i] + half);
+      next_sizes.push_back(size - half);
+    }
+    starts = std::move(next_starts);
+    sizes = std::move(next_sizes);
+  }
+
+  // Phase II: cluster rank -> Gray-coded processor.
+  LatticeHypercubeMapping result;
+  result.cube_dim = cube_dim;
+  result.processor_count = std::size_t{1} << cube_dim;
+  result.directions_used = cube_dim > 0 ? 1 : 0;
+  result.boundaries.reserve(starts.size() + 1);
+  result.boundaries = starts;
+  result.boundaries.push_back(ngroups);
+  result.cluster_processor.reserve(sizes.size());
+  for (std::uint64_t rank = 0; rank < sizes.size(); ++rank)
+    result.cluster_processor.push_back(
+        cube_dim > 0 ? concat_gray({rank}, {cube_dim}) : ProcId{0});
+
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->add("map.clusters",
+                             static_cast<std::int64_t>(result.cluster_processor.size()));
+    options.obs.metrics->add("map.bisection_levels", static_cast<std::int64_t>(cube_dim));
+    options.obs.metrics->add("map.directions_used",
+                             static_cast<std::int64_t>(result.directions_used));
+  }
+  return result;
+}
+
 }  // namespace hypart

@@ -13,6 +13,7 @@
 
 #include "mapping/tig.hpp"
 #include "obs/obs.hpp"
+#include "partition/group_lattice.hpp"
 #include "topology/topology.hpp"
 
 namespace hypart {
@@ -49,5 +50,35 @@ struct HypercubeMapOptions {
 /// along vertex order.
 HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigned cube_dim,
                                         const HypercubeMapOptions& options = {});
+
+/// Closed-form Algorithm 2 on a GroupLattice.  The lattice's groups are
+/// already in the dense mapper's deterministic sort order (ascending lattice
+/// coordinate; lexicographic point order when degenerate), so Phase I's
+/// recursive ceil-halving reduces to 2^cube_dim interval boundaries over the
+/// sorted index space and Phase II to one Gray encode per cluster.  No
+/// Cluster/TIG/block_to_proc vectors are materialized: O(2^cube_dim) time
+/// and memory (O(lines + groups) extra in `weighted` mode, which needs the
+/// per-group population prefix sums).
+struct LatticeHypercubeMapping {
+  /// 2^cube_dim + 1 ascending cuts: cluster of rank q holds the sorted group
+  /// indices [boundaries[q], boundaries[q+1]); empty clusters persist, as in
+  /// the dense mapper.
+  std::vector<std::uint64_t> boundaries;
+  std::vector<ProcId> cluster_processor;  ///< rank -> Gray-coded hypercube node
+  unsigned cube_dim = 0;
+  std::size_t processor_count = 0;
+  std::size_t directions_used = 0;  ///< the paper's m (1, or 0 when cube_dim == 0)
+  std::string method = "gray-bisection";
+
+  /// Processor of the group at sorted index k; O(log processor_count).
+  [[nodiscard]] ProcId proc_of_sorted_index(std::uint64_t k) const;
+  /// Sorted-index interval [first, last) of cluster `rank`.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> cluster_range(std::uint64_t rank) const {
+    return {boundaries[rank], boundaries[rank + 1]};
+  }
+};
+
+LatticeHypercubeMapping map_to_hypercube(const GroupLattice& lattice, unsigned cube_dim,
+                                         const HypercubeMapOptions& options = {});
 
 }  // namespace hypart

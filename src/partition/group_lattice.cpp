@@ -1,0 +1,413 @@
+#include "partition/group_lattice.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "loop/dependence.hpp"
+
+namespace hypart {
+
+namespace {
+
+/// Π / content(Π) preserving Π's sign — must match projection.cpp's
+/// minimal_line_direction so line populations and strides agree bit-for-bit
+/// with the dense/line-based paths.
+IntVec minimal_line_direction(const IntVec& pi) {
+  std::int64_t g = content(pi);
+  IntVec u(pi.size());
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = pi[i] / g;
+  return u;
+}
+
+/// Scaled projection s·x - (Π·x)·Π (the dense ProjectedStructure scaling).
+IntVec proj_scaled(const IntVec& x, const IntVec& pi, std::int64_t s) {
+  return sub(scale(x, s), scale(pi, dot(pi, x)));
+}
+
+/// Tiny set of group offsets: per group and dependence at most two distinct
+/// offsets occur (a slot window of width < r lands in at most two groups),
+/// so a linear-scan vector beats a node-based std::set in the hot sweep.
+struct OffsetSet {
+  std::vector<std::int64_t> v;
+  void insert(std::int64_t x) {
+    if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+  }
+  void merge_into(OffsetSet& o) const {
+    for (std::int64_t x : v) o.insert(x);
+  }
+  [[nodiscard]] std::size_t size() const { return v.size(); }
+  void clear() { v.clear(); }
+};
+
+}  // namespace
+
+std::optional<GroupLattice> GroupLattice::build(const IterSpace& space, const TimeFunction& tf,
+                                                const GroupingOptions& opts) {
+  if (space.dimension() != 2 || space.empty()) return std::nullopt;
+  // Non-default seeding / auxiliary overrides change the dense numbering in
+  // ways the closed forms do not model; the fallback path handles them (and
+  // reproduces their validation errors).
+  if (opts.seed_policy != SeedPolicy::Lexicographic) return std::nullopt;
+  if (opts.auxiliary_vectors) return std::nullopt;
+
+  const IntVec& pi = tf.pi;
+  if (pi.size() != 2 || is_zero(pi)) return std::nullopt;
+
+  GroupLattice gl;
+  gl.space_ = &space;
+  gl.tf_ = tf;
+  gl.scale_ = dot(pi, pi);
+  gl.u_ = minimal_line_direction(pi);
+  gl.sigma_ = gl.scale_ / content(pi);
+  gl.w_ = IntVec{gl.u_[1], -gl.u_[0]};
+  // The gate: with |w_i| <= 1 every slab box's line-index image is a
+  // contiguous interval of unit steps, so the merge below is exact.
+  if (gl.w_[0] > 1 || gl.w_[0] < -1 || gl.w_[1] > 1 || gl.w_[1] < -1) return std::nullopt;
+
+  // Anchor generator δ with w·δ = 1: a signed unit vector on the first axis
+  // where w has a unit entry.
+  gl.delta_ = IntVec{0, 0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (gl.w_[i] == 1 || gl.w_[i] == -1) {
+      gl.delta_[i] = gl.w_[i];
+      break;
+    }
+  }
+
+  // Line-index interval: each slab box contributes [min w·j, max w·j]; the
+  // union over slabs must be one contiguous interval (a hole would split the
+  // dense BFS chain and the closed forms would mislabel groups).
+  std::vector<std::pair<std::int64_t, std::int64_t>> ivs;
+  space.for_each_slab_box([&](const std::vector<DimBounds>& box) {
+    std::int64_t lo = 0, hi = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (gl.w_[i] >= 0) {
+        lo += gl.w_[i] * box[i].first;
+        hi += gl.w_[i] * box[i].second;
+      } else {
+        lo += gl.w_[i] * box[i].second;
+        hi += gl.w_[i] * box[i].first;
+      }
+    }
+    ivs.emplace_back(lo, hi);
+  });
+  if (ivs.empty()) return std::nullopt;
+  std::sort(ivs.begin(), ivs.end());
+  std::int64_t c_lo = ivs.front().first;
+  std::int64_t c_hi = ivs.front().second;
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    if (ivs[i].first > c_hi + 1) return std::nullopt;  // hole in the line interval
+    c_hi = std::max(c_hi, ivs[i].second);
+  }
+  gl.c_lo_ = c_lo;
+  gl.c_hi_ = c_hi;
+
+  // Projected dependences, line shifts, and the replication factors of
+  // Algorithm 1 Step 1 (r_k = s / gcd(s, content(pdep_k)), as in
+  // ProjectedStructure::replication_factor).
+  const std::vector<IntVec>& deps = space.dependences();
+  gl.pdeps_.reserve(deps.size());
+  gl.gamma_.reserve(deps.size());
+  std::int64_t r = 1;
+  for (const IntVec& d : deps) {
+    IntVec pd = proj_scaled(d, pi, gl.scale_);
+    gl.gamma_.push_back(dot(gl.w_, d));
+    if (!is_zero(pd)) {
+      std::int64_t rk = gl.scale_ / gcd64(gl.scale_, content(pd));
+      r = std::max(r, rk);
+    }
+    gl.pdeps_.push_back(std::move(pd));
+  }
+  std::optional<std::size_t> l;
+  for (std::size_t k = 0; k < gl.pdeps_.size(); ++k) {
+    if (is_zero(gl.pdeps_[k])) continue;
+    std::int64_t rk = gl.scale_ / gcd64(gl.scale_, content(gl.pdeps_[k]));
+    if (rk == r) {
+      l = k;
+      break;
+    }
+  }
+  if (opts.grouping_vector) {
+    // Honor the override only when it is valid (nonzero projection attaining
+    // the maximal r); otherwise fall back so the dense path raises its error.
+    std::size_t k = *opts.grouping_vector;
+    if (k >= gl.pdeps_.size() || is_zero(gl.pdeps_[k])) return std::nullopt;
+    if (gl.scale_ / gcd64(gl.scale_, content(gl.pdeps_[k])) != r) return std::nullopt;
+    l = k;
+  }
+
+  // Orientation and the seed line.  The dense lexicographic seed is the
+  // lex-min scaled projected point; ĵ(c) = c·v with v = proj(δ), so it sits
+  // at c_lo when v is lex-positive, else at c_hi.
+  IntVec v = proj_scaled(gl.delta_, pi, gl.scale_);
+  bool lexpos = lex_positive(v);
+  gl.c_seed_ = lexpos ? c_lo : c_hi;
+  if (l) {
+    // One slot step along d_l^p shifts the line index by γ_l = w·d_l; the
+    // closed forms need the single-chain case |γ_l| = 1 (every line reached
+    // in unit steps, one region-growing component).
+    std::int64_t gamma_l = gl.gamma_[*l];
+    if (gamma_l != 1 && gamma_l != -1) return std::nullopt;
+    gl.grouping_ = l;
+    gl.r_ = r;
+    gl.orient_ = gamma_l;
+  } else {
+    // Degenerate: every line is its own group, dense group ids follow the
+    // lexicographic point order, i.e. ascending c when v is lex-positive.
+    gl.grouping_ = std::nullopt;
+    gl.r_ = 1;
+    gl.orient_ = lexpos ? 1 : -1;
+  }
+
+  std::int64_t ta = gl.orient_ * (c_lo - gl.c_seed_);
+  std::int64_t tb = gl.orient_ * (c_hi - gl.c_seed_);
+  gl.a_min_ = floor_div(std::min(ta, tb), gl.r_);
+  gl.a_max_ = floor_div(std::max(ta, tb), gl.r_);
+  return gl;
+}
+
+IntVec GroupLattice::line_anchor(std::int64_t c) const {
+  return IntVec{c * delta_[0], c * delta_[1]};
+}
+
+std::int64_t GroupLattice::line_population(std::int64_t c) const {
+  if (c < c_lo_ || c > c_hi_) return 0;
+  auto range = space_->line_range(line_anchor(c), u_);
+  if (!range) return 0;
+  return range->second - range->first + 1;
+}
+
+std::uint64_t GroupLattice::sum_line_populations(std::int64_t c1, std::int64_t c2) const {
+  std::int64_t lo = std::max(c1, c_lo_);
+  std::int64_t hi = std::min(c2, c_hi_);
+  std::uint64_t total = 0;
+  for (std::int64_t c = lo; c <= hi; ++c)
+    total += static_cast<std::uint64_t>(line_population(c));
+  return total;
+}
+
+DimBounds GroupLattice::group_line_range(std::int64_t a) const {
+  std::int64_t ta = orient_ * (c_lo_ - c_seed_);
+  std::int64_t tb = orient_ * (c_hi_ - c_seed_);
+  std::int64_t t_lo = std::max(a * r_, std::min(ta, tb));
+  std::int64_t t_hi = std::min(a * r_ + r_ - 1, std::max(ta, tb));
+  std::int64_t ca = c_seed_ + orient_ * t_lo;
+  std::int64_t cb = c_seed_ + orient_ * t_hi;
+  return {std::min(ca, cb), std::max(ca, cb)};
+}
+
+std::int64_t GroupLattice::group_population(std::int64_t a) const {
+  auto [lo, hi] = group_line_range(a);
+  std::int64_t total = 0;
+  for (std::int64_t c = lo; c <= hi; ++c) total += line_population(c);
+  return total;
+}
+
+std::vector<GroupLattice::GroupBox> GroupLattice::enumerate_boxes() const {
+  std::vector<GroupBox> boxes;
+  space_->for_each_slab_box([&](const std::vector<DimBounds>& box) {
+    std::int64_t lo = 0, hi = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (w_[i] >= 0) {
+        lo += w_[i] * box[i].first;
+        hi += w_[i] * box[i].second;
+      } else {
+        lo += w_[i] * box[i].second;
+        hi += w_[i] * box[i].first;
+      }
+    }
+    std::int64_t a1 = group_of_line(lo);
+    std::int64_t a2 = group_of_line(hi);
+    boxes.push_back(GroupBox{std::min(a1, a2), std::max(a1, a2), lo, hi});
+  });
+  return boxes;
+}
+
+void GroupLattice::for_each_line(
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& visit) const {
+  const std::int64_t pi_delta = dot(tf_.pi, delta_);
+  IntVec p = line_anchor(c_lo_);
+  std::int64_t step_anchor = c_lo_ * pi_delta;
+  for (std::int64_t c = c_lo_; c <= c_hi_; ++c) {
+    auto range = space_->line_range(p, u_);
+    if (range)
+      visit(c, range->second - range->first + 1, step_anchor + range->first * sigma_);
+    for (std::size_t i = 0; i < 2; ++i) p[i] += delta_[i];
+    step_anchor += pi_delta;
+  }
+}
+
+void GroupLattice::for_each_arc_bundle(
+    const std::function<void(std::int64_t, std::size_t, std::int64_t, std::int64_t)>& visit)
+    const {
+  const std::vector<IntVec>& deps = space_->dependences();
+  const std::size_t nd = deps.size();
+  const std::int64_t pi_delta = dot(tf_.pi, delta_);
+  IntVec p = line_anchor(c_lo_);
+  std::vector<IntVec> pd(nd);
+  for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
+  std::int64_t step_anchor = c_lo_ * pi_delta;
+  for (std::int64_t c = c_lo_; c <= c_hi_; ++c) {
+    auto range = space_->line_range(p, u_);
+    if (range) {
+      for (std::size_t k = 0; k < nd; ++k) {
+        auto mrange = space_->line_range(pd[k], u_);
+        if (!mrange) continue;
+        std::int64_t lo2 = std::max(range->first, mrange->first);
+        std::int64_t hi2 = std::min(range->second, mrange->second);
+        if (lo2 > hi2) continue;
+        visit(c, k, hi2 - lo2 + 1, step_anchor + lo2 * sigma_);
+      }
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      p[i] += delta_[i];
+      for (std::size_t k = 0; k < nd; ++k) pd[k][i] += delta_[i];
+    }
+    step_anchor += pi_delta;
+  }
+}
+
+LatticeSweepResult GroupLattice::sweep(bool validate) const {
+  LatticeSweepResult out;
+  const std::vector<IntVec>& deps = space_->dependences();
+  const std::size_t nd = deps.size();
+  const IntVec& pi = tf_.pi;
+  const std::int64_t pi_delta = dot(pi, delta_);
+
+  // Incremental anchors: p(c) = c·δ and p(c) + d_k, advanced by δ per line.
+  IntVec p = line_anchor(c_lo_);
+  std::vector<IntVec> pd(nd);
+  for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
+  std::int64_t step_anchor = c_lo_ * pi_delta;  // Π·p(c)
+
+  // Per-group rolling state (O(r + deps), reset at each group boundary).
+  struct LineRec {
+    std::int64_t first_step;
+    std::int64_t pop;
+  };
+  std::vector<LineRec> window;
+  window.reserve(static_cast<std::size_t>(r_));
+  std::vector<OffsetSet> dep_offs(nd);  // per-dep distinct group offsets
+  OffsetSet succ;                       // union over deps (out-degree)
+  std::int64_t acc = 0;                 // current group's iteration count
+  bool group_open = false;
+  std::int64_t cur_a = 0;
+
+  out.theorem1 = true;
+  out.lemmas.lemma2_holds = true;
+  out.lemmas.lemma3_holds = true;
+  auto is_special = [&](std::size_t k) {
+    return grouping_ && (k == *grouping_ || pdeps_[k] == pdeps_[*grouping_]);
+  };
+
+  out.stats.min_block = std::numeric_limits<std::int64_t>::max();
+  std::uint64_t covered = 0;
+  std::size_t arc_total = 0, arc_inter = 0;
+
+  auto close_group = [&]() {
+    if (!group_open) return;
+    ++out.stats.group_count;
+    out.stats.min_block = std::min(out.stats.min_block, acc);
+    out.stats.max_block = std::max(out.stats.max_block, acc);
+    if (validate) {
+      std::size_t out_deg = 0;
+      succ.clear();
+      for (std::size_t k = 0; k < nd; ++k) {
+        if (gamma_[k] == 0) continue;
+        std::size_t fan = dep_offs[k].size();
+        if (is_special(k)) {
+          out.lemmas.worst_lemma2_fanout = std::max(out.lemmas.worst_lemma2_fanout, fan);
+          if (fan > 1) out.lemmas.lemma2_holds = false;
+        } else {
+          out.lemmas.worst_lemma3_fanout = std::max(out.lemmas.worst_lemma3_fanout, fan);
+          if (fan > 2) out.lemmas.lemma3_holds = false;
+        }
+        dep_offs[k].merge_into(succ);
+        dep_offs[k].clear();
+      }
+      out_deg = succ.size();
+      out.theorem2.max_out_degree = std::max(out.theorem2.max_out_degree, out_deg);
+    }
+    window.clear();
+    acc = 0;
+  };
+
+  for (std::int64_t c = c_lo_; c <= c_hi_; ++c) {
+    std::int64_t t = orient_ * (c - c_seed_);
+    std::int64_t a = floor_div(t, r_);
+    if (!group_open || a != cur_a) {
+      close_group();
+      group_open = true;
+      cur_a = a;
+    }
+
+    auto range = space_->line_range(p, u_);
+    if (range) {
+      std::int64_t k_lo = range->first, k_hi = range->second;
+      std::int64_t pop = k_hi - k_lo + 1;
+      std::int64_t first_step = step_anchor + k_lo * sigma_;
+      covered += static_cast<std::uint64_t>(pop);
+      acc += pop;
+
+      if (validate) {
+        // Theorem 1 within the group: lines collide iff their step APs
+        // (first + k·σ, k in [0, pop)) intersect — same test as the dense
+        // checker, against every earlier line of this group.
+        for (const LineRec& o : window) {
+          std::int64_t diff = first_step - o.first_step;
+          if (diff % sigma_ != 0) continue;
+          std::int64_t m = diff / sigma_;
+          if (m >= -(pop - 1) && m <= o.pop - 1) out.theorem1 = false;
+        }
+        window.push_back(LineRec{first_step, pop});
+      }
+
+      for (std::size_t k = 0; k < nd; ++k) {
+        std::int64_t off = 0;
+        if (gamma_[k] != 0) off = floor_div(t + orient_ * gamma_[k], r_) - a;
+        auto mrange = space_->line_range(pd[k], u_);
+        if (mrange) {
+          std::int64_t lo2 = std::max(k_lo, mrange->first);
+          std::int64_t hi2 = std::min(k_hi, mrange->second);
+          if (lo2 <= hi2) {
+            std::size_t count = static_cast<std::size_t>(hi2 - lo2 + 1);
+            arc_total += count;
+            if (off != 0) arc_inter += count;
+            out.offset_weights[{k, off}] += static_cast<std::int64_t>(hi2 - lo2 + 1);
+          }
+        }
+        // Group-digraph edges use line existence (the dense checker's
+        // find_point semantics), not arc counts: an edge to group a+off
+        // exists whenever the shifted line is inside the populated interval.
+        if (validate && gamma_[k] != 0 && off != 0) {
+          std::int64_t ct = c + gamma_[k];
+          if (ct >= c_lo_ && ct <= c_hi_) dep_offs[k].insert(off);
+        }
+      }
+    }
+
+    // Advance the anchors.
+    for (std::size_t i = 0; i < 2; ++i) {
+      p[i] += delta_[i];
+      for (std::size_t k = 0; k < nd; ++k) pd[k][i] += delta_[i];
+    }
+    step_anchor += pi_delta;
+  }
+  close_group();
+
+  out.stats.total_iterations = covered;
+  if (out.stats.group_count == 0) out.stats.min_block = 0;
+  out.partition.total_arcs = arc_total;
+  out.partition.interblock_arcs = arc_inter;
+  out.partition.intrablock_arcs = arc_total - arc_inter;
+  out.exact_cover = covered == space_->size();
+  if (validate) {
+    out.theorem2.m = nd;
+    out.theorem2.beta = beta();
+    out.theorem2.bound = 2 * nd - beta();
+    out.theorem2.holds = out.theorem2.max_out_degree <= out.theorem2.bound;
+  }
+  return out;
+}
+
+}  // namespace hypart

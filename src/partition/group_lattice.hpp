@@ -1,0 +1,215 @@
+// hypart — closed-form group lattice (symbolic backend for Algorithm 1's
+// grouping phase and Algorithm 2's bisection).
+//
+// PR 3/4 made the iteration space symbolic, but the grouping phase still
+// materialized one Group per group, so end-to-end cost stayed O(groups).
+// For the 2-D affine nests the pipeline actually sweeps (β = n-1 = 1, the
+// paper's L1/SOR/matvec/convolution class), the groups form a *regular
+// 1-D lattice* and every grouping/mapping quantity has a closed form:
+//
+//   * Lines are indexed by c = w·j, where w ⊥ u (u = Π/content(Π)) is the
+//     primitive line-index vector; a convex 2-D domain meets a contiguous
+//     interval [c_lo, c_hi] of lines (one sub-interval per slab, merged).
+//   * The dense grouping's seed is the lexicographically smallest scaled
+//     projected point.  Scaled projection is affine in c, so the seed is
+//     simply one end of the interval: ĵ(c) = ĵ* + (c - c*)·v with
+//     v = proj(δ), w·δ = 1, and the lex-min end is c_lo when v is
+//     lex-positive, else c_hi.
+//   * One slot step along the grouping vector d_l advances the line index
+//     by γ_l = w·d_l; with |γ_l| = 1 the dense BFS covers every line in a
+//     single chain, slot t(c) = γ_l·(c - c*), and the group of line c is
+//     exactly floor(t/r) — the dense Group::lattice coordinate `a`.
+//   * Group populations, block statistics, TIG arc-class weights, and the
+//     theorem/lemma checks all reduce to per-line IterSpace::line_range
+//     queries (O(dimension) each, no point or group objects), and
+//     Algorithm 2's bisection reduces to a ceil-halving of the sorted
+//     coordinate range (mapping/hypercube_map.hpp, map_to_hypercube
+//     lattice overload).
+//
+// When the gate below does not hold (n > 2, |w_i| > 1, strided grouping
+// chains, non-default GroupingOptions, or a line-index interval with
+// holes), build() returns nullopt and the pipeline falls back to the
+// line-based symbolic path (partition/grouping.hpp), which materializes
+// groups but is still point-free.  docs/iterspace.md § "The group lattice"
+// derives each closed form and works the paper's Fig. 3 example.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "loop/iter_space.hpp"
+#include "partition/blocks.hpp"
+#include "partition/checkers.hpp"
+#include "partition/grouping.hpp"
+#include "schedule/hyperplane.hpp"
+
+namespace hypart {
+
+/// Aggregate block-size statistics of the symbolic grouping (the lattice
+/// path's stand-in for the per-block size vector, which is never built).
+struct LatticeBlockStats {
+  std::uint64_t group_count = 0;     ///< number of groups (== blocks)
+  std::uint64_t total_iterations = 0;///< sum of block sizes == |J^n|
+  std::int64_t min_block = 0;        ///< smallest block (iteration count)
+  std::int64_t max_block = 0;        ///< largest block
+};
+
+/// Everything the O(lines·deps) line sweep derives in one pass: block
+/// statistics, partition stats (block_comm left empty — the per-pair graph
+/// is inherently O(groups); the per-offset aggregation below replaces it),
+/// per-(dependence, group-offset) arc weights, and the theorem/lemma
+/// verdicts.  Memory is O(deps + r), independent of N.
+struct LatticeSweepResult {
+  LatticeBlockStats stats;
+  PartitionStats partition;
+  /// (dep index, group-lattice offset) -> number of dependence arcs whose
+  /// source and target groups differ by that offset.  The closed-form
+  /// counterpart of the TIG edge weights: by Lemmas 2/3 each dependence
+  /// contributes at most two offsets (q and q+1 for Δt = q·r + ρ).
+  std::map<std::pair<std::size_t, std::int64_t>, std::int64_t> offset_weights;
+  bool exact_cover = false;
+  bool theorem1 = false;
+  Theorem2Report theorem2;
+  LemmaReport lemmas;
+};
+
+/// Symbolic grouping of a 2-D affine iteration space as a 1-D group
+/// lattice.  Reproduces the dense Grouping (populations, lattice
+/// coordinates, mapping order) exactly on the gated class; no Group
+/// objects are ever materialized.
+class GroupLattice {
+ public:
+  /// Gate + construction; nullopt when the closed forms do not apply (the
+  /// caller falls back to the line-based symbolic path).  O(slabs log slabs).
+  static std::optional<GroupLattice> build(const IterSpace& space, const TimeFunction& tf,
+                                           const GroupingOptions& opts = {});
+
+  // ---- frame --------------------------------------------------------------
+  [[nodiscard]] const IterSpace& space() const { return *space_; }
+  [[nodiscard]] const TimeFunction& time_function() const { return tf_; }
+  /// Line-index vector w (primitive, w·u = 0): line of j is c = w·j.
+  [[nodiscard]] const IntVec& line_index_vector() const { return w_; }
+  [[nodiscard]] const IntVec& line_direction() const { return u_; }
+  [[nodiscard]] std::int64_t step_stride() const { return sigma_; }
+  /// Group size r of Algorithm 1 Step 1 (1 in the degenerate case).
+  [[nodiscard]] std::int64_t group_size_r() const { return r_; }
+  /// β = rank(mat(D^p)): 1, or 0 when every dependence is parallel to Π
+  /// (degenerate: every line is its own group).
+  [[nodiscard]] std::size_t beta() const { return grouping_ ? 1 : 0; }
+  [[nodiscard]] bool degenerate() const { return !grouping_; }
+  [[nodiscard]] std::optional<std::size_t> grouping_vector_index() const { return grouping_; }
+
+  // ---- lines --------------------------------------------------------------
+  [[nodiscard]] std::int64_t c_min() const { return c_lo_; }
+  [[nodiscard]] std::int64_t c_max() const { return c_hi_; }
+  [[nodiscard]] std::uint64_t line_count() const {
+    return static_cast<std::uint64_t>(c_hi_ - c_lo_ + 1);
+  }
+  /// Seed line index c* (the dense lexicographic seed's line).
+  [[nodiscard]] std::int64_t seed_line() const { return c_seed_; }
+  /// Slot orientation: +1 when slot t increases with c, -1 otherwise
+  /// (γ_l of the grouping vector; the lex direction in the degenerate case).
+  [[nodiscard]] std::int64_t orientation() const { return orient_; }
+  /// Slot index of line c: t = orientation·(c - c*); the dense BFS slot.
+  [[nodiscard]] std::int64_t slot_of_line(std::int64_t c) const {
+    return orient_ * (c - c_seed_);
+  }
+  /// Points on line c (0 outside [c_min, c_max]); O(dimension).
+  [[nodiscard]] std::int64_t line_population(std::int64_t c) const;
+  /// Σ line_population over [c1, c2] ∩ [c_min, c_max]; O(|interval|·dim).
+  [[nodiscard]] std::uint64_t sum_line_populations(std::int64_t c1, std::int64_t c2) const;
+
+  // ---- groups -------------------------------------------------------------
+  /// Dense Group::lattice coordinate of line c: a = floor(t/r).
+  [[nodiscard]] std::int64_t group_of_line(std::int64_t c) const {
+    return floor_div(slot_of_line(c), r_);
+  }
+  [[nodiscard]] std::int64_t a_min() const { return a_min_; }
+  [[nodiscard]] std::int64_t a_max() const { return a_max_; }
+  /// Every a in [a_min, a_max] is populated (the interval is gap-free).
+  [[nodiscard]] std::uint64_t group_count() const {
+    return static_cast<std::uint64_t>(a_max_ - a_min_ + 1);
+  }
+  /// Dense Group::lattice coords of group a: {a}, or {} when degenerate.
+  [[nodiscard]] IntVec group_lattice_coord(std::int64_t a) const {
+    return degenerate() ? IntVec{} : IntVec{a};
+  }
+  /// Inclusive line-index interval [c_first, c_last] of group a's slots,
+  /// clipped to the populated range (boundary groups are partial).
+  [[nodiscard]] DimBounds group_line_range(std::int64_t a) const;
+  /// Block size of group a: Σ of its lines' populations; O(r·dimension).
+  [[nodiscard]] std::int64_t group_population(std::int64_t a) const;
+  /// Position of group a in Algorithm 2's deterministic sort order
+  /// (ascending lattice coordinate — identical to the dense mapper's key).
+  [[nodiscard]] std::uint64_t sorted_index_of_group(std::int64_t a) const {
+    return static_cast<std::uint64_t>(a - a_min_);
+  }
+  [[nodiscard]] std::int64_t group_at_sorted_index(std::uint64_t k) const {
+    return a_min_ + static_cast<std::int64_t>(k);
+  }
+
+  /// One lattice box per slab: the inclusive group-coordinate range whose
+  /// lines intersect that slab.  The ISSUE's enumerate_boxes() view of the
+  /// grouping: O(slabs) boxes, unioning to [a_min, a_max].
+  struct GroupBox {
+    std::int64_t a_lo = 0;
+    std::int64_t a_hi = 0;
+    std::int64_t c_lo = 0;  ///< the slab's line-index interval
+    std::int64_t c_hi = 0;
+  };
+  [[nodiscard]] std::vector<GroupBox> enumerate_boxes() const;
+
+  // ---- dependences --------------------------------------------------------
+  [[nodiscard]] const std::vector<IntVec>& original_deps() const { return space_->dependences(); }
+  /// Line-index shift of dependence k: target line of an arc from line c is
+  /// c + line_shift(k) (0 when d_k ∥ Π).
+  [[nodiscard]] std::int64_t line_shift(std::size_t k) const { return gamma_[k]; }
+  /// Scaled projected dependence s·d - (Π·d)·Π (dense pdep coordinates).
+  [[nodiscard]] const IntVec& projected_dep_scaled(std::size_t k) const { return pdeps_[k]; }
+
+  /// The full O(lines·deps) pass: block stats, partition stats, per-offset
+  /// TIG weights, and (when `validate`) exact-cover/Theorem 1/Theorem 2/
+  /// lemma verdicts.  Time O(lines·(deps + r)·dim), memory O(deps + r).
+  [[nodiscard]] LatticeSweepResult sweep(bool validate = true) const;
+
+  /// Visit every populated line in ascending c order with its population and
+  /// the absolute step of its first point (Π·entry).  O(lines·dim), O(1)
+  /// extra memory — the simulator's line feed.
+  void for_each_line(
+      const std::function<void(std::int64_t c, std::int64_t pop, std::int64_t first_step)>& visit)
+      const;
+  /// Visit every (line, dependence) arc bundle: `count` arcs from line c to
+  /// line c + line_shift(dep), the first one leaving at absolute step
+  /// `first_step`.  Values match partition/symbolic.hpp's for_each_line_dep.
+  void for_each_arc_bundle(const std::function<void(std::int64_t c, std::size_t dep,
+                                                    std::int64_t count, std::int64_t first_step)>&
+                               visit) const;
+
+ private:
+  GroupLattice() = default;
+
+  /// Entry point of line c for line_range queries: p(c) = c·δ with w·δ = 1
+  /// (not necessarily inside J; line_range only needs a point on the line).
+  [[nodiscard]] IntVec line_anchor(std::int64_t c) const;
+
+  const IterSpace* space_ = nullptr;
+  TimeFunction tf_;
+  IntVec u_;       ///< line direction Π/content(Π), Π·u > 0
+  IntVec w_;       ///< primitive line-index vector, entries in {-1,0,1}
+  IntVec delta_;   ///< lattice generator with w·δ = 1 (anchor direction)
+  std::int64_t sigma_ = 1;  ///< step stride Π·u
+  std::int64_t scale_ = 1;  ///< s = Π·Π
+  std::vector<IntVec> pdeps_;      ///< scaled projected dependences
+  std::vector<std::int64_t> gamma_;///< line-index shifts w·d_k
+  std::int64_t r_ = 1;
+  std::optional<std::size_t> grouping_;  ///< grouping-vector index (nullopt: degenerate)
+  std::int64_t c_lo_ = 0, c_hi_ = 0;
+  std::int64_t c_seed_ = 0;
+  std::int64_t orient_ = 1;
+  std::int64_t a_min_ = 0, a_max_ = 0;
+};
+
+}  // namespace hypart

@@ -18,8 +18,18 @@ namespace hypart {
 /// How Step 3 / Step 5 pick the seed ("select a line arbitrarily; choose a
 /// projected point lying on this line").
 enum class SeedPolicy {
-  Lexicographic,  ///< smallest ungrouped projected point (deterministic default)
-  ExplicitBases   ///< use the caller-provided base vertices (reproduces the paper's figures)
+  /// Seed each region-growing component at the lexicographically smallest
+  /// ungrouped projected point (deterministic default).  This pins the
+  /// component-id numbering: component k is the k-th region in ascending
+  /// order of its lex-smallest member, so component ids — and therefore
+  /// group ids, lattice coordinates, and the Algorithm 2 processor
+  /// assignment — are identical across runs and platforms.  The symbolic
+  /// group lattice (partition/group_lattice.hpp) relies on this pin to
+  /// reproduce dense group numbering without materializing groups;
+  /// regression-tested in tests/test_grouping.cpp
+  /// (LexicographicComponentNumberingIsPinned).
+  Lexicographic,
+  ExplicitBases  ///< use the caller-provided base vertices (reproduces the paper's figures)
 };
 
 struct GroupingOptions {

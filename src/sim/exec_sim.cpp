@@ -1,6 +1,7 @@
 #include "sim/exec_sim.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -482,62 +483,56 @@ void emit_symbolic_metrics(const SimOptions& opts, SimResult& res) {
   res.metrics = reg->snapshot();
 }
 
-}  // namespace
+/// Feed for the shared symbolic accounting core: the caller provides the
+/// frame (processors, schedule, stride) and two closed-form visitations —
+/// every projection line (processor, population, first absolute step) and
+/// every dependence arc bundle (source/target processor, arc count, first
+/// absolute step).  Both the line-based path (Grouping + Mapping) and the
+/// lattice path (GroupLattice + LatticeHypercubeMapping) reduce to this.
+struct SymbolicFeed {
+  std::size_t nprocs = 0;
+  std::int64_t steps = 0;  ///< schedule length
+  std::int64_t lo = 0;     ///< minimum step (rebases first_step values)
+  std::int64_t sigma = 1;  ///< step stride of the projection lines
+  std::function<void(const std::function<void(ProcId, std::int64_t, std::int64_t)>&)> lines;
+  std::function<void(const std::function<void(ProcId, ProcId, std::int64_t, std::int64_t)>&)>
+      bundles;
+};
 
-SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
-                             const Mapping& mapping, const Topology& topo,
-                             const MachineParams& machine, const SimOptions& opts) {
-  if (!opts.faults.empty())
-    throw Error(ErrorKind::Config,
-                "simulate_execution: fault injection requires the dense space mode");
-  const ProjectedStructure& ps = grouping.projected();
-  const TimeFunction& tf = ps.time_function();
-  if (mapping.block_to_proc.size() != grouping.group_count())
-    throw std::invalid_argument("simulate_execution: mapping/partition size mismatch");
-  const std::size_t nprocs = mapping.processor_count;
-  if (topo.size() < nprocs)
-    throw std::invalid_argument("simulate_execution: topology smaller than processor count");
-
+SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
+                                 const MachineParams& machine, const SimOptions& opts) {
+  const std::size_t nprocs = in.nprocs;
   SimResult res;
   res.per_proc_iterations.assign(nprocs, 0);
+  res.steps = in.steps;
+  const std::int64_t lo = in.lo;
+  const std::int64_t sigma = in.sigma;
 
-  // Processor of every projection line; a line's points all live in one
-  // block, so per-processor loads are sums of line populations.
-  std::vector<ProcId> pproc(ps.point_count());
-  for (std::size_t pid = 0; pid < ps.point_count(); ++pid) {
-    pproc[pid] = mapping.block_to_proc[grouping.group_of_point(pid)];
-    res.per_proc_iterations[pproc[pid]] += static_cast<std::int64_t>(ps.line_population(pid));
-  }
-  const std::int64_t lo = space.min_step(tf.pi);
-  res.steps = space.max_step(tf.pi) - lo + 1;
-
+  in.lines([&](ProcId p, std::int64_t pop, std::int64_t /*first_step*/) {
+    res.per_proc_iterations[p] += pop;
+  });
   std::int64_t max_iters = 0;
   for (std::int64_t c : res.per_proc_iterations) max_iters = std::max(max_iters, c);
   res.compute_bottleneck = Cost{max_iters * opts.flops_per_iteration, 0, 0};
-
-  const std::int64_t sigma = ps.step_stride();
 
   if (opts.accounting == CommAccounting::PaperMaxChannel) {
     // Channel volumes need no step resolution at all: one bundle contributes
     // its whole arc count to the unordered processor pair.
     std::map<std::pair<ProcId, ProcId>, std::int64_t> channel;
-    for_each_line_dep(space, ps, [&](const LineDepArcs& b) {
-      ProcId src = pproc[b.point];
-      ProcId dst = pproc[b.target];
+    in.bundles([&](ProcId src, ProcId dst, std::int64_t count, std::int64_t /*first_step*/) {
       if (src == dst) return;
       std::int64_t units =
           opts.charge_hops ? static_cast<std::int64_t>(topo.distance(src, dst)) : 1;
       auto key = std::minmax(src, dst);
-      channel[{key.first, key.second}] += units * b.count;
-      res.messages += b.count;
-      res.words += b.count;
+      channel[{key.first, key.second}] += units * count;
+      res.messages += count;
+      res.words += count;
     });
     std::int64_t worst = 0;
     for (const auto& [pair, units] : channel) worst = std::max(worst, units);
     res.comm_bottleneck = Cost{0, worst, worst};
     res.total = res.compute_bottleneck + res.comm_bottleneck;
     res.time = res.total.value(machine);
-    emit_symbolic_metrics(opts, res);
     return res;
   }
 
@@ -551,12 +546,12 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
   };
 
   std::vector<std::vector<std::int64_t>> iters(nprocs, std::vector<std::int64_t>(nsteps, 0));
-  for (std::size_t pid = 0; pid < ps.point_count(); ++pid) {
-    std::int64_t t0 = tf.step_of(ps.line_representative(pid)) - lo;
-    std::int64_t end = t0 + static_cast<std::int64_t>(ps.line_population(pid)) * sigma;
-    iters[pproc[pid]][t0] += 1;
-    if (end < nsteps) iters[pproc[pid]][end] -= 1;
-  }
+  in.lines([&](ProcId p, std::int64_t pop, std::int64_t first_step) {
+    std::int64_t t0 = first_step - lo;
+    std::int64_t end = t0 + pop * sigma;
+    iters[p][t0] += 1;
+    if (end < nsteps) iters[p][end] -= 1;
+  });
   for (auto& v : iters) strided_prefix(v);
 
   struct Channel {
@@ -567,19 +562,17 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
   };
   std::map<std::pair<ProcId, ProcId>, std::size_t> channel_index;
   std::vector<Channel> channels;
-  for_each_line_dep(space, ps, [&](const LineDepArcs& b) {
-    ProcId src = pproc[b.point];
-    ProcId dst = pproc[b.target];
+  in.bundles([&](ProcId src, ProcId dst, std::int64_t count, std::int64_t first_step) {
     if (src == dst) return;
-    res.words += b.count;
+    res.words += count;
     auto [it, inserted] = channel_index.try_emplace({src, dst}, channels.size());
     if (inserted) channels.push_back({src, dst, std::vector<std::int64_t>(nsteps, 0), 0});
     Channel& ch = channels[it->second];
-    std::int64_t t0 = b.first_step - lo;
-    std::int64_t end = t0 + b.count * sigma;
+    std::int64_t t0 = first_step - lo;
+    std::int64_t end = t0 + count * sigma;
     ch.words[t0] += 1;
     if (end < nsteps) ch.words[end] -= 1;
-    ch.total_words += b.count;
+    ch.total_words += count;
   });
   for (Channel& ch : channels) strided_prefix(ch.words);
 
@@ -642,7 +635,6 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
     }
     res.total = total;
     res.time = total.value(machine);
-    emit_symbolic_metrics(opts, res);
     return res;
   }
 
@@ -679,6 +671,82 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
   }
   res.total = total;
   res.time = total.value(machine);
+  return res;
+}
+
+}  // namespace
+
+SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
+                             const Mapping& mapping, const Topology& topo,
+                             const MachineParams& machine, const SimOptions& opts) {
+  if (!opts.faults.empty())
+    throw Error(ErrorKind::Config,
+                "simulate_execution: fault injection requires the dense space mode");
+  const ProjectedStructure& ps = grouping.projected();
+  const TimeFunction& tf = ps.time_function();
+  if (mapping.block_to_proc.size() != grouping.group_count())
+    throw std::invalid_argument("simulate_execution: mapping/partition size mismatch");
+  if (topo.size() < mapping.processor_count)
+    throw std::invalid_argument("simulate_execution: topology smaller than processor count");
+
+  // Processor of every projection line; a line's points all live in one
+  // block, so per-processor loads are sums of line populations.
+  std::vector<ProcId> pproc(ps.point_count());
+  for (std::size_t pid = 0; pid < ps.point_count(); ++pid)
+    pproc[pid] = mapping.block_to_proc[grouping.group_of_point(pid)];
+
+  SymbolicFeed feed;
+  feed.nprocs = mapping.processor_count;
+  feed.lo = space.min_step(tf.pi);
+  feed.steps = space.max_step(tf.pi) - feed.lo + 1;
+  feed.sigma = ps.step_stride();
+  feed.lines = [&](const std::function<void(ProcId, std::int64_t, std::int64_t)>& v) {
+    for (std::size_t pid = 0; pid < ps.point_count(); ++pid)
+      v(pproc[pid], static_cast<std::int64_t>(ps.line_population(pid)),
+        tf.step_of(ps.line_representative(pid)));
+  };
+  feed.bundles = [&](const std::function<void(ProcId, ProcId, std::int64_t, std::int64_t)>& v) {
+    for_each_line_dep(space, ps, [&](const LineDepArcs& b) {
+      v(pproc[b.point], pproc[b.target], b.count, b.first_step);
+    });
+  };
+  SimResult res = simulate_symbolic_core(feed, topo, machine, opts);
+  emit_symbolic_metrics(opts, res);
+  return res;
+}
+
+SimResult simulate_execution(const GroupLattice& lattice, const LatticeHypercubeMapping& mapping,
+                             const Topology& topo, const MachineParams& machine,
+                             const SimOptions& opts) {
+  if (!opts.faults.empty())
+    throw Error(ErrorKind::Config,
+                "simulate_execution: fault injection requires the dense space mode");
+  const IterSpace& space = lattice.space();
+  const TimeFunction& tf = lattice.time_function();
+  if (topo.size() < mapping.processor_count)
+    throw std::invalid_argument("simulate_execution: topology smaller than processor count");
+
+  auto proc_of_line = [&](std::int64_t c) {
+    return mapping.proc_of_sorted_index(lattice.sorted_index_of_group(lattice.group_of_line(c)));
+  };
+
+  SymbolicFeed feed;
+  feed.nprocs = mapping.processor_count;
+  feed.lo = space.min_step(tf.pi);
+  feed.steps = space.max_step(tf.pi) - feed.lo + 1;
+  feed.sigma = lattice.step_stride();
+  feed.lines = [&](const std::function<void(ProcId, std::int64_t, std::int64_t)>& v) {
+    lattice.for_each_line([&](std::int64_t c, std::int64_t pop, std::int64_t first_step) {
+      v(proc_of_line(c), pop, first_step);
+    });
+  };
+  feed.bundles = [&](const std::function<void(ProcId, ProcId, std::int64_t, std::int64_t)>& v) {
+    lattice.for_each_arc_bundle(
+        [&](std::int64_t c, std::size_t k, std::int64_t count, std::int64_t first_step) {
+          v(proc_of_line(c), proc_of_line(c + lattice.line_shift(k)), count, first_step);
+        });
+  };
+  SimResult res = simulate_symbolic_core(feed, topo, machine, opts);
   emit_symbolic_metrics(opts, res);
   return res;
 }

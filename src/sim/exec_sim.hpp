@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "mapping/hypercube_map.hpp"
 #include "mapping/tig.hpp"
 #include "obs/obs.hpp"
 #include "partition/blocks.hpp"
+#include "partition/group_lattice.hpp"
 #include "sim/machine.hpp"
 #include "topology/topology.hpp"
 
@@ -99,5 +101,15 @@ SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& 
 SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
                              const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts = {});
+
+/// Lattice variant: same accounting core fed from GroupLattice line/bundle
+/// sweeps and the closed-form cluster boundaries — no per-line processor
+/// array, no Group objects.  With the default PaperMaxChannel accounting,
+/// memory is O(processors²), independent of the iteration count; the
+/// per-step accountings keep their O(steps·channels) difference arrays.
+/// Same restrictions as the line-based symbolic variant (no fault plans).
+SimResult simulate_execution(const GroupLattice& lattice, const LatticeHypercubeMapping& mapping,
+                             const Topology& topo, const MachineParams& machine,
+                             const SimOptions& opts = {});
 
 }  // namespace hypart

@@ -16,6 +16,24 @@ TEST(Gray, DecodeInvertsEncode) {
   EXPECT_EQ(gray_decode(gray_encode(0xDEADBEEFULL)), 0xDEADBEEFULL);
 }
 
+TEST(Gray, ExhaustiveRoundTripTo16Bits) {
+  // Exhaustive over the full 16-bit range, both directions: encode/decode
+  // are mutually inverse bijections on [0, 2^16).
+  for (std::uint64_t i = 0; i < (1ULL << 16); ++i) {
+    ASSERT_EQ(gray_decode(gray_encode(i)), i) << i;
+    ASSERT_EQ(gray_encode(gray_decode(i)), i) << i;
+  }
+}
+
+TEST(Gray, DecodeCoversAllSixtyFourBits) {
+  // The unrolled XOR-shift decode must fold across every bit position;
+  // a decode that stopped at 32 bits would fail the top-bit cases.
+  EXPECT_EQ(gray_decode(gray_encode(~0ULL)), ~0ULL);
+  EXPECT_EQ(gray_decode(gray_encode(1ULL << 63)), 1ULL << 63);
+  EXPECT_EQ(gray_decode(1ULL << 63), ~0ULL);  // prefix-XOR of the top bit
+  EXPECT_EQ(gray_decode(gray_encode(0x8000000080000001ULL)), 0x8000000080000001ULL);
+}
+
 TEST(Gray, AdjacentCodesDifferInOneBit) {
   for (std::uint64_t i = 0; i + 1 < 1024; ++i)
     EXPECT_EQ(popcount64(gray_encode(i) ^ gray_encode(i + 1)), 1u) << i;

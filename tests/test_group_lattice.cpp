@@ -1,0 +1,327 @@
+// Property suite for the closed-form group lattice: every quantity the
+// lattice derives symbolically (group count, population multiset, block
+// statistics, per-offset TIG arc weights, Algorithm 2 cube assignment,
+// theorem/lemma verdicts) must equal the dense Algorithm 1/2 pipeline on
+// the same nest — over fixed paper workloads AND randomized rectangular
+// and triangular nests of depth <= 3.
+#include "partition/group_lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <random>
+
+#include "core/pipeline.hpp"
+#include "graph/comp_structure.hpp"
+#include "loop/iter_space.hpp"
+#include "mapping/hypercube_map.hpp"
+#include "mapping/tig.hpp"
+#include "partition/blocks.hpp"
+#include "partition/projection.hpp"
+#include "schedule/hyperplane.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hypart {
+namespace {
+
+/// Run both pipelines on `nest` and compare every lattice-derived quantity
+/// against its dense counterpart.  `pi` empty means "search".
+void expect_lattice_matches_dense(const LoopNest& nest, const IntVec& pi_or_empty,
+                                  unsigned cube_dim, bool weighted) {
+  SCOPED_TRACE(nest.name() + " dim=" + std::to_string(cube_dim) +
+               (weighted ? " weighted" : ""));
+
+  // Dense side: materialized Algorithm 1 + 2.
+  ComputationStructure q = ComputationStructure::from_loop(nest);
+  TimeFunction tf{pi_or_empty};
+  if (pi_or_empty.empty()) {
+    std::optional<TimeFunction> searched = search_time_function(q);
+    ASSERT_TRUE(searched.has_value());
+    tf = *searched;
+  }
+  ProjectedStructure ps(q, tf);
+  Grouping grouping = Grouping::compute(ps);
+  Partition partition = Partition::build(q, grouping);
+  PartitionStats stats = compute_partition_stats(q, partition);
+  TaskInteractionGraph tig = TaskInteractionGraph::from_partition(q, partition, grouping);
+  HypercubeMapOptions mopts;
+  mopts.weighted = weighted;
+  HypercubeMappingResult dense_map = map_to_hypercube(tig, cube_dim, mopts);
+
+  // Symbolic side: the closed-form lattice.
+  DependenceInfo dep = analyze_dependences(nest);
+  IterSpace space(nest, dep.distance_vectors());
+  std::optional<GroupLattice> gl = GroupLattice::build(space, tf);
+  ASSERT_TRUE(gl.has_value()) << "lattice gate unexpectedly refused";
+
+  // Frame quantities.
+  EXPECT_EQ(gl->line_count(), ps.point_count());
+  EXPECT_EQ(gl->group_count(), grouping.group_count());
+  EXPECT_EQ(gl->group_size_r(), grouping.group_size_r());
+  EXPECT_EQ(gl->beta(), grouping.beta());
+  EXPECT_EQ(gl->sum_line_populations(gl->c_min(), gl->c_max()), space.size());
+
+  // Dense group id of each lattice coordinate.  Non-degenerate groups carry
+  // their 1-D lattice coordinate; degenerate group ids follow the lex point
+  // order, which is exactly the lattice's sorted index.
+  const std::uint64_t ngroups = gl->group_count();
+  std::vector<std::size_t> gid(ngroups);
+  if (gl->degenerate()) {
+    std::iota(gid.begin(), gid.end(), std::size_t{0});
+  } else {
+    std::map<std::int64_t, std::size_t> by_coord;
+    for (std::size_t i = 0; i < grouping.group_count(); ++i) {
+      const IntVec& lat = grouping.groups()[i].lattice;
+      ASSERT_EQ(lat.size(), 1u);
+      ASSERT_TRUE(by_coord.emplace(lat[0], i).second);
+    }
+    for (std::uint64_t k = 0; k < ngroups; ++k) {
+      auto it = by_coord.find(gl->group_at_sorted_index(k));
+      ASSERT_NE(it, by_coord.end()) << "lattice coord with no dense group";
+      gid[k] = it->second;
+    }
+  }
+
+  // Per-group populations (== dense block sizes, by id, hence as multisets).
+  for (std::uint64_t k = 0; k < ngroups; ++k) {
+    std::int64_t a = gl->group_at_sorted_index(k);
+    ASSERT_EQ(partition.blocks()[gid[k]].group_id, gid[k]);
+    EXPECT_EQ(gl->group_population(a),
+              static_cast<std::int64_t>(partition.blocks()[gid[k]].iterations.size()))
+        << "group " << a;
+    EXPECT_EQ(gl->group_lattice_coord(a), grouping.groups()[gid[k]].lattice);
+  }
+
+  // One sweep: block stats, arc totals, verdicts.
+  LatticeSweepResult sw = gl->sweep(true);
+  EXPECT_EQ(sw.stats.group_count, ngroups);
+  EXPECT_EQ(sw.stats.total_iterations, space.size());
+  EXPECT_EQ(sw.stats.min_block, static_cast<std::int64_t>(partition.min_block_size()));
+  EXPECT_EQ(sw.stats.max_block, static_cast<std::int64_t>(partition.max_block_size()));
+  EXPECT_EQ(sw.partition.total_arcs, stats.total_arcs);
+  EXPECT_EQ(sw.partition.interblock_arcs, stats.interblock_arcs);
+  EXPECT_EQ(sw.partition.intrablock_arcs, stats.intrablock_arcs);
+  EXPECT_TRUE(sw.exact_cover);
+
+  // TIG arc weights aggregated per lattice offset.  The dense TIG's edge
+  // (u, v, weight) contributes to |coord(v) - coord(u)|; the sweep's
+  // (dep, offset) weights aggregate to the same histogram.
+  std::vector<std::int64_t> coord_of_gid(ngroups);
+  for (std::uint64_t k = 0; k < ngroups; ++k)
+    coord_of_gid[gid[k]] = gl->group_at_sorted_index(k);
+  std::map<std::int64_t, std::int64_t> dense_off, sym_off;
+  for (const auto& [edge, weight] : tig.edges()) {
+    std::int64_t off = std::llabs(coord_of_gid[edge.second] - coord_of_gid[edge.first]);
+    dense_off[off] += weight;
+  }
+  std::int64_t sym_intra = 0;
+  for (const auto& [key, weight] : sw.offset_weights) {
+    if (key.second == 0)
+      sym_intra += weight;
+    else
+      sym_off[std::llabs(key.second)] += weight;
+  }
+  EXPECT_EQ(sym_off, dense_off);
+  EXPECT_EQ(sym_intra, static_cast<std::int64_t>(stats.intrablock_arcs));
+
+  // Algorithm 2: identical processor per group.
+  LatticeHypercubeMapping lm = map_to_hypercube(*gl, cube_dim, mopts);
+  EXPECT_EQ(lm.processor_count, dense_map.mapping.processor_count);
+  EXPECT_EQ(lm.cube_dim, cube_dim);
+  for (std::uint64_t k = 0; k < ngroups; ++k)
+    EXPECT_EQ(lm.proc_of_sorted_index(k), dense_map.mapping.block_to_proc[gid[k]])
+        << "sorted index " << k;
+
+  // Boxes tile [a_min, a_max].
+  std::vector<GroupLattice::GroupBox> boxes = gl->enumerate_boxes();
+  ASSERT_FALSE(boxes.empty());
+  std::int64_t lo = boxes.front().a_lo, hi = boxes.front().a_hi;
+  for (const GroupLattice::GroupBox& b : boxes) {
+    EXPECT_LE(b.a_lo, b.a_hi);
+    EXPECT_LE(b.c_lo, b.c_hi);
+    lo = std::min(lo, b.a_lo);
+    hi = std::max(hi, b.a_hi);
+    EXPECT_EQ(gl->group_of_line(b.c_lo) == b.a_lo || gl->group_of_line(b.c_lo) == b.a_hi, true);
+  }
+  EXPECT_EQ(lo, gl->a_min());
+  EXPECT_EQ(hi, gl->a_max());
+}
+
+TEST(GroupLattice, PaperWorkloadsMatchDense) {
+  expect_lattice_matches_dense(workloads::example_l1(), {1, 1}, 2, false);
+  expect_lattice_matches_dense(workloads::sor2d(10, 7), {1, 1}, 3, false);
+  expect_lattice_matches_dense(workloads::sor2d(9, 9), {1, 1}, 3, true);
+  expect_lattice_matches_dense(workloads::triangular_matvec(9), {1, 1}, 2, false);
+  expect_lattice_matches_dense(workloads::matrix_vector(8), {}, 3, false);
+  expect_lattice_matches_dense(workloads::convolution1d(9, 4), {}, 2, false);
+  expect_lattice_matches_dense(workloads::dft_horner(7), {}, 2, true);
+}
+
+TEST(GroupLattice, RandomizedRectangularAndTriangularNests) {
+  // Deterministic seed: the suite must be reproducible.
+  std::mt19937 rng(0xC0FFEE);
+  auto pick = [&](std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng);
+  };
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    unsigned cube_dim = static_cast<unsigned>(pick(0, 3));
+    bool weighted = pick(0, 1) == 1;
+    switch (trial % 5) {
+      case 0:
+        expect_lattice_matches_dense(workloads::sor2d(pick(2, 14), pick(2, 14)), {1, 1},
+                                     cube_dim, weighted);
+        break;
+      case 1:
+        expect_lattice_matches_dense(workloads::example_l1(pick(2, 9)), {1, 1}, cube_dim,
+                                     weighted);
+        break;
+      case 2:
+        expect_lattice_matches_dense(workloads::triangular_matvec(pick(3, 14)), {1, 1},
+                                     cube_dim, weighted);
+        break;
+      case 3:
+        expect_lattice_matches_dense(workloads::matrix_vector(pick(3, 14)), {}, cube_dim,
+                                     weighted);
+        break;
+      default: {
+        std::int64_t n = pick(5, 12);
+        expect_lattice_matches_dense(workloads::convolution1d(n, pick(2, n - 2)), {}, cube_dim,
+                                     weighted);
+        break;
+      }
+    }
+  }
+}
+
+TEST(GroupLattice, GroupingVectorOverrideMatchesDense) {
+  // Both of sor2d's dependences attain the maximal replication factor, so
+  // either is a legal override; the lattice must follow the same choice.
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}}) {
+    SCOPED_TRACE("override dep " + std::to_string(k));
+    LoopNest nest = workloads::sor2d(8, 6);
+    ComputationStructure q = ComputationStructure::from_loop(nest);
+    TimeFunction tf{IntVec{1, 1}};
+    ProjectedStructure ps(q, tf);
+    GroupingOptions opts;
+    opts.grouping_vector = k;
+    Grouping grouping = Grouping::compute(ps, opts);
+    ASSERT_EQ(grouping.grouping_vector_index(), k);
+
+    DependenceInfo dep = analyze_dependences(nest);
+    IterSpace space(nest, dep.distance_vectors());
+    std::optional<GroupLattice> gl = GroupLattice::build(space, tf, opts);
+    ASSERT_TRUE(gl.has_value());
+    EXPECT_EQ(gl->grouping_vector_index(), k);
+    EXPECT_EQ(gl->group_count(), grouping.group_count());
+    Partition partition = Partition::build(q, grouping);
+    EXPECT_EQ(gl->sweep(false).stats.max_block,
+              static_cast<std::int64_t>(partition.max_block_size()));
+  }
+}
+
+TEST(GroupLattice, GateRefusesOutOfClassNests) {
+  TimeFunction tf2{IntVec{1, 1}};
+
+  // 3-D nests: the lattice is strictly 2-D; run_pipeline must fall back.
+  {
+    DependenceInfo dep = analyze_dependences(workloads::matrix_multiplication(4));
+    IterSpace space(workloads::matrix_multiplication(4), dep.distance_vectors());
+    EXPECT_FALSE(GroupLattice::build(space, TimeFunction{IntVec{1, 1, 1}}).has_value());
+  }
+  // Strided chains: |gamma| > 1 leaves holes in the slot chain.
+  {
+    DependenceInfo dep = analyze_dependences(workloads::strided_recurrence(9, 3));
+    IterSpace space(workloads::strided_recurrence(9, 3), dep.distance_vectors());
+    EXPECT_FALSE(GroupLattice::build(space, tf2).has_value());
+  }
+  // Non-default seed policy: the closed form reproduces Lexicographic only.
+  {
+    DependenceInfo dep = analyze_dependences(workloads::sor2d(6, 6));
+    IterSpace space(workloads::sor2d(6, 6), dep.distance_vectors());
+    GroupingOptions opts;
+    opts.seed_policy = SeedPolicy::ExplicitBases;
+    opts.explicit_bases = {IntVec{0, 0}};
+    EXPECT_FALSE(GroupLattice::build(space, tf2, opts).has_value());
+  }
+}
+
+TEST(GroupLattice, SymbolicPipelineUsesLatticeAndVerifyAgrees) {
+  // Symbolic mode on an in-class nest must take the pure lattice path (no
+  // groups materialized); verify mode re-runs every stage densely and
+  // throws on any disagreement — including the lattice cross-checks.
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.space_mode = SpaceMode::Symbolic;
+  PipelineResult sym = run_pipeline(workloads::sor2d(20, 20), cfg);
+  ASSERT_NE(sym.lattice, nullptr);
+  EXPECT_TRUE(sym.lattice_mapping.has_value());
+  EXPECT_TRUE(sym.lattice_stats.has_value());
+  EXPECT_TRUE(sym.block_sizes.empty());
+  EXPECT_EQ(sym.projected, nullptr);
+  EXPECT_TRUE(sym.exact_cover);
+  EXPECT_TRUE(sym.theorem1);
+  EXPECT_TRUE(sym.theorem2.holds);
+
+  cfg.space_mode = SpaceMode::Verify;
+  PipelineResult ver = run_pipeline(workloads::sor2d(20, 20), cfg);
+  EXPECT_EQ(ver.sim.time, sym.sim.time);
+  EXPECT_EQ(ver.sim.messages, sym.sim.messages);
+  EXPECT_EQ(ver.stats.interblock_arcs, sym.stats.interblock_arcs);
+}
+
+TEST(GroupLattice, Fig6MatmulVerifyRun) {
+  // Paper Fig. 6: matrix multiplication under Pi = (1,1,1).  A 3-D nest,
+  // so the lattice gate refuses and the line-based fallback must carry the
+  // symbolic path; verify mode asserts dense/symbolic equality throughout.
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1, 1};
+  cfg.space_mode = SpaceMode::Verify;
+  PipelineResult r = run_pipeline(workloads::matrix_multiplication(), cfg);
+  EXPECT_EQ(r.lattice, nullptr);  // out of the lattice class
+  EXPECT_EQ(r.grouping.group_size_r(), 3);
+  EXPECT_TRUE(r.exact_cover);
+  EXPECT_TRUE(r.theorem2.holds);
+
+  cfg.space_mode = SpaceMode::Symbolic;
+  PipelineResult sym = run_pipeline(workloads::matrix_multiplication(), cfg);
+  EXPECT_EQ(sym.lattice, nullptr);
+  EXPECT_EQ(sym.block_sizes.size(), r.block_sizes.size());
+  EXPECT_EQ(sym.sim.time, r.sim.time);
+}
+
+TEST(GroupLattice, LineFeedMatchesPopulationQueries) {
+  DependenceInfo dep = analyze_dependences(workloads::triangular_matvec(11));
+  IterSpace space(workloads::triangular_matvec(11), dep.distance_vectors());
+  TimeFunction tf{IntVec{1, 1}};
+  std::optional<GroupLattice> gl = GroupLattice::build(space, tf);
+  ASSERT_TRUE(gl.has_value());
+  std::int64_t expect_c = gl->c_min();
+  std::uint64_t total = 0;
+  gl->for_each_line([&](std::int64_t c, std::int64_t pop, std::int64_t first_step) {
+    EXPECT_EQ(c, expect_c++);
+    EXPECT_EQ(pop, gl->line_population(c));
+    EXPECT_GT(pop, 0);
+    (void)first_step;
+    total += static_cast<std::uint64_t>(pop);
+  });
+  EXPECT_EQ(expect_c, gl->c_max() + 1);
+  EXPECT_EQ(total, space.size());
+
+  std::int64_t bundle_arcs = 0;
+  gl->for_each_arc_bundle(
+      [&](std::int64_t c, std::size_t k, std::int64_t count, std::int64_t first_step) {
+        EXPECT_GE(gl->line_population(c), count);
+        EXPECT_LT(k, gl->original_deps().size());
+        EXPECT_GT(count, 0);
+        (void)first_step;
+        bundle_arcs += count;
+      });
+  EXPECT_EQ(static_cast<std::size_t>(bundle_arcs), gl->sweep(false).partition.total_arcs);
+}
+
+}  // namespace
+}  // namespace hypart

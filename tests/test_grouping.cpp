@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -227,6 +228,61 @@ TEST_P(GroupingCoverProperty, AllWorkloadsCoverAllPoints) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, GroupingCoverProperty, ::testing::Values(2, 3, 4, 6));
+
+TEST(GroupingTest, LexicographicComponentNumberingIsPinned) {
+  // The strided recurrence splits the projected points into `stride`
+  // disconnected chain-residue classes — the multi-component case.  Under
+  // SeedPolicy::Lexicographic (the default), component k must be the k-th
+  // region in ascending order of its lexicographically smallest projected
+  // point, the numbering the symbolic group lattice reproduces without
+  // materializing groups.  Regression-pins that contract.
+  Built b = build(workloads::strided_recurrence(9, 3), {1, 1});
+  Grouping g = Grouping::compute(*b.ps);
+
+  std::size_t ncomp = 0;
+  for (const Group& grp : g.groups()) ncomp = std::max(ncomp, grp.component + 1);
+  ASSERT_GE(ncomp, 2u) << "want a genuinely multi-component workload";
+
+  // Component ids are contiguous from 0 and appear in nondecreasing order of
+  // first use across the group list (each region is grown to completion
+  // before the next seed is chosen).
+  std::size_t high = 0;
+  for (const Group& grp : g.groups()) {
+    EXPECT_LE(grp.component, high + 1);
+    high = std::max(high, grp.component);
+  }
+  EXPECT_EQ(high + 1, ncomp);
+
+  // The numbering key: component k's lex-smallest projected point precedes
+  // component k+1's (std::vector compares lexicographically).
+  std::vector<IntVec> comp_min(ncomp);
+  std::vector<bool> seen(ncomp, false);
+  for (const Group& grp : g.groups())
+    for (std::size_t pid : grp.members()) {
+      const IntVec& pt = b.ps->points()[pid];
+      if (!seen[grp.component] || pt < comp_min[grp.component]) {
+        comp_min[grp.component] = pt;
+        seen[grp.component] = true;
+      }
+    }
+  for (std::size_t c = 0; c + 1 < ncomp; ++c) {
+    ASSERT_TRUE(seen[c] && seen[c + 1]);
+    EXPECT_LT(comp_min[c], comp_min[c + 1]) << "component " << c;
+  }
+  // Component 0 is seeded at the global lex-minimum (points() is sorted).
+  EXPECT_EQ(comp_min[0], b.ps->points().front());
+
+  // Bitwise-identical across an independent recomputation.
+  Built b2 = build(workloads::strided_recurrence(9, 3), {1, 1});
+  Grouping g2 = Grouping::compute(*b2.ps);
+  ASSERT_EQ(g2.group_count(), g.group_count());
+  for (std::size_t i = 0; i < g.group_count(); ++i) {
+    EXPECT_EQ(g2.groups()[i].base, g.groups()[i].base);
+    EXPECT_EQ(g2.groups()[i].lattice, g.groups()[i].lattice);
+    EXPECT_EQ(g2.groups()[i].component, g.groups()[i].component);
+    EXPECT_EQ(g2.groups()[i].slots, g.groups()[i].slots);
+  }
+}
 
 }  // namespace
 }  // namespace hypart

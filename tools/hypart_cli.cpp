@@ -187,6 +187,35 @@ int cmd_analyze(const LoopNest& nest, const PipelineResult& r) {
 }
 
 int cmd_partition(const PipelineResult& r) {
+  if (r.lattice) {
+    // Pure lattice path: no per-block vectors exist; print the closed-form
+    // summary and the per-slab group boxes instead of the block table.
+    const GroupLattice& gl = *r.lattice;
+    std::printf("projected points: %llu, r = %lld, beta = %zu, blocks: %llu (lattice)\n",
+                static_cast<unsigned long long>(gl.line_count()),
+                static_cast<long long>(gl.group_size_r()), gl.beta(),
+                static_cast<unsigned long long>(gl.group_count()));
+    std::printf("interblock arcs: %zu / %zu (%.1f%%)\n", r.stats.interblock_arcs,
+                r.stats.total_arcs, 100.0 * r.stats.interblock_fraction());
+    std::printf("cover=%s theorem1=%s %s lemma2=%s lemma3=%s\n", r.exact_cover ? "ok" : "FAIL",
+                r.theorem1 ? "ok" : "FAIL", r.theorem2.to_string().c_str(),
+                r.lemmas.lemma2_holds ? "ok" : "FAIL", r.lemmas.lemma3_holds ? "ok" : "FAIL");
+    if (r.lattice_stats)
+      std::printf("block sizes: min %lld, max %lld, total %llu\n",
+                  static_cast<long long>(r.lattice_stats->min_block),
+                  static_cast<long long>(r.lattice_stats->max_block),
+                  static_cast<unsigned long long>(r.lattice_stats->total_iterations));
+    TextTable t({"box", "groups", "lines"});
+    std::vector<GroupLattice::GroupBox> boxes = gl.enumerate_boxes();
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      const GroupLattice::GroupBox& b = boxes[i];
+      t.row(i,
+            "[" + std::to_string(b.a_lo) + ", " + std::to_string(b.a_hi) + "]",
+            "[" + std::to_string(b.c_lo) + ", " + std::to_string(b.c_hi) + "]");
+    }
+    std::printf("%s", t.to_string().c_str());
+    return r.exact_cover && r.theorem1 && r.theorem2.holds ? 0 : 2;
+  }
   std::printf("projected points: %zu, r = %lld, beta = %zu, blocks: %zu\n",
               r.projected->point_count(), static_cast<long long>(r.grouping.group_size_r()),
               r.grouping.beta(), r.block_sizes.size());
@@ -205,6 +234,24 @@ int cmd_partition(const PipelineResult& r) {
 
 int cmd_map(const PipelineResult& r, unsigned dim) {
   Hypercube cube(dim);
+  if (r.lattice && r.lattice_mapping) {
+    // Lattice path: block_to_proc is never materialized; print the cluster
+    // boundaries (contiguous sorted-index intervals) per processor instead.
+    const LatticeHypercubeMapping& lm = *r.lattice_mapping;
+    std::printf("blocks: %llu -> %s, method=%s, directions=%zu\n",
+                static_cast<unsigned long long>(r.lattice->group_count()), cube.name().c_str(),
+                lm.method.c_str(), lm.directions_used);
+    TextTable t({"cluster", "processor", "sorted groups"});
+    for (std::uint64_t rank = 0; rank < lm.cluster_processor.size(); ++rank) {
+      auto [first, last] = lm.cluster_range(rank);
+      std::string range = first == last
+                              ? std::string("(empty)")
+                              : "[" + std::to_string(first) + ", " + std::to_string(last - 1) + "]";
+      t.row(rank, static_cast<std::uint64_t>(lm.cluster_processor[rank]), range);
+    }
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  }
   MappingMetrics m = evaluate_mapping(r.tig, r.mapping.mapping, cube);
   std::printf("blocks: %zu -> %s, %s\n", r.block_sizes.size(), cube.name().c_str(),
               m.to_string().c_str());
