@@ -33,6 +33,7 @@ void speedup_curves() {
     PipelineConfig cfg;
     cfg.time_function = w.pi;
     cfg.machine = machine;
+    cfg.obs = bench::obs_context();
     double seq = 0.0;
     for (unsigned dim = 0; dim <= 4; ++dim) {
       cfg.cube_dim = dim;
@@ -102,6 +103,41 @@ void bm_pipeline_wavefront(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_pipeline_wavefront)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+// Span-instrumentation overhead.  bm_pipeline_sor_obs_off is byte-for-byte
+// the same work as bm_pipeline_sor/32: with a null sink every Span reduces
+// to a pointer test, so any delta between those two is measurement noise —
+// that pair pins "profiling costs nothing when disabled".  The _nullsink
+// variant installs an obs::NullSink that discards every event; its delta
+// over _obs_off is the real cost of *enabling* instrumentation (span
+// clock/rusage/alloc reads plus the simulator's per-event trace
+// reconstruction, which a live sink switches on) and is expected to be
+// visible, not free.
+void bm_pipeline_sor_obs_off(benchmark::State& state) {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.cube_dim = 3;
+  LoopNest nest = workloads::sor2d(state.range(0), state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_pipeline_sor_obs_off)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void bm_pipeline_sor_obs_nullsink(benchmark::State& state) {
+  PipelineConfig cfg;
+  cfg.time_function = IntVec{1, 1};
+  cfg.cube_dim = 3;
+  obs::NullSink sink;
+  cfg.obs.trace = &sink;
+  LoopNest nest = workloads::sor2d(state.range(0), state.range(0));
+  for (auto _ : state) {
+    PipelineResult r = run_pipeline(nest, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_pipeline_sor_obs_nullsink)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,97 @@
+// hypart — minimal JSON parser, the read-side twin of core/json_writer.
+//
+// The observability layer writes machine-readable artifacts (metrics
+// snapshots, BENCH_*.json results, the prediction-accuracy ledger) that
+// hypart's own tooling must read back: `tools/bench_report` diffs bench
+// result sets and `hypart explain --ledger` accumulates accuracy rows
+// across runs.  This is a strict recursive-descent parser for that
+// round-trip — RFC 8259 JSON, no extensions — kept self-contained so the
+// repo stays free of external JSON dependencies.
+//
+// Numbers are parsed with std::from_chars, so parsing is locale-independent
+// and exactly inverts JsonWriter's std::to_chars formatting (shortest
+// round-trip representation).  Integral values without '.', 'e' or a
+// magnitude beyond int64 are kept as int64 so counters survive unchanged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hypart {
+
+/// A parsed JSON document node.  Object keys are kept in sorted order
+/// (std::map), matching the deterministic ordering every hypart writer
+/// already guarantees.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch (numbers
+  /// convert freely between as_int64/as_double).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; null-kind sentinel when missing or not an object.
+  [[nodiscard]] const JsonValue& get(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// get(key).as_double() with a fallback when the member is missing or
+  /// non-numeric; the lookup-with-default every report consumer wants.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t int_or(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key, const std::string& fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_int(std::int64_t i);
+  static JsonValue make_double(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> a);
+  static JsonValue make_object(std::map<std::string, JsonValue> o);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Thrown on malformed input; what() carries a byte offset and reason.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& reason);
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  Throws JsonParseError.
+JsonValue parse_json(const std::string& text);
+
+/// Parse the contents of `path`; returns nullopt-like null JsonValue and
+/// sets `error` on I/O failure or parse failure (no exceptions — callers
+/// are CLI tools that want a message, not a stack).
+bool parse_json_file(const std::string& path, JsonValue& out, std::string& error);
+
+}  // namespace hypart

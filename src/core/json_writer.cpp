@@ -1,6 +1,7 @@
 #include "core/json_writer.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace hypart {
@@ -71,9 +72,18 @@ JsonWriter& JsonWriter::value(const std::string& v) {
 JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
 JsonWriter& JsonWriter::value(double v) {
   comma();
-  char buf[32];
-  auto res = std::to_chars(buf, buf + sizeof buf, v);
-  out_.append(buf, res.ptr);
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Infinity literal; null is the lossless-in-kind choice
+    // (readers see "value absent", never a locale-dependent "nan" token).
+    out_ += "null";
+  } else {
+    // std::to_chars emits the shortest representation that round-trips
+    // exactly, and never consults the C locale (no "1,5" under de_DE) —
+    // both properties are pinned by tests/test_json_reader.cpp.
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out_.append(buf, res.ptr);
+  }
   need_comma_ = true;
   return *this;
 }

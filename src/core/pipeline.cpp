@@ -60,11 +60,11 @@ PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   obs::TraceSink* sink = config.obs.trace;
   obs::MetricsRegistry* reg = config.obs.metrics;
   emit_pipeline_names(sink);
-  obs::ScopedSpan total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
+  obs::Span total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
                              obs::kPipelineTid, {{"loop", nest.name()}});
 
   {
-    obs::ScopedSpan span(sink, "dependence_analysis", "pipeline");
+    obs::Span span(sink, "dependence_analysis", "pipeline");
     r.dependence = analyze_dependences(nest, config.dependence);
     IndexSet is(nest);
     r.structure =
@@ -80,7 +80,7 @@ PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   }
 
   {
-    obs::ScopedSpan span(sink, "time_function", "pipeline");
+    obs::Span span(sink, "time_function", "pipeline");
     std::optional<TimeFunction> searched;
     if (!config.time_function) searched = search_time_function(*r.structure, config.tf_search);
     r.time_function = choose_time_function(config, r.structure->dependences(), searched);
@@ -88,7 +88,7 @@ PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   }
 
   {
-    obs::ScopedSpan span(sink, "partition", "pipeline");
+    obs::Span span(sink, "partition", "pipeline");
     r.projected = std::make_unique<ProjectedStructure>(*r.structure, r.time_function);
     r.grouping = Grouping::compute(*r.projected, config.grouping);
     r.partition = Partition::build(*r.structure, r.grouping);
@@ -109,7 +109,7 @@ PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   }
 
   {
-    obs::ScopedSpan span(sink, "mapping", "pipeline");
+    obs::Span span(sink, "mapping", "pipeline");
     r.tig = TaskInteractionGraph::from_partition(*r.structure, r.partition, r.grouping);
     HypercubeMapOptions map_opts = config.mapping;
     map_opts.obs = config.obs;
@@ -122,13 +122,13 @@ PipelineResult run_dense(const LoopNest& nest, const PipelineConfig& config) {
   sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
   sim_opts.obs = config.obs;
   {
-    obs::ScopedSpan span(sink, "simulate", "pipeline");
+    obs::Span span(sink, "simulate", "pipeline");
     r.sim = simulate_execution(*r.structure, r.time_function, r.partition, r.mapping.mapping,
                                cube, config.machine, sim_opts);
   }
 
   if (config.validate) {
-    obs::ScopedSpan span(sink, "validate", "pipeline");
+    obs::Span span(sink, "validate", "pipeline");
     r.exact_cover = check_exact_cover(*r.structure, r.partition);
     r.theorem1 = check_theorem1(*r.structure, r.time_function, r.partition);
     r.theorem2 = check_theorem2(r.grouping);
@@ -143,11 +143,11 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   obs::TraceSink* sink = config.obs.trace;
   obs::MetricsRegistry* reg = config.obs.metrics;
   emit_pipeline_names(sink);
-  obs::ScopedSpan total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
+  obs::Span total_span(sink, "run_pipeline", "pipeline", obs::kPipelinePid,
                              obs::kPipelineTid, {{"loop", nest.name()}});
 
   {
-    obs::ScopedSpan span(sink, "dependence_analysis", "pipeline");
+    obs::Span span(sink, "dependence_analysis", "pipeline");
     r.dependence = analyze_dependences(nest, config.dependence);
     r.space = std::make_unique<IterSpace>(
         build_iter_space(nest, r.dependence, SpaceMode::Symbolic));
@@ -162,7 +162,7 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   }
 
   {
-    obs::ScopedSpan span(sink, "time_function", "pipeline");
+    obs::Span span(sink, "time_function", "pipeline");
     std::optional<TimeFunction> searched;
     if (!config.time_function) searched = search_time_function(*r.space, config.tf_search);
     r.time_function = choose_time_function(config, r.space->dependences(), searched);
@@ -178,11 +178,17 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   // statistics, simulation, and the theorem checks all run off the
   // GroupLattice — no ProjectedStructure, no Group objects, no per-group
   // vectors (pipeline.groups_materialized = 0).
-  if (auto built = GroupLattice::build(*r.space, r.time_function, config.grouping)) {
+  std::optional<GroupLattice> built;
+  {
+    obs::Span span(sink, "lattice_build", "pipeline");
+    built = GroupLattice::build(*r.space, r.time_function, config.grouping);
+    span.arg("admitted", static_cast<std::int64_t>(built.has_value() ? 1 : 0));
+  }
+  if (built) {
     r.lattice = std::make_unique<GroupLattice>(std::move(*built));
     LatticeSweepResult sweep;
     {
-      obs::ScopedSpan span(sink, "partition", "pipeline");
+      obs::Span span(sink, "partition", "pipeline");
       sweep = r.lattice->sweep(config.validate);
       r.stats = sweep.partition;
       r.lattice_stats = sweep.stats;
@@ -197,14 +203,14 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
       reg->add("pipeline.total_arcs", static_cast<std::int64_t>(r.stats.total_arcs));
     }
     {
-      obs::ScopedSpan span(sink, "mapping", "pipeline");
+      obs::Span span(sink, "mapping", "pipeline");
       HypercubeMapOptions map_opts = config.mapping;
       map_opts.obs = config.obs;
       r.lattice_mapping = map_to_hypercube(*r.lattice, config.cube_dim, map_opts);
       span.arg("processors", static_cast<std::int64_t>(r.lattice_mapping->processor_count));
     }
     {
-      obs::ScopedSpan span(sink, "simulate", "pipeline");
+      obs::Span span(sink, "simulate", "pipeline");
       r.sim = simulate_execution(*r.lattice, *r.lattice_mapping, cube, config.machine, sim_opts);
     }
     if (config.validate) {
@@ -219,7 +225,7 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   // Fallback: the line-based symbolic path (still point-free, but one Group
   // per group is materialized — the metric records how many).
   {
-    obs::ScopedSpan span(sink, "partition", "pipeline");
+    obs::Span span(sink, "partition", "pipeline");
     r.projected = std::make_unique<ProjectedStructure>(*r.space, r.time_function);
     r.grouping = Grouping::compute(*r.projected, config.grouping);
     r.block_sizes = symbolic_block_sizes(r.grouping);
@@ -236,7 +242,7 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   }
 
   {
-    obs::ScopedSpan span(sink, "mapping", "pipeline");
+    obs::Span span(sink, "mapping", "pipeline");
     r.tig = TaskInteractionGraph::from_symbolic(*r.space, r.grouping);
     HypercubeMapOptions map_opts = config.mapping;
     map_opts.obs = config.obs;
@@ -245,13 +251,13 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   }
 
   {
-    obs::ScopedSpan span(sink, "simulate", "pipeline");
+    obs::Span span(sink, "simulate", "pipeline");
     r.sim = simulate_execution(*r.space, r.grouping, r.mapping.mapping, cube, config.machine,
                                sim_opts);
   }
 
   if (config.validate) {
-    obs::ScopedSpan span(sink, "validate", "pipeline");
+    obs::Span span(sink, "validate", "pipeline");
     r.exact_cover = check_exact_cover(*r.space, r.grouping);
     r.theorem1 = check_theorem1(*r.space, r.grouping);
     r.theorem2 = check_theorem2(r.grouping);
@@ -274,7 +280,7 @@ bool digraph_weights_equal(const Digraph& a, const Digraph& b) {
 /// Error(ErrorKind::Internal) naming the first stage that disagrees.
 void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
                              PipelineResult& r) {
-  obs::ScopedSpan span(config.obs.trace, "verify_symbolic", "pipeline");
+  obs::Span span(config.obs.trace, "verify_symbolic", "pipeline");
   r.space = std::make_unique<IterSpace>(build_iter_space(nest, r.dependence, SpaceMode::Verify));
   auto fail = [](const std::string& what) {
     throw Error(ErrorKind::Internal,

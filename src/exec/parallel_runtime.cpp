@@ -183,7 +183,14 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
   std::vector<std::int64_t> proc_messages(nprocs, 0);
   std::vector<std::int64_t> proc_halo(nprocs, 0);
   std::vector<double> span_begin(nprocs, 0.0), span_end(nprocs, 0.0);
-  const bool timing = obs.trace != nullptr;
+  std::vector<double> proc_compute_us(nprocs, 0.0);
+  std::vector<double> proc_wait_us(nprocs, 0.0);
+  std::vector<double> proc_send_us(nprocs, 0.0);
+  const bool measure = options.measure_phases;
+  const bool timing = obs.trace != nullptr || measure;
+
+  obs::Span run_span(obs.trace, "run_parallel", "runtime", obs::kPipelinePid, obs::kPipelineTid,
+                     {{"threads", static_cast<std::int64_t>(nprocs)}});
 
   // Injected death: a dead worker's mailbox is closed *before* any thread
   // starts, so no send can slip a message in during worker startup — the
@@ -209,11 +216,22 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
       pending.clear();
     };
 
+    // Phase clocks (measure_phases): accumulate how long this worker spent
+    // blocked on receives, computing iteration bodies, and posting sends.
+    // Each phase costs two steady_clock reads; off the measured path the
+    // lambda bodies never run.
+    using phase_clock = std::chrono::steady_clock;
+    auto phase_us = [](phase_clock::time_point a, phase_clock::time_point b) {
+      return std::chrono::duration<double, std::micro>(b - a).count();
+    };
+
     for (std::size_t vid : my_order[me]) {
       // Block until every remote input of this iteration has arrived.  The
       // watchdog deadline restarts whenever progress (any delivery) is
       // made; expiring with nothing delivered means the schedule is stuck.
       if (expected[vid] > 0) {
+        phase_clock::time_point w0;
+        if (measure) w0 = phase_clock::now();
         blocked_vid[me].store(static_cast<std::int64_t>(vid), std::memory_order_relaxed);
         std::unique_lock<std::mutex> lock(mailbox[me].mutex);
         auto deadline = std::chrono::steady_clock::now() + recv_timeout;
@@ -249,8 +267,11 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
         }
         blocked_vid[me].store(kRunning, std::memory_order_relaxed);
         outstanding[me].store(0, std::memory_order_relaxed);
+        if (measure) proc_wait_us[me] += phase_us(w0, phase_clock::now());
       }
 
+      phase_clock::time_point c0;
+      if (measure) c0 = phase_clock::now();
       const IntVec& iter = q.vertices()[vid];
       const std::int64_t step = tf.step_of(iter);
       auto load = [&](const std::string& array, const IntVec& element) {
@@ -268,6 +289,11 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
         IntVec element = eval_subscripts(w.subscripts, iter);
         local.store(w.array, element, value);
         writes[me].push_back({w.array, std::move(element), step, value});
+      }
+      if (measure) {
+        phase_clock::time_point now = phase_clock::now();
+        proc_compute_us[me] += phase_us(c0, now);
+        c0 = now;  // reuse as the send-phase start
       }
 
       // Forward produced/consumed values along every crossing dependence.
@@ -309,6 +335,7 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
         messages_sent.fetch_add(1, std::memory_order_relaxed);
         ++proc_messages[me];
       }
+      if (measure) proc_send_us[me] += phase_us(c0, phase_clock::now());
     }
     blocked_vid[me].store(kDone, std::memory_order_relaxed);
     if (timing) span_end[me] = obs::wall_clock_us();
@@ -375,6 +402,13 @@ ParallelRunResult run_parallel(const LoopNest& nest, const ComputationStructure&
   result.stats.threads = nprocs;
   result.stats.per_proc_messages = proc_messages;
   result.stats.max_mailbox_depth = max_depth;
+  if (measure) {
+    result.stats.per_proc_compute_us = proc_compute_us;
+    result.stats.per_proc_wait_us = proc_wait_us;
+    result.stats.per_proc_send_us = proc_send_us;
+    for (ProcId p = 0; p < nprocs; ++p)
+      result.stats.wall_us = std::max(result.stats.wall_us, span_end[p] - span_begin[p]);
+  }
 
   if (obs.trace != nullptr) {
     for (ProcId p = 0; p < nprocs; ++p) {

@@ -33,6 +33,18 @@ struct ParallelRunStats {
   /// brewing stall — exposed as metric `runtime.max_mailbox_depth` so runs
   /// are diagnosable before the watchdog fires.
   std::int64_t max_mailbox_depth = 0;
+  /// Per-worker phase clocks, filled only when
+  /// ParallelRunOptions::measure_phases is set: microseconds each worker
+  /// spent computing iterations, blocked on receives, and posting sends.
+  /// The three phases tile a worker's span up to loop overhead, so the
+  /// accuracy ledger (obs/ledger.hpp) can attribute measured time to the
+  /// same components the cost model predicts.
+  std::vector<double> per_proc_compute_us;
+  std::vector<double> per_proc_wait_us;
+  std::vector<double> per_proc_send_us;
+  /// Longest worker span in microseconds (the measured critical path);
+  /// 0 unless measure_phases.
+  double wall_us = 0.0;
 };
 
 struct ParallelRunResult {
@@ -55,6 +67,10 @@ struct ParallelRunOptions {
   std::vector<ProcId> dead_workers;
   /// Delivery attempts to a closed mailbox before giving up (>= 1).
   int delivery_attempts = 4;
+  /// Record per-worker compute/wait/send phase clocks into
+  /// ParallelRunStats (two steady_clock reads per phase per iteration).
+  /// Off by default so the fast path stays measurement-free.
+  bool measure_phases = false;
 };
 
 /// Execute the partitioned, mapped nest on one OS thread per processor.

@@ -25,10 +25,10 @@ HypercubeMappingResult map_to_hypercube(const TaskInteractionGraph& tig, unsigne
   obs::TraceSink* sink = options.obs.trace;
   if (sink != nullptr)
     obs::emit_thread_name(sink, obs::kPipelinePid, obs::kMappingTid, "mapping search");
-  obs::ScopedSpan map_span(sink, "map_to_hypercube", "mapping", obs::kPipelinePid,
-                           obs::kMappingTid,
-                           {{"blocks", static_cast<std::int64_t>(nverts)},
-                            {"cube_dim", static_cast<std::int64_t>(cube_dim)}});
+  obs::Span map_span(sink, "map_to_hypercube", "mapping", obs::kPipelinePid,
+                     obs::kMappingTid,
+                     {{"blocks", static_cast<std::int64_t>(nverts)},
+                      {"cube_dim", static_cast<std::int64_t>(cube_dim)}});
 
   // ---- Phase I: cluster formation -----------------------------------------
   std::vector<Cluster> clusters(1);
@@ -131,10 +131,10 @@ LatticeHypercubeMapping map_to_hypercube(const GroupLattice& lattice, unsigned c
   obs::TraceSink* sink = options.obs.trace;
   if (sink != nullptr)
     obs::emit_thread_name(sink, obs::kPipelinePid, obs::kMappingTid, "mapping search");
-  obs::ScopedSpan map_span(sink, "map_to_hypercube", "mapping", obs::kPipelinePid,
-                           obs::kMappingTid,
-                           {{"blocks", static_cast<std::int64_t>(ngroups)},
-                            {"cube_dim", static_cast<std::int64_t>(cube_dim)}});
+  obs::Span map_span(sink, "map_to_hypercube", "mapping", obs::kPipelinePid,
+                     obs::kMappingTid,
+                     {{"blocks", static_cast<std::int64_t>(ngroups)},
+                      {"cube_dim", static_cast<std::int64_t>(cube_dim)}});
 
   // Weighted splitting needs per-group populations; one O(groups) prefix-sum
   // array is the only N-dependent allocation, and only in this opt-in mode.

@@ -1,0 +1,115 @@
+// hypart::obs — the prediction-accuracy ledger.
+//
+// The cost model (sim/exec_sim.hpp) *predicts* execution time in symbolic
+// machine units; the threaded runtime (exec/parallel_runtime.hpp) *measures*
+// it in wall-clock microseconds.  `run_ledger` runs both on the same nest
+// and attributes the disagreement per component:
+//
+//   predicted                     measured (critical worker)
+//   ---------                     --------------------------
+//   compute  bottleneck           compute   iteration bodies
+//   comm     bottleneck           comm      message posting
+//   stall    total residual       stall     blocked receives
+//   other    migration cost       other     unattributed residual
+//
+// Units differ (model units vs microseconds), so accuracy is judged on
+// *shares*: each side's components are normalized by its own total and the
+// per-component share deltas are the error attribution.  A calibration
+// factor (measured microseconds per predicted unit) links the scales.  Both
+// breakdowns sum to their totals *exactly* by construction — the residual
+// component absorbs whatever the named phases do not cover — which is the
+// invariant tests/test_ledger.cpp pins.
+//
+// Rows accumulate across runs in an `AccuracyLedger` (JSON file, schema
+// "hypart-ledger-v1"), so regressions in model fidelity are diffable over
+// time.  `hypart explain` is the CLI front end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace hypart::obs {
+
+/// One side's per-component breakdown.  All four components plus `total`
+/// are in one unit system (predicted: machine cost units; measured:
+/// microseconds); compute + comm + stall + other == total by construction.
+struct ComponentBreakdown {
+  double compute = 0.0;
+  double comm = 0.0;
+  double stall = 0.0;
+  double other = 0.0;  ///< predicted: migration; measured: unattributed residual
+  double total = 0.0;
+
+  [[nodiscard]] double sum() const { return compute + comm + stall + other; }
+  /// Fraction of `total` (0 when the total is 0).
+  [[nodiscard]] double share(double component) const {
+    return total > 0.0 ? component / total : 0.0;
+  }
+};
+
+/// One workload's predicted-vs-measured record.
+struct LedgerRow {
+  std::string workload;
+  std::int64_t iterations = 0;
+  unsigned cube_dim = 0;
+  std::string accounting;  ///< CommAccounting name
+  int repeats = 0;
+
+  ComponentBreakdown predicted;  ///< cost-model units
+  ComponentBreakdown measured;   ///< microseconds, median-wall repeat
+  double measured_min_us = 0.0;  ///< fastest repeat's wall time
+  /// Measured microseconds per predicted unit (0 when prediction is 0);
+  /// drift in this factor across workloads is itself a model-fidelity
+  /// signal (a perfect model calibrates identically everywhere).
+  double calibration_us_per_unit = 0.0;
+
+  /// measured share minus predicted share for one component value pair.
+  [[nodiscard]] double share_error(double predicted_c, double measured_c) const {
+    return measured.share(measured_c) - predicted.share(predicted_c);
+  }
+  /// Mean absolute share error over the four components.
+  [[nodiscard]] double mean_abs_share_error() const;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct LedgerOptions {
+  /// Threaded-runtime repetitions; the median-wall repeat supplies the
+  /// measured breakdown (min is recorded alongside).
+  int repeats = 3;
+  /// Hooks passed to both the pipeline and the runtime runs.
+  ObsContext obs{};
+};
+
+/// Run the simulator prediction and the real threaded execution side by
+/// side.  Forces SpaceMode::Dense (the runtime interprets materialized
+/// iterations); throws core Error/std exceptions on invalid nests exactly
+/// like run_pipeline / run_parallel.
+LedgerRow run_ledger(const LoopNest& nest, PipelineConfig config,
+                     const LedgerOptions& opts = {});
+
+/// Row accumulator with a JSON file round-trip ("hypart-ledger-v1").
+class AccuracyLedger {
+ public:
+  void append(LedgerRow row) { rows_.push_back(std::move(row)); }
+  [[nodiscard]] const std::vector<LedgerRow>& rows() const { return rows_; }
+
+  /// Parse `path` and append its rows; false + `error` on I/O or schema
+  /// failure.  A missing file is NOT an error here — callers that want
+  /// "create if absent" should check existence first (the CLI does).
+  bool load(const std::string& path, std::string& error);
+  /// Write all rows to `path`; false + `error` on I/O failure.
+  bool save(const std::string& path, std::string& error) const;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable table: one row per workload with per-component
+  /// predicted/measured shares and their deltas.
+  [[nodiscard]] std::string table() const;
+
+ private:
+  std::vector<LedgerRow> rows_;
+};
+
+}  // namespace hypart::obs

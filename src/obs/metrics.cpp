@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "core/json_writer.hpp"
@@ -21,6 +22,25 @@ void HistogramData::observe(std::int64_t v) {
   }
   ++count;
   sum += v;
+}
+
+std::int64_t HistogramData::percentile(double q) const {
+  if (count <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the k-th smallest observation with k = ceil(q * count),
+  // at least 1 (so p0 returns the minimum, not bucket 0's bound).
+  std::int64_t rank = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      // Overflow bucket has no upper bound; max is the tightest estimate.
+      std::int64_t v = (b < upper_bounds.size()) ? upper_bounds[b] : max;
+      return std::clamp(v, min, max);
+    }
+  }
+  return max;
 }
 
 std::int64_t MetricsSnapshot::counter_sum(const std::string& prefix) const {
@@ -61,7 +81,13 @@ std::string MetricsSnapshot::to_json() const {
   }
   w.end_object();
   w.key("series").begin_object();
-  for (const auto& [k, pts] : series) {
+  for (const auto& [k, raw] : series) {
+    // Points may arrive from multiple threads in any interleaving; render
+    // in x order (stable on ties) so the JSON is identical across thread
+    // counts — the registry's byte-identical-output guarantee.
+    std::vector<SeriesPoint> pts = raw;
+    std::stable_sort(pts.begin(), pts.end(),
+                     [](const SeriesPoint& a, const SeriesPoint& b) { return a.x < b.x; });
     w.begin_array(k);
     for (const SeriesPoint& p : pts) {
       w.begin_object();

@@ -29,6 +29,11 @@ struct HistogramData {
 
   void observe(std::int64_t v);
   [[nodiscard]] double mean() const { return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+  /// Nearest-rank percentile estimate over the fixed buckets: the upper
+  /// bound of the bucket holding the ceil(q*count)-th observation, clamped
+  /// to [min, max] (bucket bounds can overshoot the true extremes).  q in
+  /// [0, 1]; returns 0 on an empty histogram.
+  [[nodiscard]] std::int64_t percentile(double q) const;
 };
 
 struct SeriesPoint {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace hypart::obs {

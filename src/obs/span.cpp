@@ -1,0 +1,147 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+#include "core/json_writer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+// ---- allocation counting hook ---------------------------------------------
+// Replacing the global operator new with a thread-local counter is the
+// cheapest allocation profiler that needs no allocator library: one relaxed
+// thread-local increment per allocation, malloc underneath (so ASan/TSan
+// interceptors still see every block).  The counter is monotone per thread;
+// Span reads it twice and subtracts.
+
+namespace {
+thread_local std::uint64_t t_alloc_count = 0;
+
+void* counted_alloc(std::size_t n) {
+  ++t_alloc_count;
+  if (n == 0) n = 1;
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(n == 0 ? 1 : n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace hypart::obs {
+
+std::uint64_t thread_alloc_count() { return t_alloc_count; }
+
+std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+Span::Span(TraceSink* sink, std::string name, std::string cat, std::uint64_t pid,
+           std::uint64_t tid, Args args)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  ev_.name = std::move(name);
+  ev_.cat = std::move(cat);
+  ev_.phase = Phase::Complete;
+  ev_.pid = pid;
+  ev_.tid = tid;
+  ev_.args = std::move(args);
+  allocs_at_start_ = thread_alloc_count();
+  rss_at_start_ = peak_rss_kb();
+  ev_.ts = wall_clock_us();
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  ev_.dur = wall_clock_us() - ev_.ts;
+  ev_.args.emplace_back("allocs",
+                        static_cast<std::int64_t>(thread_alloc_count() - allocs_at_start_));
+  ev_.args.emplace_back("rss_peak_delta_kb", peak_rss_kb() - rss_at_start_);
+  sink_->event(ev_);
+}
+
+void Span::arg(std::string key, ArgValue value) {
+  if (sink_ == nullptr) return;
+  ev_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Profiler::event(const TraceEvent& e) {
+  // Only wall-clock spans: kSimPid events carry *simulated* machine time
+  // units in dur, which must not be averaged into a wall-time profile.
+  if (e.phase != Phase::Complete || e.pid != kPipelinePid) return;
+  std::int64_t allocs = 0, rss = 0;
+  for (const auto& [k, v] : e.args) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      if (k == "allocs") allocs = *i;
+      else if (k == "rss_peak_delta_kb") rss = *i;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  PhaseStats& s = phases_[e.name];
+  if (s.calls == 0) s.cat = e.cat;
+  ++s.calls;
+  s.wall_us += e.dur;
+  s.max_us = std::max(s.max_us, e.dur);
+  s.allocs += allocs;
+  s.rss_peak_delta_kb += rss;
+}
+
+std::map<std::string, PhaseStats> Profiler::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+double Profiler::wall_us(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(name);
+  return it == phases_.end() ? 0.0 : it->second.wall_us;
+}
+
+std::string Profiler::to_json() const {
+  std::map<std::string, PhaseStats> snap = phases();
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& [name, s] : snap) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("cat", s.cat);
+    w.field("calls", s.calls);
+    w.field("wall_us", s.wall_us);
+    w.field("max_us", s.max_us);
+    w.field("allocs", s.allocs);
+    w.field("rss_peak_delta_kb", s.rss_peak_delta_kb);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace hypart::obs

@@ -39,13 +39,29 @@ std::string event_to_json(const TraceEvent& e) {
 }
 
 void JsonlSink::event(const TraceEvent& e) {
-  out_ += event_to_json(e);
+  std::string line = event_to_json(e);  // serialize outside the lock
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ += line;
   out_ += '\n';
 }
 
-void ChromeTraceSink::event(const TraceEvent& e) { events_.push_back(e); }
+std::string JsonlSink::str() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return out_;
+}
+
+void ChromeTraceSink::event(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(e);
+}
+
+std::size_t ChromeTraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
 
 std::string ChromeTraceSink::str() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     if (i) out += ',';

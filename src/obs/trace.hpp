@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
@@ -72,33 +73,36 @@ class NullSink final : public TraceSink {
   void event(const TraceEvent&) override {}
 };
 
-/// One JSON object per line per event (machine-tailable stream).
+/// One JSON object per line per event (machine-tailable stream).  Emission
+/// is serialized by an internal mutex, so concurrent producers interleave
+/// whole lines, never bytes.
 class JsonlSink final : public TraceSink {
  public:
-  /// Appends lines to `out`; the sink does not own the string's lifetime
-  /// management beyond this object.  Tests read the buffer after tracing.
   void event(const TraceEvent& e) override;
   void flush() override {}
 
-  [[nodiscard]] const std::string& str() const { return out_; }
+  /// Copy of the buffer (a reference would race with concurrent emitters).
+  [[nodiscard]] std::string str() const;
 
  private:
+  mutable std::mutex mutex_;
   std::string out_;
 };
 
 /// Buffers events and renders the Chrome/Perfetto trace JSON
 /// (`{"traceEvents": [...]}`) on demand.  Load the output at
-/// https://ui.perfetto.dev or chrome://tracing.
+/// https://ui.perfetto.dev or chrome://tracing.  Thread-safe emission.
 class ChromeTraceSink final : public TraceSink {
  public:
   void event(const TraceEvent& e) override;
 
-  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::string str() const;
   /// Write `str()` to a file; returns false on I/O failure.
   bool write_file(const std::string& path) const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };
 

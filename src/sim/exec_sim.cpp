@@ -459,10 +459,13 @@ void emit_observability(const ComputationStructure& q, const TimeFunction& tf,
 SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& tf,
                              const Partition& part, const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts) {
+  obs::Span span(opts.obs.trace, "simulate_execution", "sim");
   FaultState fstate = resolve_faults(opts, part, mapping, topo);
   SimResult res = simulate_core(q, tf, part, mapping, topo, machine, opts, fstate);
   if (opts.obs.enabled())
     emit_observability(q, tf, part, mapping, topo, machine, opts, fstate, res);
+  span.arg("steps", res.steps);
+  span.arg("messages", res.messages);
   return res;
 }
 
@@ -682,6 +685,7 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
   if (!opts.faults.empty())
     throw Error(ErrorKind::Config,
                 "simulate_execution: fault injection requires the dense space mode");
+  obs::Span span(opts.obs.trace, "simulate_execution", "sim");
   const ProjectedStructure& ps = grouping.projected();
   const TimeFunction& tf = ps.time_function();
   if (mapping.block_to_proc.size() != grouping.group_count())
@@ -721,6 +725,7 @@ SimResult simulate_execution(const GroupLattice& lattice, const LatticeHypercube
   if (!opts.faults.empty())
     throw Error(ErrorKind::Config,
                 "simulate_execution: fault injection requires the dense space mode");
+  obs::Span span(opts.obs.trace, "simulate_execution", "sim");
   const IterSpace& space = lattice.space();
   const TimeFunction& tf = lattice.time_function();
   if (topo.size() < mapping.processor_count)

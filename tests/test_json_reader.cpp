@@ -1,0 +1,164 @@
+// hypart JSON parser tests: RFC 8259 conformance of the subset hypart
+// writes, error reporting, the writer/reader double round-trip (shortest
+// to_chars form must re-parse to the identical bits), and the locale
+// regression — numeric formatting/parsing must not bend to a comma-decimal
+// global locale like de_DE.
+#include "core/json_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <locale>
+#include <string>
+
+#include "core/json_writer.hpp"
+
+namespace {
+
+using hypart::JsonParseError;
+using hypart::JsonValue;
+using hypart::JsonWriter;
+using hypart::parse_json;
+
+TEST(JsonReaderTest, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("42").as_int64(), 42);
+  EXPECT_EQ(parse_json("-7").as_int64(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_json("-2e3").as_double(), -2000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonReaderTest, IntegersStayIntegers) {
+  EXPECT_EQ(parse_json("9223372036854775807").kind(), JsonValue::Kind::Int);
+  EXPECT_EQ(parse_json("9223372036854775807").as_int64(),
+            std::numeric_limits<std::int64_t>::max());
+  // Fractional or exponent forms become doubles; int64 still reads them.
+  EXPECT_EQ(parse_json("2.0").kind(), JsonValue::Kind::Double);
+  EXPECT_EQ(parse_json("2.0").as_int64(), 2);
+}
+
+TEST(JsonReaderTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t\r\f\b")").as_string(), "a\"b\\c/d\n\t\r\f\b");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReaderTest, ArraysAndObjects) {
+  JsonValue v = parse_json(R"({"a":[1,2,3],"b":{"nested":true},"c":null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.get("a").is_array());
+  EXPECT_EQ(v.get("a").as_array().size(), 3u);
+  EXPECT_EQ(v.get("a").as_array()[2].as_int64(), 3);
+  EXPECT_TRUE(v.get("b").get("nested").as_bool());
+  EXPECT_TRUE(v.get("c").is_null());
+  EXPECT_TRUE(v.has("c"));
+  EXPECT_FALSE(v.has("d"));
+  EXPECT_TRUE(v.get("d").is_null());  // missing-key sentinel
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 9.5), 9.5);
+  EXPECT_EQ(v.int_or("missing", 3), 3);
+  EXPECT_EQ(v.string_or("missing", "dflt"), "dflt");
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "01", "1.",
+                          "\"unterminated", "\"bad\\q\"", "[1] trailing", "{\"a\" 1}",
+                          "[1 2]", "nan", "+1", "\"\\ud83d\""}) {
+    EXPECT_THROW((void)parse_json(bad), JsonParseError) << bad;
+  }
+}
+
+TEST(JsonReaderTest, ParseErrorCarriesOffset) {
+  try {
+    (void)parse_json("[1, x]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+}
+
+TEST(JsonReaderTest, TypeMismatchThrows) {
+  EXPECT_THROW((void)parse_json("1").as_string(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("\"s\"").as_double(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("[]").as_object(), std::runtime_error);
+}
+
+TEST(JsonReaderTest, FileHelperReportsErrorsWithoutThrowing) {
+  JsonValue out;
+  std::string error;
+  EXPECT_FALSE(hypart::parse_json_file("/nonexistent/hypart.json", out, error));
+  EXPECT_FALSE(error.empty());
+
+  std::string path = testing::TempDir() + "hypart_reader_ok.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"x\": 3}", f);
+    std::fclose(f);
+  }
+  error.clear();
+  ASSERT_TRUE(hypart::parse_json_file(path, out, error)) << error;
+  EXPECT_EQ(out.get("x").as_int64(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(JsonRoundTripTest, DoublesSurviveWriterReaderExactly) {
+  // Shortest-round-trip formatting (to_chars) must re-parse (from_chars)
+  // to the identical bit pattern — this is what makes the ledger and the
+  // bench baselines diffable at --tolerance 0.
+  const double cases[] = {0.0,   1.0,  -1.0,      0.1,       1.0 / 3.0,  6.02214076e23,
+                          1e-30, 1e30, 123.456e7, 0.3333333, 2.00000001, 5e-324};
+  for (double d : cases) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("v", d);
+    w.end_object();
+    JsonValue v = parse_json(w.str());
+    EXPECT_EQ(v.get("v").as_double(), d) << w.str();
+  }
+}
+
+TEST(JsonLocaleTest, FormattingIgnoresCommaDecimalLocale) {
+  // With a comma-decimal global locale active, printf-family formatting
+  // would emit "1,5" — invalid JSON.  to_chars/from_chars are immune; this
+  // pins that the writer and reader both stay on that path.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8"};
+  std::string previous = std::setlocale(LC_ALL, nullptr);
+  const char* applied = nullptr;
+  for (const char* cand : candidates)
+    if (std::setlocale(LC_ALL, cand) != nullptr) {
+      applied = cand;
+      break;
+    }
+  if (applied == nullptr) GTEST_SKIP() << "no comma-decimal locale installed";
+  // Sanity: the locale really uses ',' as the decimal separator.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", 1.5);
+  const bool comma_locale = std::string(buf).find(',') != std::string::npos;
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("v", 1.5);
+  w.end_object();
+  std::string json = w.str();
+  JsonValue parsed_ok = parse_json("{\"v\": 1.5}");
+
+  std::setlocale(LC_ALL, previous.c_str());
+
+  if (comma_locale) {
+    EXPECT_NE(json.find("1.5"), std::string::npos) << json;
+    EXPECT_EQ(json.find(','), std::string::npos) << json;
+  }
+  EXPECT_DOUBLE_EQ(parsed_ok.get("v").as_double(), 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// hypart::obs prediction-accuracy ledger tests.  Pins the structural
+// invariant the whole design rests on: both breakdowns (predicted model
+// units, measured microseconds) sum to their own totals exactly, so share
+// errors are a true decomposition of the prediction error.  Also covers the
+// JSON round-trip of accumulated rows (schema "hypart-ledger-v1").
+#include "obs/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace hypart;
+using namespace hypart::obs;
+
+void expect_breakdown_sums(const ComponentBreakdown& b, const char* side) {
+  EXPECT_GE(b.compute, 0.0) << side;
+  EXPECT_GE(b.comm, 0.0) << side;
+  EXPECT_GE(b.stall, 0.0) << side;
+  EXPECT_GE(b.other, 0.0) << side;
+  EXPECT_GT(b.total, 0.0) << side;
+  // Exact by construction (residual component); allow only fp noise.
+  EXPECT_NEAR(b.sum(), b.total, 1e-6 * std::max(1.0, b.total)) << side;
+  // Shares therefore sum to 1.
+  double shares = b.share(b.compute) + b.share(b.comm) + b.share(b.stall) + b.share(b.other);
+  EXPECT_NEAR(shares, 1.0, 1e-9) << side;
+}
+
+LedgerRow ledger_for(const LoopNest& nest, unsigned cube_dim) {
+  PipelineConfig cfg;
+  cfg.cube_dim = cube_dim;
+  LedgerOptions opts;
+  opts.repeats = 1;  // keep the suite fast; median == the single repeat
+  return run_ledger(nest, cfg, opts);
+}
+
+TEST(LedgerTest, MatmulComponentsSumToTotals) {
+  LedgerRow row = ledger_for(workloads::matrix_multiplication(5), 2);
+  expect_breakdown_sums(row.predicted, "predicted");
+  expect_breakdown_sums(row.measured, "measured");
+  EXPECT_GT(row.iterations, 0);
+  EXPECT_EQ(row.repeats, 1);
+  EXPECT_GT(row.calibration_us_per_unit, 0.0);
+  EXPECT_GT(row.measured_min_us, 0.0);
+  EXPECT_LE(row.measured_min_us, row.measured.total);
+  // Mean absolute share error is a mean of |deltas| of shares: in [0, 1].
+  EXPECT_GE(row.mean_abs_share_error(), 0.0);
+  EXPECT_LE(row.mean_abs_share_error(), 1.0);
+}
+
+TEST(LedgerTest, TriangularMatvecComponentsSumToTotals) {
+  LedgerRow row = ledger_for(workloads::triangular_matvec(10), 2);
+  expect_breakdown_sums(row.predicted, "predicted");
+  expect_breakdown_sums(row.measured, "measured");
+}
+
+TEST(LedgerTest, SkewedWavefront3dComponentsSumToTotals) {
+  LedgerRow row = ledger_for(workloads::skewed_wavefront3d(4), 2);
+  expect_breakdown_sums(row.predicted, "predicted");
+  expect_breakdown_sums(row.measured, "measured");
+}
+
+TEST(LedgerTest, RowJsonContainsAllComponents) {
+  LedgerRow row = ledger_for(workloads::matrix_vector(12), 1);
+  std::string json = row.to_json();
+  for (const char* key : {"\"workload\"", "\"predicted\"", "\"measured_us\"", "\"compute\"",
+                          "\"comm\"", "\"stall\"", "\"other\"", "\"total\"", "\"share_error\"",
+                          "\"calibration_us_per_unit\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(LedgerTest, AccumulatorRoundTripsThroughFile) {
+  AccuracyLedger ledger;
+  ledger.append(ledger_for(workloads::matrix_vector(12), 1));
+  ledger.append(ledger_for(workloads::sor2d(6, 6), 1));
+  ASSERT_EQ(ledger.rows().size(), 2u);
+
+  std::string path = testing::TempDir() + "hypart_ledger_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(ledger.save(path, error)) << error;
+
+  AccuracyLedger loaded;
+  ASSERT_TRUE(loaded.load(path, error)) << error;
+  ASSERT_EQ(loaded.rows().size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const LedgerRow& a = ledger.rows()[i];
+    const LedgerRow& b = loaded.rows()[i];
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.cube_dim, b.cube_dim);
+    EXPECT_EQ(a.accounting, b.accounting);
+    EXPECT_EQ(a.repeats, b.repeats);
+    // Doubles survive byte-exactly (shortest round-trip formatting).
+    EXPECT_EQ(a.predicted.compute, b.predicted.compute);
+    EXPECT_EQ(a.predicted.total, b.predicted.total);
+    EXPECT_EQ(a.measured.comm, b.measured.comm);
+    EXPECT_EQ(a.measured.total, b.measured.total);
+    EXPECT_EQ(a.calibration_us_per_unit, b.calibration_us_per_unit);
+  }
+  // Loading on top of existing rows appends rather than replaces.
+  ASSERT_TRUE(loaded.load(path, error)) << error;
+  EXPECT_EQ(loaded.rows().size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(LedgerTest, LoadRejectsWrongSchema) {
+  std::string path = testing::TempDir() + "hypart_ledger_bad.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema\":\"something-else\",\"rows\":[]}", f);
+    std::fclose(f);
+  }
+  AccuracyLedger ledger;
+  std::string error;
+  EXPECT_FALSE(ledger.load(path, error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(LedgerTest, TableRendersOneSectionPerRow) {
+  AccuracyLedger ledger;
+  ledger.append(ledger_for(workloads::matrix_vector(12), 1));
+  std::string table = ledger.table();
+  for (const char* needle : {"compute", "comm", "stall", "other", "total"})
+    EXPECT_NE(table.find(needle), std::string::npos) << needle;
+}
+
+}  // namespace

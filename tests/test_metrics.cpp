@@ -7,6 +7,9 @@
 
 #include <memory>
 #include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "workloads/workloads.hpp"
@@ -170,6 +173,75 @@ TEST(PipelineMetricsTest, SnapshotAttachedAndConsistent) {
             static_cast<std::int64_t>(r.mapping.clusters.size()));
   // The sim section is present too (same registry threaded through).
   EXPECT_GT(r.metrics->counter_sum("sim.proc."), 0);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  HistogramData empty;
+  EXPECT_EQ(empty.percentile(0.5), 0);  // no samples -> 0 by contract
+
+  HistogramData one;
+  one.upper_bounds = {10, 100};
+  one.counts.assign(3, 0);
+  one.observe(7);
+  // Every quantile of a single sample is that sample's bucket value,
+  // clamped to the observed range (min == max == 7).
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) EXPECT_EQ(one.percentile(q), 7) << q;
+
+  HistogramData h;
+  h.upper_bounds = {1, 2, 4, 8};
+  h.counts.assign(5, 0);
+  for (std::int64_t v : {1, 2, 2, 3, 4, 5, 8, 100}) h.observe(v);
+  EXPECT_EQ(h.percentile(0.0), 1);    // rank clamps up to 1 -> first bucket
+  EXPECT_EQ(h.percentile(0.125), 1);  // rank 1 -> bound 1
+  EXPECT_EQ(h.percentile(0.5), 4);    // rank 4 -> third bucket (cum 1,3,5) -> bound 4
+  EXPECT_EQ(h.percentile(1.0), 100);  // overflow bucket -> observed max
+  EXPECT_EQ(h.percentile(0.99), 100);
+
+  HistogramData equal;
+  equal.upper_bounds = {5};
+  equal.counts.assign(2, 0);
+  for (int i = 0; i < 10; ++i) equal.observe(5);
+  for (double q : {0.1, 0.5, 0.9, 1.0}) EXPECT_EQ(equal.percentile(q), 5) << q;
+}
+
+TEST(HistogramTest, PercentileIsClampedToObservedRange) {
+  // Bucket upper bounds can overshoot the real max; the nearest-rank value
+  // must never leave [min, max].
+  HistogramData h;
+  h.upper_bounds = {1000};
+  h.counts.assign(2, 0);
+  h.observe(3);
+  h.observe(4);
+  // Both samples land in the <=1000 bucket; its bound clamps to max=4.
+  EXPECT_EQ(h.percentile(0.5), 4);
+  EXPECT_LE(h.percentile(1.0), 4);
+  EXPECT_GE(h.percentile(0.0), 3);
+}
+
+TEST(RegistryTest, SnapshotJsonIdenticalAcrossThreadCounts) {
+  // The same logical updates applied from 1 thread and from 8 threads must
+  // render byte-identically — counters commute, series are sorted by x at
+  // render time.  This is the determinism bench baselines depend on.
+  auto hammer = [](int threads) {
+    MetricsRegistry reg;
+    const int total = 256;  // same logical op set however it is divided
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+      pool.emplace_back([&reg, t, threads, total] {
+        for (int op = t; op < total; op += threads) {
+          reg.add("c.total");
+          reg.add("c.bucket." + std::to_string(op % 4));
+          reg.observe("h.values", op % 16, {1, 2, 4, 8});
+          reg.append("s.points", op, 1.0);  // unique x -> sortable
+        }
+      });
+    for (auto& th : pool) th.join();
+    return reg.snapshot().to_json();
+  };
+  std::string solo = hammer(1);
+  std::string crowd = hammer(8);
+  EXPECT_EQ(solo, crowd);
+  EXPECT_FALSE(solo.empty());
 }
 
 TEST(RegistryTest, ClearEmptiesEverything) {

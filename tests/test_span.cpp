@@ -1,0 +1,115 @@
+// hypart::obs self-profiler tests: Span null-safety and inertness, the
+// alloc/RSS argument payload, Profiler aggregation (including the
+// wall-clock-only pid filter), and TeeSink fan-out.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace {
+
+using namespace hypart::obs;
+
+TEST(SpanTest, NullSinkIsInert) {
+  // Must not crash, allocate trace state, or read any counters.
+  Span span(nullptr, "phase");
+  span.arg("k", std::int64_t{1});
+}
+
+TEST(SpanTest, EmitsOneCompleteEventWithProfileArgs) {
+  ChromeTraceSink sink;
+  {
+    Span span(&sink, "stage", "pipeline");
+    span.arg("items", std::int64_t{42});
+  }
+  EXPECT_EQ(sink.event_count(), 1u);
+  std::string json = sink.str();
+  EXPECT_NE(json.find("\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":42"), std::string::npos);
+  // The self-profiler dimensions ride along as args.
+  EXPECT_NE(json.find("\"allocs\""), std::string::npos);
+  EXPECT_NE(json.find("\"rss_peak_delta_kb\""), std::string::npos);
+}
+
+TEST(SpanTest, CountsAllocationsInsideTheSpan) {
+  Profiler prof;
+  {
+    Span span(&prof, "allocating");
+    // Defeat small-string optimization so the span sees real heap traffic.
+    auto s = std::make_unique<std::string>(1024, 'x');
+    ASSERT_EQ(s->size(), 1024u);
+  }
+  auto phases = prof.phases();
+  ASSERT_EQ(phases.count("allocating"), 1u);
+  EXPECT_GE(phases["allocating"].allocs, 1);
+}
+
+TEST(ThreadAllocCountTest, MonotoneAndCountsNew) {
+  std::uint64_t before = thread_alloc_count();
+  auto p = std::make_unique<int>(7);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(thread_alloc_count(), before);
+}
+
+TEST(PeakRssTest, NonNegative) { EXPECT_GE(peak_rss_kb(), 0); }
+
+TEST(ProfilerTest, AggregatesPerName) {
+  Profiler prof;
+  for (int i = 0; i < 3; ++i) Span span(&prof, "repeated", "cat");
+  { Span span(&prof, "once", "cat"); }
+  auto phases = prof.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases["repeated"].calls, 3);
+  EXPECT_EQ(phases["once"].calls, 1);
+  EXPECT_EQ(phases["repeated"].cat, "cat");
+  EXPECT_GE(phases["repeated"].wall_us, phases["repeated"].max_us);
+  EXPECT_GE(prof.wall_us("repeated"), 0.0);
+  EXPECT_EQ(prof.wall_us("never-seen"), 0.0);
+}
+
+TEST(ProfilerTest, IgnoresSimulatedClockEvents) {
+  // Simulated-time Complete events carry machine units, not microseconds;
+  // folding them into a wall-clock profile would be nonsense.
+  Profiler prof;
+  emit_complete(&prof, "sim-phase", "sim", 0.0, 1000.0, kSimPid, 0);
+  emit_complete(&prof, "wall-phase", "pipeline", 0.0, 5.0, kPipelinePid, 0);
+  auto phases = prof.phases();
+  EXPECT_EQ(phases.count("sim-phase"), 0u);
+  EXPECT_EQ(phases.count("wall-phase"), 1u);
+}
+
+TEST(ProfilerTest, IgnoresNonCompleteEvents) {
+  Profiler prof;
+  emit_instant(&prof, "instant", "cat", 0.0, kPipelinePid, 0);
+  emit_counter(&prof, "counter", 0.0, kPipelinePid, 1.0);
+  EXPECT_TRUE(prof.phases().empty());
+}
+
+TEST(ProfilerTest, JsonIsNameOrderedArray) {
+  Profiler prof;
+  emit_complete(&prof, "b", "cat", 0.0, 1.0, kPipelinePid, 0);
+  emit_complete(&prof, "a", "cat", 0.0, 2.0, kPipelinePid, 0);
+  std::string json = prof.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  std::size_t a_pos = json.find("\"a\"");
+  std::size_t b_pos = json.find("\"b\"");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  EXPECT_LT(a_pos, b_pos);
+}
+
+TEST(TeeSinkTest, ForwardsToAllSinksAndSkipsNulls) {
+  ChromeTraceSink a;
+  Profiler b;
+  TeeSink tee({&a, nullptr, &b});
+  { Span span(&tee, "both"); }
+  tee.flush();
+  EXPECT_EQ(a.event_count(), 1u);
+  EXPECT_EQ(b.phases().count("both"), 1u);
+}
+
+}  // namespace

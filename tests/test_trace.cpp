@@ -7,6 +7,8 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/json_writer.hpp"
 
@@ -166,6 +168,53 @@ TEST(JsonlSinkTest, OneValidJsonObjectPerLine) {
   }
   EXPECT_EQ(lines, 2u);
   EXPECT_EQ(pos, out.size());  // output ends with a newline
+}
+
+TEST(ConcurrencyTest, JsonlSinkKeepsLinesWholeUnderConcurrentEmission) {
+  // 8 threads race complete/instant events into one sink; every output
+  // line must still be one structurally valid JSON object (no interleaved
+  // fragments) and every event must be present.
+  JsonlSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        emit_complete(&sink, "span_t" + std::to_string(t), "race", i, 1.0, kPipelinePid,
+                      static_cast<std::uint64_t>(t));
+        emit_instant(&sink, "mark_t" + std::to_string(t), "race", i, kPipelinePid,
+                     static_cast<std::uint64_t>(t));
+      }
+    });
+  for (auto& th : pool) th.join();
+
+  const std::string out = sink.str();
+  std::size_t lines = 0, pos = 0, nl;
+  while ((nl = out.find('\n', pos)) != std::string::npos) {
+    std::string line = out.substr(pos, nl - pos);
+    ASSERT_TRUE(structurally_valid_json(line)) << "line " << lines << ": " << line;
+    ++lines;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads) * kPerThread * 2);
+  EXPECT_EQ(pos, out.size());
+}
+
+TEST(ConcurrencyTest, ChromeTraceSinkCountsEveryConcurrentEvent) {
+  ChromeTraceSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        emit_complete(&sink, "e", "race", i, 1.0, kPipelinePid,
+                      static_cast<std::uint64_t>(t));
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(sink.event_count(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(structurally_valid_json(sink.str()));
 }
 
 TEST(WallClockTest, Monotonic) {

@@ -1,0 +1,244 @@
+// hypart — aggregate and diff hypart-bench-v1 result sets.
+//
+//   bench_report summarize <dir>
+//   bench_report diff <baseline-dir> <new-dir> [--tolerance PCT]
+//                [--check] [--check-timings PCT]
+//
+// A result set is a directory of BENCH_<name>.json documents written by the
+// bench binaries (bench/bench_common.hpp).  `summarize` prints one table
+// over a set; `diff` compares two sets per bench:
+//
+//   * deterministic metrics (counters, gauges, histogram count/sum) are
+//     machine-independent by construction, so any drift beyond --tolerance
+//     (relative, default 0 = exact) is a real behavior change — with
+//     --check it fails the run (exit 1).  This is the CI perf-regression
+//     gate against the committed bench/baselines/.
+//   * wall-clock timings (median_us per benchmark) are machine-dependent;
+//     they are reported for eyeballing and only gate with an explicit
+//     --check-timings PCT threshold.
+//
+// exit codes: 0 ok, 1 check failed, 64 usage, 66 cannot open/parse.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/json_reader.hpp"
+#include "perf/table.hpp"
+
+namespace {
+
+using hypart::JsonValue;
+using hypart::TextTable;
+
+const char kUsage[] =
+    "usage: bench_report summarize <dir>\n"
+    "       bench_report diff <baseline-dir> <new-dir> [--tolerance PCT]\n"
+    "                    [--check] [--check-timings PCT]\n"
+    "\n"
+    "  summarize        one-line overview per BENCH_*.json in <dir>\n"
+    "  diff             compare two result sets; deterministic metrics are\n"
+    "                   compared at --tolerance (relative %%, default 0 =\n"
+    "                   byte-exact), wall-clock timings are shown but only\n"
+    "                   gate with --check-timings PCT\n"
+    "  --check          exit 1 when any tracked metric drifts past the\n"
+    "                   tolerance or a baseline bench is missing\n";
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "bench_report: %s\n", msg);
+  std::fprintf(stderr, "%s", kUsage);
+  std::exit(64);
+}
+
+/// BENCH_*.json documents in `dir`, keyed by bench name.
+std::map<std::string, JsonValue> load_result_set(const std::string& dir) {
+  std::map<std::string, JsonValue> set;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "bench_report: cannot read directory '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    std::exit(66);
+  }
+  for (const auto& entry : it) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json") continue;
+    JsonValue doc;
+    std::string error;
+    if (!hypart::parse_json_file(entry.path().string(), doc, error)) {
+      std::fprintf(stderr, "bench_report: %s\n", error.c_str());
+      std::exit(66);
+    }
+    if (doc.string_or("schema", "") != "hypart-bench-v1") {
+      std::fprintf(stderr, "bench_report: %s: not a hypart-bench-v1 document\n",
+                   entry.path().string().c_str());
+      std::exit(66);
+    }
+    set[doc.string_or("bench", fname)] = std::move(doc);
+  }
+  return set;
+}
+
+/// Flatten the deterministic portion of one document into name -> value:
+/// counters.<k>, gauges.<k>, histograms.<k>.count / .sum.
+std::map<std::string, double> tracked_metrics(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  const JsonValue& metrics = doc.get("metrics");
+  if (metrics.get("counters").is_object())
+    for (const auto& [k, v] : metrics.get("counters").as_object())
+      if (v.is_number()) out["counters." + k] = v.as_double();
+  if (metrics.get("gauges").is_object())
+    for (const auto& [k, v] : metrics.get("gauges").as_object())
+      if (v.is_number()) out["gauges." + k] = v.as_double();
+  if (metrics.get("histograms").is_object())
+    for (const auto& [k, v] : metrics.get("histograms").as_object()) {
+      out["histograms." + k + ".count"] = v.number_or("count", 0.0);
+      out["histograms." + k + ".sum"] = v.number_or("sum", 0.0);
+    }
+  return out;
+}
+
+/// median_us per benchmark timing name.
+std::map<std::string, double> timing_medians(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  const JsonValue& timings = doc.get("timings");
+  if (!timings.is_array()) return out;
+  for (const JsonValue& t : timings.as_array())
+    out[t.string_or("name", "?")] = t.number_or("median_us", 0.0);
+  return out;
+}
+
+/// Relative drift of b vs a in percent; exact-zero pairs drift 0.
+double drift_pct(double a, double b) {
+  if (a == b) return 0.0;
+  const double denom = std::max(std::abs(a), std::abs(b));
+  return denom == 0.0 ? 0.0 : 100.0 * std::abs(b - a) / denom;
+}
+
+int cmd_summarize(const std::string& dir) {
+  std::map<std::string, JsonValue> set = load_result_set(dir);
+  TextTable t({"bench", "counters", "gauges", "spans", "timings", "slowest benchmark"});
+  for (const auto& [name, doc] : set) {
+    std::size_t spans = doc.get("spans").is_array() ? doc.get("spans").as_array().size() : 0;
+    std::map<std::string, double> med = timing_medians(doc);
+    std::string slowest = "-";
+    double worst = -1.0;
+    for (const auto& [bench, us] : med)
+      if (us > worst) {
+        worst = us;
+        slowest = bench;
+      }
+    const JsonValue& metrics = doc.get("metrics");
+    std::size_t ncounters =
+        metrics.get("counters").is_object() ? metrics.get("counters").as_object().size() : 0;
+    std::size_t ngauges =
+        metrics.get("gauges").is_object() ? metrics.get("gauges").as_object().size() : 0;
+    t.row(name, ncounters, ngauges, spans, med.size(), slowest);
+  }
+  std::printf("%zu result document(s) in %s\n%s", set.size(), dir.c_str(),
+              t.to_string().c_str());
+  return 0;
+}
+
+int cmd_diff(const std::string& base_dir, const std::string& new_dir, double tolerance,
+             bool check, double timings_tolerance) {
+  std::map<std::string, JsonValue> base = load_result_set(base_dir);
+  std::map<std::string, JsonValue> next = load_result_set(new_dir);
+
+  int metric_failures = 0;
+  int timing_failures = 0;
+  TextTable t({"bench", "metric", "baseline", "new", "drift %"});
+
+  for (const auto& [name, base_doc] : base) {
+    auto it = next.find(name);
+    if (it == next.end()) {
+      std::printf("MISSING  %s: present in baseline, absent in new set\n", name.c_str());
+      ++metric_failures;
+      continue;
+    }
+    std::map<std::string, double> a = tracked_metrics(base_doc);
+    std::map<std::string, double> b = tracked_metrics(it->second);
+    for (const auto& [key, av] : a) {
+      auto bit = b.find(key);
+      if (bit == b.end()) {
+        t.row(name, key, av, "(removed)", "");
+        ++metric_failures;
+        continue;
+      }
+      double d = drift_pct(av, bit->second);
+      if (d > tolerance) {
+        t.row(name, key, av, bit->second, d);
+        ++metric_failures;
+      }
+    }
+    for (const auto& [key, bv] : b)
+      if (a.find(key) == a.end()) t.row(name, key, "(added)", bv, "");
+
+    // Wall-clock medians: informational unless --check-timings.
+    std::map<std::string, double> ta = timing_medians(base_doc);
+    std::map<std::string, double> tb = timing_medians(it->second);
+    for (const auto& [bench, av] : ta) {
+      auto bit = tb.find(bench);
+      if (bit == tb.end()) continue;
+      // Only slowdowns count against the threshold.
+      double d = av == 0.0 ? 0.0 : 100.0 * (bit->second - av) / av;
+      if (timings_tolerance >= 0.0 && d > timings_tolerance) {
+        t.row(name, "timing: " + bench + " (us)", av, bit->second, d);
+        ++timing_failures;
+      }
+    }
+  }
+  for (const auto& [name, doc] : next)
+    if (base.find(name) == base.end())
+      std::printf("NEW      %s: absent in baseline (add it to the baseline set)\n",
+                  name.c_str());
+
+  std::printf("%s", t.to_string().c_str());
+  std::printf("compared %zu baseline bench(es): %d metric drift(s)", base.size(),
+              metric_failures);
+  if (timings_tolerance >= 0.0) std::printf(", %d timing regression(s)", timing_failures);
+  std::printf("\n");
+
+  if (check && metric_failures > 0) return 1;
+  if (timings_tolerance >= 0.0 && timing_failures > 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+  if (argc < 3) usage();
+  std::string cmd = argv[1];
+  if (cmd == "summarize") {
+    if (argc != 3) usage("summarize takes exactly one directory");
+    return cmd_summarize(argv[2]);
+  }
+  if (cmd == "diff") {
+    if (argc < 4) usage("diff needs <baseline-dir> <new-dir>");
+    double tolerance = 0.0;
+    double timings_tolerance = -1.0;  // < 0: timings informational only
+    bool check = false;
+    for (int i = 4; i < argc; ++i) {
+      std::string a = argv[i];
+      auto next_arg = [&]() -> std::string {
+        if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+        return argv[++i];
+      };
+      if (a == "--tolerance") tolerance = std::stod(next_arg());
+      else if (a == "--check") check = true;
+      else if (a == "--check-timings") timings_tolerance = std::stod(next_arg());
+      else usage(("unknown option " + a).c_str());
+    }
+    return cmd_diff(argv[2], argv[3], tolerance, check, timings_tolerance);
+  }
+  usage(("unknown command " + cmd).c_str());
+}

@@ -12,6 +12,8 @@
 //   wavefront  print the time-outer transformed loop
 //   json       machine-readable dump of the whole pipeline
 //   trace      Chrome/Perfetto trace of the pipeline + simulated execution
+//   profile    per-phase self-profile (wall time, allocations, peak RSS)
+//   explain    prediction-accuracy ledger: simulator vs threaded runtime
 //
 // options:
 //   --dim N          hypercube dimension (default 3)
@@ -26,13 +28,18 @@
 //   --recv-timeout-ms N   stall watchdog for `run` (default 30000, 0 = off)
 //   --trace FILE     write a Chrome trace-event JSON (any command)
 //   --metrics FILE   write a metrics snapshot JSON (any command)
+//   --json           machine-readable output for profile/explain
+//   --repeats N      threaded-runtime repetitions for explain (default 3)
+//   --ledger FILE    accumulate explain rows in FILE across runs
 //
 // exit codes (see docs/robustness.md): 0 ok, 2 check/verify failure,
 // 64 usage, 65 parse, 66 cannot open input, 69 unsatisfiable, 70 internal,
 // 74 io, 75 stall, 76 worker death, 77 fault plan, 78 config.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "codegen/spmd.hpp"
@@ -45,6 +52,7 @@
 #include "fault/remap.hpp"
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "perf/table.hpp"
 #include "sim/report.hpp"
@@ -55,13 +63,15 @@ namespace {
 using namespace hypart;
 
 const char kUsage[] =
-    "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json|trace>\n"
+    "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json|trace\n"
+    "               |profile|explain>\n"
     "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
     "              [--space dense|symbolic|verify]\n"
     "              [--accounting paper|barrier|contention]\n"
     "              [--tcalc X] [--tstart X] [--tcomm X]\n"
     "              [--faults SPEC] [--recv-timeout-ms N]\n"
     "              [--trace FILE] [--metrics FILE]\n"
+    "              [--json] [--repeats N] [--ledger FILE]\n"
     "\n"
     "fault injection (see docs/robustness.md):\n"
     "  --faults SPEC  deterministic fault plan, comma-separated terms:\n"
@@ -78,7 +88,15 @@ const char kUsage[] =
     "                 per physical link, plus wall-clock pipeline stages)\n"
     "  --metrics FILE deterministic metrics snapshot (counters, histograms,\n"
     "                 busiest-link series); byte-identical across reruns\n"
-    "  trace          like simulate, but prints the Chrome trace to stdout\n";
+    "  trace          like simulate, but prints the Chrome trace to stdout\n"
+    "  profile        per-phase self-profile of the pipeline run (wall time,\n"
+    "                 allocation counts, peak-RSS growth); --json for the\n"
+    "                 raw array\n"
+    "  explain        prediction-accuracy ledger: runs the cost model and\n"
+    "                 the threaded runtime side by side and attributes the\n"
+    "                 error per component (compute/comm/stall/other);\n"
+    "                 --repeats N runs, --ledger FILE accumulates rows,\n"
+    "                 --json emits the raw row\n";
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "hypart: %s\n", msg);
@@ -123,6 +141,9 @@ struct CliOptions {
   std::string trace_path;          ///< --trace FILE (Chrome trace JSON)
   std::string metrics_path;        ///< --metrics FILE (metrics snapshot JSON)
   std::int64_t recv_timeout_ms = 30000;  ///< --recv-timeout-ms (0 disables)
+  bool json = false;               ///< --json (profile/explain raw output)
+  int repeats = 3;                 ///< --repeats (explain runtime repetitions)
+  std::string ledger_path;         ///< --ledger FILE (explain accumulation)
 };
 
 CliOptions parse_args(int argc, char** argv) {
@@ -168,6 +189,12 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (a == "--recv-timeout-ms") o.recv_timeout_ms = std::stoll(next());
     else if (a == "--trace") o.trace_path = next();
     else if (a == "--metrics") o.metrics_path = next();
+    else if (a == "--json") o.json = true;
+    else if (a == "--repeats") {
+      o.repeats = static_cast<int>(std::stol(next()));
+      if (o.repeats < 1) usage("--repeats must be >= 1");
+    }
+    else if (a == "--ledger") o.ledger_path = next();
     else usage(("unknown option " + a).c_str());
   }
   return o;
@@ -286,6 +313,81 @@ int cmd_simulate(const PipelineResult& r) {
   return 0;
 }
 
+int cmd_profile(const obs::Profiler& prof, bool json) {
+  if (json) {
+    std::printf("%s\n", prof.to_json().c_str());
+    return 0;
+  }
+  std::map<std::string, obs::PhaseStats> phases = prof.phases();
+  if (phases.empty()) {
+    std::printf("no spans recorded\n");
+    return 0;
+  }
+  // The whole-run span is the denominator for the %% column; stages nest
+  // inside it, so shares do not sum to 100 (sub-spans double-count).
+  double total_us = prof.wall_us("run_pipeline");
+  if (total_us <= 0.0)
+    for (const auto& [name, s] : phases) total_us = std::max(total_us, s.wall_us);
+  auto ms = [](double us) {
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed << us / 1000.0;
+    return os.str();
+  };
+  std::vector<std::pair<std::string, obs::PhaseStats>> order(phases.begin(), phases.end());
+  std::stable_sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_us > b.second.wall_us;
+  });
+  TextTable t({"phase", "cat", "calls", "wall ms", "%", "max ms", "allocs", "rss +KiB"});
+  for (const auto& [name, s] : order) {
+    std::ostringstream pct;
+    pct.precision(1);
+    pct << std::fixed << (total_us > 0.0 ? 100.0 * s.wall_us / total_us : 0.0);
+    t.row(name, s.cat, s.calls, ms(s.wall_us), pct.str(), ms(s.max_us), s.allocs,
+          s.rss_peak_delta_kb);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("pipeline wall time: %s ms\n", ms(total_us).c_str());
+  return 0;
+}
+
+int cmd_explain(const LoopNest& nest, const CliOptions& o) {
+  obs::LedgerOptions lopts;
+  lopts.repeats = o.repeats;
+  lopts.obs = o.config.obs;
+  obs::LedgerRow row = obs::run_ledger(nest, o.config, lopts);
+
+  obs::AccuracyLedger ledger;
+  if (!o.ledger_path.empty()) {
+    if (std::ifstream(o.ledger_path).good()) {
+      std::string err;
+      if (!ledger.load(o.ledger_path, err)) {
+        std::fprintf(stderr, "hypart: %s\n", err.c_str());
+        return 65;
+      }
+    }
+  }
+  ledger.append(row);
+  if (!o.ledger_path.empty()) {
+    std::string err;
+    if (!ledger.save(o.ledger_path, err)) {
+      std::fprintf(stderr, "hypart: %s\n", err.c_str());
+      return 74;
+    }
+  }
+
+  if (o.json) {
+    std::printf("%s\n", row.to_json().c_str());
+    return 0;
+  }
+  std::printf("%s", ledger.table().c_str());
+  std::printf("calibration: %.4f us per model unit; wall: median %.1f us, min %.1f us "
+              "over %d repeats; mean |dshare| %.1f%%\n",
+              row.calibration_us_per_unit, row.measured.total, row.measured_min_us,
+              row.repeats, 100.0 * row.mean_abs_share_error());
+  return 0;
+}
+
 int cmd_run(const LoopNest& nest, const PipelineResult& r, const CliOptions& o) {
   // With --faults, execute on the degraded hypercube: remap blocks off the
   // failed nodes first, then run and re-verify against the sequential result.
@@ -327,13 +429,39 @@ int main(int argc, char** argv) {
 
   // Observability wiring: the CLI owns the sink/registry; the pipeline and
   // runtime only borrow pointers.  The `trace` command implies a sink even
-  // without --trace (it prints the trace to stdout).
+  // without --trace (it prints the trace to stdout); `profile` installs the
+  // Profiler, tee-ing it with the trace sink when both are wanted.
   obs::ChromeTraceSink trace_sink;
+  obs::Profiler profiler;
+  obs::TeeSink tee({&trace_sink, &profiler});
   obs::MetricsRegistry metrics;
   const bool want_trace = !o.trace_path.empty() || o.command == "trace";
+  const bool want_profile = o.command == "profile";
   const bool want_metrics = !o.metrics_path.empty();
-  if (want_trace) o.config.obs.trace = &trace_sink;
+  if (want_trace && want_profile) o.config.obs.trace = &tee;
+  else if (want_trace) o.config.obs.trace = &trace_sink;
+  else if (want_profile) o.config.obs.trace = &profiler;
   if (want_metrics) o.config.obs.metrics = &metrics;
+
+  // Write the --trace / --metrics artifacts; shared by every command path.
+  auto write_obs_outputs = [&]() -> int {
+    if (!o.trace_path.empty() && !trace_sink.write_file(o.trace_path)) {
+      std::fprintf(stderr, "hypart: cannot write trace to '%s'\n", o.trace_path.c_str());
+      return 74;
+    }
+    if (want_metrics) {
+      obs::MetricsSnapshot snap = metrics.snapshot();
+      std::ofstream out(o.metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "hypart: cannot write metrics to '%s'\n", o.metrics_path.c_str());
+        return 74;
+      }
+      out << snap.to_json() << "\n";
+      if (o.command == "simulate" || o.command == "run")
+        std::printf("%s", snap.summary().c_str());
+    }
+    return 0;
+  };
 
   LoopNest nest = [&] {
     try {
@@ -343,6 +471,29 @@ int main(int argc, char** argv) {
       std::exit(65);
     }
   }();
+
+  // explain drives its own pipeline + runtime runs (repeated, measured), so
+  // it branches off before the generic single pipeline run below.
+  if (o.command == "explain") {
+    if (o.config.space_mode != SpaceMode::Dense) {
+      std::fprintf(stderr, "hypart: explain requires --space dense (the threaded runtime "
+                           "interprets the materialized index set)\n");
+      return 78;
+    }
+    int rc = 0;
+    try {
+      rc = cmd_explain(nest, o);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      return e.exit_code();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      return 70;
+    }
+    int obs_rc = write_obs_outputs();
+    return rc != 0 ? rc : obs_rc;
+  }
+
   PipelineResult r = [&] {
     try {
       return run_pipeline(nest, o.config);
@@ -390,24 +541,12 @@ int main(int argc, char** argv) {
     std::printf("%s\n", pipeline_result_to_json(nest, r).c_str());
   } else if (o.command == "trace") {
     if (o.trace_path.empty()) std::printf("%s", trace_sink.str().c_str());
+  } else if (o.command == "profile") {
+    rc = cmd_profile(profiler, o.json);
   } else {
     usage(("unknown command " + o.command).c_str());
   }
 
-  if (!o.trace_path.empty() && !trace_sink.write_file(o.trace_path)) {
-    std::fprintf(stderr, "hypart: cannot write trace to '%s'\n", o.trace_path.c_str());
-    return 74;
-  }
-  if (want_metrics) {
-    obs::MetricsSnapshot snap = metrics.snapshot();
-    std::ofstream out(o.metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "hypart: cannot write metrics to '%s'\n", o.metrics_path.c_str());
-      return 74;
-    }
-    out << snap.to_json() << "\n";
-    if (o.command == "simulate" || o.command == "run")
-      std::printf("%s", snap.summary().c_str());
-  }
-  return rc;
+  int obs_rc = write_obs_outputs();
+  return rc != 0 ? rc : obs_rc;
 }
