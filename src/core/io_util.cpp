@@ -1,0 +1,63 @@
+#include "core/io_util.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <unistd.h>
+
+namespace hypart {
+
+void ignore_sigpipe() {
+  // Plain signal() is enough: SIG_IGN is inherited across fork and we never
+  // need the old handler back.  Guard so repeated calls stay cheap.
+  static bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+ssize_t read_full(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return static_cast<ssize_t>(got);  // EOF: short (truncated) read
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool write_full(int fd, const void* buf, std::size_t n, int max_retries, int* retries_out) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  int retries = 0;
+  while (sent < n) {
+    ssize_t w = ::write(fd, p + sent, n - sent);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    const bool transient = w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                                     errno == ENOBUFS);
+    if (!transient) return false;  // hard error (EPIPE, EBADF, ...)
+    if (retries >= max_retries) return false;
+    // Exponential backoff: 1, 2, 4, ... ms, capped at 64 ms per sleep.
+    long ms = 1L << (retries < 6 ? retries : 6);
+    ++retries;
+    if (retries_out != nullptr) ++*retries_out;
+    timespec ts{};
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = (ms % 1000) * 1000000L;
+    ::nanosleep(&ts, nullptr);
+  }
+  return true;
+}
+
+}  // namespace hypart

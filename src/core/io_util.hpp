@@ -1,0 +1,49 @@
+// hypart — small POSIX I/O helpers shared by every socket/pipe user.
+//
+// Anything in hypart that talks over a file descriptor (the multi-process
+// execution backend, future server code) must survive the three classic
+// lies of POSIX I/O: a read or write can be interrupted (EINTR), can move
+// fewer bytes than asked (partial transfer), and a write to a peer that
+// went away raises SIGPIPE — which by default kills the whole process
+// instead of returning EPIPE.  These helpers centralize the defenses so no
+// call site ever reimplements (or forgets) them:
+//
+//   * ignore_sigpipe()  — process-wide, idempotent; after it, a write to a
+//     closed socket fails with errno == EPIPE instead of killing us.
+//   * read_full()       — loop until exactly n bytes arrived, EOF, or a
+//     real error; EINTR restarts transparently.
+//   * write_full()      — loop until all n bytes left, retrying EINTR and
+//     partial writes unconditionally and transient errors (EAGAIN /
+//     EWOULDBLOCK / ENOBUFS) with bounded exponential backoff.
+#pragma once
+
+#include <cstddef>
+#include <sys/types.h>
+
+namespace hypart {
+
+/// Set SIGPIPE to SIG_IGN for the process (idempotent, thread-safe in the
+/// "call before spawning threads" sense).  Every fd-writing entry point
+/// calls this so delivery to a dead peer surfaces as EPIPE, a catchable
+/// errno, never as a fatal signal.
+void ignore_sigpipe();
+
+/// Read exactly `n` bytes from `fd` into `buf`, restarting on EINTR and
+/// continuing across partial reads.  Returns `n` on success, the byte count
+/// actually read (< n, possibly 0) on EOF, or -1 with errno set on error.
+/// A short return therefore always means the peer closed mid-message —
+/// exactly the "truncated frame" case framed protocols must detect.
+ssize_t read_full(int fd, void* buf, std::size_t n);
+
+/// Write exactly `n` bytes from `buf` to `fd`.  EINTR and partial writes
+/// are retried unconditionally; transient failures (EAGAIN, EWOULDBLOCK,
+/// ENOBUFS) are retried up to `max_retries` times with exponential backoff
+/// (1 ms doubling, capped at 64 ms per sleep).  Returns true when all bytes
+/// left; false with errno preserved when the retries are exhausted or a
+/// hard error (e.g. EPIPE — dead peer) occurred.  `retries_out`, when
+/// non-null, accumulates the number of backoff retries taken (observability:
+/// the supervisor surfaces it as the `proc.retries` metric).
+bool write_full(int fd, const void* buf, std::size_t n, int max_retries = 16,
+                int* retries_out = nullptr);
+
+}  // namespace hypart

@@ -18,6 +18,14 @@ const char* to_string(SpaceMode mode) {
   return "unknown";
 }
 
+const char* to_string(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::Threads: return "threads";
+    case ExecBackend::Procs: return "procs";
+  }
+  return "unknown";
+}
+
 namespace {
 
 IterSpace build_iter_space(const LoopNest& nest, const DependenceInfo& dep, SpaceMode mode) {
@@ -316,7 +324,7 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
 
   // Fault plans perturb the schedule in point-level ways the closed forms
   // deliberately do not model, so the cross-check covers fault-free sims.
-  if (config.sim.faults.empty()) {
+  if (config.sim.faults.machine_empty()) {
     Hypercube cube(config.cube_dim);
     SimOptions sim_opts = config.sim;
     sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
@@ -390,7 +398,7 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
           r.mapping.mapping.block_to_proc[gid])
         fail("lattice processor assignment");
 
-    if (config.sim.faults.empty()) {
+    if (config.sim.faults.machine_empty()) {
       Hypercube cube(config.cube_dim);
       SimOptions sim_opts = config.sim;
       sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());

@@ -29,6 +29,16 @@ enum class SpaceMode {
 
 [[nodiscard]] const char* to_string(SpaceMode mode);
 
+/// Which *real* execution backend the measured side runs on (CLI
+/// `--backend`).  The simulator is backend-independent; this selects how
+/// `hypart run` / `hypart explain` actually execute the schedule.
+enum class ExecBackend {
+  Threads,  ///< exec/parallel_runtime: one thread per processor, mailboxes
+  Procs,    ///< exec/proc_runtime: one OS process per processor, supervised
+};
+
+[[nodiscard]] const char* to_string(ExecBackend backend);
+
 struct PipelineConfig {
   DependenceOptions dependence;
   /// Explicit time function Π; when unset, the small-integer search is used.
@@ -48,6 +58,9 @@ struct PipelineConfig {
   /// Verify throws Error(ErrorKind::Internal) on any dense/symbolic
   /// disagreement.
   SpaceMode space_mode = SpaceMode::Dense;
+  /// Real execution backend used by the CLI's run/explain measured paths
+  /// (the pipeline itself only simulates and ignores this).
+  ExecBackend backend = ExecBackend::Threads;
   /// Run the theorem/lemma checkers and record their reports.
   bool validate = true;
   /// Optional tracing/metrics hooks, propagated to every stage (stage spans

@@ -68,7 +68,58 @@ FaultSampler parse_sampler_counts(std::uint64_t seed, const std::string& counts)
   return s;
 }
 
+/// Parse one `proc:` term body (everything after the `proc:` prefix).
+ProcFault parse_proc_fault(const std::string& rest, const std::string& term) {
+  std::size_t colon = rest.find(':');
+  if (colon == std::string::npos)
+    throw FaultError("fault spec: proc term '" + term +
+                     "' wants proc:<kill|hang|trunc|delay|rand>:...");
+  std::string kind = rest.substr(0, colon);
+  std::string body = rest.substr(colon + 1);
+  ProcFault f;
+  if (kind == "rand") {
+    f.kind = ProcFaultKind::RandKill;
+    std::int64_t seed = parse_int(body, "seed");
+    if (seed < 0) throw FaultError("fault spec: negative seed in '" + term + "'");
+    f.seed = static_cast<std::uint64_t>(seed);
+    return f;
+  }
+  auto [ids, step] = split_at_step(body);
+  f.at_step = step;
+  if (kind == "kill") f.kind = ProcFaultKind::Kill;
+  else if (kind == "hang") f.kind = ProcFaultKind::Hang;
+  else if (kind == "trunc") f.kind = ProcFaultKind::TruncFrame;
+  else if (kind == "delay") f.kind = ProcFaultKind::DelaySend;
+  else
+    throw FaultError("fault spec: unknown proc fault '" + kind +
+                     "' (want kill|hang|trunc|delay|rand)");
+  std::string id_part = ids;
+  if (f.kind == ProcFaultKind::DelaySend) {
+    std::size_t c2 = ids.find(':');
+    if (c2 == std::string::npos)
+      throw FaultError("fault spec: delay term '" + term + "' wants proc:delay:<id>:<ms>");
+    id_part = ids.substr(0, c2);
+    f.delay_ms = parse_int(ids.substr(c2 + 1), "delay ms");
+    if (f.delay_ms < 0) throw FaultError("fault spec: negative delay in '" + term + "'");
+  }
+  std::int64_t id = parse_int(id_part, "worker id");
+  if (id < 0) throw FaultError("fault spec: negative worker id in '" + term + "'");
+  f.proc = static_cast<ProcId>(id);
+  return f;
+}
+
 }  // namespace
+
+const char* to_string(ProcFaultKind kind) {
+  switch (kind) {
+    case ProcFaultKind::Kill: return "kill";
+    case ProcFaultKind::Hang: return "hang";
+    case ProcFaultKind::TruncFrame: return "trunc";
+    case ProcFaultKind::DelaySend: return "delay";
+    case ProcFaultKind::RandKill: return "rand";
+  }
+  return "?";
+}
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
@@ -107,8 +158,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       if (seed < 0) throw FaultError("fault spec: negative seed in '" + term + "'");
       plan.sampler =
           parse_sampler_counts(static_cast<std::uint64_t>(seed), rest.substr(colon2 + 1));
+    } else if (kind == "proc") {
+      plan.proc_faults.push_back(parse_proc_fault(rest, term));
     } else {
-      throw FaultError("fault spec: unknown kind '" + kind + "' (want node|link|rand)");
+      throw FaultError("fault spec: unknown kind '" + kind + "' (want node|link|rand|proc)");
     }
   }
   return plan;
@@ -195,6 +248,17 @@ std::string FaultPlan::to_string() const {
     os << "rand:" << sampler->seed << ":";
     if (sampler->nodes > 0) os << sampler->nodes << "n";
     if (sampler->links > 0) os << sampler->links << "l";
+  }
+  for (const ProcFault& f : proc_faults) {
+    sep();
+    os << "proc:" << hypart::fault::to_string(f.kind);
+    if (f.kind == ProcFaultKind::RandKill) {
+      os << ":" << f.seed;
+      continue;
+    }
+    os << ":" << f.proc;
+    if (f.kind == ProcFaultKind::DelaySend) os << ":" << f.delay_ms;
+    if (f.at_step != kFromStart) os << "@" << f.at_step;
   }
   return os.str();
 }

@@ -21,6 +21,18 @@
 //   rand:<seed>:<k>l      sample <k> distinct extra link failures
 //   rand:<seed>:<k>n<m>l  both, from one PRNG stream
 // e.g.  --faults node:5,link:2-6@4,rand:42:2n1l
+//
+// Process-backend faults (`proc:` terms) target the *real* multi-process
+// runtime (exec/proc_runtime.hpp): they make an OS worker process actually
+// crash, hang, corrupt a frame, or delay its sends, deterministically at a
+// given hyperplane step, so every supervisor recovery path is testable:
+//   proc:kill:<id>[@<step>]        worker <id> raises SIGKILL at step
+//   proc:hang:<id>[@<step>]        worker <id> stops heartbeating/working
+//   proc:trunc:<id>[@<step>]       worker <id> writes a truncated frame, dies
+//   proc:delay:<id>:<ms>[@<step>]  worker <id> delays its sends by <ms> ms
+//   proc:rand:<seed>               seeded kill of a sampled worker/step
+// Machine (node/link/rand) terms degrade the *simulated* cube; proc terms
+// are ignored by the simulator and by the threaded backend.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +68,29 @@ struct FaultSampler {
   std::size_t links = 0;
 };
 
+/// Real-process fault kinds for the multi-process backend.
+enum class ProcFaultKind {
+  Kill,       ///< raise(SIGKILL) at the trigger step — a hard crash
+  Hang,       ///< stop heartbeating and processing (supervisor must detect)
+  TruncFrame, ///< write a deliberately truncated frame, then die
+  DelaySend,  ///< delay every send at the trigger step by `delay_ms`
+  RandKill,   ///< seeded Kill of a sampled worker at a sampled step
+};
+
+[[nodiscard]] const char* to_string(ProcFaultKind kind);
+
+/// One injected process fault.  `proc`/`at_step` are ignored for RandKill
+/// (the runtime samples both from mt19937_64(seed) once it knows the worker
+/// count and step range, so the same seed fails the same worker at the
+/// same step on every run).
+struct ProcFault {
+  ProcFaultKind kind = ProcFaultKind::Kill;
+  ProcId proc = 0;
+  std::int64_t at_step = kFromStart;
+  std::int64_t delay_ms = 0;   ///< DelaySend only
+  std::uint64_t seed = 0;      ///< RandKill only
+};
+
 class FaultSet;
 
 /// A machine-independent fault specification.
@@ -63,8 +98,15 @@ struct FaultPlan {
   std::vector<NodeFault> node_faults;
   std::vector<LinkFault> link_faults;
   std::optional<FaultSampler> sampler;
+  std::vector<ProcFault> proc_faults;
 
-  [[nodiscard]] bool empty() const {
+  [[nodiscard]] bool empty() const { return machine_empty() && proc_faults.empty(); }
+
+  /// True when no *machine* (node/link/sampler) faults are present.  The
+  /// simulator and the degraded-cube remapper key off this: proc faults
+  /// live purely in the multi-process runtime and never degrade the
+  /// simulated machine.
+  [[nodiscard]] bool machine_empty() const {
     return node_faults.empty() && link_faults.empty() && !sampler.has_value();
   }
 

@@ -9,6 +9,7 @@
 #include "core/json_reader.hpp"
 #include "core/json_writer.hpp"
 #include "exec/parallel_runtime.hpp"
+#include "exec/proc_runtime.hpp"
 #include "perf/table.hpp"
 
 namespace hypart::obs {
@@ -50,6 +51,7 @@ LedgerRow row_from_json(const JsonValue& v) {
   r.iterations = v.int_or("iterations", 0);
   r.cube_dim = static_cast<unsigned>(v.int_or("cube_dim", 0));
   r.accounting = v.string_or("accounting", "?");
+  r.backend = v.string_or("backend", "threads");  // pre-column rows: threads
   r.repeats = static_cast<int>(v.int_or("repeats", 0));
   r.predicted = breakdown_from_json(v.get("predicted"));
   r.measured = breakdown_from_json(v.get("measured_us"));
@@ -75,6 +77,7 @@ std::string LedgerRow::to_json() const {
   w.field("iterations", iterations);
   w.field("cube_dim", static_cast<std::int64_t>(cube_dim));
   w.field("accounting", accounting);
+  w.field("backend", backend);
   w.field("repeats", static_cast<std::int64_t>(repeats));
   breakdown_to_json(w, "predicted", predicted);
   breakdown_to_json(w, "measured_us", measured);
@@ -105,6 +108,7 @@ LedgerRow run_ledger(const LoopNest& nest, PipelineConfig config, const LedgerOp
   row.iterations = static_cast<std::int64_t>(r.iteration_count());
   row.cube_dim = config.cube_dim;
   row.accounting = accounting_name(config.sim.accounting);
+  row.backend = to_string(opts.backend);
   row.repeats = std::max(1, opts.repeats);
 
   const MachineParams& m = config.machine;
@@ -119,44 +123,60 @@ LedgerRow run_ledger(const LoopNest& nest, PipelineConfig config, const LedgerOp
   row.predicted.stall =
       row.predicted.total - row.predicted.compute - row.predicted.comm - row.predicted.other;
 
-  // ---- measured side: repeat the threaded run, keep the median wall ------
-  ParallelRunOptions run_opts;
-  run_opts.obs = opts.obs;
-  run_opts.measure_phases = true;
+  // ---- measured side: repeat the real run, keep the median wall ----------
   struct Repeat {
     double wall_us;
     ComponentBreakdown breakdown;
   };
-  std::vector<Repeat> reps;
-  reps.reserve(static_cast<std::size_t>(row.repeats));
-  for (int i = 0; i < row.repeats; ++i) {
-    ParallelRunResult run = run_parallel(nest, *r.structure, r.time_function, r.partition,
-                                         r.mapping.mapping, r.dependence, run_opts);
-    const ParallelRunStats& st = run.stats;
-    // Critical worker: the thread with the largest attributed phase time.
-    // Its phases explain the run; the wall clock (longest full worker span)
-    // can only exceed its phase sum, so `other` is a true residual >= 0 up
-    // to scheduler noise.
+  // Shared by both backends: the critical worker is the one with the
+  // largest attributed phase time; its phases explain the run, and the
+  // wall clock can only exceed its phase sum, so `other` is a true
+  // residual >= 0 up to scheduler noise.
+  auto attribute = [](double wall_us, const std::vector<double>& compute_us,
+                      const std::vector<double>& wait_us, const std::vector<double>& send_us) {
     std::size_t critical = 0;
     double best = -1.0;
-    for (std::size_t p = 0; p < st.per_proc_compute_us.size(); ++p) {
-      double s = st.per_proc_compute_us[p] + st.per_proc_wait_us[p] + st.per_proc_send_us[p];
+    for (std::size_t p = 0; p < compute_us.size(); ++p) {
+      double s = compute_us[p] + wait_us[p] + send_us[p];
       if (s > best) {
         best = s;
         critical = p;
       }
     }
     Repeat rep;
-    rep.wall_us = st.wall_us;
-    rep.breakdown.total = st.wall_us;
-    if (!st.per_proc_compute_us.empty()) {
-      rep.breakdown.compute = st.per_proc_compute_us[critical];
-      rep.breakdown.stall = st.per_proc_wait_us[critical];
-      rep.breakdown.comm = st.per_proc_send_us[critical];
+    rep.wall_us = wall_us;
+    rep.breakdown.total = wall_us;
+    if (!compute_us.empty()) {
+      rep.breakdown.compute = compute_us[critical];
+      rep.breakdown.stall = wait_us[critical];
+      rep.breakdown.comm = send_us[critical];
     }
     rep.breakdown.other =
         rep.breakdown.total - rep.breakdown.compute - rep.breakdown.comm - rep.breakdown.stall;
-    reps.push_back(rep);
+    return rep;
+  };
+  std::vector<Repeat> reps;
+  reps.reserve(static_cast<std::size_t>(row.repeats));
+  for (int i = 0; i < row.repeats; ++i) {
+    if (opts.backend == ExecBackend::Procs) {
+      ProcRunOptions run_opts;
+      run_opts.obs = opts.obs;
+      run_opts.measure_phases = true;
+      ProcRunResult run = run_procs(nest, *r.structure, r.time_function, r.partition,
+                                    r.mapping.mapping, r.dependence, run_opts);
+      const ProcRunStats& st = run.stats;
+      reps.push_back(attribute(st.wall_us, st.per_proc_compute_us, st.per_proc_wait_us,
+                               st.per_proc_send_us));
+    } else {
+      ParallelRunOptions run_opts;
+      run_opts.obs = opts.obs;
+      run_opts.measure_phases = true;
+      ParallelRunResult run = run_parallel(nest, *r.structure, r.time_function, r.partition,
+                                           r.mapping.mapping, r.dependence, run_opts);
+      const ParallelRunStats& st = run.stats;
+      reps.push_back(attribute(st.wall_us, st.per_proc_compute_us, st.per_proc_wait_us,
+                               st.per_proc_send_us));
+    }
   }
 
   std::sort(reps.begin(), reps.end(),
@@ -211,8 +231,8 @@ std::string AccuracyLedger::to_json() const {
 }
 
 std::string AccuracyLedger::table() const {
-  TextTable t({"workload", "iters", "component", "predicted", "share", "measured us", "share",
-               "dshare"});
+  TextTable t({"workload", "backend", "iters", "component", "predicted", "share", "measured us",
+               "share", "dshare"});
   auto pct = [](double share) {
     std::ostringstream os;
     os.precision(1);
@@ -240,7 +260,7 @@ std::string AccuracyLedger::table() const {
     bool first = true;
     for (const Line& l : lines) {
       const bool total = std::string_view(l.name) == "total";
-      t.row(first ? r.workload : std::string(),
+      t.row(first ? r.workload : std::string(), first ? r.backend : std::string(),
             first ? std::to_string(r.iterations) : std::string(), l.name,
             num(l.pred), total ? "" : pct(r.predicted.share(l.pred)), num(l.meas),
             total ? "" : pct(r.measured.share(l.meas)),

@@ -55,6 +55,9 @@ struct LedgerRow {
   std::int64_t iterations = 0;
   unsigned cube_dim = 0;
   std::string accounting;  ///< CommAccounting name
+  /// Which real backend produced the measured side ("threads" or "procs");
+  /// rows written before the column existed load as "threads".
+  std::string backend = "threads";
   int repeats = 0;
 
   ComponentBreakdown predicted;  ///< cost-model units
@@ -76,17 +79,21 @@ struct LedgerRow {
 };
 
 struct LedgerOptions {
-  /// Threaded-runtime repetitions; the median-wall repeat supplies the
-  /// measured breakdown (min is recorded alongside).
+  /// Runtime repetitions; the median-wall repeat supplies the measured
+  /// breakdown (min is recorded alongside).
   int repeats = 3;
+  /// Which real backend measures: threads (run_parallel) or supervised OS
+  /// processes (run_procs).  Recorded in the row's `backend` column so
+  /// prediction error is attributable per backend.
+  ExecBackend backend = ExecBackend::Threads;
   /// Hooks passed to both the pipeline and the runtime runs.
   ObsContext obs{};
 };
 
-/// Run the simulator prediction and the real threaded execution side by
-/// side.  Forces SpaceMode::Dense (the runtime interprets materialized
+/// Run the simulator prediction and a real execution side by side.
+/// Forces SpaceMode::Dense (the runtimes interpret materialized
 /// iterations); throws core Error/std exceptions on invalid nests exactly
-/// like run_pipeline / run_parallel.
+/// like run_pipeline / run_parallel / run_procs.
 LedgerRow run_ledger(const LoopNest& nest, PipelineConfig config,
                      const LedgerOptions& opts = {});
 

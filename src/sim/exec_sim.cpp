@@ -38,7 +38,7 @@ FaultState resolve_faults(const SimOptions& opts, const Partition& part, const M
                           const Topology& topo) {
   FaultState fs;
   fs.cube = dynamic_cast<const Hypercube*>(&topo);
-  if (opts.faults.empty()) return fs;
+  if (opts.faults.machine_empty()) return fs;
   if (fs.cube == nullptr)
     throw FaultError("simulate_execution: fault injection requires a Hypercube topology");
   fs.set = opts.faults.resolve(*fs.cube);
@@ -682,7 +682,7 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
 SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
                              const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts) {
-  if (!opts.faults.empty())
+  if (!opts.faults.machine_empty())
     throw Error(ErrorKind::Config,
                 "simulate_execution: fault injection requires the dense space mode");
   obs::Span span(opts.obs.trace, "simulate_execution", "sim");
@@ -722,7 +722,7 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
 SimResult simulate_execution(const GroupLattice& lattice, const LatticeHypercubeMapping& mapping,
                              const Topology& topo, const MachineParams& machine,
                              const SimOptions& opts) {
-  if (!opts.faults.empty())
+  if (!opts.faults.machine_empty())
     throw Error(ErrorKind::Config,
                 "simulate_execution: fault injection requires the dense space mode");
   obs::Span span(opts.obs.trace, "simulate_execution", "sim");

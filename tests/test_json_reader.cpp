@@ -111,6 +111,39 @@ TEST(JsonReaderTest, FileHelperReportsErrorsWithoutThrowing) {
   std::remove(path.c_str());
 }
 
+TEST(JsonReaderTest, EveryPrefixTruncationIsRejectedNotCrashed) {
+  // Robustness fuzz: a partially written artifact (crashed producer, torn
+  // copy) is a strict prefix of a valid document.  Every such prefix must
+  // raise JsonParseError — never crash, hang, or parse successfully.
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "tr\"icky\\\n");
+  w.field("int", std::int64_t{-12345});
+  w.field("dbl", 6.02214076e23);
+  w.begin_array("arr");
+  w.value(true);
+  w.raw_value("null");
+  w.end_array();
+  w.end_object();
+  const std::string doc = w.str();
+  ASSERT_NO_THROW((void)parse_json(doc));
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    EXPECT_THROW((void)parse_json(doc.substr(0, cut)), JsonParseError)
+        << "prefix of " << cut << " byte(s) parsed: " << doc.substr(0, cut);
+  }
+}
+
+TEST(JsonReaderTest, MidTokenEofIsRejected) {
+  // EOF landing inside a token (not just between tokens) — each of these
+  // ends mid-literal, mid-number, mid-escape, or mid-string.
+  for (const char* bad :
+       {"tr", "fals", "nul", "-", "1e", "1e+", "1.5e-", "\"abc", "\"abc\\", "\"abc\\u",
+        "\"abc\\u00", "\"\\ud83d\\ud", "[", "[1", "[1,", "{\"a", "{\"a\"", "{\"a\":",
+        "{\"a\":1,", "{\"a\":[{\"b\":"}) {
+    EXPECT_THROW((void)parse_json(bad), JsonParseError) << bad;
+  }
+}
+
 TEST(JsonRoundTripTest, DoublesSurviveWriterReaderExactly) {
   // Shortest-round-trip formatting (to_chars) must re-parse (from_chars)
   // to the identical bit pattern — this is what makes the ledger and the

@@ -123,6 +123,49 @@ TEST(LedgerTest, LoadRejectsWrongSchema) {
   std::remove(path.c_str());
 }
 
+TEST(LedgerTest, TruncatedLedgerFileFailsTypedNotCrashes) {
+  // Regression for the torn-write case: a ledger file cut off mid-document
+  // (crashed writer, full disk) must surface as a load error carrying the
+  // parse position — the CLI maps this to exit 65 — never a crash or a
+  // silently half-loaded ledger.
+  AccuracyLedger source;
+  source.append(ledger_for(workloads::matrix_vector(12), 1));
+  const std::string doc = source.to_json();
+  std::string path = testing::TempDir() + "hypart_ledger_truncated.json";
+  for (std::size_t cut : {doc.size() / 4, doc.size() / 2, doc.size() - 2}) {
+    {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      ASSERT_NE(f, nullptr);
+      std::fwrite(doc.data(), 1, cut, f);
+      std::fclose(f);
+    }
+    AccuracyLedger ledger;
+    std::string error;
+    EXPECT_FALSE(ledger.load(path, error)) << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(ledger.rows().empty()) << "partial rows leaked at cut " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LedgerTest, BackendColumnRoundTripsAndDefaultsToThreads) {
+  AccuracyLedger ledger;
+  LedgerRow row = ledger_for(workloads::matrix_vector(12), 1);
+  row.backend = "procs";
+  ledger.append(row);
+  std::string path = testing::TempDir() + "hypart_ledger_backend.json";
+  std::string error;
+  ASSERT_TRUE(ledger.save(path, error)) << error;
+  AccuracyLedger loaded;
+  ASSERT_TRUE(loaded.load(path, error)) << error;
+  ASSERT_EQ(loaded.rows().size(), 1u);
+  EXPECT_EQ(loaded.rows()[0].backend, "procs");
+  std::remove(path.c_str());
+  // Rows written before the column existed must load as "threads".
+  LedgerRow fresh;
+  EXPECT_EQ(fresh.backend, "threads");
+}
+
 TEST(LedgerTest, TableRendersOneSectionPerRow) {
   AccuracyLedger ledger;
   ledger.append(ledger_for(workloads::matrix_vector(12), 1));

@@ -24,7 +24,9 @@
 //   --weighted       weighted cluster bisection
 //   --accounting M   paper | barrier | contention (default paper)
 //   --tcalc/--tstart/--tcomm X   machine constants (default 1/50/5)
-//   --faults SPEC    deterministic fault injection (node:5,link:2-6@4,rand:7:2n)
+//   --faults SPEC    deterministic fault injection (node:5,link:2-6@4,rand:7:2n,
+//                    proc:kill:1@2 for real process faults with --backend procs)
+//   --backend B      threads | procs: real execution backend for run/explain
 //   --recv-timeout-ms N   stall watchdog for `run` (default 30000, 0 = off)
 //   --trace FILE     write a Chrome trace-event JSON (any command)
 //   --metrics FILE   write a metrics snapshot JSON (any command)
@@ -46,8 +48,10 @@
 #include "core/error.hpp"
 #include "core/json_export.hpp"
 #include "core/pipeline.hpp"
+#include "core/io_util.hpp"
 #include "exec/interpreter.hpp"
 #include "exec/parallel_runtime.hpp"
+#include "exec/proc_runtime.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/remap.hpp"
 #include "frontend/lexer.hpp"
@@ -69,7 +73,7 @@ const char kUsage[] =
     "              [--space dense|symbolic|verify]\n"
     "              [--accounting paper|barrier|contention]\n"
     "              [--tcalc X] [--tstart X] [--tcomm X]\n"
-    "              [--faults SPEC] [--recv-timeout-ms N]\n"
+    "              [--faults SPEC] [--backend threads|procs] [--recv-timeout-ms N]\n"
     "              [--trace FILE] [--metrics FILE]\n"
     "              [--json] [--repeats N] [--ledger FILE]\n"
     "\n"
@@ -78,8 +82,16 @@ const char kUsage[] =
     "                 node:<id>[@<step>]      fail a node (from start or at step)\n"
     "                 link:<a>-<b>[@<step>]   fail a cube edge\n"
     "                 rand:<seed>:<K>n[<M>l]  sample K nodes / M links (seeded)\n"
+    "                 proc:kill:<id>[@<step>]       SIGKILL a real worker process\n"
+    "                 proc:hang:<id>[@<step>]       worker stops heartbeating\n"
+    "                 proc:trunc:<id>[@<step>]      worker writes a truncated frame\n"
+    "                 proc:delay:<id>:<ms>[@<step>] worker delays its sends\n"
+    "                 proc:rand:<seed>              seeded kill (sampled victim/step)\n"
     "                 simulate reroutes and remaps; run executes on the\n"
-    "                 degraded (remapped) hypercube and re-verifies results\n"
+    "                 degraded (remapped) hypercube and re-verifies results;\n"
+    "                 proc: terms need --backend procs (ignored elsewhere)\n"
+    "  --backend B    threads (default) or procs: the supervised multi-process\n"
+    "                 backend (fork+socketpair workers, heartbeats, recovery)\n"
     "  --recv-timeout-ms N  stall watchdog for run (default 30000, 0 = off)\n"
     "\n"
     "observability:\n"
@@ -186,6 +198,11 @@ CliOptions parse_args(int argc, char** argv) {
         std::fprintf(stderr, "hypart: %s\n", e.what());
         std::exit(e.exit_code());
       }
+    } else if (a == "--backend") {
+      std::string b = next();
+      if (b == "threads") o.config.backend = ExecBackend::Threads;
+      else if (b == "procs") o.config.backend = ExecBackend::Procs;
+      else usage("unknown backend (want threads|procs)");
     } else if (a == "--recv-timeout-ms") o.recv_timeout_ms = std::stoll(next());
     else if (a == "--trace") o.trace_path = next();
     else if (a == "--metrics") o.metrics_path = next();
@@ -354,6 +371,7 @@ int cmd_profile(const obs::Profiler& prof, bool json) {
 int cmd_explain(const LoopNest& nest, const CliOptions& o) {
   obs::LedgerOptions lopts;
   lopts.repeats = o.repeats;
+  lopts.backend = o.config.backend;
   lopts.obs = o.config.obs;
   obs::LedgerRow row = obs::run_ledger(nest, o.config, lopts);
 
@@ -392,7 +410,7 @@ int cmd_run(const LoopNest& nest, const PipelineResult& r, const CliOptions& o) 
   // With --faults, execute on the degraded hypercube: remap blocks off the
   // failed nodes first, then run and re-verify against the sequential result.
   Mapping mapping = r.mapping.mapping;
-  if (!o.config.sim.faults.empty()) {
+  if (!o.config.sim.faults.machine_empty()) {
     Hypercube cube(o.config.cube_dim);
     fault::FaultSet fset = o.config.sim.faults.resolve(cube);
     fault::RemapResult remap = fault::remap_for_faults(r.partition, mapping, cube, fset);
@@ -405,26 +423,47 @@ int cmd_run(const LoopNest& nest, const PipelineResult& r, const CliOptions& o) 
   DistributedResult dist = run_distributed(nest, *r.structure, r.time_function, r.partition,
                                            mapping, r.dependence);
   EquivalenceReport e1 = compare_stores(seq, dist.written);
-  ParallelRunOptions popts;
-  popts.obs = o.config.obs;
-  popts.recv_timeout_ms = o.recv_timeout_ms;
-  ParallelRunResult par = run_parallel(nest, *r.structure, r.time_function, r.partition,
-                                       mapping, r.dependence, popts);
-  EquivalenceReport e2 = compare_stores(seq, par.written);
   std::printf("written elements: %zu\n", e1.compared);
   std::printf("distributed interpreter == sequential: %s%s\n", e1.equal ? "YES" : "NO — ",
               e1.equal ? "" : e1.first_mismatch.c_str());
-  std::printf("threaded runtime == sequential: %s%s  (%zu threads, %lld messages, "
-              "max mailbox depth %lld)\n",
-              e2.equal ? "YES" : "NO — ", e2.equal ? "" : e2.first_mismatch.c_str(),
-              par.stats.threads, static_cast<long long>(par.stats.messages_sent),
-              static_cast<long long>(par.stats.max_mailbox_depth));
-  return e1.equal && e2.equal ? 0 : 2;
+  bool e2_equal = false;
+  if (o.config.backend == ExecBackend::Procs) {
+    ProcRunOptions popts;
+    popts.obs = o.config.obs;
+    popts.run_timeout_ms = o.recv_timeout_ms;
+    popts.proc_faults = o.config.sim.faults.proc_faults;
+    ProcRunResult pr = run_procs(nest, *r.structure, r.time_function, r.partition, mapping,
+                                 r.dependence, popts);
+    EquivalenceReport e2 = compare_stores(seq, pr.written);
+    e2_equal = e2.equal;
+    std::printf("process runtime == sequential: %s%s  (%zu workers, %lld messages, "
+                "%lld hops, %d recoveries, %zu blocks reassigned%s)\n",
+                e2.equal ? "YES" : "NO — ", e2.equal ? "" : e2.first_mismatch.c_str(),
+                pr.stats.workers, static_cast<long long>(pr.stats.messages_sent),
+                static_cast<long long>(pr.stats.route_hops), pr.stats.recoveries,
+                pr.stats.migrated_blocks, pr.stats.degraded ? ", DEGRADED to threads" : "");
+  } else {
+    ParallelRunOptions popts;
+    popts.obs = o.config.obs;
+    popts.recv_timeout_ms = o.recv_timeout_ms;
+    ParallelRunResult par = run_parallel(nest, *r.structure, r.time_function, r.partition,
+                                         mapping, r.dependence, popts);
+    EquivalenceReport e2 = compare_stores(seq, par.written);
+    e2_equal = e2.equal;
+    std::printf("threaded runtime == sequential: %s%s  (%zu threads, %lld messages, "
+                "max mailbox depth %lld)\n",
+                e2.equal ? "YES" : "NO — ", e2.equal ? "" : e2.first_mismatch.c_str(),
+                par.stats.threads, static_cast<long long>(par.stats.messages_sent),
+                static_cast<long long>(par.stats.max_mailbox_depth));
+  }
+  return e1.equal && e2_equal ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A worker process dying mid-send must surface as EPIPE, not kill the CLI.
+  ignore_sigpipe();
   CliOptions o = parse_args(argc, argv);
 
   // Observability wiring: the CLI owns the sink/registry; the pipeline and
