@@ -44,6 +44,8 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
     w.field("beta", static_cast<std::uint64_t>(r.lattice->beta()));
     w.field("blocks", r.lattice->group_count());
     w.field("grouping_backend", "lattice");
+    w.field("layout", r.lattice->layout() == LatticeLayout::Plane ? "plane" : "chain");
+    w.field("components", r.lattice->component_count());
     if (r.lattice_stats) {
       w.field("min_block", r.lattice_stats->min_block);
       w.field("max_block", r.lattice_stats->max_block);
@@ -63,10 +65,26 @@ std::string pipeline_result_to_json(const LoopNest& nest, const PipelineResult& 
     w.field("processors", static_cast<std::uint64_t>(r.lattice_mapping->processor_count));
     w.field("method", r.lattice_mapping->method);
     // The per-block processor array is intentionally not emitted: the
-    // lattice path never materializes it (cluster boundaries stand in).
-    w.begin_array("cluster_boundaries");
-    for (std::uint64_t b : r.lattice_mapping->boundaries) w.value(b);
-    w.end_array();
+    // lattice path never materializes it.  Chains emit the sorted-index
+    // cluster boundaries; planes emit the per-aux-chain fragment runs.
+    if (r.lattice_mapping->frag_b.empty()) {
+      w.begin_array("cluster_boundaries");
+      for (std::uint64_t b : r.lattice_mapping->boundaries) w.value(b);
+      w.end_array();
+    } else {
+      w.begin_array("fragment_runs");
+      for (std::size_t i = 0; i < r.lattice_mapping->frag_b.size(); ++i) {
+        for (std::size_t k = r.lattice_mapping->frag_off[i];
+             k < r.lattice_mapping->frag_off[i + 1]; ++k) {
+          w.begin_object();
+          w.field("b", r.lattice_mapping->frag_b[i]);
+          w.field("a_from", r.lattice_mapping->frag_runs[k].first);
+          w.field("proc", static_cast<std::uint64_t>(r.lattice_mapping->frag_runs[k].second));
+          w.end_object();
+        }
+      }
+      w.end_array();
+    }
   } else {
     w.field("processors", static_cast<std::uint64_t>(r.mapping.mapping.processor_count));
     w.field("method", r.mapping.mapping.method);

@@ -187,11 +187,22 @@ PipelineResult run_symbolic(const LoopNest& nest, const PipelineConfig& config) 
   // GroupLattice — no ProjectedStructure, no Group objects, no per-group
   // vectors (pipeline.groups_materialized = 0).
   std::optional<GroupLattice> built;
+  std::string fallback_reason;
   {
     obs::Span span(sink, "lattice_build", "pipeline");
-    built = GroupLattice::build(*r.space, r.time_function, config.grouping);
+    built = GroupLattice::build(*r.space, r.time_function, config.grouping, &fallback_reason);
+    // Weighted plane mapping is not closed-form (hypercube_map.hpp); route
+    // the whole run through the line-based fallback rather than mixing
+    // lattice grouping with a dense mapper.
+    if (built && config.mapping.weighted && built->layout() == LatticeLayout::Plane) {
+      built.reset();
+      fallback_reason = "weighted-plane-mapping";
+    }
     span.arg("admitted", static_cast<std::int64_t>(built.has_value() ? 1 : 0));
+    if (!built) span.arg("fallback_reason", fallback_reason);
   }
+  if (!built && reg != nullptr)
+    reg->add("pipeline.lattice_fallback." + fallback_reason);
   if (built) {
     r.lattice = std::make_unique<GroupLattice>(std::move(*built));
     LatticeSweepResult sweep;
@@ -322,9 +333,10 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
     if (sym_tig.coordinates(v) != r.tig.coordinates(v)) fail("TIG coordinates");
   }
 
-  // Fault plans perturb the schedule in point-level ways the closed forms
-  // deliberately do not model, so the cross-check covers fault-free sims.
-  if (config.sim.faults.machine_empty()) {
+  // The line-based symbolic simulator models fault plans with the dense
+  // block ids and the same remap/detour machinery, so the cross-check holds
+  // under any plan — including the degraded fields.
+  {
     Hypercube cube(config.cube_dim);
     SimOptions sim_opts = config.sim;
     sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
@@ -338,6 +350,11 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
         sym.max_link_words != r.sim.max_link_words ||
         sym.per_proc_iterations != r.sim.per_proc_iterations)
       fail("simulation results");
+    if (sym.failed_nodes != r.sim.failed_nodes || sym.failed_links != r.sim.failed_links ||
+        sym.rerouted_messages != r.sim.rerouted_messages ||
+        sym.migrated_blocks != r.sim.migrated_blocks ||
+        !(sym.migration_cost == r.sim.migration_cost))
+      fail("degraded simulation results");
   }
 
   if (config.validate) {
@@ -354,15 +371,21 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
     if (lat->group_count() != r.grouping.group_count()) fail("lattice group count");
     if (lat->group_size_r() != r.grouping.group_size_r()) fail("lattice group size r");
     if (lat->beta() != r.grouping.beta()) fail("lattice beta");
-    const bool degen = lat->degenerate();
-    auto coord_of = [&](std::size_t gid) {
-      return degen ? lat->group_at_sorted_index(gid) : r.grouping.groups()[gid].lattice.at(0);
+    // Dense group id -> lattice GroupKey, built from the dense Group's own
+    // lattice coordinates and component id (sorted order when degenerate —
+    // dense creation order is the lex seed order there).
+    auto key_of = [&](std::size_t gid) -> GroupLattice::GroupKey {
+      if (lat->degenerate()) return lat->group_at_sorted_index(gid);
+      const Group& g = r.grouping.groups()[gid];
+      if (lat->layout() == LatticeLayout::Plane)
+        return {g.lattice.at(0), g.lattice.at(1), 0};
+      return {g.lattice.at(0), 0, static_cast<std::int64_t>(g.component)};
     };
     for (std::size_t gid = 0; gid < r.grouping.group_count(); ++gid) {
-      std::int64_t a = coord_of(gid);
-      if (lat->group_lattice_coord(a) != r.grouping.groups()[gid].lattice)
+      GroupLattice::GroupKey key = key_of(gid);
+      if (lat->group_lattice_coord(key) != r.grouping.groups()[gid].lattice)
         fail("lattice group coordinates");
-      if (lat->group_population(a) != r.block_sizes[gid]) fail("lattice group populations");
+      if (lat->group_population(key) != r.block_sizes[gid]) fail("lattice group populations");
     }
 
     LatticeSweepResult sweep = lat->sweep(config.validate);
@@ -379,38 +402,51 @@ void verify_against_symbolic(const LoopNest& nest, const PipelineConfig& config,
 
     // Per-(dependence, group-offset) arc weights: re-aggregate the dense
     // line bundles by lattice offset and compare maps.
-    std::map<std::pair<std::size_t, std::int64_t>, std::int64_t> dense_offsets;
+    std::map<std::pair<std::size_t, LatticeSweepResult::GroupOffset>, std::int64_t>
+        dense_offsets;
     for_each_line_dep(*r.space, sym_ps, [&](const LineDepArcs& b) {
-      std::size_t gs = r.grouping.group_of_point(b.point);
-      std::size_t gt = r.grouping.group_of_point(b.target);
-      std::int64_t off = coord_of(gt) - coord_of(gs);
+      GroupLattice::GroupKey ks = key_of(r.grouping.group_of_point(b.point));
+      GroupLattice::GroupKey kt = key_of(r.grouping.group_of_point(b.target));
+      LatticeSweepResult::GroupOffset off{kt.a - ks.a, kt.b - ks.b, kt.comp - ks.comp};
       dense_offsets[{b.dep, off}] += b.count;
     });
     if (dense_offsets != sweep.offset_weights) fail("lattice offset weights");
 
-    HypercubeMapOptions map_opts = config.mapping;
-    map_opts.obs = {};
-    LatticeHypercubeMapping lmap = map_to_hypercube(*lat, config.cube_dim, map_opts);
-    if (lmap.processor_count != r.mapping.mapping.processor_count)
-      fail("lattice processor count");
-    for (std::size_t gid = 0; gid < r.grouping.group_count(); ++gid)
-      if (lmap.proc_of_sorted_index(lat->sorted_index_of_group(coord_of(gid))) !=
-          r.mapping.mapping.block_to_proc[gid])
-        fail("lattice processor assignment");
+    // Weighted plane mapping has no closed form (run_symbolic falls back to
+    // the line path there), so the mapping/simulation cross-checks only run
+    // when the lattice mapper applies.
+    if (!(config.mapping.weighted && lat->layout() == LatticeLayout::Plane)) {
+      HypercubeMapOptions map_opts = config.mapping;
+      map_opts.obs = {};
+      LatticeHypercubeMapping lmap = map_to_hypercube(*lat, config.cube_dim, map_opts);
+      if (lmap.processor_count != r.mapping.mapping.processor_count)
+        fail("lattice processor count");
+      for (std::size_t gid = 0; gid < r.grouping.group_count(); ++gid)
+        if (lmap.proc_of_group(*lat, key_of(gid)) != r.mapping.mapping.block_to_proc[gid])
+          fail("lattice processor assignment");
 
-    if (config.sim.faults.machine_empty()) {
+      // The lattice simulator indexes blocks in sorted order, the dense one
+      // in creation order; node-failure remaps break ties on block id, so
+      // the cross-check covers fault sets without node failures (link-only
+      // plans never consult block ids).
       Hypercube cube(config.cube_dim);
-      SimOptions sim_opts = config.sim;
-      sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
-      sim_opts.obs = {};
-      SimResult ls = simulate_execution(*lat, lmap, cube, config.machine, sim_opts);
-      if (!(ls.total == r.sim.total) || ls.steps != r.sim.steps ||
-          ls.messages != r.sim.messages || ls.words != r.sim.words ||
-          !(ls.compute_bottleneck == r.sim.compute_bottleneck) ||
-          !(ls.comm_bottleneck == r.sim.comm_bottleneck) ||
-          ls.max_link_words != r.sim.max_link_words ||
-          ls.per_proc_iterations != r.sim.per_proc_iterations)
-        fail("lattice simulation results");
+      const bool node_faults = !config.sim.faults.machine_empty() &&
+                               config.sim.faults.resolve(cube).failed_node_count() > 0;
+      if (!node_faults) {
+        SimOptions sim_opts = config.sim;
+        sim_opts.flops_per_iteration = config.flops_override.value_or(nest.body_flops());
+        sim_opts.obs = {};
+        SimResult ls = simulate_execution(*lat, lmap, cube, config.machine, sim_opts);
+        if (!(ls.total == r.sim.total) || ls.steps != r.sim.steps ||
+            ls.messages != r.sim.messages || ls.words != r.sim.words ||
+            !(ls.compute_bottleneck == r.sim.compute_bottleneck) ||
+            !(ls.comm_bottleneck == r.sim.comm_bottleneck) ||
+            ls.max_link_words != r.sim.max_link_words ||
+            ls.per_proc_iterations != r.sim.per_proc_iterations ||
+            ls.failed_links != r.sim.failed_links ||
+            ls.rerouted_messages != r.sim.rerouted_messages)
+          fail("lattice simulation results");
+      }
     }
 
     if (config.validate) {

@@ -21,13 +21,24 @@ RemapResult remap_for_faults(const Partition& part, const Mapping& mapping,
                              const Hypercube& cube, const FaultSet& faults) {
   if (mapping.block_to_proc.size() != part.block_count())
     throw Error(ErrorKind::Config, "remap_for_faults: mapping/partition size mismatch");
+  std::vector<std::int64_t> block_words(part.block_count(), 0);
+  for (std::size_t b = 0; b < part.block_count(); ++b)
+    block_words[b] = static_cast<std::int64_t>(part.blocks()[b].iterations.size());
+  return remap_for_faults(block_words, mapping, cube, faults);
+}
+
+RemapResult remap_for_faults(const std::vector<std::int64_t>& block_sizes, const Mapping& mapping,
+                             const Hypercube& cube, const FaultSet& faults) {
+  const std::size_t nblocks = block_sizes.size();
+  if (mapping.block_to_proc.size() != nblocks)
+    throw Error(ErrorKind::Config, "remap_for_faults: mapping/partition size mismatch");
   if (mapping.processor_count > cube.size())
     throw Error(ErrorKind::Config, "remap_for_faults: mapping larger than the cube");
 
   RemapResult r;
   r.mapping = mapping;
-  r.timeline_.resize(part.block_count());
-  for (std::size_t b = 0; b < part.block_count(); ++b)
+  r.timeline_.resize(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b)
     r.timeline_[b].emplace_back(std::numeric_limits<std::int64_t>::min(),
                                 mapping.block_to_proc[b]);
   if (faults.failed_node_count() == 0) return r;
@@ -35,9 +46,8 @@ RemapResult remap_for_faults(const Partition& part, const Mapping& mapping,
   // Live per-processor load (iterations) and current block ownership.
   std::vector<std::int64_t> load(cube.size(), 0);
   std::vector<std::vector<std::size_t>> owned(cube.size());
-  std::vector<std::int64_t> block_words(part.block_count(), 0);
-  for (std::size_t b = 0; b < part.block_count(); ++b) {
-    block_words[b] = static_cast<std::int64_t>(part.blocks()[b].iterations.size());
+  const std::vector<std::int64_t>& block_words = block_sizes;
+  for (std::size_t b = 0; b < nblocks; ++b) {
     ProcId p = mapping.block_to_proc[b];
     load[p] += block_words[b];
     owned[p].push_back(b);

@@ -45,8 +45,9 @@ struct RemapResult {
   [[nodiscard]] ProcId proc_at(std::size_t block, std::int64_t step) const;
 
  private:
-  friend RemapResult remap_for_faults(const Partition& part, const Mapping& mapping,
-                                      const Hypercube& cube, const FaultSet& faults);
+  friend RemapResult remap_for_faults(const std::vector<std::int64_t>& block_sizes,
+                                      const Mapping& mapping, const Hypercube& cube,
+                                      const FaultSet& faults);
   /// Per-block ownership history: (owned-from step, proc), step-ascending.
   std::vector<std::vector<std::pair<std::int64_t, ProcId>>> timeline_;
 };
@@ -55,6 +56,12 @@ struct RemapResult {
 /// Throws FaultError when a failed node has no live neighbor to take its
 /// blocks.  With no node failures the input mapping is returned verbatim.
 RemapResult remap_for_faults(const Partition& part, const Mapping& mapping,
+                             const Hypercube& cube, const FaultSet& faults);
+
+/// Same policy fed by per-block iteration counts instead of materialized
+/// blocks — the symbolic paths' entry point (block_sizes[i] is the size of
+/// the block at index i of `mapping`, e.g. the lattice sorted order).
+RemapResult remap_for_faults(const std::vector<std::int64_t>& block_sizes, const Mapping& mapping,
                              const Hypercube& cube, const FaultSet& faults);
 
 }  // namespace hypart::fault

@@ -29,9 +29,9 @@ class Parser {
       // Bounds may use outer indices only; parse them before registering
       // the new index so it cannot appear in its own bounds.
       expect(TokenKind::Assign);
-      AffineExpr lower = parse_affine();
+      BoundExpr lower = parse_bound(/*is_lower=*/true);
       expect_keyword("to");
-      AffineExpr upper = parse_affine();
+      BoundExpr upper = parse_bound(/*is_lower=*/false);
       index_of_.emplace(index.text, index_of_.size());
       builder.loop(index.text, std::move(lower), std::move(upper));
     }
@@ -99,6 +99,35 @@ class Parser {
   }
 
   // ---- affine expressions ---------------------------------------------------
+  // A loop bound is a single affine expression or a disjunctive
+  // `max(e1, e2, ...)` (lower) / `min(e1, e2, ...)` (upper).  The polarity
+  // is enforced so the convexity argument holds: max-of-lower and
+  // min-of-upper are conjunctions of half-spaces; the opposite pairing
+  // would make the domain non-convex.
+  BoundExpr parse_bound(bool is_lower) {
+    if ((is_keyword("min") || is_keyword("max")) && peek_kind(1) == TokenKind::LParen) {
+      bool is_min = cur().text == "min";
+      if (is_min == is_lower)
+        throw ParseError(is_lower ? "lower bound must use max(...), not min(...)"
+                                  : "upper bound must use min(...), not max(...)",
+                         cur().line, cur().column);
+      advance();
+      expect(TokenKind::LParen);
+      std::vector<AffineExpr> terms;
+      terms.push_back(parse_affine());
+      while (at(TokenKind::Comma)) {
+        advance();
+        terms.push_back(parse_affine());
+      }
+      expect(TokenKind::RParen);
+      if (terms.size() < 2)
+        throw ParseError("min/max bound needs at least two expressions", cur().line,
+                         cur().column);
+      return BoundExpr(std::move(terms));
+    }
+    return parse_affine();
+  }
+
   AffineExpr parse_affine() {
     AffineExpr e = parse_affine_term();
     while (at(TokenKind::Plus) || at(TokenKind::Minus)) {

@@ -18,8 +18,8 @@ std::string unparse_loop_nest(const LoopNest& nest) {
 
   os << "loop " << name << " {\n";
   for (const LoopDim& d : nest.dims())
-    os << "  for " << d.name << " = " << d.lower.to_string(names) << " to "
-       << d.upper.to_string(names) << "\n";
+    os << "  for " << d.name << " = " << d.lower.to_string(names, true) << " to "
+       << d.upper.to_string(names, false) << "\n";
   for (const Statement& s : nest.statements()) {
     if (!s.is_executable())
       throw std::invalid_argument("unparse_loop_nest: statement '" + s.label +

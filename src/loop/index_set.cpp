@@ -7,11 +7,11 @@ namespace hypart {
 IndexSet::IndexSet(const LoopNest& nest) : dims_(nest.dims()) {}
 
 std::int64_t IndexSet::lower(std::size_t j, const IntVec& outer) const {
-  return dims_[j].lower.evaluate(outer);
+  return dims_[j].lower.evaluate_lower(outer);
 }
 
 std::int64_t IndexSet::upper(std::size_t j, const IntVec& outer) const {
-  return dims_[j].upper.evaluate(outer);
+  return dims_[j].upper.evaluate_upper(outer);
 }
 
 void IndexSet::for_each(const std::function<void(const IntVec&)>& visit) const {
@@ -36,8 +36,8 @@ void IndexSet::for_each(const std::function<void(const IntVec&)>& visit) const {
       if (level == 0) return;  // exhausted
       continue;
     }
-    std::int64_t lo = dims_[level].lower.evaluate(point);
-    std::int64_t up = dims_[level].upper.evaluate(point);
+    std::int64_t lo = dims_[level].lower.evaluate_lower(point);
+    std::int64_t up = dims_[level].upper.evaluate_upper(point);
     if (lo > up) {
       // Empty subrange: backtrack.
       bool moved = false;
@@ -87,8 +87,8 @@ std::uint64_t IndexSet::size() const {
   if (rect) {
     count = 1;
     for (const LoopDim& d : dims_) {
-      std::int64_t lo = d.lower.constant;
-      std::int64_t up = d.upper.constant;
+      std::int64_t lo = d.lower.constant_lower();
+      std::int64_t up = d.upper.constant_upper();
       if (up < lo) return 0;
       count *= static_cast<std::uint64_t>(up - lo + 1);
     }
@@ -101,8 +101,8 @@ std::uint64_t IndexSet::size() const {
 bool IndexSet::contains(const IntVec& point) const {
   if (point.size() != dims_.size()) return false;
   for (std::size_t j = 0; j < dims_.size(); ++j) {
-    std::int64_t lo = dims_[j].lower.evaluate(point);
-    std::int64_t up = dims_[j].upper.evaluate(point);
+    std::int64_t lo = dims_[j].lower.evaluate_lower(point);
+    std::int64_t up = dims_[j].upper.evaluate_upper(point);
     if (point[j] < lo || point[j] > up) return false;
   }
   return true;
@@ -114,7 +114,7 @@ std::vector<std::pair<std::int64_t, std::int64_t>> IndexSet::rectangular_bounds(
   for (const LoopDim& d : dims_) {
     if (!d.lower.is_constant() || !d.upper.is_constant())
       throw std::logic_error("IndexSet::rectangular_bounds: nest is not rectangular");
-    b.emplace_back(d.lower.constant, d.upper.constant);
+    b.emplace_back(d.lower.constant_lower(), d.upper.constant_upper());
   }
   return b;
 }

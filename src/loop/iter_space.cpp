@@ -90,14 +90,16 @@ void IterSpace::init() {
   // Bounds of dimension j may reference only dimensions k < j.
   std::vector<bool> referenced(n, false);
   for (std::size_t j = 0; j < n; ++j) {
-    for (const AffineExpr* e : {&dims_[j].lower, &dims_[j].upper}) {
-      if (e->coeffs.size() > n)
-        throw std::invalid_argument("IterSpace: bound references out-of-range index");
-      for (std::size_t k = 0; k < e->coeffs.size(); ++k) {
-        if (e->coeffs[k] == 0) continue;
-        if (k >= j)
-          throw std::invalid_argument("IterSpace: bound references a non-outer index");
-        referenced[k] = true;
+    for (const BoundExpr* b : {&dims_[j].lower, &dims_[j].upper}) {
+      for (const AffineExpr& e : b->terms) {
+        if (e.coeffs.size() > n)
+          throw std::invalid_argument("IterSpace: bound references out-of-range index");
+        for (std::size_t k = 0; k < e.coeffs.size(); ++k) {
+          if (e.coeffs[k] == 0) continue;
+          if (k >= j)
+            throw std::invalid_argument("IterSpace: bound references a non-outer index");
+          referenced[k] = true;
+        }
       }
     }
   }
@@ -124,7 +126,7 @@ void IterSpace::init() {
         if (referenced[j]) {
           s.box[j] = {vals[j], vals[j]};
         } else {
-          s.box[j] = {dims_[j].lower.evaluate(vals), dims_[j].upper.evaluate(vals)};
+          s.box[j] = {dims_[j].lower.evaluate_lower(vals), dims_[j].upper.evaluate_upper(vals)};
           if (s.box[j].first > s.box[j].second) return;  // empty slab
         }
         points *= static_cast<std::uint64_t>(s.box[j].second - s.box[j].first + 1);
@@ -135,8 +137,8 @@ void IterSpace::init() {
       return;
     }
     const std::size_t d = sliced_[si];
-    const std::int64_t lo = dims_[d].lower.evaluate(vals);
-    const std::int64_t hi = dims_[d].upper.evaluate(vals);
+    const std::int64_t lo = dims_[d].lower.evaluate_lower(vals);
+    const std::int64_t hi = dims_[d].upper.evaluate_upper(vals);
     for (std::int64_t v = lo; v <= hi; ++v) {
       vals[d] = v;
       enumerate(si + 1);
@@ -149,7 +151,7 @@ void IterSpace::init() {
     rect_bounds_.reserve(n);
     const IntVec zeros(n, 0);
     for (const AffineDim& d : dims_)
-      rect_bounds_.emplace_back(d.lower.evaluate(zeros), d.upper.evaluate(zeros));
+      rect_bounds_.emplace_back(d.lower.evaluate_lower(zeros), d.upper.evaluate_upper(zeros));
   }
 }
 
@@ -179,7 +181,8 @@ std::int64_t IterSpace::extent(std::size_t i) const {
 bool IterSpace::contains(const IntVec& p) const {
   if (p.size() != dims_.size()) return false;
   for (std::size_t j = 0; j < dims_.size(); ++j)
-    if (p[j] < dims_[j].lower.evaluate(p) || p[j] > dims_[j].upper.evaluate(p)) return false;
+    if (p[j] < dims_[j].lower.evaluate_lower(p) || p[j] > dims_[j].upper.evaluate_upper(p))
+      return false;
   return true;
 }
 
@@ -261,11 +264,14 @@ std::optional<std::pair<std::int64_t, std::int64_t>> IterSpace::line_range(
       return false;
     return k_lo <= k_hi;
   };
+  // Multi-term bounds contribute one half-line per term: max(l1,l2) <= x_j
+  // is the conjunction of the per-term constraints, so intersecting them
+  // keeps the run contiguous.
   for (std::size_t j = 0; j < n; ++j) {
-    if (!apply(p[j] - dims_[j].lower.evaluate(p), u[j] - bound_slope(dims_[j].lower, u)))
-      return std::nullopt;
-    if (!apply(dims_[j].upper.evaluate(p) - p[j], bound_slope(dims_[j].upper, u) - u[j]))
-      return std::nullopt;
+    for (const AffineExpr& t : dims_[j].lower.terms)
+      if (!apply(p[j] - t.evaluate(p), u[j] - bound_slope(t, u))) return std::nullopt;
+    for (const AffineExpr& t : dims_[j].upper.terms)
+      if (!apply(t.evaluate(p) - p[j], bound_slope(t, u) - u[j])) return std::nullopt;
   }
   // A bounded polyhedron cannot admit a half-infinite line; reaching here
   // with an open side would mean the nest's bounds do not close the domain.

@@ -60,10 +60,16 @@ namespace hypart {
 using DimBounds = std::pair<std::int64_t, std::int64_t>;
 
 /// One dimension `for I_j = lower to upper` with bounds affine in the outer
-/// indices I_1..I_{j-1} (the paper's loop model, Section II).
+/// indices I_1..I_{j-1} (the paper's loop model, Section II).  A bound may
+/// carry several affine terms (BoundExpr): the lower bound is their max,
+/// the upper their min.  Each term is an independent half-space, so the
+/// space stays convex and every slab/line closed form applies per term —
+/// the comparison hyperplane of e.g. `j <= min(i, n-i)` is where the
+/// active term switches, and the slab enumeration splits there naturally
+/// because the pinned outer coordinates decide the min pointwise.
 struct AffineDim {
-  AffineExpr lower;
-  AffineExpr upper;
+  BoundExpr lower;
+  BoundExpr upper;
 };
 
 class IterSpace {

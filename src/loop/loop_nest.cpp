@@ -47,6 +47,66 @@ std::string AffineExpr::to_string(const std::vector<std::string>& index_names) c
   return os.str();
 }
 
+BoundExpr::BoundExpr(std::vector<AffineExpr> ts) : terms(std::move(ts)) {
+  if (terms.empty()) throw std::invalid_argument("BoundExpr: at least one term required");
+}
+
+const AffineExpr& BoundExpr::term() const {
+  if (!single()) throw std::logic_error("BoundExpr::term: bound has multiple terms");
+  return terms.front();
+}
+
+bool BoundExpr::is_constant() const {
+  for (const AffineExpr& t : terms)
+    if (!t.is_constant()) return false;
+  return true;
+}
+
+std::int64_t BoundExpr::evaluate_lower(const IntVec& indices) const {
+  std::int64_t v = terms.front().evaluate(indices);
+  for (std::size_t k = 1; k < terms.size(); ++k)
+    v = std::max(v, terms[k].evaluate(indices));
+  return v;
+}
+
+std::int64_t BoundExpr::evaluate_upper(const IntVec& indices) const {
+  std::int64_t v = terms.front().evaluate(indices);
+  for (std::size_t k = 1; k < terms.size(); ++k)
+    v = std::min(v, terms[k].evaluate(indices));
+  return v;
+}
+
+std::int64_t BoundExpr::constant_lower() const {
+  std::int64_t v = terms.front().constant;
+  for (std::size_t k = 1; k < terms.size(); ++k) v = std::max(v, terms[k].constant);
+  return v;
+}
+
+std::int64_t BoundExpr::constant_upper() const {
+  std::int64_t v = terms.front().constant;
+  for (std::size_t k = 1; k < terms.size(); ++k) v = std::min(v, terms[k].constant);
+  return v;
+}
+
+std::string BoundExpr::to_string(const std::vector<std::string>& index_names,
+                                 bool as_lower) const {
+  if (single()) return terms.front().to_string(index_names);
+  std::string s = as_lower ? "max(" : "min(";
+  for (std::size_t k = 0; k < terms.size(); ++k) {
+    if (k) s += ", ";
+    s += terms[k].to_string(index_names);
+  }
+  return s + ")";
+}
+
+BoundExpr bmax(AffineExpr a, AffineExpr b) {
+  return BoundExpr(std::vector<AffineExpr>{std::move(a), std::move(b)});
+}
+
+BoundExpr bmin(AffineExpr a, AffineExpr b) {
+  return BoundExpr(std::vector<AffineExpr>{std::move(a), std::move(b)});
+}
+
 bool operator==(const AffineExpr& a, const AffineExpr& b) {
   std::size_t n = std::max(a.coeffs.size(), b.coeffs.size());
   for (std::size_t k = 0; k < n; ++k) {
@@ -101,17 +161,18 @@ LoopNest::LoopNest(std::string name, std::vector<LoopDim> dims, std::vector<Stat
     : name_(std::move(name)), dims_(std::move(dims)), statements_(std::move(statements)) {
   if (dims_.empty()) throw std::invalid_argument("LoopNest: at least one loop dimension required");
   for (std::size_t j = 0; j < dims_.size(); ++j) {
-    if (dims_[j].lower.coeffs.size() > j || dims_[j].upper.coeffs.size() > j) {
-      // A bound may only reference strictly-outer indices (paper Section II).
-      for (std::size_t k = j; k < dims_[j].lower.coeffs.size(); ++k)
-        if (dims_[j].lower.coeffs[k] != 0)
+    // A bound (every term of it) may only reference strictly-outer indices
+    // (paper Section II).
+    for (const AffineExpr& t : dims_[j].lower.terms)
+      for (std::size_t k = j; k < t.coeffs.size(); ++k)
+        if (t.coeffs[k] != 0)
           throw std::invalid_argument("LoopNest: lower bound of " + dims_[j].name +
                                       " references a non-outer index");
-      for (std::size_t k = j; k < dims_[j].upper.coeffs.size(); ++k)
-        if (dims_[j].upper.coeffs[k] != 0)
+    for (const AffineExpr& t : dims_[j].upper.terms)
+      for (std::size_t k = j; k < t.coeffs.size(); ++k)
+        if (t.coeffs[k] != 0)
           throw std::invalid_argument("LoopNest: upper bound of " + dims_[j].name +
                                       " references a non-outer index");
-    }
   }
 }
 
@@ -139,8 +200,8 @@ std::string LoopNest::to_string() const {
   std::vector<std::string> names = index_names();
   std::string indent;
   for (const LoopDim& d : dims_) {
-    os << indent << "for " << d.name << " = " << d.lower.to_string(names) << " to "
-       << d.upper.to_string(names) << "\n";
+    os << indent << "for " << d.name << " = " << d.lower.to_string(names, true) << " to "
+       << d.upper.to_string(names, false) << "\n";
     indent += "  ";
   }
   for (const Statement& s : statements_) {
@@ -168,7 +229,7 @@ std::string LoopNest::to_string() const {
   return os.str();
 }
 
-LoopNestBuilder& LoopNestBuilder::loop(std::string index_name, AffineExpr lower, AffineExpr upper) {
+LoopNestBuilder& LoopNestBuilder::loop(std::string index_name, BoundExpr lower, BoundExpr upper) {
   dims_.push_back({std::move(index_name), std::move(lower), std::move(upper)});
   return *this;
 }

@@ -48,11 +48,53 @@ struct AffineExpr {
   friend bool operator==(const AffineExpr& a, const AffineExpr& b);
 };
 
+/// A loop bound: one affine expression, or the pointwise max (for lower
+/// bounds) / min (for upper bounds) of several.  `max(l1,l2) <= i` is the
+/// conjunction `l1 <= i AND l2 <= i`, and dually `i <= min(u1,u2)` is
+/// `i <= u1 AND i <= u2`, so disjunctive bounds keep the iteration space
+/// convex: every term is an independent affine half-space and the symbolic
+/// machinery (slabs, line ranges) applies per term.
+struct BoundExpr {
+  std::vector<AffineExpr> terms;  ///< never empty
+
+  BoundExpr() : terms(1) {}
+  BoundExpr(std::int64_t c) : terms{AffineExpr(c)} {}    // NOLINT: implicit by design
+  BoundExpr(AffineExpr e) : terms{std::move(e)} {}       // NOLINT: implicit by design
+  explicit BoundExpr(std::vector<AffineExpr> ts);
+
+  [[nodiscard]] bool single() const { return terms.size() == 1; }
+  /// The unique term; throws std::logic_error unless single().
+  [[nodiscard]] const AffineExpr& term() const;
+
+  [[nodiscard]] bool is_constant() const;
+  /// Evaluate as a lower bound: max over terms.
+  [[nodiscard]] std::int64_t evaluate_lower(const IntVec& indices) const;
+  /// Evaluate as an upper bound: min over terms.
+  [[nodiscard]] std::int64_t evaluate_upper(const IntVec& indices) const;
+  /// Constant value (requires is_constant()); lower = max, upper = min.
+  [[nodiscard]] std::int64_t constant_lower() const;
+  [[nodiscard]] std::int64_t constant_upper() const;
+
+  /// `as_lower` selects the max(...) (lower) or min(...) (upper) rendering
+  /// for multi-term bounds.
+  [[nodiscard]] std::string to_string(const std::vector<std::string>& index_names = {},
+                                      bool as_lower = true) const;
+
+  friend bool operator==(const BoundExpr& a, const BoundExpr& b) { return a.terms == b.terms; }
+};
+
+/// Combinators for disjunctive bounds in builder code.  Both collect terms;
+/// the lower/upper position of the bound decides max vs min semantics, so
+/// use bmax for lower bounds and bmin for upper bounds (the parser enforces
+/// the same polarity for `.loop` sources).
+BoundExpr bmax(AffineExpr a, AffineExpr b);
+BoundExpr bmin(AffineExpr a, AffineExpr b);
+
 /// One dimension of the nest: `for I = lower to upper`.
 struct LoopDim {
   std::string name;   ///< index variable name (for printing)
-  AffineExpr lower;
-  AffineExpr upper;
+  BoundExpr lower;
+  BoundExpr upper;
 };
 
 enum class AccessKind { Read, Write };
@@ -126,7 +168,7 @@ class LoopNestBuilder {
  public:
   explicit LoopNestBuilder(std::string name) : name_(std::move(name)) {}
 
-  LoopNestBuilder& loop(std::string index_name, AffineExpr lower, AffineExpr upper);
+  LoopNestBuilder& loop(std::string index_name, BoundExpr lower, BoundExpr upper);
   LoopNestBuilder& statement(std::string label, std::int64_t flops = 1);
   LoopNestBuilder& write(std::string array, std::vector<AffineExpr> subscripts);
   LoopNestBuilder& read(std::string array, std::vector<AffineExpr> subscripts);

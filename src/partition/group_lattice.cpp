@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <tuple>
 
 #include "loop/dependence.hpp"
 
@@ -24,16 +26,35 @@ IntVec proj_scaled(const IntVec& x, const IntVec& pi, std::int64_t s) {
   return sub(scale(x, s), scale(pi, dot(pi, x)));
 }
 
-/// Tiny set of group offsets: per group and dependence at most two distinct
-/// offsets occur (a slot window of width < r lands in at most two groups),
-/// so a linear-scan vector beats a node-based std::set in the hot sweep.
+bool lex_less(const IntVec& a, const IntVec& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return a[i] < b[i];
+  return false;
+}
+
+IntVec cross3(const IntVec& x, const IntVec& y) {
+  return IntVec{x[1] * y[2] - x[2] * y[1], x[2] * y[0] - x[0] * y[2],
+                x[0] * y[1] - x[1] * y[0]};
+}
+
+std::int64_t pos_mod(std::int64_t a, std::int64_t m) {
+  std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+std::int64_t iabs(std::int64_t x) { return x < 0 ? -x : x; }
+
+/// Tiny set of group offsets: per group and dependence at most a handful of
+/// distinct offsets occur (a slot window of width < r lands in at most two
+/// groups per lattice direction), so a linear-scan vector beats a node-based
+/// std::set in the hot sweep.
 struct OffsetSet {
-  std::vector<std::int64_t> v;
-  void insert(std::int64_t x) {
+  std::vector<LatticeSweepResult::GroupOffset> v;
+  void insert(const LatticeSweepResult::GroupOffset& x) {
     if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
   }
   void merge_into(OffsetSet& o) const {
-    for (std::int64_t x : v) o.insert(x);
+    for (const auto& x : v) o.insert(x);
   }
   [[nodiscard]] std::size_t size() const { return v.size(); }
   void clear() { v.clear(); }
@@ -42,16 +63,23 @@ struct OffsetSet {
 }  // namespace
 
 std::optional<GroupLattice> GroupLattice::build(const IterSpace& space, const TimeFunction& tf,
-                                                const GroupingOptions& opts) {
-  if (space.dimension() != 2 || space.empty()) return std::nullopt;
+                                                const GroupingOptions& opts,
+                                                std::string* fallback_reason) {
+  auto fail = [&](const char* slug) -> std::optional<GroupLattice> {
+    if (fallback_reason) *fallback_reason = slug;
+    return std::nullopt;
+  };
+  const std::size_t n = space.dimension();
+  if (n != 2 && n != 3) return fail("dimension-unsupported");
+  if (space.empty()) return fail("empty-space");
   // Non-default seeding / auxiliary overrides change the dense numbering in
   // ways the closed forms do not model; the fallback path handles them (and
   // reproduces their validation errors).
-  if (opts.seed_policy != SeedPolicy::Lexicographic) return std::nullopt;
-  if (opts.auxiliary_vectors) return std::nullopt;
+  if (opts.seed_policy != SeedPolicy::Lexicographic) return fail("seed-policy");
+  if (opts.auxiliary_vectors) return fail("aux-override");
 
   const IntVec& pi = tf.pi;
-  if (pi.size() != 2 || is_zero(pi)) return std::nullopt;
+  if (pi.size() != n || is_zero(pi)) return fail("invalid-hyperplane");
 
   GroupLattice gl;
   gl.space_ = &space;
@@ -59,70 +87,24 @@ std::optional<GroupLattice> GroupLattice::build(const IterSpace& space, const Ti
   gl.scale_ = dot(pi, pi);
   gl.u_ = minimal_line_direction(pi);
   gl.sigma_ = gl.scale_ / content(pi);
-  gl.w_ = IntVec{gl.u_[1], -gl.u_[0]};
-  // The gate: with |w_i| <= 1 every slab box's line-index image is a
-  // contiguous interval of unit steps, so the merge below is exact.
-  if (gl.w_[0] > 1 || gl.w_[0] < -1 || gl.w_[1] > 1 || gl.w_[1] < -1) return std::nullopt;
 
-  // Anchor generator δ with w·δ = 1: a signed unit vector on the first axis
-  // where w has a unit entry.
-  gl.delta_ = IntVec{0, 0};
-  for (std::size_t i = 0; i < 2; ++i) {
-    if (gl.w_[i] == 1 || gl.w_[i] == -1) {
-      gl.delta_[i] = gl.w_[i];
-      break;
-    }
-  }
-
-  // Line-index interval: each slab box contributes [min w·j, max w·j]; the
-  // union over slabs must be one contiguous interval (a hole would split the
-  // dense BFS chain and the closed forms would mislabel groups).
-  std::vector<std::pair<std::int64_t, std::int64_t>> ivs;
-  space.for_each_slab_box([&](const std::vector<DimBounds>& box) {
-    std::int64_t lo = 0, hi = 0;
-    for (std::size_t i = 0; i < 2; ++i) {
-      if (gl.w_[i] >= 0) {
-        lo += gl.w_[i] * box[i].first;
-        hi += gl.w_[i] * box[i].second;
-      } else {
-        lo += gl.w_[i] * box[i].second;
-        hi += gl.w_[i] * box[i].first;
-      }
-    }
-    ivs.emplace_back(lo, hi);
-  });
-  if (ivs.empty()) return std::nullopt;
-  std::sort(ivs.begin(), ivs.end());
-  std::int64_t c_lo = ivs.front().first;
-  std::int64_t c_hi = ivs.front().second;
-  for (std::size_t i = 1; i < ivs.size(); ++i) {
-    if (ivs[i].first > c_hi + 1) return std::nullopt;  // hole in the line interval
-    c_hi = std::max(c_hi, ivs[i].second);
-  }
-  gl.c_lo_ = c_lo;
-  gl.c_hi_ = c_hi;
-
-  // Projected dependences, line shifts, and the replication factors of
-  // Algorithm 1 Step 1 (r_k = s / gcd(s, content(pdep_k)), as in
-  // ProjectedStructure::replication_factor).
+  // Projected dependences and the replication factors of Algorithm 1 Step 1
+  // (r_k = s / gcd(s, content(pdep_k)), as in
+  // ProjectedStructure::replication_factor); the grouping vector is the
+  // first dependence attaining the maximal r.
   const std::vector<IntVec>& deps = space.dependences();
-  gl.pdeps_.reserve(deps.size());
-  gl.gamma_.reserve(deps.size());
+  const std::size_t nd = deps.size();
+  gl.pdeps_.reserve(nd);
   std::int64_t r = 1;
   for (const IntVec& d : deps) {
     IntVec pd = proj_scaled(d, pi, gl.scale_);
-    gl.gamma_.push_back(dot(gl.w_, d));
-    if (!is_zero(pd)) {
-      std::int64_t rk = gl.scale_ / gcd64(gl.scale_, content(pd));
-      r = std::max(r, rk);
-    }
+    if (!is_zero(pd)) r = std::max(r, gl.scale_ / gcd64(gl.scale_, content(pd)));
     gl.pdeps_.push_back(std::move(pd));
   }
   std::optional<std::size_t> l;
-  for (std::size_t k = 0; k < gl.pdeps_.size(); ++k) {
+  for (std::size_t k = 0; k < nd; ++k) {
     if (is_zero(gl.pdeps_[k])) continue;
-    std::int64_t rk = gl.scale_ / gcd64(gl.scale_, content(gl.pdeps_[k]));
-    if (rk == r) {
+    if (gl.scale_ / gcd64(gl.scale_, content(gl.pdeps_[k])) == r) {
       l = k;
       break;
     }
@@ -131,43 +113,271 @@ std::optional<GroupLattice> GroupLattice::build(const IterSpace& space, const Ti
     // Honor the override only when it is valid (nonzero projection attaining
     // the maximal r); otherwise fall back so the dense path raises its error.
     std::size_t k = *opts.grouping_vector;
-    if (k >= gl.pdeps_.size() || is_zero(gl.pdeps_[k])) return std::nullopt;
-    if (gl.scale_ / gcd64(gl.scale_, content(gl.pdeps_[k])) != r) return std::nullopt;
+    if (k >= nd || is_zero(gl.pdeps_[k]) ||
+        gl.scale_ / gcd64(gl.scale_, content(gl.pdeps_[k])) != r)
+      return fail("invalid-grouping-override");
     l = k;
   }
 
-  // Orientation and the seed line.  The dense lexicographic seed is the
-  // lex-min scaled projected point; ĵ(c) = c·v with v = proj(δ), so it sits
-  // at c_lo when v is lex-positive, else at c_hi.
-  IntVec v = proj_scaled(gl.delta_, pi, gl.scale_);
-  bool lexpos = lex_positive(v);
-  gl.c_seed_ = lexpos ? c_lo : c_hi;
-  if (l) {
-    // One slot step along d_l^p shifts the line index by γ_l = w·d_l; the
-    // closed forms need the single-chain case |γ_l| = 1 (every line reached
-    // in unit steps, one region-growing component).
-    std::int64_t gamma_l = gl.gamma_[*l];
-    if (gamma_l != 1 && gamma_l != -1) return std::nullopt;
-    gl.grouping_ = l;
-    gl.r_ = r;
-    gl.orient_ = gamma_l;
-  } else {
-    // Degenerate: every line is its own group, dense group ids follow the
-    // lexicographic point order, i.e. ascending c when v is lex-positive.
-    gl.grouping_ = std::nullopt;
-    gl.r_ = 1;
-    gl.orient_ = lexpos ? 1 : -1;
+  if (n == 2) {
+    // ---- chain layout -----------------------------------------------------
+    gl.layout_ = LatticeLayout::Chain;
+    gl.w_ = IntVec{gl.u_[1], -gl.u_[0]};
+    gl.gamma_.reserve(nd);
+    for (const IntVec& d : deps) gl.gamma_.push_back(dot(gl.w_, d));
+
+    // Anchor axis: any axis where w has a unit entry (δ = that signed unit
+    // vector, w·δ = 1).  Admission additionally needs every slab's
+    // line-index image {w·j : j in box} to be a contiguous interval: with
+    // unit coordinate i and other coordinate j the image is e_j runs of
+    // length e_i shifted by w_j each, connected iff |w_j| <= e_i or there
+    // is a single run.  Try each unit axis; a failure on all of them (or no
+    // unit entry at all) falls back.
+    bool have_unit = false;
+    std::size_t unit_axis = 2;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (gl.w_[i] != 1 && gl.w_[i] != -1) continue;
+      have_unit = true;
+      const std::size_t j = 1 - i;
+      bool ok = true;
+      space.for_each_slab_box([&](const std::vector<DimBounds>& box) {
+        std::int64_t ei = box[i].second - box[i].first + 1;
+        std::int64_t ej = box[j].second - box[j].first + 1;
+        if (iabs(gl.w_[j]) > ei && ej > 1) ok = false;
+      });
+      if (ok) {
+        unit_axis = i;
+        break;
+      }
+    }
+    if (!have_unit) return fail("no-unit-w-entry");
+    if (unit_axis == 2) return fail("slab-interval-hole");
+    gl.delta_ = IntVec{0, 0};
+    gl.delta_[unit_axis] = gl.w_[unit_axis];
+
+    // Line-index interval: each slab box contributes its (contiguous) image;
+    // the union over slabs must be one contiguous interval (a hole would
+    // split the dense BFS chain and the closed forms would mislabel groups).
+    std::vector<std::pair<std::int64_t, std::int64_t>> ivs;
+    space.for_each_slab_box([&](const std::vector<DimBounds>& box) {
+      std::int64_t lo = 0, hi = 0;
+      for (std::size_t i = 0; i < 2; ++i) {
+        if (gl.w_[i] >= 0) {
+          lo += gl.w_[i] * box[i].first;
+          hi += gl.w_[i] * box[i].second;
+        } else {
+          lo += gl.w_[i] * box[i].second;
+          hi += gl.w_[i] * box[i].first;
+        }
+      }
+      ivs.emplace_back(lo, hi);
+    });
+    std::sort(ivs.begin(), ivs.end());
+    std::int64_t c_lo = ivs.front().first;
+    std::int64_t c_hi = ivs.front().second;
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      if (ivs[i].first > c_hi + 1) return fail("line-interval-hole");
+      c_hi = std::max(c_hi, ivs[i].second);
+    }
+    gl.c_lo_ = c_lo;
+    gl.c_hi_ = c_hi;
+    const std::int64_t len = c_hi - c_lo + 1;
+    gl.line_count_ = static_cast<std::uint64_t>(len);
+
+    // Orientation and the seed line.  The dense lexicographic seed is the
+    // lex-min scaled projected point; ĵ(c) = c·v with v = proj(δ), so it
+    // sits at c_lo when v is lex-positive, else at c_hi.
+    IntVec v = proj_scaled(gl.delta_, pi, gl.scale_);
+    const bool lexpos = lex_positive(v);
+    gl.lexdir_ = lexpos ? 1 : -1;
+    gl.c_seed_ = lexpos ? c_lo : c_hi;
+
+    if (l) {
+      // One slot step along d_l^p shifts the line index by γ_l = w·d_l.
+      // With |γ_l| = g > 1 the lines split into g residue classes mod g;
+      // the dense region growing seeds class m at the m-th line in lex
+      // order (c_seed + m·lexdir), so component m's slot grid is
+      // c = c_seed + m·lexdir + t·γ_l with group a = floor(t/r).
+      gl.grouping_ = l;
+      gl.r_ = r;
+      gl.gamma_l_ = gl.gamma_[*l];
+      const std::int64_t g = iabs(gl.gamma_l_);
+      const std::int64_t ncomp = std::min(g, len);
+      gl.comp_t_.reserve(static_cast<std::size_t>(ncomp));
+      gl.a_min_ = std::numeric_limits<std::int64_t>::max();
+      gl.a_max_ = std::numeric_limits<std::int64_t>::min();
+      for (std::int64_t m = 0; m < ncomp; ++m) {
+        const std::int64_t cs = gl.c_seed_ + m * gl.lexdir_;
+        std::int64_t tmin, tmax;
+        if (gl.gamma_l_ > 0) {
+          tmin = ceil_div(c_lo - cs, gl.gamma_l_);
+          tmax = floor_div(c_hi - cs, gl.gamma_l_);
+        } else {
+          tmin = ceil_div(c_hi - cs, gl.gamma_l_);
+          tmax = floor_div(c_lo - cs, gl.gamma_l_);
+        }
+        gl.comp_t_.emplace_back(tmin, tmax);
+        const std::int64_t a1 = floor_div(tmin, gl.r_);
+        const std::int64_t a2 = floor_div(tmax, gl.r_);
+        gl.a_min_ = std::min(gl.a_min_, a1);
+        gl.a_max_ = std::max(gl.a_max_, a2);
+        gl.group_count_ += static_cast<std::uint64_t>(a2 - a1 + 1);
+      }
+    } else {
+      // Degenerate: every line is its own group and its own dense
+      // region-growing component; dense group/component ids follow the
+      // lexicographic point order, i.e. ascending slot t = lexdir·(c - c*).
+      gl.grouping_ = std::nullopt;
+      gl.r_ = 1;
+      gl.gamma_l_ = gl.lexdir_;
+      gl.comp_t_.emplace_back(0, len - 1);
+      gl.a_min_ = 0;
+      gl.a_max_ = len - 1;
+      gl.group_count_ = static_cast<std::uint64_t>(len);
+    }
+    return gl;
   }
 
-  std::int64_t ta = gl.orient_ * (c_lo - gl.c_seed_);
-  std::int64_t tb = gl.orient_ * (c_hi - gl.c_seed_);
-  gl.a_min_ = floor_div(std::min(ta, tb), gl.r_);
-  gl.a_max_ = floor_div(std::max(ta, tb), gl.r_);
+  // ---- plane layout (n = 3, β = 2, single coset) --------------------------
+  gl.layout_ = LatticeLayout::Plane;
+  gl.gamma_.assign(nd, 0);
+  if (!l) return fail("3d-degenerate");
+  // β = 2 needs an auxiliary vector: the first projected dependence outside
+  // span(d_l^p) (the dense greedy Step 2 choice).
+  std::optional<std::size_t> ax;
+  for (std::size_t k = 0; k < nd; ++k) {
+    if (is_zero(gl.pdeps_[k])) continue;
+    if (!is_zero(cross3(gl.pdeps_[*l], gl.pdeps_[k]))) {
+      ax = k;
+      break;
+    }
+  }
+  if (!ax) return fail("3d-beta-not-2");
+  gl.grouping_ = l;
+  gl.aux_ = ax;
+  gl.r_ = r;
+  gl.dl_orig_ = deps[*l];
+  gl.da_orig_ = deps[*ax];
+
+  // Dual functionals: A(x) = x·(d_a^p × Π) and B(x) = x·(Π × d_l^p) with
+  // shared divisor D = det(d_l^p, d_a^p, Π) satisfy A(d_l^p) = B(d_a^p) = D
+  // and A(d_a^p) = B(d_l^p) = 0, so (t, b) = ((A(ĵ)-A(ĵ*))/D, (B(ĵ)-B(ĵ*))/D)
+  // are the integer lattice coordinates of a projected point relative to the
+  // dense seed ĵ* — provided every projected unit vector stays on the seed
+  // coset (D divides both functionals on proj(e_i)).
+  const IntVec& dlp = gl.pdeps_[*l];
+  const IntVec& dap = gl.pdeps_[*ax];
+  gl.avec_ = cross3(dap, pi);
+  gl.bvec_ = cross3(pi, dlp);
+  gl.ddet_ = dot(gl.avec_, dlp);
+  if (gl.ddet_ == 0) return fail("3d-beta-not-2");
+  if (gl.ddet_ < 0) {
+    gl.ddet_ = -gl.ddet_;
+    gl.avec_ = scale(gl.avec_, -1);
+    gl.bvec_ = scale(gl.bvec_, -1);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    IntVec e(3);
+    e[i] = 1;
+    IntVec pe = proj_scaled(e, pi, gl.scale_);
+    if (dot(gl.avec_, pe) % gl.ddet_ != 0 || dot(gl.bvec_, pe) % gl.ddet_ != 0)
+      return fail("plane-multi-coset");
+  }
+  gl.dt_.reserve(nd);
+  gl.db_.reserve(nd);
+  for (std::size_t k = 0; k < nd; ++k) {
+    gl.dt_.push_back(dot(gl.avec_, gl.pdeps_[k]) / gl.ddet_);
+    gl.db_.push_back(dot(gl.bvec_, gl.pdeps_[k]) / gl.ddet_);
+  }
+
+  // One O(lines) enumeration: per aux chain (fixed raw B) track the slot
+  // extremes and the line count, and find the dense lexicographic seed.
+  struct Acc {
+    std::int64_t t_lo, t_hi;
+    std::uint64_t count;
+  };
+  std::map<std::int64_t, Acc> table;
+  bool have_seed = false;
+  IntVec jseed, seed_entry;
+  std::int64_t qa_seed = 0, qb_seed = 0;
+  std::uint64_t nlines = 0;
+  space.for_each_line(gl.u_, [&](const IntVec& entry, std::int64_t) {
+    IntVec jp = proj_scaled(entry, pi, gl.scale_);
+    const std::int64_t qa = dot(gl.avec_, jp) / gl.ddet_;
+    const std::int64_t qb = dot(gl.bvec_, jp) / gl.ddet_;
+    ++nlines;
+    auto [it, fresh] = table.try_emplace(qb, Acc{qa, qa, 1});
+    if (!fresh) {
+      it->second.t_lo = std::min(it->second.t_lo, qa);
+      it->second.t_hi = std::max(it->second.t_hi, qa);
+      ++it->second.count;
+    }
+    if (!have_seed || lex_less(jp, jseed)) {
+      have_seed = true;
+      jseed = jp;
+      seed_entry = entry;
+      qa_seed = qa;
+      qb_seed = qb;
+    }
+  });
+  if (!have_seed) return fail("empty-space");
+  gl.chains_.reserve(table.size());
+  gl.a_min_ = std::numeric_limits<std::int64_t>::max();
+  gl.a_max_ = std::numeric_limits<std::int64_t>::min();
+  for (const auto& [qb, acc] : table) {
+    // Each aux chain must meet the domain in one contiguous slot run, else
+    // per-chain interval queries would miscount groups.
+    if (acc.count != static_cast<std::uint64_t>(acc.t_hi - acc.t_lo + 1))
+      return fail("chain-noncontiguous");
+    PlaneChainRec rec;
+    rec.b = qb - qb_seed;
+    rec.t_lo = acc.t_lo - qa_seed;
+    rec.t_hi = acc.t_hi - qa_seed;
+    gl.chains_.push_back(rec);
+    const std::int64_t a1 = floor_div(rec.t_lo, gl.r_);
+    const std::int64_t a2 = floor_div(rec.t_hi, gl.r_);
+    gl.a_min_ = std::min(gl.a_min_, a1);
+    gl.a_max_ = std::max(gl.a_max_, a2);
+    gl.group_count_ += static_cast<std::uint64_t>(a2 - a1 + 1);
+  }
+  gl.jseed_ = std::move(jseed);
+  gl.seed_entry_ = std::move(seed_entry);
+  gl.line_count_ = nlines;
+  gl.comp_t_.emplace_back(0, 0);  // single region-growing component
+  gl.c_lo_ = 0;
+  gl.c_hi_ = -1;  // chain line-index queries are inert for planes
   return gl;
 }
 
 IntVec GroupLattice::line_anchor(std::int64_t c) const {
   return IntVec{c * delta_[0], c * delta_[1]};
+}
+
+IntVec GroupLattice::plane_anchor(std::int64_t t, std::int64_t b) const {
+  IntVec p = seed_entry_;
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] += t * dl_orig_[i] + b * da_orig_[i];
+  return p;
+}
+
+const GroupLattice::PlaneChainRec* GroupLattice::plane_chain(std::int64_t b) const {
+  auto it = std::lower_bound(
+      chains_.begin(), chains_.end(), b,
+      [](const PlaneChainRec& rec, std::int64_t key) { return rec.b < key; });
+  if (it == chains_.end() || it->b != b) return nullptr;
+  return &*it;
+}
+
+std::int64_t GroupLattice::component_of_line(std::int64_t c) const {
+  if (layout_ == LatticeLayout::Plane || degenerate()) return 0;
+  const std::int64_t g = iabs(gamma_l_);
+  if (g <= 1) return 0;
+  return pos_mod((c - c_seed_) * lexdir_, g);
+}
+
+std::int64_t GroupLattice::slot_of_line(std::int64_t c) const {
+  if (layout_ == LatticeLayout::Plane) return 0;
+  const std::int64_t cs = c_seed_ + component_of_line(c) * lexdir_;
+  return (c - cs) / gamma_l_;
 }
 
 std::int64_t GroupLattice::line_population(std::int64_t c) const {
@@ -186,25 +396,178 @@ std::uint64_t GroupLattice::sum_line_populations(std::int64_t c1, std::int64_t c
   return total;
 }
 
-DimBounds GroupLattice::group_line_range(std::int64_t a) const {
-  std::int64_t ta = orient_ * (c_lo_ - c_seed_);
-  std::int64_t tb = orient_ * (c_hi_ - c_seed_);
-  std::int64_t t_lo = std::max(a * r_, std::min(ta, tb));
-  std::int64_t t_hi = std::min(a * r_ + r_ - 1, std::max(ta, tb));
-  std::int64_t ca = c_seed_ + orient_ * t_lo;
-  std::int64_t cb = c_seed_ + orient_ * t_hi;
-  return {std::min(ca, cb), std::max(ca, cb)};
+GroupLattice::GroupKey GroupLattice::group_of_line(std::int64_t c) const {
+  const std::int64_t t = slot_of_line(c);
+  if (degenerate()) return GroupKey{t, 0, t};
+  return GroupKey{floor_div(t, r_), 0, component_of_line(c)};
 }
 
-std::int64_t GroupLattice::group_population(std::int64_t a) const {
-  auto [lo, hi] = group_line_range(a);
+IntVec GroupLattice::group_lattice_coord(const GroupKey& g) const {
+  if (degenerate()) return IntVec{};
+  if (layout_ == LatticeLayout::Chain) return IntVec{g.a};
+  return IntVec{g.a, g.b};
+}
+
+DimBounds GroupLattice::group_line_range(const GroupKey& g) const {
+  if (layout_ == LatticeLayout::Plane) {
+    const PlaneChainRec* ch = plane_chain(g.b);
+    if (!ch) return {0, -1};
+    return {std::max(g.a * r_, ch->t_lo), std::min(g.a * r_ + r_ - 1, ch->t_hi)};
+  }
+  if (degenerate()) {
+    const std::int64_t c = c_seed_ + g.a * lexdir_;
+    return {c, c};
+  }
+  const auto& [tmin, tmax] = comp_t_[static_cast<std::size_t>(g.comp)];
+  const std::int64_t t_lo = std::max(g.a * r_, tmin);
+  const std::int64_t t_hi = std::min(g.a * r_ + r_ - 1, tmax);
+  const std::int64_t cs = c_seed_ + g.comp * lexdir_;
+  const std::int64_t c1 = cs + t_lo * gamma_l_;
+  const std::int64_t c2 = cs + t_hi * gamma_l_;
+  return {std::min(c1, c2), std::max(c1, c2)};
+}
+
+std::int64_t GroupLattice::group_population(const GroupKey& g) const {
   std::int64_t total = 0;
-  for (std::int64_t c = lo; c <= hi; ++c) total += line_population(c);
+  if (layout_ == LatticeLayout::Plane) {
+    auto [t_lo, t_hi] = group_line_range(g);
+    for (std::int64_t t = t_lo; t <= t_hi; ++t) {
+      auto range = space_->line_range(plane_anchor(t, g.b), u_);
+      if (range) total += range->second - range->first + 1;
+    }
+    return total;
+  }
+  if (degenerate()) return line_population(c_seed_ + g.a * lexdir_);
+  const auto& [tmin, tmax] = comp_t_[static_cast<std::size_t>(g.comp)];
+  const std::int64_t t_lo = std::max(g.a * r_, tmin);
+  const std::int64_t t_hi = std::min(g.a * r_ + r_ - 1, tmax);
+  const std::int64_t cs = c_seed_ + g.comp * lexdir_;
+  for (std::int64_t t = t_lo; t <= t_hi; ++t) total += line_population(cs + t * gamma_l_);
   return total;
+}
+
+std::uint64_t GroupLattice::sorted_index_of_group(const GroupKey& g) const {
+  if (layout_ == LatticeLayout::Chain && degenerate())
+    return static_cast<std::uint64_t>(g.a);
+  std::uint64_t idx = 0;
+  if (layout_ == LatticeLayout::Chain) {
+    for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+      const std::int64_t a1 = floor_div(comp_t_[m].first, r_);
+      const std::int64_t a2 = floor_div(comp_t_[m].second, r_);
+      const std::int64_t hi = std::min(a2, g.a - 1);
+      if (hi >= a1) idx += static_cast<std::uint64_t>(hi - a1 + 1);
+      if (static_cast<std::int64_t>(m) < g.comp && a1 <= g.a && g.a <= a2) ++idx;
+    }
+  } else {
+    for (const PlaneChainRec& ch : chains_) {
+      const std::int64_t a1 = floor_div(ch.t_lo, r_);
+      const std::int64_t a2 = floor_div(ch.t_hi, r_);
+      const std::int64_t hi = std::min(a2, g.a - 1);
+      if (hi >= a1) idx += static_cast<std::uint64_t>(hi - a1 + 1);
+      if (ch.b < g.b && a1 <= g.a && g.a <= a2) ++idx;
+    }
+  }
+  return idx;
+}
+
+GroupLattice::GroupKey GroupLattice::group_at_sorted_index(std::uint64_t k) const {
+  if (k >= group_count_) throw std::out_of_range("group_at_sorted_index: no such group");
+  if (layout_ == LatticeLayout::Chain && degenerate()) {
+    const std::int64_t t = static_cast<std::int64_t>(k);
+    return GroupKey{t, 0, t};
+  }
+  // #groups with coordinate strictly below a, O(components|chains) per probe.
+  auto below = [&](std::int64_t a) {
+    std::uint64_t cnt = 0;
+    if (layout_ == LatticeLayout::Chain) {
+      for (const auto& [tmin, tmax] : comp_t_) {
+        const std::int64_t a1 = floor_div(tmin, r_);
+        const std::int64_t a2 = floor_div(tmax, r_);
+        const std::int64_t hi = std::min(a2, a - 1);
+        if (hi >= a1) cnt += static_cast<std::uint64_t>(hi - a1 + 1);
+      }
+    } else {
+      for (const PlaneChainRec& ch : chains_) {
+        const std::int64_t a1 = floor_div(ch.t_lo, r_);
+        const std::int64_t a2 = floor_div(ch.t_hi, r_);
+        const std::int64_t hi = std::min(a2, a - 1);
+        if (hi >= a1) cnt += static_cast<std::uint64_t>(hi - a1 + 1);
+      }
+    }
+    return cnt;
+  };
+  std::int64_t lo = a_min_, hi = a_max_;
+  while (lo < hi) {  // smallest a with below(a + 1) > k
+    const std::int64_t mid = lo + floor_div(hi - lo, 2);
+    if (below(mid + 1) > k) hi = mid;
+    else lo = mid + 1;
+  }
+  const std::int64_t a = lo;
+  std::uint64_t j = k - below(a);
+  if (layout_ == LatticeLayout::Chain) {
+    for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+      const std::int64_t a1 = floor_div(comp_t_[m].first, r_);
+      const std::int64_t a2 = floor_div(comp_t_[m].second, r_);
+      if (a1 <= a && a <= a2) {
+        if (j == 0) return GroupKey{a, 0, static_cast<std::int64_t>(m)};
+        --j;
+      }
+    }
+  } else {
+    for (const PlaneChainRec& ch : chains_) {
+      const std::int64_t a1 = floor_div(ch.t_lo, r_);
+      const std::int64_t a2 = floor_div(ch.t_hi, r_);
+      if (a1 <= a && a <= a2) {
+        if (j == 0) return GroupKey{a, ch.b, 0};
+        --j;
+      }
+    }
+  }
+  throw std::out_of_range("group_at_sorted_index: inconsistent lattice");
+}
+
+void GroupLattice::for_each_group(
+    const std::function<void(const GroupKey&, std::int64_t)>& visit) const {
+  if (layout_ == LatticeLayout::Chain && degenerate()) {
+    const std::int64_t len = comp_t_.front().second + 1;
+    for (std::int64_t t = 0; t < len; ++t) {
+      const GroupKey g{t, 0, t};
+      visit(g, line_population(c_seed_ + t * lexdir_));
+    }
+    return;
+  }
+  for (std::int64_t a = a_min_; a <= a_max_; ++a) {
+    if (layout_ == LatticeLayout::Chain) {
+      for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+        const std::int64_t a1 = floor_div(comp_t_[m].first, r_);
+        const std::int64_t a2 = floor_div(comp_t_[m].second, r_);
+        if (a1 <= a && a <= a2) {
+          const GroupKey g{a, 0, static_cast<std::int64_t>(m)};
+          visit(g, group_population(g));
+        }
+      }
+    } else {
+      for (const PlaneChainRec& ch : chains_) {
+        const std::int64_t a1 = floor_div(ch.t_lo, r_);
+        const std::int64_t a2 = floor_div(ch.t_hi, r_);
+        if (a1 <= a && a <= a2) {
+          const GroupKey g{a, ch.b, 0};
+          visit(g, group_population(g));
+        }
+      }
+    }
+  }
 }
 
 std::vector<GroupLattice::GroupBox> GroupLattice::enumerate_boxes() const {
   std::vector<GroupBox> boxes;
+  if (layout_ == LatticeLayout::Plane) {
+    boxes.reserve(chains_.size());
+    for (const PlaneChainRec& ch : chains_)
+      boxes.push_back(GroupBox{floor_div(ch.t_lo, r_), floor_div(ch.t_hi, r_), ch.b, ch.b});
+    return boxes;
+  }
+  const std::int64_t gabs = std::max<std::int64_t>(1, iabs(gamma_l_));
   space_->for_each_slab_box([&](const std::vector<DimBounds>& box) {
     std::int64_t lo = 0, hi = 0;
     for (std::size_t i = 0; i < 2; ++i) {
@@ -216,69 +579,146 @@ std::vector<GroupLattice::GroupBox> GroupLattice::enumerate_boxes() const {
         hi += w_[i] * box[i].first;
       }
     }
-    std::int64_t a1 = group_of_line(lo);
-    std::int64_t a2 = group_of_line(hi);
-    boxes.push_back(GroupBox{std::min(a1, a2), std::max(a1, a2), lo, hi});
+    // Extreme grouping-chain coordinates over every residue component whose
+    // lines meet this slab's interval (a is monotone in c per component).
+    std::int64_t a_lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t a_hi = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+      const std::int64_t cs =
+          c_seed_ + (degenerate() ? 0 : static_cast<std::int64_t>(m)) * lexdir_;
+      const std::int64_t cm_lo = lo + pos_mod(cs - lo, gabs);
+      if (cm_lo > hi) continue;
+      const std::int64_t cm_hi = hi - pos_mod(hi - cs, gabs);
+      const std::int64_t a1 = group_of_line(cm_lo).a;
+      const std::int64_t a2 = group_of_line(cm_hi).a;
+      a_lo = std::min(a_lo, std::min(a1, a2));
+      a_hi = std::max(a_hi, std::max(a1, a2));
+    }
+    if (a_lo > a_hi) a_lo = a_hi = 0;
+    boxes.push_back(GroupBox{a_lo, a_hi, lo, hi});
   });
   return boxes;
 }
 
 void GroupLattice::for_each_line(
-    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& visit) const {
+    const std::function<void(const GroupKey&, std::int64_t, std::int64_t)>& visit) const {
+  if (layout_ == LatticeLayout::Plane) {
+    const std::int64_t pi_dl = dot(tf_.pi, dl_orig_);
+    const std::int64_t base = dot(tf_.pi, seed_entry_);
+    const std::int64_t pi_da = dot(tf_.pi, da_orig_);
+    for (const PlaneChainRec& ch : chains_) {
+      IntVec p = plane_anchor(ch.t_lo, ch.b);
+      std::int64_t step_anchor = base + ch.t_lo * pi_dl + ch.b * pi_da;
+      for (std::int64_t t = ch.t_lo; t <= ch.t_hi; ++t) {
+        auto range = space_->line_range(p, u_);
+        if (range)
+          visit(GroupKey{floor_div(t, r_), ch.b, 0}, range->second - range->first + 1,
+                step_anchor + range->first * sigma_);
+        for (std::size_t i = 0; i < 3; ++i) p[i] += dl_orig_[i];
+        step_anchor += pi_dl;
+      }
+    }
+    return;
+  }
   const std::int64_t pi_delta = dot(tf_.pi, delta_);
-  IntVec p = line_anchor(c_lo_);
-  std::int64_t step_anchor = c_lo_ * pi_delta;
-  for (std::int64_t c = c_lo_; c <= c_hi_; ++c) {
-    auto range = space_->line_range(p, u_);
-    if (range)
-      visit(c, range->second - range->first + 1, step_anchor + range->first * sigma_);
-    for (std::size_t i = 0; i < 2; ++i) p[i] += delta_[i];
-    step_anchor += pi_delta;
+  for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+    const auto& [tmin, tmax] = comp_t_[m];
+    const std::int64_t cs = c_seed_ + static_cast<std::int64_t>(m) * lexdir_;
+    std::int64_t c = cs + tmin * gamma_l_;
+    IntVec p = line_anchor(c);
+    std::int64_t step_anchor = c * pi_delta;
+    for (std::int64_t t = tmin; t <= tmax; ++t) {
+      auto range = space_->line_range(p, u_);
+      if (range) {
+        const GroupKey g = degenerate()
+                               ? GroupKey{t, 0, t}
+                               : GroupKey{floor_div(t, r_), 0, static_cast<std::int64_t>(m)};
+        visit(g, range->second - range->first + 1, step_anchor + range->first * sigma_);
+      }
+      for (std::size_t i = 0; i < 2; ++i) p[i] += gamma_l_ * delta_[i];
+      step_anchor += gamma_l_ * pi_delta;
+    }
   }
 }
 
 void GroupLattice::for_each_arc_bundle(
-    const std::function<void(std::int64_t, std::size_t, std::int64_t, std::int64_t)>& visit)
-    const {
+    const std::function<void(const GroupKey&, const GroupKey&, std::size_t, std::int64_t,
+                             std::int64_t)>& visit) const {
   const std::vector<IntVec>& deps = space_->dependences();
   const std::size_t nd = deps.size();
-  const std::int64_t pi_delta = dot(tf_.pi, delta_);
-  IntVec p = line_anchor(c_lo_);
-  std::vector<IntVec> pd(nd);
-  for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
-  std::int64_t step_anchor = c_lo_ * pi_delta;
-  for (std::int64_t c = c_lo_; c <= c_hi_; ++c) {
-    auto range = space_->line_range(p, u_);
-    if (range) {
-      for (std::size_t k = 0; k < nd; ++k) {
-        auto mrange = space_->line_range(pd[k], u_);
-        if (!mrange) continue;
-        std::int64_t lo2 = std::max(range->first, mrange->first);
-        std::int64_t hi2 = std::min(range->second, mrange->second);
-        if (lo2 > hi2) continue;
-        visit(c, k, hi2 - lo2 + 1, step_anchor + lo2 * sigma_);
+  if (layout_ == LatticeLayout::Plane) {
+    const std::int64_t pi_dl = dot(tf_.pi, dl_orig_);
+    const std::int64_t pi_da = dot(tf_.pi, da_orig_);
+    const std::int64_t base = dot(tf_.pi, seed_entry_);
+    for (const PlaneChainRec& ch : chains_) {
+      IntVec p = plane_anchor(ch.t_lo, ch.b);
+      std::vector<IntVec> pd(nd);
+      for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
+      std::int64_t step_anchor = base + ch.t_lo * pi_dl + ch.b * pi_da;
+      for (std::int64_t t = ch.t_lo; t <= ch.t_hi; ++t) {
+        auto range = space_->line_range(p, u_);
+        if (range) {
+          const GroupKey src{floor_div(t, r_), ch.b, 0};
+          for (std::size_t k = 0; k < nd; ++k) {
+            auto mrange = space_->line_range(pd[k], u_);
+            if (!mrange) continue;
+            const std::int64_t lo2 = std::max(range->first, mrange->first);
+            const std::int64_t hi2 = std::min(range->second, mrange->second);
+            if (lo2 > hi2) continue;
+            const GroupKey dst{floor_div(t + dt_[k], r_), ch.b + db_[k], 0};
+            visit(src, dst, k, hi2 - lo2 + 1, step_anchor + lo2 * sigma_);
+          }
+        }
+        for (std::size_t i = 0; i < 3; ++i) {
+          p[i] += dl_orig_[i];
+          for (std::size_t k = 0; k < nd; ++k) pd[k][i] += dl_orig_[i];
+        }
+        step_anchor += pi_dl;
       }
     }
-    for (std::size_t i = 0; i < 2; ++i) {
-      p[i] += delta_[i];
-      for (std::size_t k = 0; k < nd; ++k) pd[k][i] += delta_[i];
+    return;
+  }
+  const std::int64_t pi_delta = dot(tf_.pi, delta_);
+  for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+    const auto& [tmin, tmax] = comp_t_[m];
+    const std::int64_t cs = c_seed_ + static_cast<std::int64_t>(m) * lexdir_;
+    std::int64_t c = cs + tmin * gamma_l_;
+    IntVec p = line_anchor(c);
+    std::vector<IntVec> pd(nd);
+    for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
+    std::int64_t step_anchor = c * pi_delta;
+    for (std::int64_t t = tmin; t <= tmax; ++t) {
+      auto range = space_->line_range(p, u_);
+      if (range) {
+        const GroupKey src = degenerate()
+                                 ? GroupKey{t, 0, t}
+                                 : GroupKey{floor_div(t, r_), 0, static_cast<std::int64_t>(m)};
+        for (std::size_t k = 0; k < nd; ++k) {
+          auto mrange = space_->line_range(pd[k], u_);
+          if (!mrange) continue;
+          const std::int64_t lo2 = std::max(range->first, mrange->first);
+          const std::int64_t hi2 = std::min(range->second, mrange->second);
+          if (lo2 > hi2) continue;
+          visit(src, group_of_line(c + gamma_[k]), k, hi2 - lo2 + 1,
+                step_anchor + lo2 * sigma_);
+        }
+      }
+      for (std::size_t i = 0; i < 2; ++i) {
+        p[i] += gamma_l_ * delta_[i];
+        for (std::size_t k = 0; k < nd; ++k) pd[k][i] += gamma_l_ * delta_[i];
+      }
+      c += gamma_l_;
+      step_anchor += gamma_l_ * pi_delta;
     }
-    step_anchor += pi_delta;
   }
 }
 
 LatticeSweepResult GroupLattice::sweep(bool validate) const {
   LatticeSweepResult out;
+  using GroupOffset = LatticeSweepResult::GroupOffset;
   const std::vector<IntVec>& deps = space_->dependences();
   const std::size_t nd = deps.size();
   const IntVec& pi = tf_.pi;
-  const std::int64_t pi_delta = dot(pi, delta_);
-
-  // Incremental anchors: p(c) = c·δ and p(c) + d_k, advanced by δ per line.
-  IntVec p = line_anchor(c_lo_);
-  std::vector<IntVec> pd(nd);
-  for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
-  std::int64_t step_anchor = c_lo_ * pi_delta;  // Π·p(c)
 
   // Per-group rolling state (O(r + deps), reset at each group boundary).
   struct LineRec {
@@ -291,13 +731,19 @@ LatticeSweepResult GroupLattice::sweep(bool validate) const {
   OffsetSet succ;                       // union over deps (out-degree)
   std::int64_t acc = 0;                 // current group's iteration count
   bool group_open = false;
-  std::int64_t cur_a = 0;
+  GroupKey cur{};
 
   out.theorem1 = true;
   out.lemmas.lemma2_holds = true;
   out.lemmas.lemma3_holds = true;
+  // A dependence direction is "special" (Lemma 2) if its projected vector
+  // equals the grouping or an auxiliary vector — the dense checker's
+  // is_special_direction.
   auto is_special = [&](std::size_t k) {
-    return grouping_ && (k == *grouping_ || pdeps_[k] == pdeps_[*grouping_]);
+    if (!grouping_) return false;
+    if (k == *grouping_ || pdeps_[k] == pdeps_[*grouping_]) return true;
+    if (aux_ && (k == *aux_ || pdeps_[k] == pdeps_[*aux_])) return true;
+    return false;
   };
 
   out.stats.min_block = std::numeric_limits<std::int64_t>::max();
@@ -310,11 +756,10 @@ LatticeSweepResult GroupLattice::sweep(bool validate) const {
     out.stats.min_block = std::min(out.stats.min_block, acc);
     out.stats.max_block = std::max(out.stats.max_block, acc);
     if (validate) {
-      std::size_t out_deg = 0;
       succ.clear();
       for (std::size_t k = 0; k < nd; ++k) {
-        if (gamma_[k] == 0) continue;
-        std::size_t fan = dep_offs[k].size();
+        if (is_zero(pdeps_[k])) continue;
+        const std::size_t fan = dep_offs[k].size();
         if (is_special(k)) {
           out.lemmas.worst_lemma2_fanout = std::max(out.lemmas.worst_lemma2_fanout, fan);
           if (fan > 1) out.lemmas.lemma2_holds = false;
@@ -325,73 +770,128 @@ LatticeSweepResult GroupLattice::sweep(bool validate) const {
         dep_offs[k].merge_into(succ);
         dep_offs[k].clear();
       }
-      out_deg = succ.size();
-      out.theorem2.max_out_degree = std::max(out.theorem2.max_out_degree, out_deg);
+      out.theorem2.max_out_degree = std::max(out.theorem2.max_out_degree, succ.size());
     }
     window.clear();
     acc = 0;
   };
 
-  for (std::int64_t c = c_lo_; c <= c_hi_; ++c) {
-    std::int64_t t = orient_ * (c - c_seed_);
-    std::int64_t a = floor_div(t, r_);
-    if (!group_open || a != cur_a) {
+  // One populated line of group g: Theorem 1 window, arc bundles, offsets.
+  auto visit_line = [&](const GroupKey& g, std::int64_t k_lo, std::int64_t k_hi,
+                        std::int64_t step_anchor,
+                        const std::function<std::optional<std::pair<std::int64_t, std::int64_t>>(
+                            std::size_t)>& dep_range,
+                        const std::function<std::optional<GroupKey>(std::size_t)>& dep_target) {
+    if (!group_open || !(g == cur)) {
       close_group();
       group_open = true;
-      cur_a = a;
+      cur = g;
+    }
+    const std::int64_t pop = k_hi - k_lo + 1;
+    const std::int64_t first_step = step_anchor + k_lo * sigma_;
+    covered += static_cast<std::uint64_t>(pop);
+    acc += pop;
+
+    if (validate) {
+      // Theorem 1 within the group: lines collide iff their step APs
+      // (first + k·σ, k in [0, pop)) intersect — same test as the dense
+      // checker, against every earlier line of this group.
+      for (const LineRec& o : window) {
+        const std::int64_t diff = first_step - o.first_step;
+        if (diff % sigma_ != 0) continue;
+        const std::int64_t msh = diff / sigma_;
+        if (msh >= -(pop - 1) && msh <= o.pop - 1) out.theorem1 = false;
+      }
+      window.push_back(LineRec{first_step, pop});
     }
 
-    auto range = space_->line_range(p, u_);
-    if (range) {
-      std::int64_t k_lo = range->first, k_hi = range->second;
-      std::int64_t pop = k_hi - k_lo + 1;
-      std::int64_t first_step = step_anchor + k_lo * sigma_;
-      covered += static_cast<std::uint64_t>(pop);
-      acc += pop;
-
-      if (validate) {
-        // Theorem 1 within the group: lines collide iff their step APs
-        // (first + k·σ, k in [0, pop)) intersect — same test as the dense
-        // checker, against every earlier line of this group.
-        for (const LineRec& o : window) {
-          std::int64_t diff = first_step - o.first_step;
-          if (diff % sigma_ != 0) continue;
-          std::int64_t m = diff / sigma_;
-          if (m >= -(pop - 1) && m <= o.pop - 1) out.theorem1 = false;
-        }
-        window.push_back(LineRec{first_step, pop});
-      }
-
-      for (std::size_t k = 0; k < nd; ++k) {
-        std::int64_t off = 0;
-        if (gamma_[k] != 0) off = floor_div(t + orient_ * gamma_[k], r_) - a;
-        auto mrange = space_->line_range(pd[k], u_);
-        if (mrange) {
-          std::int64_t lo2 = std::max(k_lo, mrange->first);
-          std::int64_t hi2 = std::min(k_hi, mrange->second);
-          if (lo2 <= hi2) {
-            std::size_t count = static_cast<std::size_t>(hi2 - lo2 + 1);
-            arc_total += count;
-            if (off != 0) arc_inter += count;
-            out.offset_weights[{k, off}] += static_cast<std::int64_t>(hi2 - lo2 + 1);
-          }
-        }
-        // Group-digraph edges use line existence (the dense checker's
-        // find_point semantics), not arc counts: an edge to group a+off
-        // exists whenever the shifted line is inside the populated interval.
-        if (validate && gamma_[k] != 0 && off != 0) {
-          std::int64_t ct = c + gamma_[k];
-          if (ct >= c_lo_ && ct <= c_hi_) dep_offs[k].insert(off);
+    for (std::size_t k = 0; k < nd; ++k) {
+      // Group-digraph edges use projected-point existence (the dense
+      // checker's find_point semantics), not arc counts: an edge exists
+      // whenever the shifted line is populated.
+      GroupOffset off{};
+      std::optional<GroupKey> dst = dep_target(k);
+      if (dst) off = GroupOffset{dst->a - g.a, dst->b - g.b, dst->comp - g.comp};
+      auto mrange = dep_range(k);
+      if (mrange) {
+        const std::int64_t lo2 = std::max(k_lo, mrange->first);
+        const std::int64_t hi2 = std::min(k_hi, mrange->second);
+        if (lo2 <= hi2) {
+          const std::size_t count = static_cast<std::size_t>(hi2 - lo2 + 1);
+          arc_total += count;
+          if (!(off == GroupOffset{})) arc_inter += count;
+          out.offset_weights[{k, off}] += static_cast<std::int64_t>(hi2 - lo2 + 1);
         }
       }
+      if (validate && dst && !(off == GroupOffset{})) dep_offs[k].insert(off);
     }
+  };
 
-    // Advance the anchors.
-    for (std::size_t i = 0; i < 2; ++i) {
-      p[i] += delta_[i];
-      for (std::size_t k = 0; k < nd; ++k) pd[k][i] += delta_[i];
+  if (layout_ == LatticeLayout::Plane) {
+    const std::int64_t pi_dl = dot(pi, dl_orig_);
+    const std::int64_t pi_da = dot(pi, da_orig_);
+    const std::int64_t base = dot(pi, seed_entry_);
+    for (const PlaneChainRec& ch : chains_) {
+      IntVec p = plane_anchor(ch.t_lo, ch.b);
+      std::vector<IntVec> pd(nd);
+      for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
+      std::int64_t step_anchor = base + ch.t_lo * pi_dl + ch.b * pi_da;
+      for (std::int64_t t = ch.t_lo; t <= ch.t_hi; ++t) {
+        auto range = space_->line_range(p, u_);
+        if (range) {
+          const GroupKey g{floor_div(t, r_), ch.b, 0};
+          visit_line(
+              g, range->first, range->second, step_anchor,
+              [&](std::size_t k) { return space_->line_range(pd[k], u_); },
+              [&](std::size_t k) -> std::optional<GroupKey> {
+                if (is_zero(pdeps_[k])) return std::nullopt;
+                const PlaneChainRec* tc = plane_chain(ch.b + db_[k]);
+                const std::int64_t tt = t + dt_[k];
+                if (!tc || tt < tc->t_lo || tt > tc->t_hi) return std::nullopt;
+                return GroupKey{floor_div(tt, r_), tc->b, 0};
+              });
+        }
+        for (std::size_t i = 0; i < 3; ++i) {
+          p[i] += dl_orig_[i];
+          for (std::size_t k = 0; k < nd; ++k) pd[k][i] += dl_orig_[i];
+        }
+        step_anchor += pi_dl;
+      }
     }
-    step_anchor += pi_delta;
+  } else {
+    const std::int64_t pi_delta = dot(pi, delta_);
+    for (std::size_t m = 0; m < comp_t_.size(); ++m) {
+      const auto& [tmin, tmax] = comp_t_[m];
+      const std::int64_t cs = c_seed_ + static_cast<std::int64_t>(m) * lexdir_;
+      std::int64_t c = cs + tmin * gamma_l_;
+      IntVec p = line_anchor(c);
+      std::vector<IntVec> pd(nd);
+      for (std::size_t k = 0; k < nd; ++k) pd[k] = add(p, deps[k]);
+      std::int64_t step_anchor = c * pi_delta;
+      for (std::int64_t t = tmin; t <= tmax; ++t) {
+        auto range = space_->line_range(p, u_);
+        if (range) {
+          const GroupKey g =
+              degenerate() ? GroupKey{t, 0, t}
+                           : GroupKey{floor_div(t, r_), 0, static_cast<std::int64_t>(m)};
+          visit_line(
+              g, range->first, range->second, step_anchor,
+              [&](std::size_t k) { return space_->line_range(pd[k], u_); },
+              [&](std::size_t k) -> std::optional<GroupKey> {
+                if (is_zero(pdeps_[k])) return std::nullopt;
+                const std::int64_t ct = c + gamma_[k];
+                if (ct < c_lo_ || ct > c_hi_) return std::nullopt;
+                return group_of_line(ct);
+              });
+        }
+        for (std::size_t i = 0; i < 2; ++i) {
+          p[i] += gamma_l_ * delta_[i];
+          for (std::size_t k = 0; k < nd; ++k) pd[k][i] += gamma_l_ * delta_[i];
+        }
+        c += gamma_l_;
+        step_anchor += gamma_l_ * pi_delta;
+      }
+    }
   }
   close_group();
 

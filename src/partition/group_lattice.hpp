@@ -3,41 +3,52 @@
 //
 // PR 3/4 made the iteration space symbolic, but the grouping phase still
 // materialized one Group per group, so end-to-end cost stayed O(groups).
-// For the 2-D affine nests the pipeline actually sweeps (β = n-1 = 1, the
-// paper's L1/SOR/matvec/convolution class), the groups form a *regular
-// 1-D lattice* and every grouping/mapping quantity has a closed form:
+// On the classes below the groups form a *regular lattice* and every
+// grouping/mapping quantity has a closed form; no Group objects are ever
+// materialized.  Two layouts cover the admitted nests:
 //
-//   * Lines are indexed by c = w·j, where w ⊥ u (u = Π/content(Π)) is the
-//     primitive line-index vector; a convex 2-D domain meets a contiguous
-//     interval [c_lo, c_hi] of lines (one sub-interval per slab, merged).
-//   * The dense grouping's seed is the lexicographically smallest scaled
-//     projected point.  Scaled projection is affine in c, so the seed is
-//     simply one end of the interval: ĵ(c) = ĵ* + (c - c*)·v with
-//     v = proj(δ), w·δ = 1, and the lex-min end is c_lo when v is
-//     lex-positive, else c_hi.
-//   * One slot step along the grouping vector d_l advances the line index
-//     by γ_l = w·d_l; with |γ_l| = 1 the dense BFS covers every line in a
-//     single chain, slot t(c) = γ_l·(c - c*), and the group of line c is
-//     exactly floor(t/r) — the dense Group::lattice coordinate `a`.
-//   * Group populations, block statistics, TIG arc-class weights, and the
-//     theorem/lemma checks all reduce to per-line IterSpace::line_range
-//     queries (O(dimension) each, no point or group objects), and
-//     Algorithm 2's bisection reduces to a ceil-halving of the sorted
-//     coordinate range (mapping/hypercube_map.hpp, map_to_hypercube
-//     lattice overload).
+//  * Chain (n = 2, β ≤ 1).  Lines are indexed by c = w·j, where w ⊥ u
+//    (u = Π/content(Π)) is the primitive line-index vector; a convex 2-D
+//    domain meets a contiguous interval [c_lo, c_hi] of lines.  One slot
+//    step along the grouping vector d_l advances the line index by
+//    γ_l = w·d_l.  With |γ_l| = g > 1 the dense BFS no longer reaches every
+//    line from one seed: the lines split into g *residue components*
+//    (c ≡ c_seed + m·lexdir mod g), each an arithmetic sub-chain the dense
+//    region growing covers from its own lexicographic seed, in seed order
+//    m = 0, 1, ….  Slot index within component m is t = (c - c_seed_m)/γ_l
+//    and the group is (a, m) with a = floor(t/r) — exactly the dense
+//    Group::lattice coordinate and component id.
+//  * Plane (n = 3, β = 2, single coset).  The scaled projected points live
+//    in the 2-D lattice spanned by d_l^p (grouping) and d_a^p (auxiliary).
+//    With the dual functionals A(x) = x·(d_a^p × Π), B(x) = x·(Π × d_l^p)
+//    and shared divisor D = det(d_l^p, d_a^p, Π) > 0, the
+//    lattice coordinates of a line are t = (A(ĵ)-A(ĵ*))/D along d_l^p and
+//    b = (B(ĵ)-B(ĵ*))/D along d_a^p, anchored at the dense lexicographic
+//    seed ĵ*.  Groups are (a, b) with a = floor(t/r); each aux chain (fixed
+//    b) must meet the domain in one contiguous t-run (convexity gives this
+//    for box-like nests; a gap falls back).  Admission requires every
+//    projected unit vector to stay on the seed coset (D | A(proj e_i) and
+//    D | B(proj e_i)); multi-coset 3-D nests take the line-based fallback.
 //
-// When the gate below does not hold (n > 2, |w_i| > 1, strided grouping
-// chains, non-default GroupingOptions, or a line-index interval with
-// holes), build() returns nullopt and the pipeline falls back to the
-// line-based symbolic path (partition/grouping.hpp), which materializes
-// groups but is still point-free.  docs/iterspace.md § "The group lattice"
-// derives each closed form and works the paper's Fig. 3 example.
+// Group populations, block statistics, TIG arc-class weights, and the
+// theorem/lemma checks all reduce to per-line IterSpace::line_range queries
+// (O(dimension) each), and Algorithm 2's bisection reduces to ceil-halving
+// of the sorted group order (chain) or an alternating-direction fragment
+// bisection (plane) — mapping/hypercube_map.hpp.
+//
+// When no layout applies, build() returns nullopt with a stable fallback
+// reason slug (surfaced as the pipeline.lattice_fallback.<reason> metric)
+// and the pipeline falls back to the line-based symbolic path
+// (partition/grouping.hpp), which materializes groups but is still
+// point-free.  docs/iterspace.md § "The group lattice" derives each closed
+// form.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "loop/iter_space.hpp"
@@ -47,6 +58,12 @@
 #include "schedule/hyperplane.hpp"
 
 namespace hypart {
+
+/// Which closed-form family the lattice instantiates.
+enum class LatticeLayout {
+  Chain,  ///< 2-D nest: 1-D group chain, possibly g residue components
+  Plane,  ///< 3-D nest, β = 2: 2-D (a, b) group lattice, single component
+};
 
 /// Aggregate block-size statistics of the symbolic grouping (the lattice
 /// path's stand-in for the per-block size vector, which is never built).
@@ -61,155 +78,230 @@ struct LatticeBlockStats {
 /// statistics, partition stats (block_comm left empty — the per-pair graph
 /// is inherently O(groups); the per-offset aggregation below replaces it),
 /// per-(dependence, group-offset) arc weights, and the theorem/lemma
-/// verdicts.  Memory is O(deps + r), independent of N.
+/// verdicts.  Memory is O(deps + r + components), independent of N.
 struct LatticeSweepResult {
   LatticeBlockStats stats;
   PartitionStats partition;
-  /// (dep index, group-lattice offset) -> number of dependence arcs whose
-  /// source and target groups differ by that offset.  The closed-form
-  /// counterpart of the TIG edge weights: by Lemmas 2/3 each dependence
-  /// contributes at most two offsets (q and q+1 for Δt = q·r + ρ).
-  std::map<std::pair<std::size_t, std::int64_t>, std::int64_t> offset_weights;
+  /// Group-lattice offset between an arc's source and target groups:
+  /// Δa along the grouping chain, Δb along the auxiliary direction (plane
+  /// layout), Δcomp across residue components (strided chain layout).
+  struct GroupOffset {
+    std::int64_t da = 0;
+    std::int64_t db = 0;
+    std::int64_t dcomp = 0;
+    friend bool operator==(const GroupOffset&, const GroupOffset&) = default;
+    friend auto operator<=>(const GroupOffset&, const GroupOffset&) = default;
+  };
+  /// (dep index, group offset) -> number of dependence arcs whose source
+  /// and target groups differ by that offset.  The closed-form counterpart
+  /// of the TIG edge weights: by Lemmas 2/3 each dependence contributes a
+  /// bounded number of offsets.
+  std::map<std::pair<std::size_t, GroupOffset>, std::int64_t> offset_weights;
   bool exact_cover = false;
   bool theorem1 = false;
   Theorem2Report theorem2;
   LemmaReport lemmas;
 };
 
-/// Symbolic grouping of a 2-D affine iteration space as a 1-D group
+/// Symbolic grouping of an affine iteration space as a regular group
 /// lattice.  Reproduces the dense Grouping (populations, lattice
-/// coordinates, mapping order) exactly on the gated class; no Group
-/// objects are ever materialized.
+/// coordinates, component ids, mapping order) exactly on the gated class.
 class GroupLattice {
  public:
+  /// Identity of one group without materializing it: the dense
+  /// Group::lattice coordinates (a[, b]) plus the region-growing component.
+  /// Chain groups use (a, comp); plane groups use (a, b) with comp == 0.
+  struct GroupKey {
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t comp = 0;
+    friend bool operator==(const GroupKey&, const GroupKey&) = default;
+    friend auto operator<=>(const GroupKey&, const GroupKey&) = default;
+  };
+
   /// Gate + construction; nullopt when the closed forms do not apply (the
-  /// caller falls back to the line-based symbolic path).  O(slabs log slabs).
+  /// caller falls back to the line-based symbolic path).  When refused and
+  /// `fallback_reason` is non-null it receives a stable slug naming the
+  /// first failed gate (e.g. "line-interval-hole", "plane-multi-coset").
+  /// O(slabs log slabs) for the chain layout, O(lines) for the plane.
   static std::optional<GroupLattice> build(const IterSpace& space, const TimeFunction& tf,
-                                           const GroupingOptions& opts = {});
+                                           const GroupingOptions& opts = {},
+                                           std::string* fallback_reason = nullptr);
 
   // ---- frame --------------------------------------------------------------
   [[nodiscard]] const IterSpace& space() const { return *space_; }
   [[nodiscard]] const TimeFunction& time_function() const { return tf_; }
+  [[nodiscard]] LatticeLayout layout() const { return layout_; }
   /// Line-index vector w (primitive, w·u = 0): line of j is c = w·j.
+  /// Chain layout only.
   [[nodiscard]] const IntVec& line_index_vector() const { return w_; }
   [[nodiscard]] const IntVec& line_direction() const { return u_; }
   [[nodiscard]] std::int64_t step_stride() const { return sigma_; }
   /// Group size r of Algorithm 1 Step 1 (1 in the degenerate case).
   [[nodiscard]] std::int64_t group_size_r() const { return r_; }
-  /// β = rank(mat(D^p)): 1, or 0 when every dependence is parallel to Π
-  /// (degenerate: every line is its own group).
-  [[nodiscard]] std::size_t beta() const { return grouping_ ? 1 : 0; }
+  /// β = rank(mat(D^p)): 2 for the plane layout, 1 for a grouped chain, 0
+  /// when every dependence is parallel to Π (degenerate: every line is its
+  /// own group).
+  [[nodiscard]] std::size_t beta() const {
+    return layout_ == LatticeLayout::Plane ? 2 : (grouping_ ? 1 : 0);
+  }
   [[nodiscard]] bool degenerate() const { return !grouping_; }
   [[nodiscard]] std::optional<std::size_t> grouping_vector_index() const { return grouping_; }
+  /// Auxiliary dependence index (plane layout only).
+  [[nodiscard]] std::optional<std::size_t> auxiliary_vector_index() const { return aux_; }
+  /// Number of dense region-growing components: the residue count
+  /// min(|γ_l|, line interval length) for a strided chain, else 1.
+  [[nodiscard]] std::int64_t component_count() const {
+    return static_cast<std::int64_t>(comp_t_.size());
+  }
 
-  // ---- lines --------------------------------------------------------------
+  // ---- lines (chain layout) ----------------------------------------------
   [[nodiscard]] std::int64_t c_min() const { return c_lo_; }
   [[nodiscard]] std::int64_t c_max() const { return c_hi_; }
-  [[nodiscard]] std::uint64_t line_count() const {
-    return static_cast<std::uint64_t>(c_hi_ - c_lo_ + 1);
-  }
-  /// Seed line index c* (the dense lexicographic seed's line).
+  /// Total populated lines (== projected point count) in either layout.
+  [[nodiscard]] std::uint64_t line_count() const { return line_count_; }
+  /// Seed line index c* of component 0 (the dense lexicographic seed's
+  /// line); component m's seed line is c* + m·lex_direction().
   [[nodiscard]] std::int64_t seed_line() const { return c_seed_; }
-  /// Slot orientation: +1 when slot t increases with c, -1 otherwise
-  /// (γ_l of the grouping vector; the lex direction in the degenerate case).
-  [[nodiscard]] std::int64_t orientation() const { return orient_; }
-  /// Slot index of line c: t = orientation·(c - c*); the dense BFS slot.
-  [[nodiscard]] std::int64_t slot_of_line(std::int64_t c) const {
-    return orient_ * (c - c_seed_);
-  }
+  /// Direction (±1) in which the scaled projection grows lexicographically
+  /// with c — the order in which the dense grouping seeds components.
+  [[nodiscard]] std::int64_t lex_direction() const { return lexdir_; }
+  /// Signed slot stride γ_l = w·d_l (lex_direction() when degenerate).
+  [[nodiscard]] std::int64_t slot_stride() const { return gamma_l_; }
+  /// Residue component of line c (0 when unstrided).
+  [[nodiscard]] std::int64_t component_of_line(std::int64_t c) const;
+  /// Slot index of line c within its component: t = (c - c_seed_m)/γ_l.
+  [[nodiscard]] std::int64_t slot_of_line(std::int64_t c) const;
   /// Points on line c (0 outside [c_min, c_max]); O(dimension).
   [[nodiscard]] std::int64_t line_population(std::int64_t c) const;
   /// Σ line_population over [c1, c2] ∩ [c_min, c_max]; O(|interval|·dim).
   [[nodiscard]] std::uint64_t sum_line_populations(std::int64_t c1, std::int64_t c2) const;
 
   // ---- groups -------------------------------------------------------------
-  /// Dense Group::lattice coordinate of line c: a = floor(t/r).
-  [[nodiscard]] std::int64_t group_of_line(std::int64_t c) const {
-    return floor_div(slot_of_line(c), r_);
-  }
+  /// Group of line c (chain layout): a = floor(t/r) in c's component.
+  [[nodiscard]] GroupKey group_of_line(std::int64_t c) const;
+  /// Extreme grouping-chain coordinates over all components/aux chains.
   [[nodiscard]] std::int64_t a_min() const { return a_min_; }
   [[nodiscard]] std::int64_t a_max() const { return a_max_; }
-  /// Every a in [a_min, a_max] is populated (the interval is gap-free).
-  [[nodiscard]] std::uint64_t group_count() const {
-    return static_cast<std::uint64_t>(a_max_ - a_min_ + 1);
-  }
-  /// Dense Group::lattice coords of group a: {a}, or {} when degenerate.
-  [[nodiscard]] IntVec group_lattice_coord(std::int64_t a) const {
-    return degenerate() ? IntVec{} : IntVec{a};
-  }
-  /// Inclusive line-index interval [c_first, c_last] of group a's slots,
-  /// clipped to the populated range (boundary groups are partial).
-  [[nodiscard]] DimBounds group_line_range(std::int64_t a) const;
-  /// Block size of group a: Σ of its lines' populations; O(r·dimension).
-  [[nodiscard]] std::int64_t group_population(std::int64_t a) const;
-  /// Position of group a in Algorithm 2's deterministic sort order
-  /// (ascending lattice coordinate — identical to the dense mapper's key).
-  [[nodiscard]] std::uint64_t sorted_index_of_group(std::int64_t a) const {
-    return static_cast<std::uint64_t>(a - a_min_);
-  }
-  [[nodiscard]] std::int64_t group_at_sorted_index(std::uint64_t k) const {
-    return a_min_ + static_cast<std::int64_t>(k);
-  }
+  [[nodiscard]] std::uint64_t group_count() const { return group_count_; }
+  /// Dense Group::lattice coords: {} degenerate, {a} chain, {a, b} plane.
+  [[nodiscard]] IntVec group_lattice_coord(const GroupKey& g) const;
+  /// Inclusive line-index interval [c_first, c_last] of a chain group's
+  /// slots, clipped to the populated range (boundary groups are partial; a
+  /// strided group's interval also contains other components' lines).
+  /// Plane layout: the group's inclusive slot interval [t_lo, t_hi] on its
+  /// aux chain.
+  [[nodiscard]] DimBounds group_line_range(const GroupKey& g) const;
+  /// Block size of the group: Σ of its lines' populations; O(r·dimension).
+  [[nodiscard]] std::int64_t group_population(const GroupKey& g) const;
+  /// Position in the canonical deterministic sort order — ascending
+  /// (a, comp) for chains (identical to the dense mapper's β = 1 key:
+  /// coordinate, then creation order) and ascending (a, b) for planes.
+  [[nodiscard]] std::uint64_t sorted_index_of_group(const GroupKey& g) const;
+  [[nodiscard]] GroupKey group_at_sorted_index(std::uint64_t k) const;
+  /// Visit every group in canonical sorted order with its population;
+  /// O(groups · r · dim) — the node-fault remap's block-size feed.
+  void for_each_group(const std::function<void(const GroupKey&, std::int64_t pop)>& visit) const;
 
-  /// One lattice box per slab: the inclusive group-coordinate range whose
-  /// lines intersect that slab.  The ISSUE's enumerate_boxes() view of the
-  /// grouping: O(slabs) boxes, unioning to [a_min, a_max].
+  /// One lattice box per slab (chain) or per aux chain (plane): the
+  /// inclusive group-coordinate range along the grouping chain.  Chain
+  /// boxes carry the slab's line-index interval in [c_lo, c_hi]; plane
+  /// boxes carry the aux coordinate b in both.
   struct GroupBox {
     std::int64_t a_lo = 0;
     std::int64_t a_hi = 0;
-    std::int64_t c_lo = 0;  ///< the slab's line-index interval
+    std::int64_t c_lo = 0;
     std::int64_t c_hi = 0;
   };
   [[nodiscard]] std::vector<GroupBox> enumerate_boxes() const;
 
   // ---- dependences --------------------------------------------------------
   [[nodiscard]] const std::vector<IntVec>& original_deps() const { return space_->dependences(); }
-  /// Line-index shift of dependence k: target line of an arc from line c is
-  /// c + line_shift(k) (0 when d_k ∥ Π).
+  /// Line-index shift of dependence k (chain layout): target line of an arc
+  /// from line c is c + line_shift(k) (0 when d_k ∥ Π).
   [[nodiscard]] std::int64_t line_shift(std::size_t k) const { return gamma_[k]; }
+  /// Lattice shift of dependence k (plane layout): (Δt, Δb) in slot/aux
+  /// coordinates.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> plane_shift(std::size_t k) const {
+    return {dt_[k], db_[k]};
+  }
   /// Scaled projected dependence s·d - (Π·d)·Π (dense pdep coordinates).
   [[nodiscard]] const IntVec& projected_dep_scaled(std::size_t k) const { return pdeps_[k]; }
 
   /// The full O(lines·deps) pass: block stats, partition stats, per-offset
   /// TIG weights, and (when `validate`) exact-cover/Theorem 1/Theorem 2/
-  /// lemma verdicts.  Time O(lines·(deps + r)·dim), memory O(deps + r).
+  /// lemma verdicts.  Time O(lines·(deps + r)·dim), memory
+  /// O(deps + r + components).
   [[nodiscard]] LatticeSweepResult sweep(bool validate = true) const;
 
-  /// Visit every populated line in ascending c order with its population and
-  /// the absolute step of its first point (Π·entry).  O(lines·dim), O(1)
-  /// extra memory — the simulator's line feed.
-  void for_each_line(
-      const std::function<void(std::int64_t c, std::int64_t pop, std::int64_t first_step)>& visit)
-      const;
-  /// Visit every (line, dependence) arc bundle: `count` arcs from line c to
-  /// line c + line_shift(dep), the first one leaving at absolute step
-  /// `first_step`.  Values match partition/symbolic.hpp's for_each_line_dep.
-  void for_each_arc_bundle(const std::function<void(std::int64_t c, std::size_t dep,
-                                                    std::int64_t count, std::int64_t first_step)>&
-                               visit) const;
+  /// Visit every populated line (group-contiguous order: component-major
+  /// ascending slot for chains, aux-chain-major ascending slot for planes)
+  /// with its group, population, and the absolute step of its first point
+  /// (Π·entry).  O(lines·dim), O(1) extra memory — the simulator's line
+  /// feed.
+  void for_each_line(const std::function<void(const GroupKey&, std::int64_t pop,
+                                              std::int64_t first_step)>& visit) const;
+  /// Visit every (line, dependence) arc bundle: `count` arcs from a line of
+  /// group `src` to the shifted line of group `dst`, the first one leaving
+  /// at absolute step `first_step`.  Values match partition/symbolic.hpp's
+  /// for_each_line_dep.
+  void for_each_arc_bundle(
+      const std::function<void(const GroupKey& src, const GroupKey& dst, std::size_t dep,
+                               std::int64_t count, std::int64_t first_step)>& visit) const;
 
  private:
   GroupLattice() = default;
 
-  /// Entry point of line c for line_range queries: p(c) = c·δ with w·δ = 1
-  /// (not necessarily inside J; line_range only needs a point on the line).
+  /// One aux chain of the plane layout: the inclusive slot run at aux
+  /// coordinate b.
+  struct PlaneChainRec {
+    std::int64_t b = 0;
+    std::int64_t t_lo = 0, t_hi = 0;
+  };
+
+  /// Entry point of chain line c for line_range queries: p(c) = c·δ with
+  /// w·δ = 1 (not necessarily inside J; line_range only needs a point on
+  /// the line).
   [[nodiscard]] IntVec line_anchor(std::int64_t c) const;
+  /// Anchor of plane line (t, b): seed_entry + t·d_l + b·d_a.
+  [[nodiscard]] IntVec plane_anchor(std::int64_t t, std::int64_t b) const;
+  /// Plane chain index holding aux coordinate b; nullptr when absent.
+  [[nodiscard]] const PlaneChainRec* plane_chain(std::int64_t b) const;
 
   const IterSpace* space_ = nullptr;
   TimeFunction tf_;
+  LatticeLayout layout_ = LatticeLayout::Chain;
   IntVec u_;       ///< line direction Π/content(Π), Π·u > 0
-  IntVec w_;       ///< primitive line-index vector, entries in {-1,0,1}
-  IntVec delta_;   ///< lattice generator with w·δ = 1 (anchor direction)
+  IntVec w_;       ///< chain: primitive line-index vector
+  IntVec delta_;   ///< chain: lattice generator with w·δ = 1 (anchor direction)
   std::int64_t sigma_ = 1;  ///< step stride Π·u
   std::int64_t scale_ = 1;  ///< s = Π·Π
   std::vector<IntVec> pdeps_;      ///< scaled projected dependences
-  std::vector<std::int64_t> gamma_;///< line-index shifts w·d_k
+  std::vector<std::int64_t> gamma_;///< chain: line-index shifts w·d_k
   std::int64_t r_ = 1;
   std::optional<std::size_t> grouping_;  ///< grouping-vector index (nullopt: degenerate)
-  std::int64_t c_lo_ = 0, c_hi_ = 0;
-  std::int64_t c_seed_ = 0;
-  std::int64_t orient_ = 1;
+  std::optional<std::size_t> aux_;       ///< plane: auxiliary dependence index
+  std::uint64_t line_count_ = 0;
+  std::uint64_t group_count_ = 0;
   std::int64_t a_min_ = 0, a_max_ = 0;
+
+  // Chain layout state.
+  std::int64_t c_lo_ = 0, c_hi_ = 0;
+  std::int64_t c_seed_ = 0;   ///< component 0's seed line
+  std::int64_t lexdir_ = 1;   ///< ±1: lex order of ĵ(c) along c
+  std::int64_t gamma_l_ = 1;  ///< signed slot stride (γ_l; lexdir_ when degenerate)
+  /// Per-component inclusive slot range [t_min, t_max] (size 1 unless
+  /// strided).  Component m's lines are c_seed_ + m·lexdir_ + t·γ_l.
+  std::vector<std::pair<std::int64_t, std::int64_t>> comp_t_;
+
+  // Plane layout state.
+  IntVec seed_entry_;  ///< original-space entry point of the seed's line
+  IntVec jseed_;       ///< scaled projected seed (lex-min projected point)
+  IntVec dl_orig_, da_orig_;  ///< original grouping/auxiliary dependences
+  IntVec avec_, bvec_;        ///< dual functionals (cross products), D-normalized
+  std::int64_t ddet_ = 1;     ///< shared divisor D = det(d_l^p, d_a^p, Π) > 0
+  std::vector<std::int64_t> dt_, db_;  ///< per-dep lattice shifts (Δt, Δb)
+  std::vector<PlaneChainRec> chains_;  ///< ascending b, one per aux chain
 };
 
 }  // namespace hypart

@@ -471,89 +471,259 @@ SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& 
 
 namespace {
 
+/// Resolved machine-fault state for one symbolic simulation.  `remap` is
+/// present only when nodes fail (link-only plans keep the simulation free of
+/// any O(groups) structure); `breaks` are the steps at which the machine's
+/// fault state changes — ownership and routing are constant between them.
+struct SymFaultState {
+  const Hypercube* cube = nullptr;
+  fault::FaultSet set;
+  std::optional<fault::RemapResult> remap;
+  std::vector<std::int64_t> breaks;  ///< distinct at_steps > kFromStart, ascending
+  bool active = false;
+
+  [[nodiscard]] bool remapped() const { return remap.has_value(); }
+};
+
+SymFaultState resolve_symbolic_faults(
+    const SimOptions& opts, const Topology& topo,
+    const std::function<void(std::vector<std::int64_t>&, Mapping&)>& materialize_blocks) {
+  SymFaultState fs;
+  if (opts.faults.machine_empty()) return fs;
+  fs.cube = dynamic_cast<const Hypercube*>(&topo);
+  if (fs.cube == nullptr)
+    throw FaultError("simulate_execution: fault injection requires a Hypercube topology");
+  fs.set = opts.faults.resolve(*fs.cube);
+  fs.active = true;
+  for (const fault::NodeFault& nf : fs.set.node_failures_in_order())
+    if (nf.at_step > fault::kFromStart) fs.breaks.push_back(nf.at_step);
+  for (const auto& [link, step] : fs.set.link_failures())
+    if (step > fault::kFromStart) fs.breaks.push_back(step);
+  std::sort(fs.breaks.begin(), fs.breaks.end());
+  fs.breaks.erase(std::unique(fs.breaks.begin(), fs.breaks.end()), fs.breaks.end());
+  if (fs.set.failed_node_count() > 0) {
+    // Node failures need concrete migration targets, so the caller
+    // materializes its block index (sizes + base mapping) once — the only
+    // O(blocks) work of the symbolic fault path.
+    std::vector<std::int64_t> sizes;
+    Mapping base;
+    materialize_blocks(sizes, base);
+    fs.remap = fault::remap_for_faults(sizes, base, *fs.cube, fs.set);
+  }
+  return fs;
+}
+
 // Reduced observability for the symbolic path: aggregate counters only (the
 // per-message histograms and the trace timeline need the materialized
 // schedule, which is exactly what this path avoids building).
-void emit_symbolic_metrics(const SimOptions& opts, SimResult& res) {
+void emit_symbolic_metrics(const SimOptions& opts, const SymFaultState& fstate, SimResult& res) {
   obs::MetricsRegistry* reg = opts.obs.metrics;
   if (reg == nullptr) return;
   reg->add("sim.steps", res.steps);
   reg->add("sim.messages", res.messages);
   reg->add("sim.words", res.words);
   reg->set_gauge("sim.time", res.time);
+  if (fstate.active) {
+    reg->add("fault.reroutes", res.rerouted_messages);
+    reg->add("fault.migrations", res.migrated_blocks);
+    if (fstate.remap) reg->add("fault.migration_words", fstate.remap->migration_words);
+    reg->set_gauge("fault.failed_nodes", static_cast<double>(res.failed_nodes));
+    reg->set_gauge("fault.failed_links", static_cast<double>(res.failed_links));
+  }
   for (std::size_t p = 0; p < res.per_proc_iterations.size(); ++p)
     reg->add("sim.proc." + std::to_string(p) + ".iterations", res.per_proc_iterations[p]);
   res.metrics = reg->snapshot();
 }
 
+/// One projection line of the symbolic feed.  `proc` is the fault-free
+/// owner; `block` identifies the line's block for the degraded-ownership
+/// lookup and is only meaningful when node faults are active.
+struct SymLine {
+  ProcId proc = 0;
+  std::size_t block = 0;
+  std::int64_t pop = 0;
+  std::int64_t first_step = 0;
+};
+
+/// One (line, dependence) arc bundle.  `step_shift` is Π·d — the target
+/// point of an arc leaving at step t fires at t + step_shift, which is when
+/// its degraded owner must be evaluated.
+struct SymBundle {
+  ProcId src_proc = 0;
+  ProcId dst_proc = 0;
+  std::size_t src_block = 0;
+  std::size_t dst_block = 0;
+  std::int64_t step_shift = 0;
+  std::int64_t count = 0;
+  std::int64_t first_step = 0;
+};
+
 /// Feed for the shared symbolic accounting core: the caller provides the
 /// frame (processors, schedule, stride) and two closed-form visitations —
-/// every projection line (processor, population, first absolute step) and
-/// every dependence arc bundle (source/target processor, arc count, first
-/// absolute step).  Both the line-based path (Grouping + Mapping) and the
-/// lattice path (GroupLattice + LatticeHypercubeMapping) reduce to this.
+/// every projection line and every dependence arc bundle.  Both the
+/// line-based path (Grouping + Mapping) and the lattice path (GroupLattice +
+/// LatticeHypercubeMapping) reduce to this.
 struct SymbolicFeed {
   std::size_t nprocs = 0;
+  std::size_t nslots = 0;  ///< accounting slots (== nprocs; whole cube when degraded)
   std::int64_t steps = 0;  ///< schedule length
   std::int64_t lo = 0;     ///< minimum step (rebases first_step values)
   std::int64_t sigma = 1;  ///< step stride of the projection lines
-  std::function<void(const std::function<void(ProcId, std::int64_t, std::int64_t)>&)> lines;
-  std::function<void(const std::function<void(ProcId, ProcId, std::int64_t, std::int64_t)>&)>
-      bundles;
+  std::function<void(const std::function<void(const SymLine&)>&)> lines;
+  std::function<void(const std::function<void(const SymBundle&)>&)> bundles;
 };
 
 SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
-                                 const MachineParams& machine, const SimOptions& opts) {
+                                 const MachineParams& machine, const SimOptions& opts,
+                                 const SymFaultState& fstate) {
   const std::size_t nprocs = in.nprocs;
+  const std::size_t nslots = std::max(in.nslots, nprocs);
   SimResult res;
-  res.per_proc_iterations.assign(nprocs, 0);
+  res.per_proc_iterations.assign(nslots, 0);
   res.steps = in.steps;
   const std::int64_t lo = in.lo;
   const std::int64_t sigma = in.sigma;
+  if (fstate.active) {
+    res.failed_nodes = static_cast<std::int64_t>(fstate.set.failed_node_count());
+    res.failed_links = static_cast<std::int64_t>(fstate.set.failed_link_count());
+    if (fstate.remapped()) {
+      res.migrated_blocks = static_cast<std::int64_t>(fstate.remap->migrations.size());
+      res.migration_cost = fstate.remap->migration_cost;
+    }
+  }
 
-  in.lines([&](ProcId p, std::int64_t pop, std::int64_t /*first_step*/) {
-    res.per_proc_iterations[p] += pop;
+  // Owner of a block at an absolute step (failure-timeline aware).
+  auto owner = [&](ProcId fault_free, std::size_t blk, std::int64_t step) -> ProcId {
+    return fstate.remapped() ? fstate.remap->proc_at(blk, step) : fault_free;
+  };
+  // Visit maximal equal-fault-state segments (seg_first, seg_count) of the
+  // strided run first, first+σ, …: ownership and routing change only at the
+  // cut steps, and a cut takes effect *at* the cut (matching
+  // RemapResult::proc_at and FaultSet's at-step semantics).
+  auto for_each_segment = [&](std::int64_t first, std::int64_t count,
+                              const std::vector<std::int64_t>& cuts,
+                              const std::function<void(std::int64_t, std::int64_t)>& emit) {
+    if (count <= 0) return;
+    const std::int64_t last = first + (count - 1) * sigma;
+    std::int64_t i0 = 0;
+    for (std::int64_t cut : cuts) {
+      if (cut <= first) continue;
+      if (cut > last) break;
+      std::int64_t i = ceil_div(cut - first, sigma);
+      if (i > i0) {
+        emit(first + i0 * sigma, i - i0);
+        i0 = i;
+      }
+    }
+    emit(first + i0 * sigma, count - i0);
+  };
+  // An arc bundle's channel changes when the *source* step crosses a break
+  // (source owner, route) or when the *target* step does (target owner);
+  // the latter projects to source steps shifted by -Π·d.
+  std::map<std::int64_t, std::vector<std::int64_t>> shift_cuts;
+  auto cuts_for_shift = [&](std::int64_t shift) -> const std::vector<std::int64_t>& {
+    auto it = shift_cuts.find(shift);
+    if (it != shift_cuts.end()) return it->second;
+    std::vector<std::int64_t> cuts = fstate.breaks;
+    for (std::int64_t b : fstate.breaks) cuts.push_back(b - shift);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    return shift_cuts.emplace(shift, std::move(cuts)).first->second;
+  };
+  // Degraded route of a channel, cached per fault epoch (the number of
+  // breaks at or before the step): the detour BFS runs once per
+  // (channel, epoch), not once per step.
+  std::map<std::tuple<ProcId, ProcId, std::size_t>, fault::Route> route_cache;
+  auto routed = [&](ProcId ps, ProcId pd, std::int64_t step) -> const fault::Route& {
+    const std::size_t epoch = static_cast<std::size_t>(
+        std::upper_bound(fstate.breaks.begin(), fstate.breaks.end(), step) -
+        fstate.breaks.begin());
+    auto [it, inserted] = route_cache.try_emplace({ps, pd, epoch});
+    if (inserted) it->second = fault::route_with_faults(*fstate.cube, ps, pd, fstate.set, step);
+    return it->second;
+  };
+
+  // Per-processor loads: a line's run splits at the fault steps, each
+  // segment owned by whoever holds its block then.
+  in.lines([&](const SymLine& ln) {
+    if (!fstate.remapped()) {
+      res.per_proc_iterations[ln.proc] += ln.pop;
+      return;
+    }
+    for_each_segment(ln.first_step, ln.pop, fstate.breaks,
+                     [&](std::int64_t s, std::int64_t n) {
+                       res.per_proc_iterations[owner(ln.proc, ln.block, s)] += n;
+                     });
   });
   std::int64_t max_iters = 0;
   for (std::int64_t c : res.per_proc_iterations) max_iters = std::max(max_iters, c);
   res.compute_bottleneck = Cost{max_iters * opts.flops_per_iteration, 0, 0};
 
   if (opts.accounting == CommAccounting::PaperMaxChannel) {
-    // Channel volumes need no step resolution at all: one bundle contributes
-    // its whole arc count to the unordered processor pair.
+    // Channel volumes need no step resolution beyond the fault segments: one
+    // bundle segment contributes its whole arc count to the unordered
+    // processor pair, with the degraded route priced at its first step.
     std::map<std::pair<ProcId, ProcId>, std::int64_t> channel;
-    in.bundles([&](ProcId src, ProcId dst, std::int64_t count, std::int64_t /*first_step*/) {
-      if (src == dst) return;
-      std::int64_t units =
-          opts.charge_hops ? static_cast<std::int64_t>(topo.distance(src, dst)) : 1;
-      auto key = std::minmax(src, dst);
+    auto charge = [&](ProcId ps, ProcId pd, std::int64_t count, std::int64_t step) {
+      if (ps == pd) return;
+      std::int64_t units = 1;
+      if (fstate.active) {
+        const fault::Route& rt = routed(ps, pd, step);
+        if (rt.rerouted) res.rerouted_messages += count;
+        if (opts.charge_hops) units = static_cast<std::int64_t>(rt.hops.size());
+      } else if (opts.charge_hops) {
+        units = static_cast<std::int64_t>(topo.distance(ps, pd));
+      }
+      auto key = std::minmax(ps, pd);
       channel[{key.first, key.second}] += units * count;
       res.messages += count;
       res.words += count;
+    };
+    in.bundles([&](const SymBundle& b) {
+      if (!fstate.active) {
+        charge(b.src_proc, b.dst_proc, b.count, b.first_step);
+        return;
+      }
+      for_each_segment(b.first_step, b.count, cuts_for_shift(b.step_shift),
+                       [&](std::int64_t s, std::int64_t n) {
+                         charge(owner(b.src_proc, b.src_block, s),
+                                owner(b.dst_proc, b.dst_block, s + b.step_shift), n, s);
+                       });
     });
     std::int64_t worst = 0;
     for (const auto& [pair, units] : channel) worst = std::max(worst, units);
     res.comm_bottleneck = Cost{0, worst, worst};
-    res.total = res.compute_bottleneck + res.comm_bottleneck;
+    res.total = res.compute_bottleneck + res.comm_bottleneck + res.migration_cost;
     res.time = res.total.value(machine);
     return res;
   }
 
-  // Per-step accountings.  Every line (and every arc bundle) occupies steps
-  // t0, t0+sigma, ..., so per-step tables are strided difference arrays: +1
-  // at the run's first step, -1 one stride past its last, then a strided
-  // prefix sum recovers exact per-step counts in O(steps) per row.
+  // Per-step accountings.  Every line (and every arc bundle segment)
+  // occupies steps t0, t0+sigma, ..., so per-step tables are strided
+  // difference arrays: +1 at the run's first step, -1 one stride past its
+  // last, then a strided prefix sum recovers exact per-step counts in
+  // O(steps) per row.
   const std::int64_t nsteps = res.steps;
   auto strided_prefix = [&](std::vector<std::int64_t>& v) {
     for (std::int64_t t = sigma; t < nsteps; ++t) v[t] += v[t - sigma];
   };
 
-  std::vector<std::vector<std::int64_t>> iters(nprocs, std::vector<std::int64_t>(nsteps, 0));
-  in.lines([&](ProcId p, std::int64_t pop, std::int64_t first_step) {
-    std::int64_t t0 = first_step - lo;
+  std::vector<std::vector<std::int64_t>> iters(nslots, std::vector<std::int64_t>(nsteps, 0));
+  auto add_line_run = [&](ProcId p, std::int64_t first, std::int64_t pop) {
+    std::int64_t t0 = first - lo;
     std::int64_t end = t0 + pop * sigma;
     iters[p][t0] += 1;
     if (end < nsteps) iters[p][end] -= 1;
+  };
+  in.lines([&](const SymLine& ln) {
+    if (!fstate.remapped()) {
+      add_line_run(ln.proc, ln.first_step, ln.pop);
+      return;
+    }
+    for_each_segment(ln.first_step, ln.pop, fstate.breaks,
+                     [&](std::int64_t s, std::int64_t n) {
+                       add_line_run(owner(ln.proc, ln.block, s), s, n);
+                     });
   });
   for (auto& v : iters) strided_prefix(v);
 
@@ -565,17 +735,28 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
   };
   std::map<std::pair<ProcId, ProcId>, std::size_t> channel_index;
   std::vector<Channel> channels;
-  in.bundles([&](ProcId src, ProcId dst, std::int64_t count, std::int64_t first_step) {
+  auto add_bundle_run = [&](ProcId src, ProcId dst, std::int64_t count, std::int64_t first) {
     if (src == dst) return;
     res.words += count;
     auto [it, inserted] = channel_index.try_emplace({src, dst}, channels.size());
     if (inserted) channels.push_back({src, dst, std::vector<std::int64_t>(nsteps, 0), 0});
     Channel& ch = channels[it->second];
-    std::int64_t t0 = first_step - lo;
+    std::int64_t t0 = first - lo;
     std::int64_t end = t0 + count * sigma;
     ch.words[t0] += 1;
     if (end < nsteps) ch.words[end] -= 1;
     ch.total_words += count;
+  };
+  in.bundles([&](const SymBundle& b) {
+    if (!fstate.remapped()) {
+      add_bundle_run(b.src_proc, b.dst_proc, b.count, b.first_step);
+      return;
+    }
+    for_each_segment(b.first_step, b.count, cuts_for_shift(b.step_shift),
+                     [&](std::int64_t s, std::int64_t n) {
+                       add_bundle_run(owner(b.src_proc, b.src_block, s),
+                                      owner(b.dst_proc, b.dst_block, s + b.step_shift), n, s);
+                     });
   });
   for (Channel& ch : channels) strided_prefix(ch.words);
 
@@ -584,18 +765,21 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
     if (cube == nullptr)
       throw std::invalid_argument(
           "simulate_execution: LinkContention accounting requires a Hypercube topology");
-    std::vector<std::vector<ProcId>> routes(channels.size());
+    // Fault-free channels keep one static e-cube route; degraded channels
+    // look their route up per occupied step through the epoch cache.
+    std::vector<std::vector<ProcId>> static_routes;
     std::map<std::pair<ProcId, ProcId>, std::int64_t> total_link_words;
-    for (std::size_t c = 0; c < channels.size(); ++c) {
-      routes[c] = cube->ecube_route(channels[c].src, channels[c].dst);
-      ProcId at = channels[c].src;
-      for (ProcId hop : routes[c]) {
-        total_link_words[{at, hop}] += channels[c].total_words;
-        at = hop;
+    if (!fstate.active) {
+      static_routes.resize(channels.size());
+      for (std::size_t c = 0; c < channels.size(); ++c) {
+        static_routes[c] = cube->ecube_route(channels[c].src, channels[c].dst);
+        ProcId at = channels[c].src;
+        for (ProcId hop : static_routes[c]) {
+          total_link_words[{at, hop}] += channels[c].total_words;
+          at = hop;
+        }
       }
     }
-    for (const auto& [link, words] : total_link_words)
-      res.max_link_words = std::max(res.max_link_words, words);
 
     struct LinkLoad {
       std::int64_t msgs = 0;
@@ -604,7 +788,7 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
     Cost total;
     for (std::int64_t t = 0; t < nsteps; ++t) {
       std::int64_t step_iters = 0;
-      for (std::size_t p = 0; p < nprocs; ++p) step_iters = std::max(step_iters, iters[p][t]);
+      for (std::size_t p = 0; p < nslots; ++p) step_iters = std::max(step_iters, iters[p][t]);
       if (step_iters == 0) continue;  // messages only originate from computing procs
       Cost step_cost{step_iters * opts.flops_per_iteration, 0, 0};
       std::map<std::pair<ProcId, ProcId>, LinkLoad> links;
@@ -612,11 +796,20 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
         std::int64_t w = channels[c].words[t];
         if (w == 0) continue;
         ++res.messages;
+        const std::vector<ProcId>* hops = nullptr;
+        if (fstate.active) {
+          const fault::Route& rt = routed(channels[c].src, channels[c].dst, t + lo);
+          if (rt.rerouted) ++res.rerouted_messages;
+          hops = &rt.hops;
+        } else {
+          hops = &static_routes[c];
+        }
         ProcId at = channels[c].src;
-        for (ProcId hop : routes[c]) {
+        for (ProcId hop : *hops) {
           LinkLoad& l = links[{at, hop}];
           ++l.msgs;
           l.words += w;
+          if (fstate.active) total_link_words[{at, hop}] += w;
           at = hop;
         }
       }
@@ -636,6 +829,9 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
       }
       total += step_cost;
     }
+    for (const auto& [link, words] : total_link_words)
+      res.max_link_words = std::max(res.max_link_words, words);
+    total += res.migration_cost;
     res.total = total;
     res.time = total.value(machine);
     return res;
@@ -643,10 +839,10 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
 
   // ---- PerStepBarrier (symbolic) ------------------------------------------
   Cost total;
-  std::vector<Cost> proc_cost(nprocs);
+  std::vector<Cost> proc_cost(nslots);
   for (std::int64_t t = 0; t < nsteps; ++t) {
     bool any = false;
-    for (std::size_t p = 0; p < nprocs; ++p) {
+    for (std::size_t p = 0; p < nslots; ++p) {
       proc_cost[p] = Cost{iters[p][t] * opts.flops_per_iteration, 0, 0};
       any = any || iters[p][t] > 0;
     }
@@ -655,13 +851,19 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
       std::int64_t w = ch.words[t];
       if (w == 0) continue;
       ++res.messages;
-      std::int64_t mult =
-          opts.charge_hops ? static_cast<std::int64_t>(topo.distance(ch.src, ch.dst)) : 1;
+      std::int64_t mult = 1;
+      if (fstate.active) {
+        const fault::Route& rt = routed(ch.src, ch.dst, t + lo);
+        if (rt.rerouted) ++res.rerouted_messages;
+        if (opts.charge_hops) mult = static_cast<std::int64_t>(rt.hops.size());
+      } else if (opts.charge_hops) {
+        mult = static_cast<std::int64_t>(topo.distance(ch.src, ch.dst));
+      }
       proc_cost[ch.src] += Cost{0, mult, mult * w};
     }
     double worst_val = -1.0;
     Cost worst;
-    for (std::size_t p = 0; p < nprocs; ++p) {
+    for (std::size_t p = 0; p < nslots; ++p) {
       if (iters[p][t] == 0) continue;  // senders always compute; idle procs cost nothing
       double v = proc_cost[p].value(machine);
       if (v > worst_val) {
@@ -672,6 +874,7 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
     total += worst;
     res.comm_bottleneck += Cost{0, worst.start, worst.comm};
   }
+  total += res.migration_cost;
   res.total = total;
   res.time = total.value(machine);
   return res;
@@ -682,9 +885,6 @@ SimResult simulate_symbolic_core(const SymbolicFeed& in, const Topology& topo,
 SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
                              const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts) {
-  if (!opts.faults.machine_empty())
-    throw Error(ErrorKind::Config,
-                "simulate_execution: fault injection requires the dense space mode");
   obs::Span span(opts.obs.trace, "simulate_execution", "sim");
   const ProjectedStructure& ps = grouping.projected();
   const TimeFunction& tf = ps.time_function();
@@ -693,66 +893,102 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
   if (topo.size() < mapping.processor_count)
     throw std::invalid_argument("simulate_execution: topology smaller than processor count");
 
-  // Processor of every projection line; a line's points all live in one
-  // block, so per-processor loads are sums of line populations.
+  SymFaultState fstate = resolve_symbolic_faults(
+      opts, topo, [&](std::vector<std::int64_t>& sizes, Mapping& base) {
+        sizes = symbolic_block_sizes(grouping);
+        base = mapping;
+      });
+
+  // Processor (and block, for the degraded-ownership lookups) of every
+  // projection line; a line's points all live in one block.
+  std::vector<std::size_t> pblock(ps.point_count());
   std::vector<ProcId> pproc(ps.point_count());
-  for (std::size_t pid = 0; pid < ps.point_count(); ++pid)
-    pproc[pid] = mapping.block_to_proc[grouping.group_of_point(pid)];
+  for (std::size_t pid = 0; pid < ps.point_count(); ++pid) {
+    pblock[pid] = grouping.group_of_point(pid);
+    pproc[pid] = mapping.block_to_proc[pblock[pid]];
+  }
+
+  std::vector<std::int64_t> shifts(space.dependences().size(), 0);
+  for (std::size_t k = 0; k < space.dependences().size(); ++k)
+    shifts[k] = dot(tf.pi, space.dependences()[k]);
 
   SymbolicFeed feed;
   feed.nprocs = mapping.processor_count;
+  feed.nslots =
+      fstate.active ? std::max(mapping.processor_count, topo.size()) : mapping.processor_count;
   feed.lo = space.min_step(tf.pi);
   feed.steps = space.max_step(tf.pi) - feed.lo + 1;
   feed.sigma = ps.step_stride();
-  feed.lines = [&](const std::function<void(ProcId, std::int64_t, std::int64_t)>& v) {
+  feed.lines = [&](const std::function<void(const SymLine&)>& v) {
     for (std::size_t pid = 0; pid < ps.point_count(); ++pid)
-      v(pproc[pid], static_cast<std::int64_t>(ps.line_population(pid)),
-        tf.step_of(ps.line_representative(pid)));
+      v({pproc[pid], pblock[pid], static_cast<std::int64_t>(ps.line_population(pid)),
+         tf.step_of(ps.line_representative(pid))});
   };
-  feed.bundles = [&](const std::function<void(ProcId, ProcId, std::int64_t, std::int64_t)>& v) {
+  feed.bundles = [&](const std::function<void(const SymBundle&)>& v) {
     for_each_line_dep(space, ps, [&](const LineDepArcs& b) {
-      v(pproc[b.point], pproc[b.target], b.count, b.first_step);
+      v({pproc[b.point], pproc[b.target], pblock[b.point], pblock[b.target], shifts[b.dep],
+         b.count, b.first_step});
     });
   };
-  SimResult res = simulate_symbolic_core(feed, topo, machine, opts);
-  emit_symbolic_metrics(opts, res);
+  SimResult res = simulate_symbolic_core(feed, topo, machine, opts, fstate);
+  emit_symbolic_metrics(opts, fstate, res);
   return res;
 }
 
 SimResult simulate_execution(const GroupLattice& lattice, const LatticeHypercubeMapping& mapping,
                              const Topology& topo, const MachineParams& machine,
                              const SimOptions& opts) {
-  if (!opts.faults.machine_empty())
-    throw Error(ErrorKind::Config,
-                "simulate_execution: fault injection requires the dense space mode");
   obs::Span span(opts.obs.trace, "simulate_execution", "sim");
   const IterSpace& space = lattice.space();
   const TimeFunction& tf = lattice.time_function();
   if (topo.size() < mapping.processor_count)
     throw std::invalid_argument("simulate_execution: topology smaller than processor count");
 
-  auto proc_of_line = [&](std::int64_t c) {
-    return mapping.proc_of_sorted_index(lattice.sorted_index_of_group(lattice.group_of_line(c)));
+  // Node failures need migration targets, i.e. real block indices: the one
+  // O(groups) materialization of the lattice path (fault-free runs and
+  // link-only plans stay independent of the group count).  Blocks are
+  // indexed in the lattice's canonical sorted order.
+  std::map<GroupLattice::GroupKey, std::size_t> key_index;
+  SymFaultState fstate = resolve_symbolic_faults(
+      opts, topo, [&](std::vector<std::int64_t>& sizes, Mapping& base) {
+        base.processor_count = mapping.processor_count;
+        lattice.for_each_group([&](const GroupLattice::GroupKey& g, std::int64_t pop) {
+          key_index.emplace(g, sizes.size());
+          sizes.push_back(pop);
+          base.block_to_proc.push_back(mapping.proc_of_group(lattice, g));
+        });
+      });
+  auto block_of = [&](const GroupLattice::GroupKey& g) -> std::size_t {
+    return fstate.remapped() ? key_index.at(g) : 0;
   };
+
+  std::vector<std::int64_t> shifts(space.dependences().size(), 0);
+  for (std::size_t k = 0; k < space.dependences().size(); ++k)
+    shifts[k] = dot(tf.pi, space.dependences()[k]);
 
   SymbolicFeed feed;
   feed.nprocs = mapping.processor_count;
+  feed.nslots =
+      fstate.active ? std::max(mapping.processor_count, topo.size()) : mapping.processor_count;
   feed.lo = space.min_step(tf.pi);
   feed.steps = space.max_step(tf.pi) - feed.lo + 1;
   feed.sigma = lattice.step_stride();
-  feed.lines = [&](const std::function<void(ProcId, std::int64_t, std::int64_t)>& v) {
-    lattice.for_each_line([&](std::int64_t c, std::int64_t pop, std::int64_t first_step) {
-      v(proc_of_line(c), pop, first_step);
-    });
-  };
-  feed.bundles = [&](const std::function<void(ProcId, ProcId, std::int64_t, std::int64_t)>& v) {
-    lattice.for_each_arc_bundle(
-        [&](std::int64_t c, std::size_t k, std::int64_t count, std::int64_t first_step) {
-          v(proc_of_line(c), proc_of_line(c + lattice.line_shift(k)), count, first_step);
+  feed.lines = [&](const std::function<void(const SymLine&)>& v) {
+    lattice.for_each_line(
+        [&](const GroupLattice::GroupKey& g, std::int64_t pop, std::int64_t first_step) {
+          v({mapping.proc_of_group(lattice, g), block_of(g), pop, first_step});
         });
   };
-  SimResult res = simulate_symbolic_core(feed, topo, machine, opts);
-  emit_symbolic_metrics(opts, res);
+  feed.bundles = [&](const std::function<void(const SymBundle&)>& v) {
+    lattice.for_each_arc_bundle([&](const GroupLattice::GroupKey& src,
+                                    const GroupLattice::GroupKey& dst, std::size_t dep,
+                                    std::int64_t count, std::int64_t first_step) {
+      v({mapping.proc_of_group(lattice, src), mapping.proc_of_group(lattice, dst), block_of(src),
+         block_of(dst), shifts[dep], count, first_step});
+    });
+  };
+  SimResult res = simulate_symbolic_core(feed, topo, machine, opts, fstate);
+  emit_symbolic_metrics(opts, fstate, res);
   return res;
 }
 

@@ -95,9 +95,12 @@ SimResult simulate_execution(const ComputationStructure& q, const TimeFunction& 
 /// per-processor loads, bottlenecks) computed from line-bundle closed forms
 /// — O(lines·deps) plus, for the per-step accountings, O(steps·channels)
 /// strided difference arrays — without materializing any index point.
-/// Restrictions: fault injection requires the dense path (throws
-/// Error(ErrorKind::Config)), and observability is reduced to aggregate
-/// metrics (no per-message histograms or trace timeline).
+/// Fault plans are supported: line and bundle runs split at the failure
+/// steps, degraded routes come from the same detour BFS as the dense path
+/// (cached per fault epoch), and node failures reuse the dense spare-node
+/// remap over per-block iteration counts — degraded results match the dense
+/// simulator exactly.  Observability is reduced to aggregate metrics (no
+/// per-message histograms or trace timeline).
 SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
                              const Mapping& mapping, const Topology& topo,
                              const MachineParams& machine, const SimOptions& opts = {});
@@ -107,7 +110,10 @@ SimResult simulate_execution(const IterSpace& space, const Grouping& grouping,
 /// array, no Group objects.  With the default PaperMaxChannel accounting,
 /// memory is O(processors²), independent of the iteration count; the
 /// per-step accountings keep their O(steps·channels) difference arrays.
-/// Same restrictions as the line-based symbolic variant (no fault plans).
+/// Fault plans are supported as in the line-based variant; link-only plans
+/// stay independent of the group count, while node failures materialize one
+/// O(groups) block index (sizes + owners in lattice sorted order) to feed
+/// the spare-node remap.
 SimResult simulate_execution(const GroupLattice& lattice, const LatticeHypercubeMapping& mapping,
                              const Topology& topo, const MachineParams& machine,
                              const SimOptions& opts = {});

@@ -151,6 +151,56 @@ LoopNest triangular_matvec(std::int64_t n) {
       .build();
 }
 
+LoopNest lu_decomposition(std::int64_t n) {
+  // Uniformized right-looking LU update: Lp pipelines the multiplier column
+  // along j, Up pipelines the pivot row along i, and the trailing-submatrix
+  // update chains along k — the same single-assignment discipline as the
+  // paper's rewritten matmul (L3), on a triangular prism domain.
+  return LoopNestBuilder("lu")
+      .loop("k", 0, n)
+      .loop("i", idx(0) + 1, n)
+      .loop("j", idx(0) + 1, n)
+      .assign("S1", "Lp", {idx(0), idx(1), idx(2)}, ref("Lp", {idx(0), idx(1), idx(2) - 1}))
+      .assign("S2", "Up", {idx(0), idx(1), idx(2)}, ref("Up", {idx(0), idx(1) - 1, idx(2)}))
+      .assign("S3", "A", {idx(0), idx(1), idx(2)},
+              ref("A", {idx(0) - 1, idx(1), idx(2)}) -
+                  ref("Lp", {idx(0), idx(1), idx(2)}) * ref("Up", {idx(0), idx(1), idx(2)}))
+      .build();
+}
+
+LoopNest floyd_warshall_band(std::int64_t n, std::int64_t band) {
+  return LoopNestBuilder("fw-band")
+      .loop("i", 0, n)
+      .loop("j", bmax(AffineExpr(0), AffineExpr::index(0, 1, -band)),
+            bmin(AffineExpr(n), AffineExpr::index(0, 1, band)))
+      .assign("S", "A", {idx(0), idx(1)},
+              (ref("A", {idx(0) - 1, idx(1)}) + ref("A", {idx(0), idx(1) - 1}) +
+               ref("A", {idx(0) - 1, idx(1) - 1})) *
+                  constant(1.0 / 3.0))
+      .build();
+}
+
+LoopNest pyramid_stencil(std::int64_t n) {
+  return LoopNestBuilder("pyramid")
+      .loop("i", 0, n)
+      .loop("j", 0, bmin(AffineExpr::index(0), AffineExpr::index(0, -1, n)))
+      .assign("S", "A", {idx(0), idx(1)},
+              (ref("A", {idx(0) - 1, idx(1)}) + ref("A", {idx(0), idx(1) - 1})) * constant(0.5))
+      .build();
+}
+
+LoopNest strided_recurrence3d(std::int64_t n, std::int64_t stride) {
+  return LoopNestBuilder("strided-recurrence3d")
+      .loop("i", 0, n)
+      .loop("j", 0, n)
+      .loop("k", 0, n)
+      .assign("S", "A", {idx(0), idx(1), idx(2)},
+              ref("A", {idx(0) - stride, idx(1), idx(2)}) +
+                  ref("A", {idx(0), idx(1) - stride, idx(2)}) +
+                  ref("A", {idx(0), idx(1), idx(2) - stride}))
+      .build();
+}
+
 LoopNest dft_horner(std::int64_t n) {
   return LoopNestBuilder("dft-horner")
       .loop("k", 0, n - 1)

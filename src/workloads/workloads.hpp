@@ -86,6 +86,31 @@ LoopNest convolution2d(std::int64_t n, std::int64_t k);
 /// correctly rejects that form.)
 LoopNest triangular_matvec(std::int64_t n);
 
+/// Uniformized LU-decomposition update sweep (no pivoting), a 3-deep nest
+/// over the shrinking trailing submatrices: k = 0..n, i = k+1..n,
+/// j = k+1..n (affine triangular bounds — the symbolic path must
+/// slab-decompose the prism).  Pipelined multiplier/pivot-row arrays make
+/// every dependence uniform: D = {(0,1,0) via L, (0,0,1) via U, (1,0,0)
+/// via the trailing update}.
+LoopNest lu_decomposition(std::int64_t n);
+
+/// Banded Floyd-Warshall-style relaxation restricted to |i - j| <= band:
+///   A[i,j] := f(A[i-1,j], A[i,j-1], A[i-1,j-1]);
+/// the inner bounds are disjunctive — max(0, i-band) <= j <= min(n, i+band)
+/// — so the iteration space is a diagonal band through the square.
+/// D = {(1,0), (0,1), (1,1)}.
+LoopNest floyd_warshall_band(std::int64_t n, std::int64_t band);
+
+/// Pyramid ("tent") stencil: 0 <= j <= min(i, n-i) — the inner extent grows
+/// to the midpoint and shrinks back, a genuinely disjunctive upper bound.
+///   A[i,j] := f(A[i-1,j], A[i,j-1]);  D = {(1,0), (0,1)}.
+LoopNest pyramid_stencil(std::int64_t n);
+
+/// 3-D strided recurrence D = {(s,0,0), (0,s,0), (0,0,s)}: the 3-D analog
+/// of strided_recurrence — the group lattice's plane layout with strided
+/// shifts (and the dense region growing's multi-seed coverage).
+LoopNest strided_recurrence3d(std::int64_t n, std::int64_t stride);
+
 /// Discrete Fourier transform in Horner form (the paper's Section I lists
 /// the DFT among the kernels independent partitioning serializes):
 ///   for k = 0..n-1: for t = 0..n-1:  F[k] := F[k]*w[k] + x[n-1-t];

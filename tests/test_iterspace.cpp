@@ -363,8 +363,8 @@ std::vector<IntVec> enumerate_affine(const std::vector<AffineDim>& dims) {
       pts.push_back(p);
       return;
     }
-    const std::int64_t lo = dims[j].lower.evaluate(p);
-    const std::int64_t hi = dims[j].upper.evaluate(p);
+    const std::int64_t lo = dims[j].lower.evaluate_lower(p);
+    const std::int64_t hi = dims[j].upper.evaluate_upper(p);
     for (std::int64_t x = lo; x <= hi; ++x) {
       p[j] = x;
       rec(j + 1);
@@ -415,6 +415,53 @@ AffineCase random_affine_case(std::mt19937& rng) {
   return c;
 }
 
+/// Random disjunctive-bounded domain, d <= 3: like random_affine_case, but
+/// at least one non-outer bound carries TWO affine terms (a genuine
+/// max(...)/min(...) bound), so the slab decomposition must split on the
+/// comparison hyperplane where the active term changes.
+AffineCase random_disjunctive_case(std::mt19937& rng) {
+  std::uniform_int_distribution<std::size_t> dim_dist(2, 3);
+  std::uniform_int_distribution<std::int64_t> lo_dist(-3, 3), extent_dist(2, 6),
+      coef_dist(-2, 2), slope_dist(-1, 1), ndep_dist(1, 3);
+  std::uniform_int_distribution<int> two_dist(0, 1);
+  AffineCase c;
+  const std::size_t dim = dim_dist(rng);
+  for (std::size_t j = 0; j < dim; ++j) {
+    const std::int64_t lo = lo_dist(rng);
+    const std::int64_t hi = lo + extent_dist(rng) - 1;
+    if (j == 0) {
+      c.dims.push_back({AffineExpr(lo), AffineExpr(hi)});
+      continue;
+    }
+    std::uniform_int_distribution<std::size_t> which(0, j - 1);
+    auto term = [&](std::int64_t cst) {
+      AffineExpr e(cst);
+      e.coeffs.assign(j, 0);
+      e.coeffs[which(rng)] = slope_dist(rng);
+      return e;
+    };
+    // The last dimension always gets a two-term bound on at least one side;
+    // earlier dimensions flip a coin per side.
+    const bool force = j == dim - 1;
+    BoundExpr lower = (force || two_dist(rng) == 1) ? bmax(term(lo), term(lo))
+                                                    : BoundExpr(term(lo));
+    BoundExpr upper = (force || two_dist(rng) == 1) ? bmin(term(hi), term(hi))
+                                                    : BoundExpr(term(hi));
+    c.dims.push_back({std::move(lower), std::move(upper)});
+  }
+  const std::size_t ndeps = static_cast<std::size_t>(ndep_dist(rng));
+  while (c.deps.size() < ndeps) {
+    IntVec d(dim);
+    for (std::size_t i = 0; i < dim; ++i) d[i] = coef_dist(rng);
+    auto nz = std::find_if(d.begin(), d.end(), [](std::int64_t x) { return x != 0; });
+    if (nz == d.end()) continue;
+    if (*nz < 0)
+      for (std::int64_t& x : d) x = -x;
+    if (std::find(c.deps.begin(), c.deps.end(), d) == c.deps.end()) c.deps.push_back(d);
+  }
+  return c;
+}
+
 TEST(IterSpaceProperty, SymbolicEqualsDenseOnAffineDomains) {
   std::mt19937 rng(98765);
   int checked = 0, sliced = 0;
@@ -431,6 +478,41 @@ TEST(IterSpaceProperty, SymbolicEqualsDenseOnAffineDomains) {
   EXPECT_GE(checked, 20);
   // The generator must actually produce slab-decomposed (non-box) domains.
   EXPECT_GE(sliced, 10);
+}
+
+TEST(IterSpaceProperty, SymbolicEqualsDenseOnDisjunctiveDomains) {
+  std::mt19937 rng(424242);
+  int checked = 0, multi_term = 0;
+  for (int attempt = 0; attempt < 160 && checked < 30; ++attempt) {
+    AffineCase c = random_disjunctive_case(rng);
+    std::vector<IntVec> pts = enumerate_affine(c.dims);
+    if (pts.empty()) continue;  // ComputationStructure rejects empty spaces
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+    IterSpace space = IterSpace::from_affine(c.dims, c.deps);
+    ASSERT_EQ(space.size(), pts.size());
+    bool has_multi = false;
+    for (const AffineDim& d : c.dims)
+      has_multi = has_multi || !d.lower.single() || !d.upper.single();
+    if (has_multi) ++multi_term;
+    if (check_all_stages(space, pts, c.deps, attempt % 2 == 1)) ++checked;
+  }
+  EXPECT_GE(checked, 20);
+  // Every case carries at least one genuine max/min bound by construction.
+  EXPECT_GE(multi_term, 20);
+}
+
+TEST(IterSpace, DisjunctiveWorkloadsSizeAndSlabs) {
+  // Pyramid: sum_{i=0..12} (min(i, 12-i) + 1) = 2*(1+..+6) + 7 = 49.
+  IterSpace pyr = IterSpace::from_nest(workloads::pyramid_stencil(12));
+  EXPECT_FALSE(pyr.is_rectangular());
+  EXPECT_EQ(pyr.size(), 49u);
+  // Banded FW: rows clip at both edges of the 11x11 square, band 3.
+  IterSpace fw = IterSpace::from_nest(workloads::floyd_warshall_band(10, 3));
+  std::uint64_t expect = 0;
+  for (std::int64_t i = 0; i <= 10; ++i)
+    expect += static_cast<std::uint64_t>(std::min<std::int64_t>(10, i + 3) -
+                                         std::max<std::int64_t>(0, i - 3) + 1);
+  EXPECT_EQ(fw.size(), expect);
 }
 
 }  // namespace

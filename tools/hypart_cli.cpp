@@ -249,13 +249,17 @@ int cmd_partition(const PipelineResult& r) {
                   static_cast<long long>(r.lattice_stats->min_block),
                   static_cast<long long>(r.lattice_stats->max_block),
                   static_cast<unsigned long long>(r.lattice_stats->total_iterations));
-    TextTable t({"box", "groups", "lines"});
+    // Chain boxes pair the slab's group range with its line interval; plane
+    // boxes pair each aux chain (fixed b) with its group range along a.
+    const bool plane = gl.layout() == LatticeLayout::Plane;
+    TextTable t({"box", "groups", plane ? "aux chain b" : "lines"});
     std::vector<GroupLattice::GroupBox> boxes = gl.enumerate_boxes();
     for (std::size_t i = 0; i < boxes.size(); ++i) {
       const GroupLattice::GroupBox& b = boxes[i];
-      t.row(i,
-            "[" + std::to_string(b.a_lo) + ", " + std::to_string(b.a_hi) + "]",
-            "[" + std::to_string(b.c_lo) + ", " + std::to_string(b.c_hi) + "]");
+      std::string second = plane ? std::to_string(b.c_lo)
+                                 : "[" + std::to_string(b.c_lo) + ", " +
+                                       std::to_string(b.c_hi) + "]";
+      t.row(i, "[" + std::to_string(b.a_lo) + ", " + std::to_string(b.a_hi) + "]", second);
     }
     std::printf("%s", t.to_string().c_str());
     return r.exact_cover && r.theorem1 && r.theorem2.holds ? 0 : 2;
@@ -285,6 +289,17 @@ int cmd_map(const PipelineResult& r, unsigned dim) {
     std::printf("blocks: %llu -> %s, method=%s, directions=%zu\n",
                 static_cast<unsigned long long>(r.lattice->group_count()), cube.name().c_str(),
                 lm.method.c_str(), lm.directions_used);
+    if (!lm.frag_b.empty()) {
+      // Plane layout: clusters are unions of per-aux-chain (a-run, proc)
+      // fragments; print the CSR runs, one row per fragment.
+      TextTable t({"aux chain b", "a from", "processor"});
+      for (std::size_t i = 0; i < lm.frag_b.size(); ++i)
+        for (std::size_t k = lm.frag_off[i]; k < lm.frag_off[i + 1]; ++k)
+          t.row(lm.frag_b[i], lm.frag_runs[k].first,
+                static_cast<std::uint64_t>(lm.frag_runs[k].second));
+      std::printf("%s", t.to_string().c_str());
+      return 0;
+    }
     TextTable t({"cluster", "processor", "sorted groups"});
     for (std::uint64_t rank = 0; rank < lm.cluster_processor.size(); ++rank) {
       auto [first, last] = lm.cluster_range(rank);
@@ -546,13 +561,24 @@ int main(int argc, char** argv) {
   }();
 
   // run / codegen / wavefront execute or print the materialized iteration
-  // set; they are dense-only by construction.
+  // set.  Symbolic planning keeps its closed forms (and its metrics, already
+  // recorded above), but execution is inherently dense, so these commands
+  // rebuild the dense structures they need instead of refusing the mode —
+  // the verify machinery guarantees both pipelines agree.
   if (r.structure == nullptr &&
       (o.command == "run" || o.command == "codegen" || o.command == "wavefront")) {
-    std::fprintf(stderr, "hypart: %s requires --space dense (the %s command materializes "
-                         "the index set)\n",
-                o.command.c_str(), o.command.c_str());
-    return 78;
+    PipelineConfig dense_cfg = o.config;
+    dense_cfg.space_mode = SpaceMode::Dense;
+    dense_cfg.obs = {};
+    try {
+      r = run_pipeline(nest, dense_cfg);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      return e.exit_code();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hypart: %s\n", e.what());
+      return 70;
+    }
   }
 
   int rc = 0;
