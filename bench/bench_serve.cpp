@@ -1,0 +1,113 @@
+// hypart::serve — plan-service cache behaviour and request latency.
+//
+// Report phase (deterministic, baseline-gated): an in-process PlanService
+// wired to bench::metrics() handles a scripted request mix — two renamed
+// streams over two sizes and all four plan ops, plus one deliberately
+// malformed line — so the serve.* counters (requests, per-op counts, cache
+// dispositions, error count) are fixed by the script alone and regress
+// byte-identically.
+//
+// Timing phase (reported, never gated): the three cache dispositions as
+// separate benchmarks — cold plan (fresh service per iteration), exact
+// document hit (renamed nest against a primed cache) and Π-skeleton hit
+// (document capacity 1 with alternating sizes, so every request re-runs the
+// pipeline with the cached time function).  These services use no obs
+// wiring at all: counters scaled by google-benchmark's iteration count
+// would destroy the baseline contract.
+#include "bench_common.hpp"
+
+#include "core/json_reader.hpp"
+#include "perf/table.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace hypart;
+
+std::string sor_like(const std::string& tag, int n) {
+  std::string N = std::to_string(n);
+  return "loop nest" + tag + " { for i" + tag + " = 1 to " + N + " for j" + tag + " = 1 to " + N +
+         " A" + tag + "[i" + tag + ", j" + tag + "] = (A" + tag + "[i" + tag + "-1, j" + tag +
+         "] + A" + tag + "[i" + tag + ", j" + tag + "-1]) * 0.5; }";
+}
+
+std::string plan_request(const std::string& op, const std::string& program) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("op", op);
+  w.field("program", program);
+  w.key("params").begin_object();
+  w.field("dim", std::int64_t{2});
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void report() {
+  bench::banner("hypart::serve — canonical plan cache dispositions");
+  serve::ServiceOptions opts;
+  opts.obs = bench::obs_context();
+  serve::PlanService service(opts);
+
+  // The scripted mix: stream 0 populates, stream 1 is a renamed copy; the
+  // second size shares structure (Π) but not the exact key.
+  static const char* kOps[] = {"partition", "map", "predict", "explain"};
+  TextTable t({"stream", "size", "op", "cache", "loop"});
+  for (const std::string tag : {"A", "B"}) {
+    for (int size : {16, 32}) {
+      for (const char* op : kOps) {
+        JsonValue reply = parse_json(service.handle_line(plan_request(op, sor_like(tag, size))));
+        t.row(tag, size, op, reply.string_or("cache", "?"),
+              reply.get("result").string_or("loop", "?"));
+      }
+    }
+  }
+  // One malformed line: the error path is part of the gated contract too.
+  (void)service.handle_line("{not json");
+  std::printf("%s", t.to_string().c_str());
+
+  serve::PlanCacheStats s = service.cache_stats();
+  std::printf("\ncache: %lld document hits, %lld pi hits, %lld full misses, "
+              "%zu documents / %zu skeletons live\n",
+              static_cast<long long>(s.doc_hits), static_cast<long long>(s.pi_hits),
+              static_cast<long long>(s.doc_misses - s.pi_hits), s.documents, s.skeletons);
+  std::printf("expected: 1 full miss (A/16 partition), 1 pi hit (A/32 partition),\n"
+              "all 14 remaining plan requests replayed from the document tier.\n");
+}
+
+void BM_serve_cold(benchmark::State& state) {
+  const std::string request = plan_request("partition", sor_like("A", 32));
+  for (auto _ : state) {
+    serve::PlanService service;  // fresh cache: full Π search + pipeline
+    benchmark::DoNotOptimize(service.handle_line(request));
+  }
+}
+BENCHMARK(BM_serve_cold)->Unit(benchmark::kMicrosecond);
+
+void BM_serve_exact_hit(benchmark::State& state) {
+  serve::PlanService service;
+  (void)service.handle_line(plan_request("partition", sor_like("A", 32)));
+  const std::string renamed = plan_request("partition", sor_like("B", 32));
+  for (auto _ : state) benchmark::DoNotOptimize(service.handle_line(renamed));
+}
+BENCHMARK(BM_serve_exact_hit)->Unit(benchmark::kMicrosecond);
+
+void BM_serve_pi_hit(benchmark::State& state) {
+  serve::ServiceOptions opts;
+  opts.doc_cache_capacity = 1;  // alternating sizes always miss the doc tier
+  serve::PlanService service(opts);
+  const std::string odd = plan_request("partition", sor_like("A", 33));
+  const std::string even = plan_request("partition", sor_like("A", 34));
+  (void)service.handle_line(odd);
+  (void)service.handle_line(even);
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle_line(flip ? odd : even));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_serve_pi_hit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+HYPART_BENCH_MAIN(report)

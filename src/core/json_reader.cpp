@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/json_writer.hpp"
+
 namespace hypart {
 
 namespace {
@@ -111,6 +113,47 @@ JsonValue JsonValue::make_object(std::map<std::string, JsonValue> o) {
   v.kind_ = Kind::Object;
   v.object_ = std::move(o);
   return v;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  if (kind_ != Kind::Object) {
+    *this = make_object({});
+  }
+  object_[key] = std::move(v);
+  return *this;
+}
+
+namespace {
+
+void write_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: w.raw_value("null"); break;
+    case JsonValue::Kind::Bool: w.value(v.as_bool()); break;
+    case JsonValue::Kind::Int: w.value(v.as_int64()); break;
+    case JsonValue::Kind::Double: w.value(v.as_double()); break;
+    case JsonValue::Kind::String: w.value(v.as_string()); break;
+    case JsonValue::Kind::Array:
+      w.begin_array();
+      for (const JsonValue& e : v.as_array()) write_value(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Kind::Object:
+      w.begin_object();
+      for (const auto& [k, e] : v.as_object()) {
+        w.key(k);
+        write_value(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::to_json() const {
+  JsonWriter w;
+  write_value(w, *this);
+  return w.str();
 }
 
 JsonParseError::JsonParseError(std::size_t offset, const std::string& reason)

@@ -65,6 +65,18 @@ class JsonValue {
   static JsonValue make_array(std::vector<JsonValue> a);
   static JsonValue make_object(std::map<std::string, JsonValue> o);
 
+  /// Mutable member access for building/rewriting documents in place (the
+  /// plan server patches cached documents before replying).  Converts a
+  /// non-object value into an empty object first.
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Serialize back to JSON text (via JsonWriter, so numbers come out in
+  /// the same shortest-round-trip form every hypart writer emits).  Since
+  /// object keys are stored sorted, parse -> to_json -> parse is a fixed
+  /// point: the bytes are identical from the second rendering on, which is
+  /// what lets the plan cache replay stored documents verbatim.
+  [[nodiscard]] std::string to_json() const;
+
  private:
   Kind kind_ = Kind::Null;
   bool bool_ = false;

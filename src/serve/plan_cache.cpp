@@ -1,0 +1,55 @@
+#include "serve/plan_cache.hpp"
+
+namespace hypart::serve {
+
+PlanCache::PlanCache(std::size_t doc_capacity, std::size_t skeleton_capacity,
+                     obs::MetricsRegistry* metrics)
+    : doc_capacity_(doc_capacity), skeleton_capacity_(skeleton_capacity), metrics_(metrics) {}
+
+std::shared_ptr<const CachedDocument> PlanCache::find_document(const std::string& exact_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto* entry = documents_.find(exact_key)) {
+    ++counters_.doc_hits;
+    return *entry;
+  }
+  ++counters_.doc_misses;
+  return nullptr;
+}
+
+void PlanCache::insert_document(const std::string& exact_key, CachedDocument doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool evicted = documents_.insert(
+      exact_key, std::make_shared<const CachedDocument>(std::move(doc)), doc_capacity_);
+  if (evicted) {
+    ++counters_.doc_evictions;
+    if (metrics_ != nullptr) metrics_->add("serve.cache.doc_evictions");
+  }
+}
+
+std::optional<IntVec> PlanCache::find_pi(const std::string& structure_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (IntVec* pi = skeletons_.find(structure_key)) {
+    ++counters_.pi_hits;
+    return *pi;
+  }
+  return std::nullopt;
+}
+
+void PlanCache::insert_pi(const std::string& structure_key, IntVec pi) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool evicted = skeletons_.insert(structure_key, std::move(pi), skeleton_capacity_);
+  if (evicted) {
+    ++counters_.pi_evictions;
+    if (metrics_ != nullptr) metrics_->add("serve.cache.pi_evictions");
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats s = counters_;
+  s.documents = documents_.entries.size();
+  s.skeletons = skeletons_.entries.size();
+  return s;
+}
+
+}  // namespace hypart::serve

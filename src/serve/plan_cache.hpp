@@ -1,0 +1,116 @@
+// hypart::serve — two-tier LRU plan cache keyed by canonical nest forms.
+//
+// Tier 1 (skeleton): structure_key -> time function Π.  A valid Π satisfies
+// Π·d > 0 for every d in D and nothing else, so it is reusable across all
+// domain sizes with the same dependence structure; hitting this tier skips
+// the small-integer search (the expensive part of planning) while the rest
+// of the pipeline re-runs for the actual bounds.
+//
+// Tier 2 (document): exact_key -> fully rendered plan document (a parsed
+// JsonValue of core/json_export's pipeline JSON).  Hitting this tier skips
+// the pipeline entirely; the service rewrites the name-bearing fields
+// ("loop", dependences[].array) before replying.
+//
+// Both tiers are independent LRU maps behind one mutex; entries are held by
+// shared_ptr so a reply can keep using a document that was concurrently
+// evicted.  Evictions are counted into obs::metrics
+// (serve.cache.doc_evictions / serve.cache.pi_evictions); hit/miss
+// dispositions are counted by the service, which knows them.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/json_reader.hpp"
+#include "numeric/int_linalg.hpp"
+#include "obs/metrics.hpp"
+
+namespace hypart::serve {
+
+/// A cached plan document plus the producer-side naming needed to rewrite
+/// it for a structurally identical but renamed requester.
+struct CachedDocument {
+  JsonValue doc;                    ///< full pipeline document (producer names)
+  std::string loop_name;            ///< producer nest name
+  std::vector<std::string> arrays;  ///< producer canonical id -> array name
+};
+
+struct PlanCacheStats {
+  std::size_t documents = 0;      ///< live tier-2 entries
+  std::size_t skeletons = 0;      ///< live tier-1 entries
+  std::int64_t doc_hits = 0;
+  std::int64_t doc_misses = 0;
+  std::int64_t pi_hits = 0;       ///< tier-1 hits after a tier-2 miss
+  std::int64_t doc_evictions = 0;
+  std::int64_t pi_evictions = 0;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t doc_capacity = 256, std::size_t skeleton_capacity = 128,
+                     obs::MetricsRegistry* metrics = nullptr);
+
+  /// Tier-2 lookup; refreshes recency.  Null when absent.
+  [[nodiscard]] std::shared_ptr<const CachedDocument> find_document(const std::string& exact_key);
+  /// Tier-2 insert (overwrites an existing entry; may evict the LRU one).
+  void insert_document(const std::string& exact_key, CachedDocument doc);
+
+  /// Tier-1 lookup; refreshes recency.  Counted as a pi hit only when found.
+  [[nodiscard]] std::optional<IntVec> find_pi(const std::string& structure_key);
+  void insert_pi(const std::string& structure_key, IntVec pi);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] std::size_t doc_capacity() const { return doc_capacity_; }
+  [[nodiscard]] std::size_t skeleton_capacity() const { return skeleton_capacity_; }
+
+ private:
+  template <typename V>
+  struct LruMap {
+    // Recency list, most-recent first; map values carry the list iterator.
+    std::list<std::string> order;
+    std::map<std::string, std::pair<std::list<std::string>::iterator, V>> entries;
+
+    V* find(const std::string& key) {
+      auto it = entries.find(key);
+      if (it == entries.end()) return nullptr;
+      order.splice(order.begin(), order, it->second.first);
+      return &it->second.second;
+    }
+    /// Inserts (or overwrites) and returns true when the LRU entry was
+    /// evicted to make room.
+    bool insert(const std::string& key, V value, std::size_t capacity) {
+      auto it = entries.find(key);
+      if (it != entries.end()) {
+        it->second.second = std::move(value);
+        order.splice(order.begin(), order, it->second.first);
+        return false;
+      }
+      bool evicted = false;
+      if (capacity > 0 && entries.size() >= capacity) {
+        entries.erase(order.back());
+        order.pop_back();
+        evicted = true;
+      }
+      order.push_front(key);
+      entries.emplace(key, std::make_pair(order.begin(), std::move(value)));
+      return evicted;
+    }
+  };
+
+  const std::size_t doc_capacity_;
+  const std::size_t skeleton_capacity_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  LruMap<std::shared_ptr<const CachedDocument>> documents_;
+  LruMap<IntVec> skeletons_;
+  PlanCacheStats counters_;
+};
+
+}  // namespace hypart::serve

@@ -1,0 +1,90 @@
+// hypart::serve — NDJSON socket server around PlanService.
+//
+// One listener (Unix-domain when `unix_path` is set, else TCP on loopback),
+// an accept thread, and a fixed pool of worker threads.  Each accepted
+// connection is handed to one worker, which reads newline-delimited
+// requests and writes one reply line per request (so at most `threads`
+// connections are served concurrently; further accepts queue).  Framing is
+// strict NDJSON: requests must be complete JSON values on a single line
+// (the parser rejects trailing bytes), '\r' before the terminator is
+// stripped for telnet-style clients, and blank lines are ignored.
+//
+// Shutdown is race-free and signal-friendly: request_stop() is async-
+// signal-safe (an atomic store plus a self-pipe write), so the CLI calls it
+// straight from its SIGTERM/SIGINT handler; workers poll the stop flag
+// between reads and the accept loop polls the self-pipe, so stop() joins
+// every thread without sleeping on a blocked accept().  A {"op":"shutdown"}
+// request triggers the same path from the wire.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace hypart::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; when empty, a TCP listener is used instead.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see Server::port()).
+  int tcp_port = 0;
+  std::size_t threads = 4;
+  /// Reject request lines longer than this (a malformed client must not
+  /// make a worker buffer unboundedly).
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws Error(ErrorKind::Io) on failure) but does
+  /// not accept until start().  `service` is borrowed and must outlive the
+  /// server.
+  Server(PlanService& service, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launch the accept thread and worker pool.
+  void start();
+  /// Ask the server to stop.  Async-signal-safe; returns immediately.
+  void request_stop();
+  /// Block until a stop was requested and all threads joined.
+  void stop();
+  /// Block until request_stop() was called (by a signal handler, another
+  /// thread, or a shutdown request), then join everything.
+  void wait();
+
+  /// Bound TCP port (meaningful for TCP listeners; 0 for Unix sockets).
+  [[nodiscard]] int port() const { return port_; }
+  /// Human-readable bound address ("unix:/path" or "tcp:127.0.0.1:PORT").
+  [[nodiscard]] std::string address() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+
+  PlanService& service_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+};
+
+}  // namespace hypart::serve

@@ -1,0 +1,299 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/json_export.hpp"
+#include "frontend/parser.hpp"
+#include "serve/canonical.hpp"
+
+namespace hypart::serve {
+
+namespace {
+
+JsonValue make_error_reply(const JsonValue& id, const std::string& kind, int code,
+                           const std::string& message) {
+  JsonValue error;
+  error.set("kind", JsonValue::make_string(kind));
+  error.set("code", JsonValue::make_int(code));
+  error.set("message", JsonValue::make_string(message));
+  JsonValue reply;
+  reply.set("id", id);
+  reply.set("ok", JsonValue::make_bool(false));
+  reply.set("error", std::move(error));
+  return reply;
+}
+
+Error config_error(const std::string& message) { return Error(ErrorKind::Config, message); }
+
+/// Per-op projection of the full pipeline document.  `explain` returns the
+/// document whole; the others keep only the sections the query is about
+/// (plus the shared identity/schedule header).
+JsonValue slice_result(const JsonValue& doc, const std::string& op) {
+  if (op == "explain") return doc;
+  static const std::map<std::string, std::set<std::string>> kept = {
+      {"partition",
+       {"loop", "depth", "space_mode", "iterations", "dependences", "time_function", "steps",
+        "partition", "validation"}},
+      {"map", {"loop", "depth", "space_mode", "time_function", "partition", "mapping"}},
+      {"predict",
+       {"loop", "depth", "space_mode", "time_function", "iterations", "steps", "simulation"}},
+  };
+  JsonValue out;
+  for (const std::string& key : kept.at(op))
+    if (doc.has(key)) out.set(key, doc.get(key));
+  return out;
+}
+
+/// Rewrite the name-bearing fields of a cached document ("loop" and
+/// dependences[].array — nothing else in the pipeline JSON carries names)
+/// from the producer's identifiers to the requester's, composed through the
+/// shared canonical ids.
+JsonValue rewrite_names(const CachedDocument& cached, const CanonicalForm& requester) {
+  JsonValue doc = cached.doc;
+  doc.set("loop", JsonValue::make_string(requester.loop_name));
+  std::map<std::string, std::size_t> producer_id;
+  for (std::size_t k = 0; k < cached.arrays.size(); ++k) producer_id[cached.arrays[k]] = k;
+  std::vector<JsonValue> deps = doc.get("dependences").as_array();
+  for (JsonValue& dep : deps) {
+    auto it = producer_id.find(dep.string_or("array", ""));
+    if (it != producer_id.end() && it->second < requester.arrays.size())
+      dep.set("array", JsonValue::make_string(requester.arrays[it->second]));
+  }
+  doc.set("dependences", JsonValue::make_array(std::move(deps)));
+  return doc;
+}
+
+struct PlanParams {
+  PipelineConfig config;
+  std::optional<IntVec> explicit_pi;
+  std::string fingerprint;  ///< deterministic rendering of the resolved params
+};
+
+/// Resolve and validate request.params against the service defaults.
+/// Strict: unknown members and wrong member types are Config errors, so
+/// client typos fail loudly instead of silently planning with defaults.
+PlanParams resolve_params(const JsonValue& request, const ServiceOptions& opts) {
+  PlanParams p;
+  p.config.cube_dim = opts.default_cube_dim;
+  p.config.space_mode = opts.default_space;
+
+  const char* space_str = to_string(p.config.space_mode);
+  std::string accounting_str = "paper";
+  bool weighted = false;
+
+  const JsonValue& params = request.get("params");
+  if (!params.is_null()) {
+    if (!params.is_object()) throw config_error("\"params\" must be an object");
+    for (const auto& [key, value] : params.as_object()) {
+      if (key == "dim") {
+        if (value.kind() != JsonValue::Kind::Int || value.as_int64() < 0 || value.as_int64() > 20)
+          throw config_error("params.dim must be an integer in [0, 20]");
+        p.config.cube_dim = static_cast<unsigned>(value.as_int64());
+      } else if (key == "space") {
+        const std::string& s = value.is_string() ? value.as_string() : std::string();
+        if (s == "dense") p.config.space_mode = SpaceMode::Dense;
+        else if (s == "symbolic") p.config.space_mode = SpaceMode::Symbolic;
+        else if (s == "verify") p.config.space_mode = SpaceMode::Verify;
+        else throw config_error("params.space must be \"dense\", \"symbolic\" or \"verify\"");
+        space_str = to_string(p.config.space_mode);
+      } else if (key == "accounting") {
+        const std::string& s = value.is_string() ? value.as_string() : std::string();
+        if (s == "paper") p.config.sim.accounting = CommAccounting::PaperMaxChannel;
+        else if (s == "barrier") p.config.sim.accounting = CommAccounting::PerStepBarrier;
+        else if (s == "contention") p.config.sim.accounting = CommAccounting::LinkContention;
+        else throw config_error("params.accounting must be \"paper\", \"barrier\" or \"contention\"");
+        accounting_str = s;
+      } else if (key == "weighted") {
+        if (value.kind() != JsonValue::Kind::Bool)
+          throw config_error("params.weighted must be a boolean");
+        weighted = value.as_bool();
+        p.config.mapping.weighted = weighted;
+      } else if (key == "tcalc" || key == "tstart" || key == "tcomm") {
+        if (!value.is_number() || value.as_double() < 0)
+          throw config_error("params." + key + " must be a non-negative number");
+        double v = value.as_double();
+        if (key == "tcalc") p.config.machine.t_calc = v;
+        else if (key == "tstart") p.config.machine.t_start = v;
+        else p.config.machine.t_comm = v;
+      } else if (key == "pi") {
+        if (!value.is_array() || value.as_array().empty())
+          throw config_error("params.pi must be a non-empty integer array");
+        IntVec pi;
+        for (const JsonValue& c : value.as_array()) {
+          if (c.kind() != JsonValue::Kind::Int)
+            throw config_error("params.pi must be a non-empty integer array");
+          pi.push_back(c.as_int64());
+        }
+        p.explicit_pi = std::move(pi);
+      } else {
+        throw config_error("unknown params member \"" + key + "\"");
+      }
+    }
+  }
+
+  // Deterministic fingerprint of the *resolved* configuration: requests
+  // that spell the defaults explicitly share cache entries with requests
+  // that omit them.
+  JsonValue fp;
+  fp.set("accounting", JsonValue::make_string(accounting_str));
+  fp.set("dim", JsonValue::make_int(static_cast<std::int64_t>(p.config.cube_dim)));
+  fp.set("space", JsonValue::make_string(space_str));
+  fp.set("tcalc", JsonValue::make_double(p.config.machine.t_calc));
+  fp.set("tstart", JsonValue::make_double(p.config.machine.t_start));
+  fp.set("tcomm", JsonValue::make_double(p.config.machine.t_comm));
+  fp.set("weighted", JsonValue::make_bool(weighted));
+  if (p.explicit_pi) {
+    std::vector<JsonValue> pi;
+    for (std::int64_t c : *p.explicit_pi) pi.push_back(JsonValue::make_int(c));
+    fp.set("pi", JsonValue::make_array(std::move(pi)));
+  }
+  p.fingerprint = fp.to_json();
+  return p;
+}
+
+}  // namespace
+
+PlanService::PlanService(ServiceOptions opts)
+    : opts_(opts),
+      cache_(opts.doc_cache_capacity, opts.skeleton_cache_capacity, opts.obs.metrics) {}
+
+std::string PlanService::handle_line(const std::string& line) {
+  obs::Span span(opts_.obs.trace, "serve.request", "serve");
+  obs::MetricsRegistry* metrics = opts_.obs.metrics;
+  if (metrics != nullptr) metrics->add("serve.requests");
+
+  JsonValue request;
+  try {
+    request = parse_json(line);
+  } catch (const JsonParseError& e) {
+    if (metrics != nullptr) metrics->add("serve.errors");
+    span.arg("ok", std::int64_t{0});
+    return make_error_reply(JsonValue::make_null(), "parse", 65,
+                            std::string("bad request JSON: ") + e.what())
+        .to_json();
+  }
+
+  const JsonValue id = request.is_object() ? request.get("id") : JsonValue::make_null();
+  const std::string op = request.is_object() ? request.string_or("op", "") : "";
+  if (!op.empty()) span.arg("op", op);
+
+  try {
+    if (!request.is_object()) throw config_error("request must be a JSON object");
+    if (op == "ping" || op == "stats" || op == "shutdown") {
+      if (metrics != nullptr) metrics->add("serve.requests." + op);
+      JsonValue reply;
+      reply.set("id", id);
+      reply.set("ok", JsonValue::make_bool(true));
+      reply.set("op", JsonValue::make_string(op));
+      if (op == "stats") {
+        PlanCacheStats s = cache_.stats();
+        JsonValue cache;
+        cache.set("documents", JsonValue::make_int(static_cast<std::int64_t>(s.documents)));
+        cache.set("skeletons", JsonValue::make_int(static_cast<std::int64_t>(s.skeletons)));
+        cache.set("doc_capacity",
+                  JsonValue::make_int(static_cast<std::int64_t>(cache_.doc_capacity())));
+        cache.set("skeleton_capacity",
+                  JsonValue::make_int(static_cast<std::int64_t>(cache_.skeleton_capacity())));
+        cache.set("hits", JsonValue::make_int(s.doc_hits));
+        cache.set("misses", JsonValue::make_int(s.doc_misses));
+        cache.set("pi_hits", JsonValue::make_int(s.pi_hits));
+        cache.set("doc_evictions", JsonValue::make_int(s.doc_evictions));
+        cache.set("pi_evictions", JsonValue::make_int(s.pi_evictions));
+        reply.set("cache", std::move(cache));
+        JsonValue defaults;
+        defaults.set("dim", JsonValue::make_int(static_cast<std::int64_t>(opts_.default_cube_dim)));
+        defaults.set("space", JsonValue::make_string(to_string(opts_.default_space)));
+        reply.set("defaults", std::move(defaults));
+      } else if (op == "shutdown") {
+        shutdown_.store(true, std::memory_order_release);
+      }
+      return reply.to_json();
+    }
+    if (op == "partition" || op == "map" || op == "predict" || op == "explain") {
+      if (metrics != nullptr) metrics->add("serve.requests." + op);
+      return handle_plan(request, op, id, span);
+    }
+    throw config_error(op.empty() ? "missing \"op\" member"
+                                  : "unknown op \"" + op + "\"");
+  } catch (const Error& e) {
+    if (metrics != nullptr) metrics->add("serve.errors");
+    span.arg("ok", std::int64_t{0});
+    return make_error_reply(id, to_string(e.kind()), e.exit_code(), e.what()).to_json();
+  } catch (const std::exception& e) {
+    if (metrics != nullptr) metrics->add("serve.errors");
+    span.arg("ok", std::int64_t{0});
+    return make_error_reply(id, "internal", 70, e.what()).to_json();
+  }
+}
+
+std::string PlanService::handle_plan(const JsonValue& request, const std::string& op,
+                                     const JsonValue& id, obs::Span& span) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::MetricsRegistry* metrics = opts_.obs.metrics;
+
+  const JsonValue& program = request.get("program");
+  if (!program.is_string()) throw config_error("missing \"program\" member (string)");
+  PlanParams params = resolve_params(request, opts_);
+
+  LoopNest nest = parse_loop_nest(program.as_string());
+  DependenceInfo deps = analyze_dependences(nest, params.config.dependence);
+  CanonicalForm cf = canonicalize_nest(nest, deps);
+  const std::string doc_key = cf.exact_key + "\n" + params.fingerprint;
+
+  std::string disposition;
+  JsonValue doc;
+  if (std::shared_ptr<const CachedDocument> cached = cache_.find_document(doc_key)) {
+    disposition = "hit";
+    doc = rewrite_names(*cached, cf);
+  } else {
+    bool pi_from_cache = false;
+    if (params.explicit_pi) {
+      params.config.time_function = *params.explicit_pi;
+    } else if (std::optional<IntVec> pi = cache_.find_pi(cf.structure_key)) {
+      // A cached Π is valid for any nest with this structure (Π·d > 0 is a
+      // condition on D alone); under pure rescaling of the bounds it is
+      // also the Π the search would pick.  See docs/serve.md for the
+      // optimality caveat under non-uniform bound changes.
+      params.config.time_function = std::move(*pi);
+      pi_from_cache = true;
+    }
+    // Pipeline obs: the request span's sink sees the stage spans, but the
+    // registry is withheld — a pipeline-metrics snapshot inside the cached
+    // document would make replayed replies depend on request history.
+    params.config.obs = obs::ObsContext{opts_.obs.trace, nullptr};
+    PipelineResult result = run_pipeline(nest, params.config);
+    disposition = pi_from_cache ? "pi" : "miss";
+    doc = parse_json(pipeline_result_to_json(nest, result));
+    if (!params.explicit_pi) cache_.insert_pi(cf.structure_key, result.time_function.pi);
+    cache_.insert_document(doc_key, CachedDocument{doc, cf.loop_name, cf.arrays});
+  }
+  if (metrics != nullptr) metrics->add("serve.cache." + disposition);
+  span.arg("cache", disposition);
+
+  JsonValue canonical;
+  canonical.set("structure", JsonValue::make_string(cf.structure_hex()));
+  canonical.set("exact", JsonValue::make_string(cf.exact_hex()));
+  if (op == "explain") {
+    // Full keys are auditable only where the full document already flows.
+    canonical.set("structure_key", JsonValue::make_string(cf.structure_key));
+    canonical.set("exact_key", JsonValue::make_string(cf.exact_key));
+    canonical.set("params", parse_json(params.fingerprint));
+  }
+
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  JsonValue reply;
+  reply.set("id", id);
+  reply.set("ok", JsonValue::make_bool(true));
+  reply.set("op", JsonValue::make_string(op));
+  reply.set("cache", JsonValue::make_string(disposition));
+  reply.set("canonical", std::move(canonical));
+  reply.set("plan_us", JsonValue::make_int(us));
+  reply.set("result", slice_result(doc, op));
+  return reply.to_json();
+}
+
+}  // namespace hypart::serve

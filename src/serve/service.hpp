@@ -1,0 +1,79 @@
+// hypart::serve — the plan service: request dispatch over the canonical
+// plan cache.
+//
+// PlanService is transport-agnostic: handle_line() maps one NDJSON request
+// line to one NDJSON reply line (both without the trailing '\n').  The
+// socket server (serve/server.hpp), the CLI, the load generator's
+// in-process mode and the serve bench all drive this same object, so cache
+// behaviour and error mapping are testable without sockets.
+//
+// Protocol (docs/serve.md is the authoritative spec):
+//
+//   request  := {"op": "partition"|"map"|"predict"|"explain"
+//                      |"ping"|"stats"|"shutdown",
+//                "id"?: any, "program"?: string, "params"?: {...}}
+//   success  := {"id", "ok": true, "op", ...}; plan ops add
+//               "cache": "hit"|"pi"|"miss", "canonical": {structure, exact},
+//               "plan_us": int, "result": {...}
+//   error    := {"id", "ok": false,
+//                "error": {"kind": string, "code": int, "message": string}}
+//
+// The "id" member is echoed verbatim (any JSON value).  Error kinds/codes
+// are the typed hierarchy of core/error.hpp and its documented exit codes.
+//
+// Cache dispositions: "hit" replays a stored document (names rewritten to
+// the requester's), "pi" reuses a cached time function Π but re-runs the
+// rest of the pipeline for the actual bounds, "miss" runs everything
+// including the Π search.  plan_us (wall time) appears only in replies —
+// never in the metrics registry, which stays deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "obs/obs.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace hypart::serve {
+
+struct ServiceOptions {
+  std::size_t doc_cache_capacity = 256;
+  std::size_t skeleton_cache_capacity = 128;
+  /// Defaults applied to plan requests that omit the matching params.
+  unsigned default_cube_dim = 3;
+  SpaceMode default_space = SpaceMode::Symbolic;
+  /// Metrics registry and trace sink (both nullable).  Counters recorded:
+  /// serve.requests, serve.requests.<op>, serve.cache.{hit,pi,miss},
+  /// serve.errors (+ the cache's eviction counters).  One span per request.
+  obs::ObsContext obs{};
+};
+
+class PlanService {
+ public:
+  explicit PlanService(ServiceOptions opts = {});
+
+  /// Handle one request line; always returns exactly one reply line
+  /// (no trailing newline).  Never throws: every failure becomes an
+  /// error reply.
+  std::string handle_line(const std::string& line);
+
+  /// True once a {"op":"shutdown"} request has been accepted.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] PlanCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] const ServiceOptions& options() const { return opts_; }
+
+ private:
+  std::string handle_plan(const JsonValue& request, const std::string& op, const JsonValue& id,
+                          obs::Span& span);
+
+  ServiceOptions opts_;
+  PlanCache cache_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace hypart::serve

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `hypart serve` + loadgen:
+#   boot the daemon on a Unix socket, fire a two-stream burst (the second
+#   stream must score document cache hits), check the metrics snapshot,
+#   then SIGTERM and require a clean exit.
+#
+#   usage: cli_serve_smoke.sh <hypart-binary> <loadgen-binary> <workdir>
+set -u
+
+HYPART="$1"
+LOADGEN="$2"
+WORKDIR="$3"
+
+SOCK="$WORKDIR/serve_smoke.sock"
+METRICS="$WORKDIR/serve_smoke_metrics.json"
+LOG="$WORKDIR/serve_smoke.log"
+rm -f "$SOCK" "$METRICS" "$LOG"
+
+"$HYPART" serve --socket "$SOCK" --metrics "$METRICS" >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill -KILL $SERVER_PID 2>/dev/null' EXIT
+
+# Wait for the daemon to bind (it prints the listening line first).
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+  echo "FAIL: server socket never appeared"; cat "$LOG"; exit 1
+fi
+
+"$LOADGEN" --socket "$SOCK" --requests 16 --streams 2 --rescale --expect-hits
+LG_RC=$?
+if [ "$LG_RC" -ne 0 ]; then
+  echo "FAIL: loadgen exited $LG_RC"; cat "$LOG"; exit 1
+fi
+
+kill -TERM "$SERVER_PID"
+SERVER_RC=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID"; SERVER_RC=$?; break
+  fi
+  sleep 0.1
+done
+trap - EXIT
+if [ "$SERVER_RC" -ne 0 ]; then
+  echo "FAIL: server exit code $SERVER_RC after SIGTERM"; cat "$LOG"; exit 1
+fi
+
+# The daemon wrote its metrics snapshot on the way out: hits > 0, no errors.
+if ! grep -q '"serve.cache.hit": *[1-9]' "$METRICS"; then
+  echo "FAIL: no serve.cache.hit counter in $METRICS"; cat "$METRICS"; exit 1
+fi
+if grep -q '"serve.errors"' "$METRICS"; then
+  echo "FAIL: serve.errors recorded in $METRICS"; cat "$METRICS"; exit 1
+fi
+echo "OK"

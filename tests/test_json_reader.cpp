@@ -194,4 +194,69 @@ TEST(JsonLocaleTest, FormattingIgnoresCommaDecimalLocale) {
   EXPECT_DOUBLE_EQ(parsed_ok.get("v").as_double(), 1.5);
 }
 
+TEST(JsonReaderTest, RejectsTrailingBytesAfterCompleteValue) {
+  // The plan daemon (docs/serve.md) frames its wire protocol as one JSON
+  // value per newline-terminated line and parses each stripped line with
+  // parse_json.  That framing is only sound if the parser rejects *any*
+  // non-whitespace byte after the first complete top-level value — a second
+  // concatenated document, a stray delimiter, an embedded NUL — instead of
+  // silently ignoring it (a smuggled second request).  This regression
+  // test pins that contract for every value kind.
+  for (const char* bad : {
+           "{\"a\":1}{\"b\":2}",  // two concatenated objects
+           "[1,2][3]",            // two concatenated arrays
+           "1 2",                 // two numbers, whitespace-separated
+           "42x",                 // number with suffix bytes
+           "true false",          // two literals
+           "null{}",              // literal then object
+           "\"a\" \"b\"",         // two strings
+           "[1],",                // stray delimiter after value
+           "{}]",                 // stray closer after value
+       }) {
+    EXPECT_THROW((void)parse_json(bad), JsonParseError) << bad;
+  }
+  // Embedded NUL is not JSON whitespace: trailing "\0" bytes (a torn
+  // fixed-size buffer) must be rejected, before or after the value.
+  std::string nul_after = "42";
+  nul_after += '\0';
+  EXPECT_THROW((void)parse_json(nul_after), JsonParseError);
+  std::string nul_between = "[1]";
+  nul_between += '\0';
+  nul_between += "[2]";
+  EXPECT_THROW((void)parse_json(nul_between), JsonParseError);
+  // Trailing RFC 8259 whitespace (and nothing else) stays legal — the
+  // daemon strips the line terminator but tolerates "  {...}  \r".
+  EXPECT_EQ(parse_json("42 \t\r\n").as_int64(), 42);
+}
+
+TEST(JsonReaderTest, ToJsonIsAFixedPointUnderReparse) {
+  // The plan cache stores parsed documents and replays them with
+  // JsonValue::to_json(); a cached reply must serialize to the same bytes
+  // every time, including doubles (shortest to_chars form re-parses to the
+  // identical bits, possibly as Kind::Int — the *bytes* must not drift).
+  const std::string src =
+      R"({"a":[1,2.5,-3],"b":{"s":"x\ny","t":true,"u":null},"n":9007199254740993,"d":0.1})";
+  JsonValue v1 = parse_json(src);
+  std::string s1 = v1.to_json();
+  JsonValue v2 = parse_json(s1);
+  std::string s2 = v2.to_json();
+  EXPECT_EQ(s1, s2);
+  std::string s3 = parse_json(s2).to_json();
+  EXPECT_EQ(s2, s3);
+  // Spot-check the content survived.
+  EXPECT_EQ(v2.get("a").as_array()[1].as_double(), 2.5);
+  EXPECT_EQ(v2.get("b").get("s").as_string(), "x\ny");
+  EXPECT_TRUE(v2.get("b").get("u").is_null());
+}
+
+TEST(JsonReaderTest, SetBuildsAndOverwritesObjectMembers) {
+  JsonValue v;  // starts as null
+  v.set("x", JsonValue::make_int(1));
+  v.set("y", JsonValue::make_string("s"));
+  v.set("x", JsonValue::make_int(2));  // overwrite
+  EXPECT_EQ(v.get("x").as_int64(), 2);
+  EXPECT_EQ(v.get("y").as_string(), "s");
+  EXPECT_EQ(v.to_json(), R"({"x":2,"y":"s"})");
+}
+
 }  // namespace

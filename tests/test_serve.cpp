@@ -1,0 +1,414 @@
+// Tests for hypart::serve — canonicalization, the two-tier plan cache, the
+// request service (dispositions, name rewriting, error mapping) and the
+// NDJSON socket server (concurrency, shutdown).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/io_util.hpp"
+#include "core/json_reader.hpp"
+#include "core/json_writer.hpp"
+#include "frontend/parser.hpp"
+#include "serve/canonical.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace hypart::serve {
+namespace {
+
+// A SOR-like 2-D recurrence parameterized on every identifier and the size,
+// so structural identity under renaming/rescaling is easy to probe.
+std::string sor_like(const std::string& tag, const std::string& n) {
+  return "loop nest" + tag + " { for i" + tag + " = 1 to " + n + " for j" + tag + " = 1 to " + n +
+         " A" + tag + "[i" + tag + ", j" + tag + "] = (A" + tag + "[i" + tag + "-1, j" + tag +
+         "] + A" + tag + "[i" + tag + ", j" + tag + "-1]) * 0.5; }";
+}
+
+// ---- canonicalization -----------------------------------------------------
+
+TEST(Canonical, RenamedNestsShareBothKeys) {
+  CanonicalForm a = canonicalize_nest(parse_loop_nest(sor_like("X", "24")));
+  CanonicalForm b = canonicalize_nest(parse_loop_nest(sor_like("Y", "24")));
+  EXPECT_EQ(a.structure_key, b.structure_key);
+  EXPECT_EQ(a.exact_key, b.exact_key);
+  EXPECT_EQ(a.structure_hex(), b.structure_hex());
+  // The per-nest naming is preserved alongside the canonical keys.
+  EXPECT_EQ(a.loop_name, "nestX");
+  EXPECT_EQ(b.loop_name, "nestY");
+  ASSERT_EQ(a.arrays.size(), 1u);
+  ASSERT_EQ(b.arrays.size(), 1u);
+  EXPECT_EQ(a.arrays[0], "AX");
+  EXPECT_EQ(b.arrays[0], "AY");
+}
+
+TEST(Canonical, RescaledNestsShareStructureButNotExactKey) {
+  CanonicalForm a = canonicalize_nest(parse_loop_nest(sor_like("X", "24")));
+  CanonicalForm b = canonicalize_nest(parse_loop_nest(sor_like("X", "48")));
+  EXPECT_EQ(a.structure_key, b.structure_key);
+  EXPECT_NE(a.exact_key, b.exact_key);
+}
+
+TEST(Canonical, DifferentDependenceStructureDiffers) {
+  // Same shape, but the second reads A[i-1, j-1]: different D, different key.
+  std::string other =
+      "loop nestX { for iX = 1 to 24 for jX = 1 to 24 "
+      "AX[iX, jX] = (AX[iX-1, jX-1] + AX[iX, jX-1]) * 0.5; }";
+  CanonicalForm a = canonicalize_nest(parse_loop_nest(sor_like("X", "24")));
+  CanonicalForm b = canonicalize_nest(parse_loop_nest(other));
+  EXPECT_NE(a.structure_key, b.structure_key);
+}
+
+TEST(Canonical, BoundConstantEqualityPatternIsStructural) {
+  // 1..N, 1..N (one repeated symbol) vs 1..N, 1..M (two distinct symbols):
+  // the equality classes differ, so the *structure* keys differ.
+  std::string square =
+      "loop s { for i = 1 to 24 for j = 1 to 24 A[i, j] = A[i-1, j] + A[i, j-1]; }";
+  std::string rect =
+      "loop s { for i = 1 to 24 for j = 1 to 48 A[i, j] = A[i-1, j] + A[i, j-1]; }";
+  CanonicalForm a = canonicalize_nest(parse_loop_nest(square));
+  CanonicalForm b = canonicalize_nest(parse_loop_nest(rect));
+  EXPECT_NE(a.structure_key, b.structure_key);
+}
+
+TEST(Canonical, EmbedsLatticeInvariants) {
+  CanonicalForm a = canonicalize_nest(parse_loop_nest(sor_like("X", "24")));
+  EXPECT_EQ(a.lattice_rank, 2u);
+  ASSERT_EQ(a.smith_divisors.size(), 2u);
+  EXPECT_EQ(a.smith_divisors[0], 1);
+  EXPECT_NE(a.structure_key.find(";H="), std::string::npos);
+  EXPECT_NE(a.structure_key.find(";S="), std::string::npos);
+}
+
+// ---- plan cache -----------------------------------------------------------
+
+TEST(PlanCache, LruEvictionCountsAndCaps) {
+  obs::MetricsRegistry metrics;
+  PlanCache cache(/*doc_capacity=*/2, /*skeleton_capacity=*/2, &metrics);
+  cache.insert_document("a", {});
+  cache.insert_document("b", {});
+  EXPECT_NE(cache.find_document("a"), nullptr);  // refresh: b is now LRU
+  cache.insert_document("c", {});                // evicts b
+  EXPECT_EQ(cache.find_document("b"), nullptr);
+  EXPECT_NE(cache.find_document("a"), nullptr);
+  EXPECT_NE(cache.find_document("c"), nullptr);
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.documents, 2u);
+  EXPECT_EQ(s.doc_evictions, 1);
+  obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.cache.doc_evictions"), 1);
+}
+
+TEST(PlanCache, SkeletonTierIsIndependent) {
+  PlanCache cache(2, 1, nullptr);
+  cache.insert_pi("s1", IntVec{1, 1});
+  cache.insert_pi("s2", IntVec{2, 1});  // evicts s1 (capacity 1)
+  EXPECT_FALSE(cache.find_pi("s1").has_value());
+  ASSERT_TRUE(cache.find_pi("s2").has_value());
+  EXPECT_EQ(*cache.find_pi("s2"), (IntVec{2, 1}));
+  EXPECT_EQ(cache.stats().pi_evictions, 1);
+}
+
+// ---- service --------------------------------------------------------------
+
+std::string plan_request(const std::string& op, const std::string& program,
+                         const std::string& id = "\"r1\"") {
+  return "{\"id\":" + id + ",\"op\":\"" + op + "\",\"program\":" + JsonWriter::escape(program) +
+         ",\"params\":{\"dim\":2}}";
+}
+
+TEST(PlanService, MissThenExactHitOnRenamedNest) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions opts;
+  opts.obs.metrics = &metrics;
+  PlanService service(opts);
+
+  JsonValue first = parse_json(service.handle_line(plan_request("partition", sor_like("X", "24"))));
+  ASSERT_TRUE(first.get("ok").as_bool()) << first.to_json();
+  EXPECT_EQ(first.get("cache").as_string(), "miss");
+  EXPECT_EQ(first.get("result").get("loop").as_string(), "nestX");
+
+  JsonValue second =
+      parse_json(service.handle_line(plan_request("partition", sor_like("Y", "24"))));
+  ASSERT_TRUE(second.get("ok").as_bool()) << second.to_json();
+  EXPECT_EQ(second.get("cache").as_string(), "hit");
+  // The replayed document is rewritten to the requester's names...
+  EXPECT_EQ(second.get("result").get("loop").as_string(), "nestY");
+  for (const JsonValue& dep : second.get("result").get("dependences").as_array())
+    EXPECT_EQ(dep.get("array").as_string(), "AY");
+  // ...and is otherwise byte-identical to the cold result up to names.
+  EXPECT_EQ(first.get("canonical").get("exact").as_string(),
+            second.get("canonical").get("exact").as_string());
+  EXPECT_EQ(first.get("result").get("partition").to_json(),
+            second.get("result").get("partition").to_json());
+
+  obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.cache.miss"), 1);
+  EXPECT_EQ(snap.counters.at("serve.cache.hit"), 1);
+  EXPECT_EQ(snap.counters.at("serve.requests"), 2);
+}
+
+TEST(PlanService, RescaledNestTakesPiPath) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions opts;
+  opts.obs.metrics = &metrics;
+  PlanService service(opts);
+
+  JsonValue cold = parse_json(service.handle_line(plan_request("predict", sor_like("X", "24"))));
+  ASSERT_TRUE(cold.get("ok").as_bool());
+  JsonValue scaled = parse_json(service.handle_line(plan_request("predict", sor_like("X", "48"))));
+  ASSERT_TRUE(scaled.get("ok").as_bool());
+  EXPECT_EQ(scaled.get("cache").as_string(), "pi");
+  // Same structure hash, different exact hash, same reused Π.
+  EXPECT_EQ(cold.get("canonical").get("structure").as_string(),
+            scaled.get("canonical").get("structure").as_string());
+  EXPECT_NE(cold.get("canonical").get("exact").as_string(),
+            scaled.get("canonical").get("exact").as_string());
+  EXPECT_EQ(cold.get("result").get("time_function").to_json(),
+            scaled.get("result").get("time_function").to_json());
+  EXPECT_EQ(metrics.snapshot().counters.at("serve.cache.pi"), 1);
+}
+
+TEST(PlanService, ParamsChangeSplitsDocumentCache) {
+  PlanService service;
+  std::string program = sor_like("X", "24");
+  ASSERT_EQ(parse_json(service.handle_line(plan_request("predict", program)))
+                .get("cache")
+                .as_string(),
+            "miss");
+  // Different accounting => different resolved params => no document hit
+  // (the Π skeleton still applies).
+  std::string req = "{\"op\":\"predict\",\"program\":" + JsonWriter::escape(program) +
+                    ",\"params\":{\"dim\":2,\"accounting\":\"barrier\"}}";
+  EXPECT_EQ(parse_json(service.handle_line(req)).get("cache").as_string(), "pi");
+}
+
+TEST(PlanService, OpsSliceTheSharedDocument) {
+  PlanService service;
+  std::string program = sor_like("X", "16");
+  JsonValue partition =
+      parse_json(service.handle_line(plan_request("partition", program)));
+  JsonValue map = parse_json(service.handle_line(plan_request("map", program)));
+  JsonValue predict = parse_json(service.handle_line(plan_request("predict", program)));
+  JsonValue explain = parse_json(service.handle_line(plan_request("explain", program)));
+  // One plan, three cache hits.
+  EXPECT_EQ(partition.get("cache").as_string(), "miss");
+  EXPECT_EQ(map.get("cache").as_string(), "hit");
+  EXPECT_EQ(predict.get("cache").as_string(), "hit");
+  EXPECT_EQ(explain.get("cache").as_string(), "hit");
+  // Each op keeps its own slice of the document.
+  EXPECT_TRUE(partition.get("result").has("partition"));
+  EXPECT_FALSE(partition.get("result").has("simulation"));
+  EXPECT_TRUE(map.get("result").has("mapping"));
+  EXPECT_FALSE(map.get("result").has("simulation"));
+  EXPECT_TRUE(predict.get("result").has("simulation"));
+  EXPECT_FALSE(predict.get("result").has("mapping"));
+  EXPECT_TRUE(explain.get("result").has("mapping"));
+  EXPECT_TRUE(explain.get("result").has("simulation"));
+  EXPECT_TRUE(explain.get("result").has("validation"));
+  // explain additionally exposes the full audit keys.
+  EXPECT_TRUE(explain.get("canonical").has("structure_key"));
+  EXPECT_TRUE(explain.get("canonical").has("params"));
+}
+
+TEST(PlanService, ErrorMappingMatchesTypedHierarchy) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions opts;
+  opts.obs.metrics = &metrics;
+  PlanService service(opts);
+
+  // Malformed JSON -> parse/65, id null (it was unreadable).
+  JsonValue r = parse_json(service.handle_line("{nope"));
+  EXPECT_FALSE(r.get("ok").as_bool());
+  EXPECT_EQ(r.get("error").get("kind").as_string(), "parse");
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 65);
+  EXPECT_TRUE(r.get("id").is_null());
+
+  // Trailing bytes violate NDJSON framing -> parse/65.
+  r = parse_json(service.handle_line("{\"op\":\"ping\"} {\"op\":\"ping\"}"));
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 65);
+
+  // Unknown op -> config/78, id echoed verbatim.
+  r = parse_json(service.handle_line("{\"id\":7,\"op\":\"frobnicate\"}"));
+  EXPECT_EQ(r.get("error").get("kind").as_string(), "config");
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 78);
+  EXPECT_EQ(r.get("id").as_int64(), 7);
+
+  // Missing program -> config/78.
+  r = parse_json(service.handle_line("{\"op\":\"partition\"}"));
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 78);
+
+  // Unknown params member -> config/78 (strict params validation).
+  r = parse_json(service.handle_line(
+      "{\"op\":\"partition\",\"program\":\"x\",\"params\":{\"dimension\":2}}"));
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 78);
+
+  // Unparsable program -> parse/65 (frontend ParseError).
+  r = parse_json(service.handle_line("{\"op\":\"partition\",\"program\":\"loop x {\"}"));
+  EXPECT_EQ(r.get("error").get("kind").as_string(), "parse");
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 65);
+
+  EXPECT_EQ(metrics.snapshot().counters.at("serve.errors"), 6);
+}
+
+TEST(PlanService, PingStatsShutdown) {
+  PlanService service;
+  JsonValue ping = parse_json(service.handle_line("{\"id\":\"p\",\"op\":\"ping\"}"));
+  EXPECT_TRUE(ping.get("ok").as_bool());
+  EXPECT_EQ(ping.get("id").as_string(), "p");
+
+  (void)service.handle_line(plan_request("partition", sor_like("X", "16")));
+  JsonValue stats = parse_json(service.handle_line("{\"op\":\"stats\"}"));
+  EXPECT_EQ(stats.get("cache").get("documents").as_int64(), 1);
+  EXPECT_EQ(stats.get("cache").get("skeletons").as_int64(), 1);
+  EXPECT_EQ(stats.get("defaults").get("space").as_string(), "symbolic");
+
+  EXPECT_FALSE(service.shutdown_requested());
+  JsonValue bye = parse_json(service.handle_line("{\"op\":\"shutdown\"}"));
+  EXPECT_TRUE(bye.get("ok").as_bool());
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(PlanService, DocumentEvictionUnderTinyCapacity) {
+  ServiceOptions opts;
+  opts.doc_cache_capacity = 1;
+  PlanService service(opts);
+  (void)service.handle_line(plan_request("partition", sor_like("X", "16")));
+  (void)service.handle_line(plan_request("partition", sor_like("X", "20")));  // evicts 16
+  JsonValue again = parse_json(service.handle_line(plan_request("partition", sor_like("X", "16"))));
+  EXPECT_EQ(again.get("cache").as_string(), "pi");  // doc evicted, Π survives
+  EXPECT_EQ(service.cache_stats().doc_evictions, 2);
+}
+
+// ---- socket server --------------------------------------------------------
+
+int connect_unix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) return -1;
+  return fd;
+}
+
+std::string roundtrip(int fd, const std::string& request) {
+  std::string line = request + "\n";
+  if (!write_full(fd, line.data(), line.size())) return "";
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return "";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) return buffer.substr(0, nl);
+  }
+}
+
+std::string test_socket_path(const char* name) {
+  std::string dir = ::getenv("TMPDIR") != nullptr ? ::getenv("TMPDIR") : "/tmp";
+  return dir + "/hypart_test_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Server, ConcurrentClientsOverUnixSocket) {
+  PlanService service;
+  ServerOptions sopts;
+  sopts.unix_path = test_socket_path("conc");
+  sopts.threads = 4;
+  Server server(service, sopts);
+  server.start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = connect_unix(sopts.unix_path);
+      ASSERT_GE(fd, 0);
+      for (int k = 0; k < kPerClient; ++k) {
+        std::string tag = "c" + std::to_string(c);
+        std::string reply = roundtrip(fd, plan_request("partition", sor_like(tag, "16")));
+        JsonValue v = parse_json(reply);
+        if (v.get("ok").as_bool()) ++ok_count;
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+  // All clients planned the same structure: exactly one miss ever.
+  PlanCacheStats s = service.cache_stats();
+  EXPECT_GE(s.doc_hits, 1);
+  EXPECT_EQ(s.documents, 1u);
+  server.request_stop();
+  server.stop();
+}
+
+TEST(Server, MalformedLinesGetErrorRepliesAndConnectionSurvives) {
+  PlanService service;
+  ServerOptions sopts;
+  sopts.unix_path = test_socket_path("mal");
+  Server server(service, sopts);
+  server.start();
+
+  int fd = connect_unix(sopts.unix_path);
+  ASSERT_GE(fd, 0);
+  JsonValue bad = parse_json(roundtrip(fd, "this is not json"));
+  EXPECT_FALSE(bad.get("ok").as_bool());
+  EXPECT_EQ(bad.get("error").get("code").as_int64(), 65);
+  // The same connection still serves good requests afterwards.
+  JsonValue good = parse_json(roundtrip(fd, "{\"op\":\"ping\"}"));
+  EXPECT_TRUE(good.get("ok").as_bool());
+  ::close(fd);
+  server.request_stop();
+  server.stop();
+}
+
+TEST(Server, ShutdownOpStopsTheServer) {
+  PlanService service;
+  ServerOptions sopts;
+  sopts.unix_path = test_socket_path("bye");
+  Server server(service, sopts);
+  server.start();
+
+  int fd = connect_unix(sopts.unix_path);
+  ASSERT_GE(fd, 0);
+  JsonValue bye = parse_json(roundtrip(fd, "{\"op\":\"shutdown\"}"));
+  EXPECT_TRUE(bye.get("ok").as_bool());
+  ::close(fd);
+  server.wait();  // returns because the shutdown op triggered request_stop
+  SUCCEED();
+}
+
+TEST(Server, TcpEphemeralPortRoundtrip) {
+  PlanService service;
+  ServerOptions sopts;  // no unix_path, port 0 => ephemeral TCP
+  Server server(service, sopts);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  JsonValue pong = parse_json(roundtrip(fd, "{\"op\":\"ping\"}"));
+  EXPECT_TRUE(pong.get("ok").as_bool());
+  ::close(fd);
+  server.request_stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hypart::serve

@@ -14,6 +14,8 @@
 //   trace      Chrome/Perfetto trace of the pipeline + simulated execution
 //   profile    per-phase self-profile (wall time, allocations, peak RSS)
 //   explain    prediction-accuracy ledger: simulator vs threaded runtime
+//   serve      long-running NDJSON plan service with a canonical plan cache
+//              (docs/serve.md; takes no <file> argument)
 //
 // options:
 //   --dim N          hypercube dimension (default 3)
@@ -59,8 +61,11 @@
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "perf/table.hpp"
+#include "serve/server.hpp"
 #include "sim/report.hpp"
 #include "transform/wavefront.hpp"
+
+#include <csignal>
 
 namespace {
 
@@ -70,6 +75,9 @@ const char kUsage[] =
     "usage: hypart <analyze|partition|map|simulate|run|codegen|wavefront|json|trace\n"
     "               |profile|explain>\n"
     "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
+    "       hypart serve [--socket PATH | --port N] [--threads N] [--dim N]\n"
+    "              [--space dense|symbolic|verify] [--cache N] [--skeleton-cache N]\n"
+    "              [--trace FILE] [--metrics FILE]\n"
     "              [--space dense|symbolic|verify]\n"
     "              [--accounting paper|barrier|contention]\n"
     "              [--tcalc X] [--tstart X] [--tcomm X]\n"
@@ -108,7 +116,17 @@ const char kUsage[] =
     "                 the threaded runtime side by side and attributes the\n"
     "                 error per component (compute/comm/stall/other);\n"
     "                 --repeats N runs, --ledger FILE accumulates rows,\n"
-    "                 --json emits the raw row\n";
+    "                 --json emits the raw row\n"
+    "\n"
+    "serve (docs/serve.md):\n"
+    "  long-running daemon answering partition/map/predict/explain queries\n"
+    "  over newline-delimited JSON on a Unix-domain (--socket PATH) or\n"
+    "  loopback TCP (--port N, 0 = ephemeral) socket.  Structurally\n"
+    "  identical nests share one cached plan: --cache N documents\n"
+    "  (default 256), --skeleton-cache N time functions (default 128),\n"
+    "  --threads N workers (default 4), --dim/--space request defaults\n"
+    "  (serve defaults to --space symbolic).  SIGTERM/SIGINT or an\n"
+    "  {\"op\":\"shutdown\"} request stop it cleanly.\n";
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "hypart: %s\n", msg);
@@ -474,11 +492,108 @@ int cmd_run(const LoopNest& nest, const PipelineResult& r, const CliOptions& o) 
   return e1.equal && e2_equal ? 0 : 2;
 }
 
+// --- serve -----------------------------------------------------------------
+
+serve::Server* g_server = nullptr;  ///< for the signal handler only
+
+extern "C" void serve_signal_handler(int) {
+  // request_stop() is async-signal-safe (atomic store + self-pipe write).
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions sopts;
+  serve::ServiceOptions vopts;
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--socket") sopts.unix_path = next();
+    else if (a == "--port") sopts.tcp_port = static_cast<int>(std::stol(next()));
+    else if (a == "--threads") sopts.threads = std::stoul(next());
+    else if (a == "--dim") vopts.default_cube_dim = static_cast<unsigned>(std::stoul(next()));
+    else if (a == "--space") {
+      std::string m = next();
+      if (m == "dense") vopts.default_space = SpaceMode::Dense;
+      else if (m == "symbolic") vopts.default_space = SpaceMode::Symbolic;
+      else if (m == "verify") vopts.default_space = SpaceMode::Verify;
+      else usage("unknown space mode (want dense|symbolic|verify)");
+    }
+    else if (a == "--cache") vopts.doc_cache_capacity = std::stoul(next());
+    else if (a == "--skeleton-cache") vopts.skeleton_cache_capacity = std::stoul(next());
+    else if (a == "--trace") trace_path = next();
+    else if (a == "--metrics") metrics_path = next();
+    else usage(("unknown serve option " + a).c_str());
+  }
+  if (!sopts.unix_path.empty() && sopts.tcp_port != 0)
+    usage("--socket and --port are mutually exclusive");
+
+  obs::ChromeTraceSink trace_sink;
+  obs::MetricsRegistry metrics;
+  if (!trace_path.empty()) vopts.obs.trace = &trace_sink;
+  vopts.obs.metrics = &metrics;
+
+  serve::PlanService service(vopts);
+  try {
+    serve::Server server(service, sopts);
+    g_server = &server;
+    std::signal(SIGTERM, serve_signal_handler);
+    std::signal(SIGINT, serve_signal_handler);
+    server.start();
+    // The smoke test and the load generator wait for this line (and for the
+    // socket file); keep it first and flushed.
+    std::printf("hypart serve: listening on %s\n", server.address().c_str());
+    std::fflush(stdout);
+    server.wait();
+    g_server = nullptr;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hypart: %s\n", e.what());
+    return e.exit_code();
+  }
+
+  obs::MetricsSnapshot snap = metrics.snapshot();
+  serve::PlanCacheStats cs = service.cache_stats();
+  std::printf("hypart serve: %lld requests, %lld errors; cache: %lld hit, %lld pi, %lld miss, "
+              "%lld evictions\n",
+              static_cast<long long>(snap.counters.count("serve.requests")
+                                         ? snap.counters.at("serve.requests")
+                                         : 0),
+              static_cast<long long>(snap.counters.count("serve.errors")
+                                         ? snap.counters.at("serve.errors")
+                                         : 0),
+              static_cast<long long>(cs.doc_hits), static_cast<long long>(cs.pi_hits),
+              static_cast<long long>(cs.doc_misses - cs.pi_hits),
+              static_cast<long long>(cs.doc_evictions + cs.pi_evictions));
+  if (!trace_path.empty() && !trace_sink.write_file(trace_path)) {
+    std::fprintf(stderr, "hypart: cannot write trace to '%s'\n", trace_path.c_str());
+    return 74;
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "hypart: cannot write metrics to '%s'\n", metrics_path.c_str());
+      return 74;
+    }
+    out << snap.to_json() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // A worker process dying mid-send must surface as EPIPE, not kill the CLI.
   ignore_sigpipe();
+  // `serve` takes no <file> operand, so it dispatches before parse_args.
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    for (int i = 2; i < argc; ++i)
+      if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) help();
+    return cmd_serve(argc, argv);
+  }
   CliOptions o = parse_args(argc, argv);
 
   // Observability wiring: the CLI owns the sink/registry; the pipeline and
