@@ -12,6 +12,7 @@ const char* to_string(ErrorKind kind) {
     case ErrorKind::WorkerDeath: return "worker-death";
     case ErrorKind::Io: return "io";
     case ErrorKind::Internal: return "internal";
+    case ErrorKind::Overloaded: return "overloaded";
   }
   return "?";
 }
@@ -26,6 +27,7 @@ int Error::exit_code() const {
     case ErrorKind::WorkerDeath: return 76;
     case ErrorKind::Fault: return 77;
     case ErrorKind::Config: return 78;
+    case ErrorKind::Overloaded: return 79;
   }
   return 70;
 }

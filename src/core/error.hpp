@@ -21,6 +21,7 @@ enum class ErrorKind {
   WorkerDeath,    ///< message delivery to a dead worker's mailbox
   Io,             ///< file read/write failure
   Internal,       ///< invariant violation (a hypart bug)
+  Overloaded,     ///< admission control rejected work (bounded queue full)
 };
 
 /// Stable lower-case name of a kind ("parse", "config", ...).
@@ -37,7 +38,7 @@ class Error : public std::runtime_error {
 
   /// Documented CLI exit code for this kind (BSD sysexits where one fits):
   ///   Parse 65, Unsatisfiable 69, Internal 70, Io 74, Stall 75,
-  ///   WorkerDeath 76, Fault 77, Config 78.
+  ///   WorkerDeath 76, Fault 77, Config 78, Overloaded 79.
   [[nodiscard]] int exit_code() const;
 
  private:

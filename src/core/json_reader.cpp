@@ -123,6 +123,25 @@ JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
   return *this;
 }
 
+std::vector<JsonValue>& JsonValue::as_array_mut() {
+  if (kind_ != Kind::Array) type_error("array", kind_);
+  return array_;
+}
+
+std::map<std::string, JsonValue>& JsonValue::as_object_mut() {
+  if (kind_ != Kind::Object) type_error("object", kind_);
+  return object_;
+}
+
+JsonValue JsonValue::take(const std::string& key) {
+  if (kind_ != Kind::Object) return JsonValue();
+  auto it = object_.find(key);
+  if (it == object_.end()) return JsonValue();
+  JsonValue out = std::move(it->second);
+  object_.erase(it);
+  return out;
+}
+
 namespace {
 
 void write_value(JsonWriter& w, const JsonValue& v) {
@@ -155,6 +174,8 @@ std::string JsonValue::to_json() const {
   write_value(w, *this);
   return w.str();
 }
+
+void JsonValue::write(JsonWriter& w) const { write_value(w, *this); }
 
 JsonParseError::JsonParseError(std::size_t offset, const std::string& reason)
     : std::runtime_error("JSON parse error at byte " + std::to_string(offset) + ": " + reason),

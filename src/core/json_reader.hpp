@@ -23,6 +23,8 @@
 
 namespace hypart {
 
+class JsonWriter;
+
 /// A parsed JSON document node.  Object keys are kept in sorted order
 /// (std::map), matching the deterministic ordering every hypart writer
 /// already guarantees.
@@ -70,12 +72,27 @@ class JsonValue {
   /// non-object value into an empty object first.
   JsonValue& set(const std::string& key, JsonValue v);
 
+  /// Borrow accessors: mutable references into the stored container, so a
+  /// rewrite can edit sub-trees in place instead of copy-edit-reinsert.
+  /// Same kind contract (and exceptions) as the const accessors.
+  [[nodiscard]] std::vector<JsonValue>& as_array_mut();
+  [[nodiscard]] std::map<std::string, JsonValue>& as_object_mut();
+  /// Move accessor: removes `key` from the object and returns its value
+  /// (null when the member is missing or this is not an object).  The
+  /// surviving document no longer owns the sub-tree — no deep copy is made.
+  [[nodiscard]] JsonValue take(const std::string& key);
+
   /// Serialize back to JSON text (via JsonWriter, so numbers come out in
   /// the same shortest-round-trip form every hypart writer emits).  Since
   /// object keys are stored sorted, parse -> to_json -> parse is a fixed
   /// point: the bytes are identical from the second rendering on, which is
   /// what lets the plan cache replay stored documents verbatim.
   [[nodiscard]] std::string to_json() const;
+
+  /// Serialize into an existing writer (the streaming form of to_json);
+  /// lets callers splice this value into a larger hand-built document
+  /// without an intermediate string per sub-tree.
+  void write(JsonWriter& w) const;
 
  private:
   Kind kind_ = Kind::Null;

@@ -4,6 +4,7 @@
 // observability layer (obs/); self-contained, no external JSON dependency.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -36,6 +37,19 @@ class JsonWriter {
   JsonWriter& raw_value(const std::string& json);
 
   [[nodiscard]] std::string str() const { return out_; }
+  /// Bytes emitted so far — a cheap cursor for template builders that
+  /// record splice positions mid-stream (serve/replay.hpp).
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  /// Direct mutable access to the output buffer in value position: emits
+  /// the pending comma, marks one value as written, and returns the buffer
+  /// so the caller can append a complete pre-rendered JSON value in place
+  /// (the serve replay path splices kilobyte-scale cached fragments this
+  /// way without an intermediate string).
+  [[nodiscard]] std::string& raw_buffer() {
+    comma();
+    need_comma_ = true;
+    return out_;
+  }
 
   /// Escape `s` as a JSON string literal (including the surrounding quotes).
   [[nodiscard]] static std::string escape(const std::string& s);

@@ -1,4 +1,5 @@
-// hypart::serve — two-tier LRU plan cache keyed by canonical nest forms.
+// hypart::serve — two-tier, lock-striped LRU plan cache keyed by canonical
+// nest forms.
 //
 // Tier 1 (skeleton): structure_key -> time function Π.  A valid Π satisfies
 // Π·d > 0 for every d in D and nothing else, so it is reusable across all
@@ -6,14 +7,26 @@
 // the small-integer search (the expensive part of planning) while the rest
 // of the pipeline re-runs for the actual bounds.
 //
-// Tier 2 (document): exact_key -> fully rendered plan document (a parsed
-// JsonValue of core/json_export's pipeline JSON).  Hitting this tier skips
-// the pipeline entirely; the service rewrites the name-bearing fields
-// ("loop", dependences[].array) before replying.
+// Tier 2 (document): exact_key -> fully rendered plan document: the parsed
+// JsonValue of core/json_export's pipeline JSON plus its pre-rendered
+// per-op reply templates (serve/replay.hpp).  Hitting this tier skips the
+// pipeline entirely; the service splices the requester's names into the
+// template bytes before replying.
 //
-// Both tiers are independent LRU maps behind one mutex; entries are held by
-// shared_ptr so a reply can keep using a document that was concurrently
-// evicted.  Evictions are counted into obs::metrics
+// Sharding: each tier is split into lock-striped shards selected by an
+// FNV-1a hash of the key, so concurrent lookups on different keys contend
+// only per stripe instead of on one global mutex.  Each shard runs its own
+// LRU over its slice of the capacity and keeps its own counters; stats()
+// rolls them up.  The hash is a pure function of the key, so for a given
+// request sequence the shard a key lands on — and therefore every eviction
+// and every counter total — is deterministic and independent of how many
+// threads issued the requests.  Tiny caches stay exact: the shard count is
+// clamped so each shard keeps a meaningfully sized LRU (capacity-1 and
+// capacity-2 configurations collapse to a single shard with the classic
+// global LRU order, which the eviction tests pin).
+//
+// Entries are held by shared_ptr so a reply can keep using a document that
+// was concurrently evicted.  Evictions are counted into obs::metrics
 // (serve.cache.doc_evictions / serve.cache.pi_evictions); hit/miss
 // dispositions are counted by the service, which knows them.
 #pragma once
@@ -30,15 +43,19 @@
 #include "core/json_reader.hpp"
 #include "numeric/int_linalg.hpp"
 #include "obs/metrics.hpp"
+#include "serve/replay.hpp"
 
 namespace hypart::serve {
 
 /// A cached plan document plus the producer-side naming needed to rewrite
-/// it for a structurally identical but renamed requester.
+/// it for a structurally identical but renamed requester.  `doc` stays
+/// parsed for explain audits and replay verification; `rendered` carries
+/// the pre-rendered byte templates every hit replies from.
 struct CachedDocument {
   JsonValue doc;                    ///< full pipeline document (producer names)
   std::string loop_name;            ///< producer nest name
   std::vector<std::string> arrays;  ///< producer canonical id -> array name
+  RenderedPlan rendered;            ///< pre-rendered per-op reply slices
 };
 
 struct PlanCacheStats {
@@ -53,21 +70,45 @@ struct PlanCacheStats {
 
 class PlanCache {
  public:
+  /// Default stripe count requested for each tier; the effective counts
+  /// are clamped per tier so every shard owns at least kMinShardCapacity
+  /// LRU slots (see doc_shard_count()/pi_shard_count()).
+  static constexpr std::size_t kDefaultShards = 8;
+  /// Minimum per-shard LRU slots before striping is worth changing the
+  /// eviction order; below this a tier stays a single exact global LRU.
+  static constexpr std::size_t kMinShardCapacity = 8;
+
   explicit PlanCache(std::size_t doc_capacity = 256, std::size_t skeleton_capacity = 128,
-                     obs::MetricsRegistry* metrics = nullptr);
+                     obs::MetricsRegistry* metrics = nullptr,
+                     std::size_t shards = kDefaultShards);
 
   /// Tier-2 lookup; refreshes recency.  Null when absent.
   [[nodiscard]] std::shared_ptr<const CachedDocument> find_document(const std::string& exact_key);
-  /// Tier-2 insert (overwrites an existing entry; may evict the LRU one).
-  void insert_document(const std::string& exact_key, CachedDocument doc);
+  /// Tier-2 insert (overwrites an existing entry; may evict the shard's
+  /// LRU one).  Returns the stored entry so a miss path can reply from the
+  /// same shared document it just published.
+  std::shared_ptr<const CachedDocument> insert_document(const std::string& exact_key,
+                                                        CachedDocument doc);
 
   /// Tier-1 lookup; refreshes recency.  Counted as a pi hit only when found.
   [[nodiscard]] std::optional<IntVec> find_pi(const std::string& structure_key);
   void insert_pi(const std::string& structure_key, IntVec pi);
 
+  /// Roll-up over all shards of both tiers.
   [[nodiscard]] PlanCacheStats stats() const;
   [[nodiscard]] std::size_t doc_capacity() const { return doc_capacity_; }
   [[nodiscard]] std::size_t skeleton_capacity() const { return skeleton_capacity_; }
+
+  /// Stripe topology and per-stripe counters, exposed so tests can pin
+  /// shard selection and assert that per-shard counters sum to stats().
+  [[nodiscard]] std::size_t doc_shard_count() const { return doc_shards_.size(); }
+  [[nodiscard]] std::size_t pi_shard_count() const { return pi_shards_.size(); }
+  [[nodiscard]] std::size_t doc_shard_index(const std::string& exact_key) const;
+  [[nodiscard]] std::size_t pi_shard_index(const std::string& structure_key) const;
+  /// Counters of one document shard (doc_* fields and `documents` only).
+  [[nodiscard]] PlanCacheStats doc_shard_stats(std::size_t shard) const;
+  /// Counters of one skeleton shard (pi_* fields and `skeletons` only).
+  [[nodiscard]] PlanCacheStats pi_shard_stats(std::size_t shard) const;
 
  private:
   template <typename V>
@@ -103,14 +144,26 @@ class PlanCache {
     }
   };
 
+  /// One lock stripe of one tier.  Heap-allocated because std::mutex is
+  /// immovable; `capacity` is this stripe's slice of the tier capacity.
+  template <typename V>
+  struct Shard {
+    mutable std::mutex mutex;
+    LruMap<V> entries;
+    std::size_t capacity = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+  };
+  using DocShard = Shard<std::shared_ptr<const CachedDocument>>;
+  using PiShard = Shard<IntVec>;
+
   const std::size_t doc_capacity_;
   const std::size_t skeleton_capacity_;
   obs::MetricsRegistry* metrics_;
 
-  mutable std::mutex mutex_;
-  LruMap<std::shared_ptr<const CachedDocument>> documents_;
-  LruMap<IntVec> skeletons_;
-  PlanCacheStats counters_;
+  std::vector<std::unique_ptr<DocShard>> doc_shards_;
+  std::vector<std::unique_ptr<PiShard>> pi_shards_;
 };
 
 }  // namespace hypart::serve

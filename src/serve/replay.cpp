@@ -1,0 +1,143 @@
+#include "serve/replay.hpp"
+
+#include <cstddef>
+#include <map>
+#include <set>
+
+#include "core/json_writer.hpp"
+
+namespace hypart::serve {
+
+namespace {
+
+/// Serialize `doc` — keeping only the `kept` top-level keys when non-null —
+/// and cut a slot wherever a name-bearing string value occurs.  Walks the
+/// sorted member map, so the byte stream matches JsonValue::to_json of the
+/// equivalent projected document exactly.
+SliceTemplate build_slice(const JsonValue& doc, const std::set<std::string>* kept,
+                          const std::map<std::string, int>& array_slot) {
+  JsonWriter w;
+  std::vector<std::size_t> cuts;
+  std::vector<int> slots;
+  auto cut = [&](int slot) {
+    (void)w.raw_buffer();  // comma bookkeeping for the name spliced at render time
+    cuts.push_back(w.size());
+    slots.push_back(slot);
+  };
+
+  w.begin_object();
+  for (const auto& [key, value] : doc.as_object()) {
+    if (kept != nullptr && kept->count(key) == 0) continue;
+    if (key == "loop" && value.is_string()) {
+      w.key(key);
+      cut(-1);
+      continue;
+    }
+    if (key == "dependences" && value.is_array()) {
+      w.begin_array(key);
+      for (const JsonValue& dep : value.as_array()) {
+        if (!dep.is_object()) {
+          dep.write(w);
+          continue;
+        }
+        w.begin_object();
+        for (const auto& [dk, dv] : dep.as_object()) {
+          if (dk == "array" && dv.is_string()) {
+            auto it = array_slot.find(dv.as_string());
+            if (it != array_slot.end()) {
+              w.key(dk);
+              cut(it->second);
+              continue;
+            }
+          }
+          w.key(dk);
+          dv.write(w);
+        }
+        w.end_object();
+      }
+      w.end_array();
+      continue;
+    }
+    w.key(key);
+    value.write(w);
+  }
+  w.end_object();
+
+  SliceTemplate t;
+  const std::string text = w.str();
+  t.chunks.reserve(cuts.size() + 1);
+  std::size_t prev = 0;
+  for (std::size_t c : cuts) {
+    t.chunks.push_back(text.substr(prev, c - prev));
+    prev = c;
+  }
+  t.chunks.push_back(text.substr(prev));
+  t.slots = std::move(slots);
+  return t;
+}
+
+}  // namespace
+
+void SliceTemplate::render(std::string& out, const std::string& escaped_loop,
+                           const std::vector<std::string>& escaped_arrays) const {
+  std::size_t total = 0;
+  for (const std::string& c : chunks) total += c.size();
+  for (int slot : slots)
+    total += slot < 0 ? escaped_loop.size()
+                      : (static_cast<std::size_t>(slot) < escaped_arrays.size()
+                             ? escaped_arrays[static_cast<std::size_t>(slot)].size()
+                             : 4);
+  out.reserve(out.size() + total);
+  out += chunks[0];
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const int slot = slots[i];
+    if (slot < 0) out += escaped_loop;
+    else if (static_cast<std::size_t>(slot) < escaped_arrays.size())
+      out += escaped_arrays[static_cast<std::size_t>(slot)];
+    else out += "null";
+    out += chunks[i + 1];
+  }
+}
+
+const SliceTemplate& RenderedPlan::for_op(const std::string& op) const {
+  if (op == "partition") return partition;
+  if (op == "map") return map;
+  if (op == "predict") return predict;
+  return full;
+}
+
+RenderedPlan render_plan(const JsonValue& doc, const std::vector<std::string>& arrays) {
+  // The per-op key sets are the service's long-standing slice contract
+  // (docs/serve.md): identity/schedule header plus the sections the op is
+  // about.  Kept here so the projection and its serialization are built in
+  // one pass.
+  static const std::set<std::string> kPartition = {"loop",          "depth", "space_mode",
+                                                   "iterations",    "dependences",
+                                                   "time_function", "steps", "partition",
+                                                   "validation"};
+  static const std::set<std::string> kMap = {"loop",          "depth",     "space_mode",
+                                             "time_function", "partition", "mapping"};
+  static const std::set<std::string> kPredict = {"loop",  "depth",      "space_mode",
+                                                 "time_function", "iterations",
+                                                 "steps", "simulation"};
+
+  std::map<std::string, int> array_slot;
+  for (std::size_t k = 0; k < arrays.size(); ++k)
+    array_slot.emplace(arrays[k], static_cast<int>(k));
+
+  RenderedPlan r;
+  r.full = build_slice(doc, nullptr, array_slot);
+  r.partition = build_slice(doc, &kPartition, array_slot);
+  r.map = build_slice(doc, &kMap, array_slot);
+  r.predict = build_slice(doc, &kPredict, array_slot);
+  return r;
+}
+
+std::vector<std::string> escape_names(const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(JsonWriter::escape(n));
+  return out;
+}
+
+}  // namespace hypart::serve

@@ -1,0 +1,71 @@
+// hypart::serve — pre-rendered reply templates for the plan cache.
+//
+// A document-tier cache hit used to deep-copy the stored JsonValue, rewrite
+// the two name-bearing fields and re-serialize the whole tree on every
+// request.  Every plan quantity is a function of the bounds and the
+// dependence set D alone (see serve/canonical.hpp) — only the top-level
+// "loop" member and dependences[].array carry requester-visible names — so
+// the serialization can be done once, at insert time, with the name spans
+// cut out.  A hit then reduces to splicing the requester's escaped names
+// between pre-rendered byte chunks: zero JsonValue copies, zero
+// re-serialization.
+//
+// Because JsonValue stores object members sorted (std::map) and serializes
+// through the same JsonWriter, a template rendered with the producer's own
+// names reproduces JsonValue::to_json byte for byte; the templates are
+// therefore wire-compatible with the pre-replay reply format, which the
+// service's verification mode (ServiceOptions::verify_replay) cross-checks
+// on every hit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/json_reader.hpp"
+
+namespace hypart::serve {
+
+/// One pre-rendered result slice: literal byte chunks with name slots in
+/// between.  Invariant: chunks.size() == slots.size() + 1.  Slot -1 is the
+/// loop name; slot k >= 0 is the array with canonical id k.  Rendering
+/// splices already-escaped JSON string literals (JsonWriter::escape) into
+/// the gaps.
+struct SliceTemplate {
+  std::vector<std::string> chunks;
+  std::vector<int> slots;
+
+  [[nodiscard]] bool empty() const { return chunks.empty(); }
+
+  /// Append the rendered slice to `out`.  `escaped_loop` and each element
+  /// of `escaped_arrays` must be complete JSON string literals (quotes
+  /// included); a slot beyond the array renders as null — unreachable when
+  /// requester and producer share an exact key, which implies equal
+  /// canonical array counts.
+  void render(std::string& out, const std::string& escaped_loop,
+              const std::vector<std::string>& escaped_arrays) const;
+};
+
+/// The per-op projections of one cached plan document, each pre-rendered.
+/// `full` is the whole document and serves "explain"; the others keep only
+/// the sections that op reports (same key sets the service always used).
+struct RenderedPlan {
+  SliceTemplate full;
+  SliceTemplate partition;
+  SliceTemplate map;
+  SliceTemplate predict;
+
+  /// The slice for a plan op ("partition" | "map" | "predict"; anything
+  /// else — i.e. "explain" — gets the full document).
+  [[nodiscard]] const SliceTemplate& for_op(const std::string& op) const;
+};
+
+/// Build the per-op templates from a parsed pipeline document.  `arrays`
+/// maps canonical id -> producer array name (CanonicalForm::arrays); a
+/// dependences[].array value not found in `arrays` stays literal.
+RenderedPlan render_plan(const JsonValue& doc, const std::vector<std::string>& arrays);
+
+/// Escape a requester's names once per request for splicing (each result
+/// is a complete JSON string literal).
+std::vector<std::string> escape_names(const std::vector<std::string>& names);
+
+}  // namespace hypart::serve

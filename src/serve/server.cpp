@@ -131,9 +131,24 @@ void Server::accept_loop() {
     if (ready == 0 || (fds[0].revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;  // transient (ECONNABORTED, EINTR, ...)
+    bool admitted = true;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_.push_back(fd);
+      if (opts_.max_pending > 0 && pending_.size() >= opts_.max_pending) admitted = false;
+      else pending_.push_back(fd);
+    }
+    if (!admitted) {
+      // Shed load at the door: one typed error line, then close.  The
+      // message is static so the accept thread never allocates or parses
+      // under overload; key order matches the service's error replies.
+      static const char kOverloaded[] =
+          "{\"error\":{\"code\":79,\"kind\":\"overloaded\",\"message\":"
+          "\"server overloaded: pending connection queue is full\"},\"id\":null,\"ok\":false}\n";
+      (void)write_full(fd, kOverloaded, sizeof(kOverloaded) - 1);
+      ::close(fd);
+      obs::MetricsRegistry* metrics = service_.options().obs.metrics;
+      if (metrics != nullptr) metrics->add("serve.overload.rejected");
+      continue;
     }
     queue_cv_.notify_one();
   }

@@ -39,6 +39,12 @@ struct ServerOptions {
   /// Reject request lines longer than this (a malformed client must not
   /// make a worker buffer unboundedly).
   std::size_t max_line_bytes = 1 << 20;
+  /// Admission control: maximum accepted-but-unserved connections.  When
+  /// the pending queue is at this bound, further accepts receive one
+  /// {"error":{"kind":"overloaded","code":79,...}} line and are closed
+  /// immediately (counted as serve.overload.rejected) instead of queuing
+  /// without bound.  0 = unbounded (no admission control).
+  std::size_t max_pending = 0;
 };
 
 class Server {

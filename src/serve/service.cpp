@@ -1,12 +1,17 @@
 #include "serve/service.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/json_export.hpp"
+#include "core/json_writer.hpp"
 #include "frontend/parser.hpp"
 #include "serve/canonical.hpp"
+#include "serve/replay.hpp"
 
 namespace hypart::serve {
 
@@ -27,10 +32,10 @@ JsonValue make_error_reply(const JsonValue& id, const std::string& kind, int cod
 
 Error config_error(const std::string& message) { return Error(ErrorKind::Config, message); }
 
-/// Per-op projection of the full pipeline document.  `explain` returns the
-/// document whole; the others keep only the sections the query is about
-/// (plus the shared identity/schedule header).
-JsonValue slice_result(const JsonValue& doc, const std::string& op) {
+/// Per-op projection of the full pipeline document (legacy path, kept for
+/// replay verification).  Consumes `doc`: kept sub-trees are moved out, so
+/// slicing a freshly rewritten document makes no further copies.
+JsonValue slice_result(JsonValue doc, const std::string& op) {
   if (op == "explain") return doc;
   static const std::map<std::string, std::set<std::string>> kept = {
       {"partition",
@@ -42,26 +47,26 @@ JsonValue slice_result(const JsonValue& doc, const std::string& op) {
   };
   JsonValue out;
   for (const std::string& key : kept.at(op))
-    if (doc.has(key)) out.set(key, doc.get(key));
+    if (doc.has(key)) out.set(key, doc.take(key));
   return out;
 }
 
 /// Rewrite the name-bearing fields of a cached document ("loop" and
 /// dependences[].array — nothing else in the pipeline JSON carries names)
 /// from the producer's identifiers to the requester's, composed through the
-/// shared canonical ids.
+/// shared canonical ids.  Legacy path, kept for replay verification.
 JsonValue rewrite_names(const CachedDocument& cached, const CanonicalForm& requester) {
   JsonValue doc = cached.doc;
   doc.set("loop", JsonValue::make_string(requester.loop_name));
   std::map<std::string, std::size_t> producer_id;
   for (std::size_t k = 0; k < cached.arrays.size(); ++k) producer_id[cached.arrays[k]] = k;
-  std::vector<JsonValue> deps = doc.get("dependences").as_array();
-  for (JsonValue& dep : deps) {
-    auto it = producer_id.find(dep.string_or("array", ""));
-    if (it != producer_id.end() && it->second < requester.arrays.size())
-      dep.set("array", JsonValue::make_string(requester.arrays[it->second]));
+  if (doc.has("dependences")) {
+    for (JsonValue& dep : doc.as_object_mut().at("dependences").as_array_mut()) {
+      auto it = producer_id.find(dep.string_or("array", ""));
+      if (it != producer_id.end() && it->second < requester.arrays.size())
+        dep.set("array", JsonValue::make_string(requester.arrays[it->second]));
+    }
   }
-  doc.set("dependences", JsonValue::make_array(std::move(deps)));
   return doc;
 }
 
@@ -153,11 +158,62 @@ PlanParams resolve_params(const JsonValue& request, const ServiceOptions& opts) 
   return p;
 }
 
+bool is_plan_op(const std::string& op) {
+  return op == "partition" || op == "map" || op == "predict" || op == "explain";
+}
+
+/// Render one complete plan reply around a pre-rendered result slice.
+/// Keys are written in sorted order, matching JsonValue::to_json of the
+/// equivalent tree byte for byte.
+std::string render_plan_reply(const std::string& disposition, const CanonicalForm& cf,
+                              const std::string& fingerprint, const JsonValue& id,
+                              const std::string& op, std::int64_t plan_us,
+                              const RenderedPlan& rendered) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("cache", disposition);
+  w.key("canonical").begin_object();
+  w.field("exact", cf.exact_hex());
+  if (op == "explain") {
+    // Full keys are auditable only where the full document already flows.
+    w.field("exact_key", cf.exact_key);
+    w.key("params").raw_value(fingerprint);
+  }
+  w.field("structure", cf.structure_hex());
+  if (op == "explain") w.field("structure_key", cf.structure_key);
+  w.end_object();
+  w.key("id");
+  id.write(w);
+  w.field("ok", true);
+  w.field("op", op);
+  w.field("plan_us", plan_us);
+  w.key("result");
+  rendered.for_op(op).render(w.raw_buffer(), JsonWriter::escape(cf.loop_name),
+                             escape_names(cf.arrays));
+  w.end_object();
+  return w.str();
+}
+
+/// verify_replay mode: re-derive the result slice through the legacy
+/// copy-rewrite-serialize path and compare it byte for byte with the
+/// template rendering.
+void check_replay(const CachedDocument& cached, const CanonicalForm& cf, const std::string& op) {
+  std::string spliced;
+  cached.rendered.for_op(op).render(spliced, JsonWriter::escape(cf.loop_name),
+                                    escape_names(cf.arrays));
+  std::string legacy = slice_result(rewrite_names(cached, cf), op).to_json();
+  if (spliced != legacy)
+    throw Error(ErrorKind::Internal,
+                "replay verification mismatch for op \"" + op + "\" (template render diverges "
+                "from document rewrite)");
+}
+
 }  // namespace
 
 PlanService::PlanService(ServiceOptions opts)
     : opts_(opts),
-      cache_(opts.doc_cache_capacity, opts.skeleton_cache_capacity, opts.obs.metrics) {}
+      cache_(opts.doc_cache_capacity, opts.skeleton_cache_capacity, opts.obs.metrics,
+             opts.cache_shards) {}
 
 std::string PlanService::handle_line(const std::string& line) {
   obs::Span span(opts_.obs.trace, "serve.request", "serve");
@@ -196,6 +252,10 @@ std::string PlanService::handle_line(const std::string& line) {
                   JsonValue::make_int(static_cast<std::int64_t>(cache_.doc_capacity())));
         cache.set("skeleton_capacity",
                   JsonValue::make_int(static_cast<std::int64_t>(cache_.skeleton_capacity())));
+        cache.set("doc_shards",
+                  JsonValue::make_int(static_cast<std::int64_t>(cache_.doc_shard_count())));
+        cache.set("skeleton_shards",
+                  JsonValue::make_int(static_cast<std::int64_t>(cache_.pi_shard_count())));
         cache.set("hits", JsonValue::make_int(s.doc_hits));
         cache.set("misses", JsonValue::make_int(s.doc_misses));
         cache.set("pi_hits", JsonValue::make_int(s.pi_hits));
@@ -211,9 +271,13 @@ std::string PlanService::handle_line(const std::string& line) {
       }
       return reply.to_json();
     }
-    if (op == "partition" || op == "map" || op == "predict" || op == "explain") {
+    if (is_plan_op(op)) {
       if (metrics != nullptr) metrics->add("serve.requests." + op);
       return handle_plan(request, op, id, span);
+    }
+    if (op == "batch") {
+      if (metrics != nullptr) metrics->add("serve.requests.batch");
+      return handle_batch(request, id, span);
     }
     throw config_error(op.empty() ? "missing \"op\" member"
                                   : "unknown op \"" + op + "\"");
@@ -243,10 +307,10 @@ std::string PlanService::handle_plan(const JsonValue& request, const std::string
   const std::string doc_key = cf.exact_key + "\n" + params.fingerprint;
 
   std::string disposition;
-  JsonValue doc;
-  if (std::shared_ptr<const CachedDocument> cached = cache_.find_document(doc_key)) {
+  std::shared_ptr<const CachedDocument> cached = cache_.find_document(doc_key);
+  if (cached != nullptr) {
     disposition = "hit";
-    doc = rewrite_names(*cached, cf);
+    if (opts_.verify_replay) check_replay(*cached, cf, op);
   } else {
     bool pi_from_cache = false;
     if (params.explicit_pi) {
@@ -265,35 +329,234 @@ std::string PlanService::handle_plan(const JsonValue& request, const std::string
     params.config.obs = obs::ObsContext{opts_.obs.trace, nullptr};
     PipelineResult result = run_pipeline(nest, params.config);
     disposition = pi_from_cache ? "pi" : "miss";
-    doc = parse_json(pipeline_result_to_json(nest, result));
+    JsonValue doc = parse_json(pipeline_result_to_json(nest, result));
     if (!params.explicit_pi) cache_.insert_pi(cf.structure_key, result.time_function.pi);
-    cache_.insert_document(doc_key, CachedDocument{doc, cf.loop_name, cf.arrays});
+    RenderedPlan rendered = render_plan(doc, cf.arrays);
+    cached = cache_.insert_document(
+        doc_key, CachedDocument{std::move(doc), cf.loop_name, cf.arrays, std::move(rendered)});
   }
   if (metrics != nullptr) metrics->add("serve.cache." + disposition);
   span.arg("cache", disposition);
 
-  JsonValue canonical;
-  canonical.set("structure", JsonValue::make_string(cf.structure_hex()));
-  canonical.set("exact", JsonValue::make_string(cf.exact_hex()));
-  if (op == "explain") {
-    // Full keys are auditable only where the full document already flows.
-    canonical.set("structure_key", JsonValue::make_string(cf.structure_key));
-    canonical.set("exact_key", JsonValue::make_string(cf.exact_key));
-    canonical.set("params", parse_json(params.fingerprint));
-  }
-
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-  JsonValue reply;
-  reply.set("id", id);
-  reply.set("ok", JsonValue::make_bool(true));
-  reply.set("op", JsonValue::make_string(op));
-  reply.set("cache", JsonValue::make_string(disposition));
-  reply.set("canonical", std::move(canonical));
-  reply.set("plan_us", JsonValue::make_int(us));
-  reply.set("result", slice_result(doc, op));
-  return reply.to_json();
+  return render_plan_reply(disposition, cf, params.fingerprint, id, op, us, cached->rendered);
+}
+
+namespace {
+
+/// One unique (exact_key, params) document to materialize for a batch.
+struct BatchJob {
+  std::string doc_key;
+  std::string disposition;        ///< "hit" | "pi" | "miss"
+  std::optional<LoopNest> nest;   ///< first requester's nest (plans the document)
+  PlanParams params;
+  CanonicalForm cf;               ///< first requester's naming (the producer)
+  std::shared_ptr<const CachedDocument> cached;  ///< set pass 1 (hit) or pass 2b
+  CachedDocument built;           ///< pass-2 product awaiting sequential insert
+  IntVec result_pi;               ///< Π to publish into the skeleton tier
+  std::int64_t plan_us = 0;
+  bool failed = false;
+  std::string error_kind;
+  int error_code = 0;
+  std::string error_message;
+};
+
+/// One batch sub-request in arrival order.
+struct BatchItem {
+  JsonValue id;
+  std::string op;
+  std::string error_reply;  ///< pass-1 failure, already rendered
+  std::size_t job = 0;      ///< index into jobs when error_reply is empty
+  bool duplicate = false;   ///< same doc_key as an earlier item (replays it)
+  CanonicalForm cf;         ///< this requester's naming
+  std::string fingerprint;
+};
+
+}  // namespace
+
+std::string PlanService::handle_batch(const JsonValue& request, const JsonValue& id,
+                                      obs::Span& span) {
+  obs::MetricsRegistry* metrics = opts_.obs.metrics;
+  const JsonValue& requests = request.get("requests");
+  if (!requests.is_array()) throw config_error("missing \"requests\" member (array)");
+  const std::vector<JsonValue>& subs = requests.as_array();
+  if (subs.empty()) throw config_error("batch \"requests\" must be non-empty");
+  if (subs.size() > opts_.max_batch)
+    throw config_error("batch of " + std::to_string(subs.size()) + " exceeds max_batch (" +
+                       std::to_string(opts_.max_batch) + ")");
+  span.arg("batch_n", static_cast<std::int64_t>(subs.size()));
+
+  // Pass 1 — sequential, in request order: validate, canonicalize, probe
+  // the cache and dedup pending documents.  Every cache interaction (and
+  // therefore every counter) happens in arrival order here, which keeps
+  // the roll-ups deterministic no matter how pass 2 is scheduled.
+  std::vector<BatchItem> items(subs.size());
+  std::vector<BatchJob> jobs;
+  std::map<std::string, std::size_t> pending;  // doc_key -> job index
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const JsonValue& sub = subs[i];
+    BatchItem& item = items[i];
+    item.id = sub.is_object() ? sub.get("id") : JsonValue::make_null();
+    try {
+      if (!sub.is_object()) throw config_error("batch request must be a JSON object");
+      item.op = sub.string_or("op", "");
+      if (!is_plan_op(item.op))
+        throw config_error(item.op.empty()
+                               ? "missing \"op\" member"
+                               : item.op == "batch"
+                                     ? "nested batch is not allowed"
+                                     : "op \"" + item.op + "\" is not allowed in a batch");
+      if (metrics != nullptr) metrics->add("serve.requests." + item.op);
+      const JsonValue& program = sub.get("program");
+      if (!program.is_string()) throw config_error("missing \"program\" member (string)");
+      PlanParams params = resolve_params(sub, opts_);
+      LoopNest nest = parse_loop_nest(program.as_string());
+      DependenceInfo deps = analyze_dependences(nest, params.config.dependence);
+      item.cf = canonicalize_nest(nest, deps);
+      item.fingerprint = params.fingerprint;
+      const std::string doc_key = item.cf.exact_key + "\n" + params.fingerprint;
+
+      auto it = pending.find(doc_key);
+      if (it != pending.end()) {
+        // An earlier sub-request already produces this document; replay it
+        // once materialized.  No second cache probe, so the cache's own
+        // hit/miss counters see each unique document once per batch.
+        item.job = it->second;
+        item.duplicate = true;
+        continue;
+      }
+      BatchJob job;
+      job.doc_key = doc_key;
+      job.cached = cache_.find_document(doc_key);
+      if (job.cached != nullptr) {
+        job.disposition = "hit";
+        if (opts_.verify_replay) check_replay(*job.cached, item.cf, item.op);
+      } else {
+        if (params.explicit_pi) {
+          params.config.time_function = *params.explicit_pi;
+          job.disposition = "miss";
+        } else if (std::optional<IntVec> pi = cache_.find_pi(item.cf.structure_key)) {
+          params.config.time_function = std::move(*pi);
+          job.disposition = "pi";
+        } else {
+          job.disposition = "miss";
+        }
+        job.nest = std::move(nest);
+        job.params = std::move(params);
+        job.cf = item.cf;
+      }
+      item.job = jobs.size();
+      pending.emplace(doc_key, jobs.size());
+      jobs.push_back(std::move(job));
+    } catch (const Error& e) {
+      item.error_reply =
+          make_error_reply(item.id, to_string(e.kind()), e.exit_code(), e.what()).to_json();
+    } catch (const std::exception& e) {
+      item.error_reply = make_error_reply(item.id, "internal", 70, e.what()).to_json();
+    }
+  }
+
+  // Pass 2 — plan the cold documents, fanned across worker threads.  Each
+  // job is independent (run_pipeline is already exercised concurrently by
+  // the socket server's workers); results are buffered in the job, never
+  // touching the cache from here.
+  std::vector<std::size_t> cold;
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    if (jobs[j].cached == nullptr) cold.push_back(j);
+  auto plan_one = [&](BatchJob& job) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      job.params.config.obs = obs::ObsContext{opts_.obs.trace, nullptr};
+      PipelineResult result = run_pipeline(*job.nest, job.params.config);
+      JsonValue doc = parse_json(pipeline_result_to_json(*job.nest, result));
+      job.result_pi = result.time_function.pi;
+      RenderedPlan rendered = render_plan(doc, job.cf.arrays);
+      job.built =
+          CachedDocument{std::move(doc), job.cf.loop_name, job.cf.arrays, std::move(rendered)};
+    } catch (const Error& e) {
+      job.failed = true;
+      job.error_kind = to_string(e.kind());
+      job.error_code = e.exit_code();
+      job.error_message = e.what();
+    } catch (const std::exception& e) {
+      job.failed = true;
+      job.error_kind = "internal";
+      job.error_code = 70;
+      job.error_message = e.what();
+    }
+    job.plan_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  };
+  std::size_t workers = opts_.batch_parallelism != 0
+                            ? opts_.batch_parallelism
+                            : static_cast<std::size_t>(std::thread::hardware_concurrency());
+  if (workers == 0) workers = 1;
+  if (workers > cold.size()) workers = cold.size();
+  if (workers <= 1) {
+    for (std::size_t j : cold) plan_one(jobs[j]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+      pool.emplace_back([&] {
+        for (;;) {
+          std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= cold.size()) return;
+          plan_one(jobs[cold[k]]);
+        }
+      });
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Pass 2b — publish to the cache sequentially in job (= first-arrival)
+  // order, so the LRU order and eviction counters replay identically for
+  // the same batch regardless of how pass 2 was scheduled.
+  for (std::size_t j : cold) {
+    BatchJob& job = jobs[j];
+    if (job.failed) continue;
+    if (!job.params.explicit_pi) cache_.insert_pi(job.cf.structure_key, job.result_pi);
+    job.cached = cache_.insert_document(job.doc_key, std::move(job.built));
+  }
+
+  // Pass 3 — render replies in request order; disposition and error
+  // counters are recorded here, where a job's outcome is finally known
+  // (matching the single-request path, which only counts a disposition
+  // after the pipeline succeeds).
+  JsonWriter w;
+  w.begin_object();
+  w.key("id");
+  id.write(w);
+  w.field("ok", true);
+  w.field("op", "batch");
+  w.begin_array("replies");
+  for (const BatchItem& item : items) {
+    if (!item.error_reply.empty()) {
+      if (metrics != nullptr) metrics->add("serve.errors");
+      w.raw_value(item.error_reply);
+      continue;
+    }
+    const BatchJob& job = jobs[item.job];
+    if (job.failed) {
+      if (metrics != nullptr) metrics->add("serve.errors");
+      w.raw_value(
+          make_error_reply(item.id, job.error_kind, job.error_code, job.error_message).to_json());
+      continue;
+    }
+    // A within-batch duplicate replays the just-produced document: "hit"
+    // from the requester's point of view, with no planning time of its own.
+    const std::string& disposition = item.duplicate ? "hit" : job.disposition;
+    if (metrics != nullptr) metrics->add("serve.cache." + disposition);
+    const std::int64_t us = item.duplicate ? 0 : job.plan_us;
+    w.raw_value(render_plan_reply(disposition, item.cf, item.fingerprint, item.id, item.op, us,
+                                  job.cached->rendered));
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace hypart::serve

@@ -9,12 +9,14 @@
 //
 // Protocol (docs/serve.md is the authoritative spec):
 //
-//   request  := {"op": "partition"|"map"|"predict"|"explain"
+//   request  := {"op": "partition"|"map"|"predict"|"explain"|"batch"
 //                      |"ping"|"stats"|"shutdown",
-//                "id"?: any, "program"?: string, "params"?: {...}}
+//                "id"?: any, "program"?: string, "params"?: {...},
+//                "requests"?: [...]}
 //   success  := {"id", "ok": true, "op", ...}; plan ops add
 //               "cache": "hit"|"pi"|"miss", "canonical": {structure, exact},
-//               "plan_us": int, "result": {...}
+//               "plan_us": int, "result": {...}; "batch" adds "replies":
+//               [one plan/error reply object per sub-request, in order]
 //   error    := {"id", "ok": false,
 //                "error": {"kind": string, "code": int, "message": string}}
 //
@@ -24,8 +26,10 @@
 // Cache dispositions: "hit" replays a stored document (names rewritten to
 // the requester's), "pi" reuses a cached time function Π but re-runs the
 // rest of the pipeline for the actual bounds, "miss" runs everything
-// including the Π search.  plan_us (wall time) appears only in replies —
-// never in the metrics registry, which stays deterministic.
+// including the Π search.  Hits reply straight from pre-rendered byte
+// templates (serve/replay.hpp) — no JsonValue copy, no re-serialization.
+// plan_us (wall time) appears only in replies — never in the metrics
+// registry, which stays deterministic.
 #pragma once
 
 #include <atomic>
@@ -41,12 +45,25 @@ namespace hypart::serve {
 struct ServiceOptions {
   std::size_t doc_cache_capacity = 256;
   std::size_t skeleton_cache_capacity = 128;
+  /// Lock stripes requested per cache tier (clamped; see plan_cache.hpp).
+  std::size_t cache_shards = PlanCache::kDefaultShards;
+  /// Upper bound on requests per batch op (whole batch rejected beyond it).
+  std::size_t max_batch = 256;
+  /// Threads used to plan a batch's cold misses; 0 = hardware concurrency.
+  std::size_t batch_parallelism = 0;
+  /// Cross-check every replayed hit against the legacy rewrite-and-
+  /// serialize path and fail the request (Internal) on any byte mismatch.
+  /// Debug/audit aid; costs a full document copy per hit.
+  bool verify_replay = false;
   /// Defaults applied to plan requests that omit the matching params.
   unsigned default_cube_dim = 3;
   SpaceMode default_space = SpaceMode::Symbolic;
   /// Metrics registry and trace sink (both nullable).  Counters recorded:
-  /// serve.requests, serve.requests.<op>, serve.cache.{hit,pi,miss},
-  /// serve.errors (+ the cache's eviction counters).  One span per request.
+  /// serve.requests, serve.requests.<op> (batch sub-requests count toward
+  /// their own op too), serve.cache.{hit,pi,miss}, serve.errors (+ the
+  /// cache's eviction counters).  One span per request line.  All totals
+  /// are deterministic for a given request sequence, independent of thread
+  /// or shard counts.
   obs::ObsContext obs{};
 };
 
@@ -65,11 +82,13 @@ class PlanService {
   }
 
   [[nodiscard]] PlanCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] const PlanCache& cache() const { return cache_; }
   [[nodiscard]] const ServiceOptions& options() const { return opts_; }
 
  private:
   std::string handle_plan(const JsonValue& request, const std::string& op, const JsonValue& id,
                           obs::Span& span);
+  std::string handle_batch(const JsonValue& request, const JsonValue& id, obs::Span& span);
 
   ServiceOptions opts_;
   PlanCache cache_;

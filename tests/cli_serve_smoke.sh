@@ -35,6 +35,61 @@ if [ "$LG_RC" -ne 0 ]; then
   echo "FAIL: loadgen exited $LG_RC"; cat "$LOG"; exit 1
 fi
 
+# Batch burst over the same daemon: every line carries 8 sub-requests and
+# the run must finish hit-heavy with zero error replies (loadgen exits
+# non-zero on any error reply when --expect-hits is set).
+BATCH_JSON="$WORKDIR/serve_smoke_batch.json"
+"$LOADGEN" --socket "$SOCK" --requests 32 --streams 2 --batch 8 --expect-hits \
+    --json >"$BATCH_JSON"
+LG_RC=$?
+if [ "$LG_RC" -ne 0 ]; then
+  echo "FAIL: batch loadgen exited $LG_RC"; cat "$LOG" "$BATCH_JSON"; exit 1
+fi
+if ! grep -q '"batch":8' "$BATCH_JSON"; then
+  echo "FAIL: loadgen JSON does not report batch mode"; cat "$BATCH_JSON"; exit 1
+fi
+if ! grep -q '"rps":' "$BATCH_JSON"; then
+  echo "FAIL: loadgen JSON does not report rps"; cat "$BATCH_JSON"; exit 1
+fi
+
+# Canonical keys from `hypart json` must round-trip against the keys the
+# daemon itself derives (the pre-warming contract: offline tools compute
+# the same structure/exact keys the daemon caches under).
+PROG="$WORKDIR/serve_smoke_roundtrip.loop"
+cat >"$PROG" <<'EOF'
+loop sor { for i = 1 to 24 for j = 1 to 24 A[i, j] = (A[i-1, j] + A[i, j-1]) * 0.5; }
+EOF
+if ! "$HYPART" json "$PROG" >"$WORKDIR/serve_smoke_offline.json"; then
+  echo "FAIL: hypart json"; exit 1
+fi
+python3 - "$SOCK" "$PROG" "$WORKDIR/serve_smoke_offline.json" <<'EOF'
+import json, socket, sys
+sock_path, prog_path, offline_path = sys.argv[1:4]
+offline = json.load(open(offline_path))["canonical"]
+prog = open(prog_path).read()
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+s.sendall((json.dumps({"id": 1, "op": "explain", "program": prog}) + "\n").encode())
+buf = b""
+while b"\n" not in buf:
+    chunk = s.recv(65536)
+    if not chunk:
+        sys.exit("daemon closed the connection before replying")
+    buf += chunk
+reply = json.loads(buf.split(b"\n", 1)[0])
+if not reply.get("ok"):
+    sys.exit("explain failed: %s" % json.dumps(reply))
+daemon = reply["canonical"]
+for key in ("structure_key", "exact_key", "structure", "exact"):
+    if offline[key] != daemon[key]:
+        sys.exit("%s mismatch:\n  offline: %s\n  daemon:  %s"
+                 % (key, offline[key], daemon[key]))
+print("canonical keys round-trip OK")
+EOF
+if [ $? -ne 0 ]; then
+  echo "FAIL: canonical key round-trip"; cat "$LOG"; exit 1
+fi
+
 kill -TERM "$SERVER_PID"
 SERVER_RC=1
 for _ in $(seq 1 100); do

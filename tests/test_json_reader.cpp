@@ -259,4 +259,45 @@ TEST(JsonReaderTest, SetBuildsAndOverwritesObjectMembers) {
   EXPECT_EQ(v.to_json(), R"({"x":2,"y":"s"})");
 }
 
+TEST(JsonReaderTest, BorrowAccessorsEditInPlace) {
+  JsonValue v = parse_json(R"({"deps":[{"array":"A"},{"array":"A"}],"loop":"n"})");
+  // In-place rewrite through the mutable borrows: no copy-edit-reinsert.
+  for (JsonValue& dep : v.as_object_mut().at("deps").as_array_mut())
+    dep.as_object_mut().at("array") = JsonValue::make_string("B");
+  v.as_object_mut().at("loop") = JsonValue::make_string("m");
+  EXPECT_EQ(v.to_json(), R"({"deps":[{"array":"B"},{"array":"B"}],"loop":"m"})");
+  // Kind contract matches the const accessors.
+  JsonValue str = JsonValue::make_string("m");
+  JsonValue arr = JsonValue::make_array({});
+  EXPECT_THROW((void)str.as_array_mut(), std::runtime_error);
+  EXPECT_THROW((void)arr.as_object_mut(), std::runtime_error);
+}
+
+TEST(JsonReaderTest, TakeMovesMembersOutOfAnObject) {
+  JsonValue v = parse_json(R"({"big":[1,2,3],"keep":true})");
+  JsonValue big = v.take("big");
+  EXPECT_EQ(big.to_json(), "[1,2,3]");
+  // The member is gone from the source; other members survive.
+  EXPECT_FALSE(v.has("big"));
+  EXPECT_TRUE(v.get("keep").as_bool());
+  // Missing member / non-object receiver degrade to null, not a throw:
+  // callers slice optional document keys without probing first.
+  EXPECT_TRUE(v.take("big").is_null());
+  JsonValue i = JsonValue::make_int(7);
+  EXPECT_TRUE(i.take("x").is_null());
+}
+
+TEST(JsonReaderTest, WriteStreamsIntoAnExistingWriter) {
+  JsonValue v = parse_json(R"({"a":[1,{"b":"x\ny"}],"d":2.5})");
+  JsonWriter w;
+  w.begin_object();
+  w.key("wrapped");
+  v.write(w);
+  w.field("tail", std::int64_t{1});
+  w.end_object();
+  // Splicing through write() produces the same bytes as to_json() pasted
+  // into the enclosing document.
+  EXPECT_EQ(w.str(), std::string(R"({"wrapped":)") + v.to_json() + R"(,"tail":1})");
+}
+
 }  // namespace

@@ -7,7 +7,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -115,6 +118,112 @@ TEST(PlanCache, SkeletonTierIsIndependent) {
   ASSERT_TRUE(cache.find_pi("s2").has_value());
   EXPECT_EQ(*cache.find_pi("s2"), (IntVec{2, 1}));
   EXPECT_EQ(cache.stats().pi_evictions, 1);
+}
+
+// ---- sharded cache --------------------------------------------------------
+
+TEST(PlanCache, ShardClampKeepsTinyCachesExact) {
+  // Capacity 1 and 2 collapse to a single shard (the classic global LRU the
+  // eviction tests above pin); default capacities stripe out fully.
+  PlanCache tiny(2, 1, nullptr);
+  EXPECT_EQ(tiny.doc_shard_count(), 1u);
+  EXPECT_EQ(tiny.pi_shard_count(), 1u);
+  PlanCache full;
+  EXPECT_EQ(full.doc_shard_count(), PlanCache::kDefaultShards);
+  EXPECT_EQ(full.pi_shard_count(), PlanCache::kDefaultShards);
+  // 20 slots over a requested 8 stripes: clamped so every shard owns at
+  // least kMinShardCapacity slots.
+  PlanCache mid(20, 20, nullptr);
+  EXPECT_EQ(mid.doc_shard_count(), 2u);
+}
+
+TEST(PlanCache, ShardCapacitiesSumToTierCapacityAndLruIsPerShard) {
+  PlanCache cache(/*doc_capacity=*/64, /*skeleton_capacity=*/64, nullptr);
+  ASSERT_EQ(cache.doc_shard_count(), 8u);
+
+  // Find 9 keys that land on the same document shard; with 64 slots over 8
+  // stripes each shard holds exactly 8, so the 9th insert evicts that
+  // shard's LRU entry while every other shard keeps its entries.
+  const std::size_t target = cache.doc_shard_index("probe");
+  std::vector<std::string> same_shard;
+  std::vector<std::string> other_shard;
+  for (int i = 0; same_shard.size() < 9 || other_shard.empty(); ++i) {
+    std::string key = "k" + std::to_string(i);
+    if (cache.doc_shard_index(key) == target) same_shard.push_back(key);
+    else if (other_shard.empty()) other_shard.push_back(key);
+  }
+  cache.insert_document(other_shard[0], {});
+  for (std::size_t i = 0; i < 8; ++i) cache.insert_document(same_shard[i], {});
+  EXPECT_EQ(cache.stats().doc_evictions, 0);
+  cache.insert_document(same_shard[8], {});  // 9th key in one stripe
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.doc_evictions, 1);
+  // The evicted entry is the target shard's LRU, not the globally oldest
+  // insert (which lives untouched on another shard).
+  EXPECT_EQ(cache.find_document(same_shard[0]), nullptr);
+  EXPECT_NE(cache.find_document(other_shard[0]), nullptr);
+  // The eviction is attributed to the stripe it happened on.
+  EXPECT_EQ(cache.doc_shard_stats(target).doc_evictions, 1);
+}
+
+TEST(PlanCache, ConcurrentHammerCountersSumAcrossShards) {
+  obs::MetricsRegistry metrics;
+  PlanCache cache(/*doc_capacity=*/64, /*skeleton_capacity=*/64, &metrics);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  constexpr int kKeys = 96;  // more keys than capacity => steady eviction
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(1234 + t));
+      std::uniform_int_distribution<int> key_of(0, kKeys - 1);
+      std::uniform_int_distribution<int> action(0, 3);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "key" + std::to_string(key_of(rng));
+        switch (action(rng)) {
+          case 0: cache.insert_document(key, {}); break;
+          case 1: (void)cache.find_document(key); break;
+          case 2: cache.insert_pi(key, IntVec{1, 1}); break;
+          default: (void)cache.find_pi(key); break;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Per-shard counters and live-entry counts roll up exactly to stats().
+  PlanCacheStats total = cache.stats();
+  PlanCacheStats sum;
+  for (std::size_t i = 0; i < cache.doc_shard_count(); ++i) {
+    PlanCacheStats s = cache.doc_shard_stats(i);
+    sum.documents += s.documents;
+    sum.doc_hits += s.doc_hits;
+    sum.doc_misses += s.doc_misses;
+    sum.doc_evictions += s.doc_evictions;
+  }
+  for (std::size_t i = 0; i < cache.pi_shard_count(); ++i) {
+    PlanCacheStats s = cache.pi_shard_stats(i);
+    sum.skeletons += s.skeletons;
+    sum.pi_hits += s.pi_hits;
+    sum.pi_evictions += s.pi_evictions;
+  }
+  EXPECT_EQ(sum.documents, total.documents);
+  EXPECT_EQ(sum.skeletons, total.skeletons);
+  EXPECT_EQ(sum.doc_hits, total.doc_hits);
+  EXPECT_EQ(sum.doc_misses, total.doc_misses);
+  EXPECT_EQ(sum.pi_hits, total.pi_hits);
+  EXPECT_EQ(sum.doc_evictions, total.doc_evictions);
+  EXPECT_EQ(sum.pi_evictions, total.pi_evictions);
+  // Capacity is never exceeded, and every find was either a hit or a miss.
+  EXPECT_LE(total.documents, cache.doc_capacity());
+  EXPECT_LE(total.skeletons, cache.skeleton_capacity());
+  EXPECT_GT(total.doc_hits + total.doc_misses, 0);
+  // Eviction counters also reached the metrics registry.
+  obs::MetricsSnapshot snap = metrics.snapshot();
+  if (total.doc_evictions > 0) {
+    EXPECT_EQ(snap.counters.at("serve.cache.doc_evictions"), total.doc_evictions);
+  }
 }
 
 // ---- service --------------------------------------------------------------
@@ -288,6 +397,181 @@ TEST(PlanService, DocumentEvictionUnderTinyCapacity) {
   EXPECT_EQ(service.cache_stats().doc_evictions, 2);
 }
 
+TEST(PlanService, ExplainEchoesTheCanonicalKeys) {
+  // The daemon's cache keys round-trip against offline canonicalization, so
+  // `hypart json` output (which embeds the same keys) can pre-warm a daemon.
+  PlanService service;
+  std::string program = sor_like("X", "24");
+  JsonValue reply = parse_json(service.handle_line(plan_request("explain", program)));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.to_json();
+  CanonicalForm cf = canonicalize_nest(parse_loop_nest(program));
+  EXPECT_EQ(reply.get("canonical").get("structure_key").as_string(), cf.structure_key);
+  EXPECT_EQ(reply.get("canonical").get("exact_key").as_string(), cf.exact_key);
+  EXPECT_EQ(reply.get("canonical").get("structure").as_string(), cf.structure_hex());
+  EXPECT_EQ(reply.get("canonical").get("exact").as_string(), cf.exact_hex());
+}
+
+TEST(PlanService, VerifyReplayModeCrossChecksTemplateBytes) {
+  // verify_replay re-derives every hit reply from the parsed document and
+  // compares byte-for-byte with the template splice; a mismatch would throw
+  // internal/70, so a clean hit is the assertion.
+  ServiceOptions opts;
+  opts.verify_replay = true;
+  PlanService service(opts);
+  (void)service.handle_line(plan_request("partition", sor_like("X", "24")));
+  for (const char* op : {"partition", "map", "predict"}) {
+    JsonValue hit = parse_json(service.handle_line(plan_request(op, sor_like("Y", "24"))));
+    ASSERT_TRUE(hit.get("ok").as_bool()) << hit.to_json();
+    EXPECT_EQ(hit.get("cache").as_string(), "hit");
+    EXPECT_EQ(hit.get("result").get("loop").as_string(), "nestY");
+  }
+}
+
+// ---- batch op -------------------------------------------------------------
+
+std::string batch_request(const std::vector<std::string>& subs, const std::string& id = "\"b1\"") {
+  std::string out = "{\"id\":" + id + ",\"op\":\"batch\",\"requests\":[";
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += subs[i];
+  }
+  out += "]}";
+  return out;
+}
+
+TEST(PlanService, BatchAnswersInRequestOrderAndDedupsWithinTheBatch) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions opts;
+  opts.obs.metrics = &metrics;
+  PlanService service(opts);
+
+  // miss, renamed duplicate of the pending miss, a rescale of the pending
+  // miss (independent miss: cache probes all happen before any planning, so
+  // a Π produced by this batch is not visible within it), invalid op.
+  JsonValue reply = parse_json(service.handle_line(batch_request({
+      plan_request("partition", sor_like("X", "24"), "1"),
+      plan_request("partition", sor_like("Y", "24"), "2"),
+      plan_request("predict", sor_like("X", "48"), "3"),
+      "{\"id\":4,\"op\":\"ping\"}",
+  })));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.to_json();
+  EXPECT_EQ(reply.get("op").as_string(), "batch");
+  EXPECT_EQ(reply.get("id").as_string(), "b1");
+  const auto& replies = reply.get("replies").as_array();
+  ASSERT_EQ(replies.size(), 4u);
+
+  // Replies line up with requests; ids echo through.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(replies[i].get("id").as_int64(), static_cast<std::int64_t>(i + 1));
+  EXPECT_EQ(replies[0].get("cache").as_string(), "miss");
+  EXPECT_EQ(replies[1].get("cache").as_string(), "hit");
+  EXPECT_EQ(replies[2].get("cache").as_string(), "miss");
+  EXPECT_FALSE(replies[3].get("ok").as_bool());
+  EXPECT_EQ(replies[3].get("error").get("code").as_int64(), 78);
+
+  // The duplicate replays its sibling's document under its own names, with
+  // no planning time of its own.
+  EXPECT_EQ(replies[0].get("result").get("loop").as_string(), "nestX");
+  EXPECT_EQ(replies[1].get("result").get("loop").as_string(), "nestY");
+  EXPECT_EQ(replies[1].get("plan_us").as_int64(), 0);
+  EXPECT_EQ(replies[0].get("result").get("partition").to_json(),
+            replies[1].get("result").get("partition").to_json());
+
+  // Everything the batch planned is visible to the next request: a further
+  // rescale now reuses the Π skeleton the first batch inserted.
+  JsonValue next = parse_json(
+      service.handle_line(batch_request({plan_request("predict", sor_like("X", "96"), "5")})));
+  EXPECT_EQ(next.get("replies").as_array().at(0).get("cache").as_string(), "pi");
+
+  // Two request lines; per-op and disposition counters count sub-requests.
+  obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.requests"), 2);
+  EXPECT_EQ(snap.counters.at("serve.requests.batch"), 2);
+  EXPECT_EQ(snap.counters.at("serve.requests.partition"), 2);
+  EXPECT_EQ(snap.counters.at("serve.requests.predict"), 2);
+  EXPECT_EQ(snap.counters.at("serve.cache.miss"), 2);
+  EXPECT_EQ(snap.counters.at("serve.cache.hit"), 1);
+  EXPECT_EQ(snap.counters.at("serve.cache.pi"), 1);
+  EXPECT_EQ(snap.counters.at("serve.errors"), 1);
+}
+
+TEST(PlanService, BatchSubRepliesMatchSingleRequestReplies) {
+  // Everything except plan_us is byte-identical between a batch sub-reply
+  // and the same request served alone on an identically primed service.
+  PlanService alone;
+  PlanService batched;
+  std::string prime = plan_request("partition", sor_like("X", "24"), "\"p\"");
+  (void)alone.handle_line(prime);
+  (void)batched.handle_line(prime);
+
+  std::string renamed = plan_request("map", sor_like("Y", "24"), "\"q\"");
+  JsonValue single = parse_json(alone.handle_line(renamed));
+  JsonValue batch = parse_json(batched.handle_line(batch_request({renamed})));
+  JsonValue sub = batch.get("replies").as_array().at(0);
+  for (const char* key : {"cache", "canonical", "id", "ok", "op", "result"})
+    EXPECT_EQ(single.get(key).to_json(), sub.get(key).to_json()) << key;
+}
+
+TEST(PlanService, BatchValidation) {
+  ServiceOptions opts;
+  opts.max_batch = 2;
+  PlanService service(opts);
+
+  // requests must be a non-empty array...
+  JsonValue r = parse_json(service.handle_line("{\"op\":\"batch\",\"requests\":7}"));
+  EXPECT_FALSE(r.get("ok").as_bool());
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 78);
+  r = parse_json(service.handle_line("{\"op\":\"batch\",\"requests\":[]}"));
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 78);
+
+  // ...no larger than max_batch (whole-batch rejection)...
+  std::string sub = plan_request("partition", sor_like("X", "16"));
+  r = parse_json(service.handle_line(batch_request({sub, sub, sub})));
+  EXPECT_FALSE(r.get("ok").as_bool());
+  EXPECT_EQ(r.get("error").get("code").as_int64(), 78);
+
+  // ...and nesting is rejected per sub-request while siblings still plan.
+  r = parse_json(service.handle_line(batch_request({batch_request({sub}), sub})));
+  ASSERT_TRUE(r.get("ok").as_bool()) << r.to_json();
+  const auto& replies = r.get("replies").as_array();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_FALSE(replies[0].get("ok").as_bool());
+  EXPECT_EQ(replies[0].get("error").get("code").as_int64(), 78);
+  EXPECT_TRUE(replies[1].get("ok").as_bool());
+}
+
+TEST(PlanService, BatchFansColdMissesAcrossThreads) {
+  // Structurally distinct nests in one batch: every one is a genuine miss
+  // planned in the parallel pass; dispositions and counters stay
+  // deterministic regardless of worker scheduling.
+  obs::MetricsRegistry metrics;
+  ServiceOptions opts;
+  opts.obs.metrics = &metrics;
+  opts.batch_parallelism = 4;
+  PlanService service(opts);
+
+  std::vector<std::string> subs;
+  std::vector<std::string> programs = {
+      sor_like("X", "16"),
+      "loop a { for i = 1 to 20 for j = 1 to 20 B[i, j] = B[i-1, j-1] + B[i, j-1]; }",
+      "loop b { for i = 1 to 12 for j = 1 to 12 for k = 1 to 12 "
+      "C[i, j, k] = C[i-1, j, k] + C[i, j-1, k] + C[i, j, k-1]; }",
+  };
+  for (std::size_t i = 0; i < programs.size(); ++i)
+    subs.push_back(plan_request("partition", programs[i], std::to_string(i)));
+  JsonValue reply = parse_json(service.handle_line(batch_request(subs)));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.to_json();
+  const auto& replies = reply.get("replies").as_array();
+  ASSERT_EQ(replies.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(replies[i].get("ok").as_bool()) << replies[i].to_json();
+    EXPECT_EQ(replies[i].get("id").as_int64(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(replies[i].get("cache").as_string(), "miss");
+  }
+  EXPECT_EQ(metrics.snapshot().counters.at("serve.cache.miss"), 3);
+  EXPECT_EQ(service.cache_stats().documents, 3u);
+}
+
 // ---- socket server --------------------------------------------------------
 
 int connect_unix(const std::string& path) {
@@ -387,6 +671,76 @@ TEST(Server, ShutdownOpStopsTheServer) {
   ::close(fd);
   server.wait();  // returns because the shutdown op triggered request_stop
   SUCCEED();
+}
+
+TEST(Server, OverloadShedsConnectionsWithTypedError) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions vopts;
+  vopts.obs.metrics = &metrics;
+  PlanService service(vopts);
+  ServerOptions sopts;
+  sopts.unix_path = test_socket_path("ovl");
+  sopts.threads = 1;
+  sopts.max_pending = 1;
+  Server server(service, sopts);
+  server.start();
+
+  // A claims the single worker (workers own a connection until it closes).
+  int a = connect_unix(sopts.unix_path);
+  ASSERT_GE(a, 0);
+  EXPECT_TRUE(parse_json(roundtrip(a, "{\"op\":\"ping\"}")).get("ok").as_bool());
+
+  // B fills the pending queue.  Give the accept thread a moment to queue it
+  // before C arrives.
+  int b = connect_unix(sopts.unix_path);
+  ASSERT_GE(b, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // C is over the bound: the server pushes one typed error line and closes
+  // without waiting for a request, so just read.
+  int c = connect_unix(sopts.unix_path);
+  ASSERT_GE(c, 0);
+  std::string pushed;
+  char ch = 0;
+  while (::read(c, &ch, 1) == 1 && ch != '\n') pushed.push_back(ch);
+  JsonValue shed = parse_json(pushed);
+  EXPECT_FALSE(shed.get("ok").as_bool());
+  EXPECT_EQ(shed.get("error").get("kind").as_string(), "overloaded");
+  EXPECT_EQ(shed.get("error").get("code").as_int64(), 79);
+  char extra = 0;
+  EXPECT_EQ(::read(c, &extra, 1), 0);  // EOF: connection was closed
+  ::close(c);
+
+  // Once A releases the worker, the queued B is served normally.
+  ::close(a);
+  EXPECT_TRUE(parse_json(roundtrip(b, "{\"op\":\"ping\"}")).get("ok").as_bool());
+  ::close(b);
+
+  EXPECT_EQ(metrics.snapshot().counters.at("serve.overload.rejected"), 1);
+  server.request_stop();
+  server.stop();
+}
+
+TEST(Server, BatchOverUnixSocket) {
+  PlanService service;
+  ServerOptions sopts;
+  sopts.unix_path = test_socket_path("batch");
+  Server server(service, sopts);
+  server.start();
+
+  int fd = connect_unix(sopts.unix_path);
+  ASSERT_GE(fd, 0);
+  JsonValue reply = parse_json(roundtrip(
+      fd, batch_request({plan_request("partition", sor_like("X", "16"), "1"),
+                         plan_request("partition", sor_like("Y", "16"), "2")})));
+  ASSERT_TRUE(reply.get("ok").as_bool()) << reply.to_json();
+  const auto& replies = reply.get("replies").as_array();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].get("cache").as_string(), "miss");
+  EXPECT_EQ(replies[1].get("cache").as_string(), "hit");
+  ::close(fd);
+  server.request_stop();
+  server.stop();
 }
 
 TEST(Server, TcpEphemeralPortRoundtrip) {

@@ -38,7 +38,7 @@
 //
 // exit codes (see docs/robustness.md): 0 ok, 2 check/verify failure,
 // 64 usage, 65 parse, 66 cannot open input, 69 unsatisfiable, 70 internal,
-// 74 io, 75 stall, 76 worker death, 77 fault plan, 78 config.
+// 74 io, 75 stall, 76 worker death, 77 fault plan, 78 config, 79 overloaded.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -61,6 +61,7 @@
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "perf/table.hpp"
+#include "serve/canonical.hpp"
 #include "serve/server.hpp"
 #include "sim/report.hpp"
 #include "transform/wavefront.hpp"
@@ -77,7 +78,8 @@ const char kUsage[] =
     "              <file.loop|-> [--dim N] [--pi a,b,..] [--weighted]\n"
     "       hypart serve [--socket PATH | --port N] [--threads N] [--dim N]\n"
     "              [--space dense|symbolic|verify] [--cache N] [--skeleton-cache N]\n"
-    "              [--trace FILE] [--metrics FILE]\n"
+    "              [--shards N] [--max-pending N] [--batch-threads N]\n"
+    "              [--verify-replay] [--trace FILE] [--metrics FILE]\n"
     "              [--space dense|symbolic|verify]\n"
     "              [--accounting paper|barrier|contention]\n"
     "              [--tcalc X] [--tstart X] [--tcomm X]\n"
@@ -124,9 +126,15 @@ const char kUsage[] =
     "  loopback TCP (--port N, 0 = ephemeral) socket.  Structurally\n"
     "  identical nests share one cached plan: --cache N documents\n"
     "  (default 256), --skeleton-cache N time functions (default 128),\n"
+    "  --shards N cache lock stripes per tier (default 8, clamped),\n"
     "  --threads N workers (default 4), --dim/--space request defaults\n"
-    "  (serve defaults to --space symbolic).  SIGTERM/SIGINT or an\n"
-    "  {\"op\":\"shutdown\"} request stop it cleanly.\n";
+    "  (serve defaults to --space symbolic).  --max-pending N bounds the\n"
+    "  accepted-but-unserved connection queue (0 = unbounded; beyond it\n"
+    "  connections get one overloaded/79 error line), --batch-threads N\n"
+    "  caps the planning fan-out of {\"op\":\"batch\"} requests (0 = cores),\n"
+    "  --verify-replay cross-checks every replayed hit against the full\n"
+    "  rewrite path.  SIGTERM/SIGINT or an {\"op\":\"shutdown\"} request\n"
+    "  stop it cleanly.\n";
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "hypart: %s\n", msg);
@@ -525,6 +533,10 @@ int cmd_serve(int argc, char** argv) {
     }
     else if (a == "--cache") vopts.doc_cache_capacity = std::stoul(next());
     else if (a == "--skeleton-cache") vopts.skeleton_cache_capacity = std::stoul(next());
+    else if (a == "--shards") vopts.cache_shards = std::stoul(next());
+    else if (a == "--batch-threads") vopts.batch_parallelism = std::stoul(next());
+    else if (a == "--verify-replay") vopts.verify_replay = true;
+    else if (a == "--max-pending") sopts.max_pending = std::stoul(next());
     else if (a == "--trace") trace_path = next();
     else if (a == "--metrics") metrics_path = next();
     else usage(("unknown serve option " + a).c_str());
@@ -718,7 +730,20 @@ int main(int argc, char** argv) {
     WavefrontTransform wt = make_wavefront_transform(r.time_function);
     std::printf("%s", wavefront_loop_to_string(wt, *r.structure, nest.index_names()).c_str());
   } else if (o.command == "json") {
-    std::printf("%s\n", pipeline_result_to_json(nest, r).c_str());
+    // The pipeline document plus the daemon's canonical cache keys, so
+    // offline tooling can compute a nest's identity (and pre-warm or probe
+    // a `hypart serve` instance) without speaking the wire protocol.  The
+    // daemon's document tier additionally folds the resolved request
+    // params into its key; exact_key here is the nest-identity half.
+    JsonValue doc = parse_json(pipeline_result_to_json(nest, r));
+    serve::CanonicalForm cf = serve::canonicalize_nest(nest, r.dependence);
+    JsonValue canonical;
+    canonical.set("exact", JsonValue::make_string(cf.exact_hex()));
+    canonical.set("exact_key", JsonValue::make_string(cf.exact_key));
+    canonical.set("structure", JsonValue::make_string(cf.structure_hex()));
+    canonical.set("structure_key", JsonValue::make_string(cf.structure_key));
+    doc.set("canonical", std::move(canonical));
+    std::printf("%s\n", doc.to_json().c_str());
   } else if (o.command == "trace") {
     if (o.trace_path.empty()) std::printf("%s", trace_sink.str().c_str());
   } else if (o.command == "profile") {

@@ -1,12 +1,14 @@
 // hypart loadgen — load generator / latency probe for `hypart serve`.
 //
 //   loadgen (--socket PATH | --port N) [--requests N] [--streams K]
-//           [--rescale] [--connections C] [--rps R] [--op OP] [--size N]
-//           [--program FILE] [--dim N] [--space M] [--json] [--expect-hits]
+//           [--rescale] [--connections C] [--batch K] [--rps R] [--op OP]
+//           [--size N] [--program FILE] [--dim N] [--space M] [--json]
+//           [--expect-hits]
 //
 // Sends NDJSON plan requests and reports client-side latency percentiles
-// (p50/p90/p99 via the obs histogram machinery) split by the server's cache
-// disposition, plus the server's own cache counters (a final "stats" query).
+// (p50/p90/p99/p999 via the obs histogram machinery) split by the server's
+// cache disposition, sustained throughput (req/s), and the server's own
+// cache counters (a final "stats" query).
 //
 // The request schedule is deterministic: `--streams K` issues K renamed
 // copies of the same request sequence (same structure, same sizes, fresh
@@ -17,6 +19,11 @@
 // `--op` fixes one query type; the default cycles
 // partition/map/predict/explain.  `--rps R` paces an open loop at R
 // requests/second; the default is a closed loop (send, wait, send).
+// `--batch K` wraps every K consecutive requests of a connection's schedule
+// into one {"op":"batch"} line: round-trip latency is then attributed per
+// sub-request (line time / K, so percentiles stay comparable across batch
+// sizes and the framing amortization is directly visible); the raw line
+// times are reported separately under "batch_line".
 //
 // Exit codes: 0 ok, 1 error replies or transport failure, 2 --expect-hits
 // saw zero document hits, 64 usage.
@@ -47,7 +54,7 @@ using namespace hypart;
 
 const char kUsage[] =
     "usage: loadgen (--socket PATH | --port N) [--requests N] [--streams K]\n"
-    "               [--rescale] [--connections C] [--rps R]\n"
+    "               [--rescale] [--connections C] [--batch K] [--rps R]\n"
     "               [--op partition|map|predict|explain] [--size N]\n"
     "               [--program FILE] [--dim N] [--space dense|symbolic|verify]\n"
     "               [--json] [--expect-hits]\n";
@@ -65,6 +72,7 @@ struct Options {
   std::size_t streams = 2;
   bool rescale = false;
   std::size_t connections = 1;
+  std::size_t batch = 1;  ///< sub-requests per line; 1 = plain requests
   double rps = 0.0;  ///< 0 = closed loop
   std::string op;    ///< empty = cycle the four plan ops
   std::int64_t size = 24;
@@ -205,6 +213,7 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--streams") o.streams = std::stoul(next());
     else if (a == "--rescale") o.rescale = true;
     else if (a == "--connections") o.connections = std::stoul(next());
+    else if (a == "--batch") o.batch = std::stoul(next());
     else if (a == "--rps") o.rps = std::stod(next());
     else if (a == "--op") o.op = next();
     else if (a == "--size") o.size = std::stoll(next());
@@ -221,6 +230,7 @@ Options parse_args(int argc, char** argv) {
   if (o.requests < 1) usage("--requests must be >= 1");
   if (o.streams < 1) o.streams = 1;
   if (o.connections < 1) o.connections = 1;
+  if (o.batch < 1) o.batch = 1;
   if (!o.op.empty() && o.op != "partition" && o.op != "map" && o.op != "predict" &&
       o.op != "explain")
     usage("--op must be partition, map, predict or explain");
@@ -267,41 +277,83 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < o.connections; ++c) {
     threads.emplace_back([&, c] {
       Connection conn(o.socket_path, o.port);
-      // Connection c serves requests c, c+C, c+2C, ...  With --rps the
-      // whole schedule is paced on one global clock (open loop).
+      // Connection c serves requests c, c+C, c+2C, ...; with --batch K,
+      // every K consecutive requests of that schedule share one line.
+      // With --rps the whole schedule is paced on one global clock (open
+      // loop), each line due at its first request's slot.
+      std::vector<std::int64_t> mine;
       for (std::int64_t k = static_cast<std::int64_t>(c); k < o.requests;
-           k += static_cast<std::int64_t>(o.connections)) {
+           k += static_cast<std::int64_t>(o.connections))
+        mine.push_back(k);
+      for (std::size_t i = 0; i < mine.size(); i += o.batch) {
+        const std::size_t n = std::min(o.batch, mine.size() - i);
         if (o.rps > 0.0) {
           auto due = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                 std::chrono::duration<double>(static_cast<double>(k) / o.rps));
+                                 std::chrono::duration<double>(
+                                     static_cast<double>(mine[i]) / o.rps));
           std::this_thread::sleep_until(due);
         }
-        std::string request = request_for(k);
+        std::string request;
+        if (o.batch == 1) {
+          request = request_for(mine[i]);
+        } else {
+          JsonWriter w;
+          w.begin_object();
+          w.field("id", mine[i]);
+          w.field("op", "batch");
+          w.begin_array("requests");
+          for (std::size_t j = 0; j < n; ++j) w.raw_value(request_for(mine[i + j]));
+          w.end_array();
+          w.end_object();
+          request = w.str();
+        }
         auto t0 = std::chrono::steady_clock::now();
         std::string reply_text = conn.roundtrip(request);
         auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-        std::string disposition;
-        std::int64_t server_us = -1;
-        bool ok = false;
+        // Collect the per-request replies (the line's own object, or the
+        // in-order "replies" of a batch line).
+        JsonValue reply;
+        std::vector<const JsonValue*> per_request;
+        bool line_ok = true;
         try {
-          JsonValue reply = parse_json(reply_text);
-          ok = reply.has("ok") && reply.get("ok").as_bool();
-          disposition = reply.string_or("cache", "");
-          server_us = reply.int_or("plan_us", -1);
-          if (!ok)
+          reply = parse_json(reply_text);
+          if (o.batch == 1) {
+            per_request.push_back(&reply);
+          } else if (reply.has("ok") && reply.get("ok").as_bool() && reply.has("replies")) {
+            for (const JsonValue& r : reply.get("replies").as_array()) per_request.push_back(&r);
+          } else {
+            line_ok = false;
             std::fprintf(stderr, "loadgen: error reply: %s\n", reply_text.c_str());
+          }
         } catch (const JsonParseError& e) {
+          line_ok = false;
           std::fprintf(stderr, "loadgen: unparsable reply: %s\n", e.what());
         }
+        const std::int64_t per_us =
+            us / static_cast<std::int64_t>(per_request.empty() ? 1 : per_request.size());
         std::lock_guard<std::mutex> lock(tally.mutex);
-        if (!ok) ++tally.errors;
-        Tally::observe_into(tally.latency["all"], us);
-        if (ok && !disposition.empty()) {
-          Tally::observe_into(tally.latency[disposition], us);
-          ++tally.dispositions[disposition];
-          if (server_us >= 0) Tally::observe_into(tally.plan_us[disposition], server_us);
+        if (o.batch > 1) Tally::observe_into(tally.latency["batch_line"], us);
+        if (!line_ok) {
+          tally.errors += static_cast<std::int64_t>(n);
+          Tally::observe_into(tally.latency["all"], us);
+          continue;
+        }
+        for (const JsonValue* rp : per_request) {
+          bool ok = rp->has("ok") && rp->get("ok").as_bool();
+          std::string disposition = rp->string_or("cache", "");
+          std::int64_t server_us = rp->int_or("plan_us", -1);
+          if (!ok) {
+            std::fprintf(stderr, "loadgen: error reply: %s\n", rp->to_json().c_str());
+            ++tally.errors;
+          }
+          Tally::observe_into(tally.latency["all"], per_us);
+          if (ok && !disposition.empty()) {
+            Tally::observe_into(tally.latency[disposition], per_us);
+            ++tally.dispositions[disposition];
+            if (server_us >= 0) Tally::observe_into(tally.plan_us[disposition], server_us);
+          }
         }
       }
     });
@@ -326,8 +378,10 @@ int main(int argc, char** argv) {
     JsonWriter w;
     w.begin_object();
     w.field("requests", o.requests);
+    w.field("batch", static_cast<std::int64_t>(o.batch));
     w.field("errors", tally.errors);
     w.field("wall_s", wall_s);
+    w.field("rps", static_cast<double>(o.requests) / (wall_s > 0 ? wall_s : 1.0));
     w.key("dispositions").begin_object();
     for (const auto& [name, count] : tally.dispositions) w.field(name, count);
     w.end_object();
@@ -339,6 +393,7 @@ int main(int argc, char** argv) {
         w.field("p50", h.percentile(0.50));
         w.field("p90", h.percentile(0.90));
         w.field("p99", h.percentile(0.99));
+        w.field("p999", h.percentile(0.999));
         w.field("min", h.min);
         w.field("max", h.max);
         w.end_object();
@@ -359,10 +414,12 @@ int main(int argc, char** argv) {
                 static_cast<double>(o.requests) / (wall_s > 0 ? wall_s : 1.0),
                 static_cast<long long>(tally.errors));
     for (const auto& [name, h] : tally.latency) {
-      std::printf("  %-5s n=%-5lld p50=%lldus p90=%lldus p99=%lldus max=%lldus\n", name.c_str(),
-                  static_cast<long long>(h.count), static_cast<long long>(h.percentile(0.50)),
+      std::printf("  %-10s n=%-5lld p50=%lldus p90=%lldus p99=%lldus p999=%lldus max=%lldus\n",
+                  name.c_str(), static_cast<long long>(h.count),
+                  static_cast<long long>(h.percentile(0.50)),
                   static_cast<long long>(h.percentile(0.90)),
-                  static_cast<long long>(h.percentile(0.99)), static_cast<long long>(h.max));
+                  static_cast<long long>(h.percentile(0.99)),
+                  static_cast<long long>(h.percentile(0.999)), static_cast<long long>(h.max));
     }
     for (const auto& [name, h] : tally.plan_us) {
       std::printf("  plan %-5s p50=%lldus max=%lldus (server-side)\n", name.c_str(),
